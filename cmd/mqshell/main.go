@@ -1,0 +1,125 @@
+// Command mqshell is a small interactive shell over a demo minequery
+// database: a customers table with a trained decision-tree and naive
+// Bayes model, ready for PREDICTION JOIN queries.
+//
+// Usage:
+//
+//	mqshell            # starts with the demo database
+//
+// Commands:
+//
+//	SELECT ...         # run a query (the dialect of internal/sqlparse)
+//	.explain SELECT .. # show the plan and envelope rewrites
+//	.schema            # list tables and models
+//	.quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"minequery"
+)
+
+func main() {
+	eng, err := demoEngine()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup:", err)
+		os.Exit(1)
+	}
+	fmt.Println("minequery shell — demo database loaded (table: customers; models: risk_tree, seg_bayes)")
+	fmt.Println(`try: SELECT * FROM customers PREDICTION JOIN risk_tree AS m ON m.age = customers.age AND m.income = customers.income WHERE m.risk = 'high' LIMIT 5`)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("mq> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".schema":
+			fmt.Println("table customers(id INT, age INT, income INT, visits INT, segment TEXT)")
+			fmt.Println("model risk_tree  (decision tree over age, income; predicts risk)")
+			fmt.Println("model seg_bayes  (naive Bayes over age, income; predicts segment)")
+		case strings.HasPrefix(line, ".explain "):
+			out, err := eng.Explain(strings.TrimPrefix(line, ".explain "))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(out)
+			}
+		default:
+			res, err := eng.Query(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Println(strings.Join(res.Columns, " | "))
+			for i, row := range res.Rows {
+				if i >= 20 {
+					fmt.Printf("... (%d rows total)\n", len(res.Rows))
+					break
+				}
+				fmt.Println(row)
+			}
+			fmt.Printf("-- %d rows, access path %s, cost %.1f units\n",
+				len(res.Rows), res.AccessPath, res.Stats.CostUnits)
+		}
+		fmt.Print("mq> ")
+	}
+}
+
+// demoEngine builds the shell's demo database.
+func demoEngine() (*minequery.Engine, error) {
+	eng := minequery.New()
+	if err := eng.CreateTable("customers", minequery.MustSchema(
+		minequery.Column{Name: "id", Kind: minequery.KindInt},
+		minequery.Column{Name: "age", Kind: minequery.KindInt},
+		minequery.Column{Name: "income", Kind: minequery.KindInt},
+		minequery.Column{Name: "visits", Kind: minequery.KindInt},
+		minequery.Column{Name: "segment", Kind: minequery.KindString},
+	)); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(7))
+	rows := make([]minequery.Tuple, 0, 30000)
+	for i := 0; i < 30000; i++ {
+		age := int64(r.Intn(10))
+		income := int64(r.Intn(8))
+		seg := "regular"
+		switch {
+		case age == 0 && income == 7:
+			seg = "vip"
+		case income <= 1:
+			seg = "budget"
+		}
+		rows = append(rows, minequery.Tuple{
+			minequery.Int(int64(i)), minequery.Int(age), minequery.Int(income),
+			minequery.Int(int64(r.Intn(50))), minequery.Str(seg),
+		})
+	}
+	if err := eng.InsertBatch("customers", rows); err != nil {
+		return nil, err
+	}
+	if err := eng.Analyze("customers"); err != nil {
+		return nil, err
+	}
+	if _, err := eng.TrainDecisionTree("risk_tree", "risk", "customers",
+		[]string{"age", "income"}, "segment", minequery.TreeOptions{}); err != nil {
+		return nil, err
+	}
+	if _, err := eng.TrainNaiveBayes("seg_bayes", "segment", "customers",
+		[]string{"age", "income"}, "segment", minequery.BayesOptions{}); err != nil {
+		return nil, err
+	}
+	if err := eng.CreateIndex("ix_age_income", "customers", "age", "income"); err != nil {
+		return nil, err
+	}
+	if err := eng.CreateIndex("ix_income", "customers", "income"); err != nil {
+		return nil, err
+	}
+	return eng, eng.Analyze("customers")
+}

@@ -1,0 +1,148 @@
+// Command trainmodel trains a mining model from a CSV file and prints
+// the model summary together with its per-class upper envelopes — the
+// "atomic" predicates Section 4.2 of the paper precomputes at training
+// time.
+//
+// Usage:
+//
+//	trainmodel -csv data.csv -label class -kind tree
+//
+// The CSV must have a header row. Columns parseable as integers become
+// INT attributes; everything else is TEXT. -kind is one of tree, bayes,
+// rules, kmeans, gmm (clustering kinds ignore -label).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"minequery/internal/core"
+	"minequery/internal/mining"
+	"minequery/internal/mining/cluster"
+	"minequery/internal/mining/dtree"
+	"minequery/internal/mining/nbayes"
+	"minequery/internal/mining/rules"
+	"minequery/internal/value"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "input CSV file with header row")
+	label := flag.String("label", "", "label column name (classification kinds)")
+	kind := flag.String("kind", "tree", "model kind: tree|bayes|rules|kmeans|gmm")
+	k := flag.Int("k", 4, "cluster count (kmeans/gmm)")
+	flag.Parse()
+	if *csvPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: trainmodel -csv data.csv -label class -kind tree")
+		os.Exit(1)
+	}
+	ts, err := loadCSV(*csvPath, *label)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+	var model mining.Model
+	switch *kind {
+	case "tree":
+		model, err = dtree.Train("model", "pred", ts, dtree.Options{})
+	case "bayes":
+		model, err = nbayes.Train("model", "pred", ts, nbayes.Options{})
+	case "rules":
+		model, err = rules.Train("model", "pred", ts, rules.Options{})
+	case "kmeans":
+		model, err = cluster.TrainKMeans("model", "pred", ts, cluster.Options{K: *k, Seed: 1})
+	case "gmm":
+		model, err = cluster.TrainGMM("model", "pred", ts, cluster.Options{K: *k, Seed: 1})
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	der, err := core.UpperEnvelopes(model, core.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "envelopes:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("model %s: %d classes over %v (derived in %v, exact=%v)\n",
+		model.Name(), len(model.Classes()), model.InputColumns(), der.Elapsed, der.Exact)
+	for _, c := range model.Classes() {
+		env := der.Envelopes[c.String()]
+		fmt.Printf("\nclass %v:\n  %s\n", c, env)
+	}
+}
+
+// loadCSV reads a CSV into a train set; the label column (if named) is
+// split out as the class label.
+func loadCSV(path, label string) (*mining.TrainSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	recs, err := rd.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("need a header plus at least one data row")
+	}
+	header := recs[0]
+	labelIdx := -1
+	for i, h := range header {
+		if h == label {
+			labelIdx = i
+		}
+	}
+	if label != "" && labelIdx < 0 {
+		return nil, fmt.Errorf("no column %q in header", label)
+	}
+	// Infer kinds from the first data row.
+	isInt := make([]bool, len(header))
+	for i, cell := range recs[1] {
+		_, err := strconv.ParseInt(cell, 10, 64)
+		isInt[i] = err == nil
+	}
+	var cols []value.Column
+	for i, h := range header {
+		if i == labelIdx {
+			continue
+		}
+		kind := value.KindString
+		if isInt[i] {
+			kind = value.KindInt
+		}
+		cols = append(cols, value.Column{Name: h, Kind: kind})
+	}
+	schema, err := value.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	ts := &mining.TrainSet{Schema: schema}
+	for _, rec := range recs[1:] {
+		var row value.Tuple
+		lbl := value.Null()
+		for i, cell := range rec {
+			if i == labelIdx {
+				lbl = value.Str(cell)
+				continue
+			}
+			if isInt[i] {
+				n, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad int %q in column %s", cell, header[i])
+				}
+				row = append(row, value.Int(n))
+			} else {
+				row = append(row, value.Str(cell))
+			}
+		}
+		ts.Rows = append(ts.Rows, row)
+		ts.Labels = append(ts.Labels, lbl)
+	}
+	return ts, nil
+}

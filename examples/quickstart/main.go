@@ -1,0 +1,82 @@
+// Quickstart: build a table, train a decision tree, and watch the upper
+// envelope turn a mining-predicate query into an index plan.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"minequery"
+)
+
+func main() {
+	eng := minequery.New()
+
+	// 1. A customers table.
+	err := eng.CreateTable("customers", minequery.MustSchema(
+		minequery.Column{Name: "id", Kind: minequery.KindInt},
+		minequery.Column{Name: "age", Kind: minequery.KindInt},
+		minequery.Column{Name: "income", Kind: minequery.KindInt},
+		minequery.Column{Name: "risk", Kind: minequery.KindString},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	rows := make([]minequery.Tuple, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		age, income := int64(r.Intn(12)), int64(r.Intn(15))
+		risk := "low"
+		if age <= 1 && income >= 9 && income <= 10 { // ~2% of customers
+			risk = "high"
+		}
+		rows = append(rows, minequery.Tuple{
+			minequery.Int(int64(i)), minequery.Int(age), minequery.Int(income), minequery.Str(risk),
+		})
+	}
+	if err := eng.InsertBatch("customers", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Train a decision tree on the stored data. Training also derives
+	// and caches the per-class upper envelopes (exact for trees).
+	info, err := eng.TrainDecisionTree("risk_model", "risk", "customers",
+		[]string{"age", "income"}, "risk", minequery.TreeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s: classes=%v train=%v envelopes=%v (exact=%v)\n",
+		info.Name, info.Classes, info.TrainTime, info.EnvelopeTime, info.ExactEnvelopes)
+	env, _ := eng.Envelope("risk_model", minequery.Str("high"))
+	fmt.Println("upper envelope for risk='high':", env)
+
+	// 3. A physical design and fresh statistics.
+	if err := eng.CreateIndex("ix_income_age", "customers", "income", "age"); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Analyze("customers"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The mining-predicate query, with and without the optimization.
+	const q = `SELECT id FROM customers
+		PREDICTION JOIN risk_model AS m ON m.age = customers.age AND m.income = customers.income
+		WHERE m.risk = 'high'`
+
+	optimized, err := eng.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := eng.QueryBaseline(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbaseline  : %4d rows, path=%-11s cost=%8.1f units\n",
+		len(baseline.Rows), baseline.AccessPath, baseline.Stats.CostUnits)
+	fmt.Printf("optimized : %4d rows, path=%-11s cost=%8.1f units (%.0f%% cheaper)\n",
+		len(optimized.Rows), optimized.AccessPath, optimized.Stats.CostUnits,
+		100*(baseline.Stats.CostUnits-optimized.Stats.CostUnits)/baseline.Stats.CostUnits)
+	fmt.Println("\noptimized plan:")
+	fmt.Print(optimized.Plan)
+}

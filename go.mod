@@ -1,0 +1,3 @@
+module minequery
+
+go 1.22

@@ -1,0 +1,242 @@
+// Package btree implements the in-memory B+-tree used for minequery's
+// clustered and secondary indexes. Keys are order-preserving byte strings
+// (see value.SortKey); entries carry the heap RID of the indexed row.
+// Duplicate keys are supported — entries are totally ordered by
+// (key, RID), and internal separators carry the full (key, RID) pair so
+// equal keys that span a leaf split stay reachable — so a secondary index
+// over a low-cardinality column (the common case for the paper's
+// class-label envelope predicates) works naturally.
+package btree
+
+import (
+	"bytes"
+
+	"minequery/internal/storage"
+)
+
+// Entry is one index entry.
+type Entry struct {
+	Key []byte
+	RID storage.RID
+}
+
+func compareEntries(a, b Entry) int {
+	if c := bytes.Compare(a.Key, b.Key); c != 0 {
+		return c
+	}
+	switch {
+	case a.RID.Less(b.RID):
+		return -1
+	case b.RID.Less(a.RID):
+		return 1
+	}
+	return 0
+}
+
+type node struct {
+	leaf     bool
+	entries  []Entry // leaf payload
+	seps     []Entry // internal: seps[i] is the smallest entry under children[i+1]
+	children []*node
+	next     *node // leaf chain for range scans
+}
+
+// Tree is a B+-tree. The zero value is not usable; call New.
+type Tree struct {
+	root   *node
+	degree int // max children per internal node; max entries per leaf = degree-1
+	size   int
+}
+
+// New returns an empty tree with the given degree (fanout). Degrees below
+// 4 are raised to 4.
+func New(degree int) *Tree {
+	if degree < 4 {
+		degree = 4
+	}
+	return &Tree{root: &node{leaf: true}, degree: degree}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 for a single leaf).
+func (t *Tree) Height() int {
+	h, n := 1, t.root
+	for !n.leaf {
+		h++
+		n = n.children[0]
+	}
+	return h
+}
+
+func (t *Tree) maxLeaf() int { return t.degree - 1 }
+
+// Insert adds an entry. Duplicate (key, RID) pairs are stored once.
+func (t *Tree) Insert(key []byte, rid storage.RID) {
+	e := Entry{Key: append([]byte(nil), key...), RID: rid}
+	newChild, sep := t.insert(t.root, e)
+	if newChild != nil {
+		t.root = &node{
+			seps:     []Entry{sep},
+			children: []*node{t.root, newChild},
+		}
+	}
+}
+
+// insert places e under n. If n splits, it returns the new right sibling
+// and the separator entry (smallest entry of the new sibling's subtree).
+func (t *Tree) insert(n *node, e Entry) (*node, Entry) {
+	if n.leaf {
+		i := searchEntries(n.entries, e)
+		if i < len(n.entries) && compareEntries(n.entries[i], e) == 0 {
+			return nil, Entry{} // exact duplicate
+		}
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		t.size++
+		if len(n.entries) <= t.maxLeaf() {
+			return nil, Entry{}
+		}
+		mid := len(n.entries) / 2
+		right := &node{leaf: true, next: n.next}
+		right.entries = append(right.entries, n.entries[mid:]...)
+		n.entries = n.entries[:mid:mid]
+		n.next = right
+		return right, right.entries[0]
+	}
+	ci := childIndex(n.seps, e)
+	newChild, sep := t.insert(n.children[ci], e)
+	if newChild == nil {
+		return nil, Entry{}
+	}
+	n.seps = append(n.seps, Entry{})
+	copy(n.seps[ci+1:], n.seps[ci:])
+	n.seps[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = newChild
+	if len(n.children) <= t.degree {
+		return nil, Entry{}
+	}
+	midSep := len(n.seps) / 2
+	upSep := n.seps[midSep]
+	right := &node{}
+	right.seps = append(right.seps, n.seps[midSep+1:]...)
+	right.children = append(right.children, n.children[midSep+1:]...)
+	n.seps = n.seps[:midSep:midSep]
+	n.children = n.children[: midSep+1 : midSep+1]
+	return right, upSep
+}
+
+// searchEntries returns the first index i such that entries[i] >= e.
+func searchEntries(entries []Entry, e Entry) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareEntries(entries[mid], e) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns the child to descend into for e: children[i] covers
+// entries in [seps[i-1], seps[i]). Descend right when e >= seps[i].
+func childIndex(seps []Entry, e Entry) int {
+	lo, hi := 0, len(seps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareEntries(seps[mid], e) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Delete removes the entry (key, rid). It reports whether the entry was
+// present. Deletion is lazy: leaves may become underfull (and even
+// empty); the structure is not rebalanced. Range scans skip empty leaves.
+func (t *Tree) Delete(key []byte, rid storage.RID) bool {
+	e := Entry{Key: key, RID: rid}
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.seps, e)]
+	}
+	i := searchEntries(n.entries, e)
+	if i >= len(n.entries) || compareEntries(n.entries[i], e) != 0 {
+		return false
+	}
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	t.size--
+	return true
+}
+
+// minRID is the smallest possible RID, used to bias bound probes to the
+// leftmost matching leaf.
+var minRID = storage.RID{}
+
+// AscendRange visits entries with lo <= key <= hi in ascending (key, RID)
+// order. A nil lo means "from the smallest key"; a nil hi means "to the
+// largest". loInc/hiInc control bound inclusivity (ignored for nil
+// bounds). The callback returning false stops the scan. It returns the
+// number of entries visited.
+func (t *Tree) AscendRange(lo, hi []byte, loInc, hiInc bool, fn func(Entry) bool) int {
+	n := t.root
+	if lo == nil {
+		for !n.leaf {
+			n = n.children[0]
+		}
+	} else {
+		probe := Entry{Key: lo, RID: minRID}
+		for !n.leaf {
+			n = n.children[childIndex(n.seps, probe)]
+		}
+	}
+	visited := 0
+	for ; n != nil; n = n.next {
+		for _, e := range n.entries {
+			if lo != nil {
+				c := bytes.Compare(e.Key, lo)
+				if c < 0 || (c == 0 && !loInc) {
+					continue
+				}
+			}
+			if hi != nil {
+				c := bytes.Compare(e.Key, hi)
+				if c > 0 || (c == 0 && !hiInc) {
+					return visited
+				}
+			}
+			visited++
+			if !fn(e) {
+				return visited
+			}
+		}
+	}
+	return visited
+}
+
+// AscendEqual visits all entries whose key equals key.
+func (t *Tree) AscendEqual(key []byte, fn func(Entry) bool) int {
+	return t.AscendRange(key, key, true, true, fn)
+}
+
+// Min returns the smallest entry, if any.
+func (t *Tree) Min() (Entry, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for ; n != nil; n = n.next {
+		if len(n.entries) > 0 {
+			return n.entries[0], true
+		}
+	}
+	return Entry{}, false
+}

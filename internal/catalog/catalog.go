@@ -1,0 +1,300 @@
+// Package catalog tracks the named objects of a minequery database:
+// tables (with their heaps, statistics, and indexes) and mining models
+// (with their precomputed per-class upper envelopes). The envelope cache
+// is versioned per model so that plans exploiting envelopes can be
+// invalidated when a model is retrained, as Section 4.2 of the paper
+// requires.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"minequery/internal/btree"
+	"minequery/internal/expr"
+	"minequery/internal/mining"
+	"minequery/internal/stats"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// Index is a secondary index over one or more columns of a table.
+type Index struct {
+	Name     string
+	Table    string
+	Columns  []string
+	Ordinals []int
+	Tree     *btree.Tree
+}
+
+// KeyFor builds the index key bytes for row t.
+func (ix *Index) KeyFor(t value.Tuple) []byte {
+	var key []byte
+	for _, o := range ix.Ordinals {
+		key = t[o].SortKey(key)
+	}
+	return key
+}
+
+// Table is a stored relation.
+type Table struct {
+	Name    string
+	Schema  *value.Schema
+	Heap    *storage.Heap
+	Indexes []*Index
+
+	mu    sync.RWMutex
+	stats *stats.TableStats
+}
+
+// Stats returns the most recently computed statistics (nil before the
+// first Analyze).
+func (t *Table) Stats() *stats.TableStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stats
+}
+
+// Analyze recomputes table statistics from the heap.
+func (t *Table) Analyze() *stats.TableStats {
+	ts := stats.Build(t.Schema, func(emit func(value.Tuple)) {
+		t.Heap.Scan(func(_ storage.RID, rec []byte) bool {
+			tup, err := value.DecodeTuple(rec)
+			if err == nil {
+				emit(tup)
+			}
+			return true
+		})
+	})
+	t.mu.Lock()
+	t.stats = ts
+	t.mu.Unlock()
+	return ts
+}
+
+// Insert appends a row, maintaining all indexes.
+func (t *Table) Insert(row value.Tuple) (storage.RID, error) {
+	if len(row) != t.Schema.Len() {
+		return storage.RID{}, fmt.Errorf("catalog: table %s: row arity %d, schema arity %d", t.Name, len(row), t.Schema.Len())
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		want := t.Schema.Col(i).Kind
+		got := v.Kind()
+		// INT widens into FLOAT columns.
+		if got == value.KindInt && want == value.KindFloat {
+			row = row.Clone()
+			row[i] = value.Float(v.AsFloat())
+			continue
+		}
+		if got != want {
+			return storage.RID{}, fmt.Errorf("catalog: table %s column %s: value kind %s, want %s",
+				t.Name, t.Schema.Col(i).Name, got, want)
+		}
+	}
+	rid, err := t.Heap.Insert(value.EncodeTuple(nil, row))
+	if err != nil {
+		return storage.RID{}, err
+	}
+	for _, ix := range t.Indexes {
+		ix.Tree.Insert(ix.KeyFor(row), rid)
+	}
+	return rid, nil
+}
+
+// Fetch decodes the row at rid.
+func (t *Table) Fetch(rid storage.RID) (value.Tuple, bool, error) {
+	rec, ok := t.Heap.Get(rid)
+	if !ok {
+		return nil, false, nil
+	}
+	tup, err := value.DecodeTuple(rec)
+	if err != nil {
+		return nil, false, fmt.Errorf("catalog: table %s: corrupt row at %s: %w", t.Name, rid, err)
+	}
+	return tup, true, nil
+}
+
+// FindIndex returns the index with the given leading columns (exact
+// prefix match on names, case-insensitive), or nil.
+func (t *Table) FindIndex(leading ...string) *Index {
+	for _, ix := range t.Indexes {
+		if len(ix.Columns) < len(leading) {
+			continue
+		}
+		match := true
+		for i, c := range leading {
+			if !strings.EqualFold(ix.Columns[i], c) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ix
+		}
+	}
+	return nil
+}
+
+// ModelEntry is a registered mining model plus its envelope cache.
+type ModelEntry struct {
+	Model   mining.Model
+	Version int64
+	// envelopes maps class-label key to the precomputed upper envelope
+	// for M.PredictColumn = class.
+	envelopes map[string]expr.Expr
+}
+
+// Envelope returns the cached upper envelope for the given class label
+// and the model version it was computed at. ok is false if no envelope
+// is cached for the class.
+func (me *ModelEntry) Envelope(class value.Value) (e expr.Expr, version int64, ok bool) {
+	e, ok = me.envelopes[class.String()]
+	return e, me.Version, ok
+}
+
+// Classes proxies the model's class enumeration.
+func (me *ModelEntry) Classes() []value.Value { return me.Model.Classes() }
+
+// Catalog is the namespace of tables and models.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	models map[string]*ModelEntry
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		models: make(map[string]*ModelEntry),
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// CreateTable registers a new empty table.
+func (c *Catalog) CreateTable(name string, schema *value.Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[key(name)]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := &Table{Name: name, Schema: schema, Heap: storage.NewHeap()}
+	c.tables[key(name)] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	return t, ok
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreateIndex builds a new index over existing rows of a table.
+func (c *Catalog) CreateIndex(name, table string, columns ...string) (*Index, error) {
+	t, ok := c.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("catalog: create index %q: no table %q", name, table)
+	}
+	ords := make([]int, len(columns))
+	for i, col := range columns {
+		o := t.Schema.Ordinal(col)
+		if o < 0 {
+			return nil, fmt.Errorf("catalog: create index %q: no column %q in %s", name, col, table)
+		}
+		ords[i] = o
+	}
+	c.mu.Lock()
+	for _, ix := range t.Indexes {
+		if strings.EqualFold(ix.Name, name) {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("catalog: index %q already exists on %s", name, table)
+		}
+	}
+	ix := &Index{Name: name, Table: t.Name, Columns: columns, Ordinals: ords, Tree: btree.New(64)}
+	t.Indexes = append(t.Indexes, ix)
+	c.mu.Unlock()
+	// Backfill outside the catalog lock.
+	var buildErr error
+	t.Heap.Scan(func(rid storage.RID, rec []byte) bool {
+		tup, err := value.DecodeTuple(rec)
+		if err != nil {
+			buildErr = err
+			return false
+		}
+		ix.Tree.Insert(ix.KeyFor(tup), rid)
+		return true
+	})
+	if buildErr != nil {
+		return nil, fmt.Errorf("catalog: create index %q: %w", name, buildErr)
+	}
+	return ix, nil
+}
+
+// DropIndexes removes all indexes from a table (used between tuning
+// rounds in the experiment harness).
+func (c *Catalog) DropIndexes(table string) error {
+	t, ok := c.Table(table)
+	if !ok {
+		return fmt.Errorf("catalog: drop indexes: no table %q", table)
+	}
+	c.mu.Lock()
+	t.Indexes = nil
+	c.mu.Unlock()
+	return nil
+}
+
+// RegisterModel registers (or replaces) a mining model together with its
+// precomputed per-class upper envelopes. Re-registering bumps the model
+// version, invalidating plans that used the previous envelopes.
+func (c *Catalog) RegisterModel(m mining.Model, envelopes map[string]expr.Expr) *ModelEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.models[key(m.Name())]
+	ver := int64(1)
+	if prev != nil {
+		ver = prev.Version + 1
+	}
+	me := &ModelEntry{Model: m, Version: ver, envelopes: envelopes}
+	c.models[key(m.Name())] = me
+	return me
+}
+
+// Model looks up a model entry by name.
+func (c *Catalog) Model(name string) (*ModelEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	me, ok := c.models[key(name)]
+	return me, ok
+}
+
+// Models returns all model entries sorted by name.
+func (c *Catalog) Models() []*ModelEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*ModelEntry, 0, len(c.models))
+	for _, m := range c.models {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model.Name() < out[j].Model.Name() })
+	return out
+}

@@ -1,0 +1,199 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"minequery/internal/expr"
+	"minequery/internal/value"
+)
+
+func demoSchema() *value.Schema {
+	return value.MustSchema(
+		value.Column{Name: "id", Kind: value.KindInt},
+		value.Column{Name: "cat", Kind: value.KindString},
+		value.Column{Name: "score", Kind: value.KindFloat},
+	)
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	c := New()
+	tb, err := c.CreateTable("Customers", demoSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("customers", demoSchema()); err == nil {
+		t.Error("duplicate table (case-insensitive) should fail")
+	}
+	got, ok := c.Table("CUSTOMERS")
+	if !ok || got != tb {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := c.Table("nope"); ok {
+		t.Error("lookup of missing table should fail")
+	}
+	if n := len(c.Tables()); n != 1 {
+		t.Errorf("Tables() returned %d", n)
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", demoSchema())
+	if _, err := tb.Insert(value.Tuple{value.Int(1), value.Str("a"), value.Float(0.5)}); err != nil {
+		t.Fatalf("valid insert failed: %v", err)
+	}
+	// INT widens into FLOAT column.
+	if _, err := tb.Insert(value.Tuple{value.Int(2), value.Str("b"), value.Int(7)}); err != nil {
+		t.Fatalf("int-into-float insert failed: %v", err)
+	}
+	// NULL allowed anywhere.
+	if _, err := tb.Insert(value.Tuple{value.Null(), value.Null(), value.Null()}); err != nil {
+		t.Fatalf("null insert failed: %v", err)
+	}
+	if _, err := tb.Insert(value.Tuple{value.Str("x"), value.Str("a"), value.Float(1)}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	if _, err := tb.Insert(value.Tuple{value.Int(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestFetchRoundTrip(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", demoSchema())
+	row := value.Tuple{value.Int(42), value.Str("hello"), value.Float(3.25)}
+	rid, err := tb.Insert(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := tb.Fetch(rid)
+	if err != nil || !ok {
+		t.Fatalf("fetch failed: %v %v", ok, err)
+	}
+	if !got.Equal(row) {
+		t.Errorf("fetched %v, want %v", got, row)
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", demoSchema())
+	for i := 0; i < 100; i++ {
+		tb.Insert(value.Tuple{value.Int(int64(i)), value.Str(fmt.Sprintf("c%d", i%5)), value.Float(float64(i))})
+	}
+	ix, err := c.CreateIndex("ix_cat", "t", "cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tree.Len() != 100 {
+		t.Errorf("backfilled index has %d entries, want 100", ix.Tree.Len())
+	}
+	// New inserts maintain the index.
+	tb.Insert(value.Tuple{value.Int(100), value.Str("c0"), value.Float(1)})
+	if ix.Tree.Len() != 101 {
+		t.Errorf("index not maintained on insert: %d", ix.Tree.Len())
+	}
+	if _, err := c.CreateIndex("ix_cat", "t", "cat"); err == nil {
+		t.Error("duplicate index name should fail")
+	}
+	if _, err := c.CreateIndex("ix2", "t", "missing"); err == nil {
+		t.Error("index on missing column should fail")
+	}
+	if _, err := c.CreateIndex("ix3", "missing", "cat"); err == nil {
+		t.Error("index on missing table should fail")
+	}
+	if tb.FindIndex("CAT") != ix {
+		t.Error("FindIndex by leading column failed")
+	}
+	if tb.FindIndex("score") != nil {
+		t.Error("FindIndex should miss")
+	}
+	if err := c.DropIndexes("t"); err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Indexes) != 0 {
+		t.Error("DropIndexes left indexes behind")
+	}
+	if err := c.DropIndexes("missing"); err == nil {
+		t.Error("DropIndexes on missing table should fail")
+	}
+}
+
+func TestCompositeIndexKey(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", demoSchema())
+	tb.Insert(value.Tuple{value.Int(1), value.Str("a"), value.Float(1)})
+	tb.Insert(value.Tuple{value.Int(1), value.Str("b"), value.Float(2)})
+	ix, err := c.CreateIndex("ix", "t", "cat", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Ordinals) != 2 || ix.Ordinals[0] != 1 || ix.Ordinals[1] != 0 {
+		t.Errorf("ordinals = %v", ix.Ordinals)
+	}
+	k1 := ix.KeyFor(value.Tuple{value.Int(1), value.Str("a"), value.Float(1)})
+	k2 := ix.KeyFor(value.Tuple{value.Int(1), value.Str("b"), value.Float(2)})
+	if string(k1) >= string(k2) {
+		t.Error("composite keys should order by cat first")
+	}
+}
+
+func TestAnalyzeAndStats(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", demoSchema())
+	if tb.Stats() != nil {
+		t.Error("stats should be nil before Analyze")
+	}
+	for i := 0; i < 50; i++ {
+		tb.Insert(value.Tuple{value.Int(int64(i)), value.Str("x"), value.Float(0)})
+	}
+	ts := tb.Analyze()
+	if ts.RowCount != 50 {
+		t.Errorf("RowCount = %d", ts.RowCount)
+	}
+	if tb.Stats() != ts {
+		t.Error("Stats should return the analyzed result")
+	}
+}
+
+type fakeModel struct{ name string }
+
+func (f fakeModel) Name() string           { return f.name }
+func (f fakeModel) PredictColumn() string  { return "cls" }
+func (f fakeModel) InputColumns() []string { return []string{"cat"} }
+func (f fakeModel) Classes() []value.Value { return []value.Value{value.Str("a"), value.Str("b")} }
+func (f fakeModel) Predict(in value.Tuple) value.Value {
+	return in[0]
+}
+
+func TestModelRegistrationAndVersioning(t *testing.T) {
+	c := New()
+	env := map[string]expr.Expr{
+		value.Str("a").String(): expr.Cmp{Col: "cat", Op: expr.OpEq, Val: value.Str("a")},
+	}
+	me := c.RegisterModel(fakeModel{name: "m1"}, env)
+	if me.Version != 1 {
+		t.Errorf("first version = %d, want 1", me.Version)
+	}
+	got, ver, ok := me.Envelope(value.Str("a"))
+	if !ok || ver != 1 || got == nil {
+		t.Error("envelope lookup failed")
+	}
+	if _, _, ok := me.Envelope(value.Str("zzz")); ok {
+		t.Error("missing envelope should report ok=false")
+	}
+	me2 := c.RegisterModel(fakeModel{name: "M1"}, nil)
+	if me2.Version != 2 {
+		t.Errorf("re-registration should bump version, got %d", me2.Version)
+	}
+	if cur, _ := c.Model("m1"); cur != me2 {
+		t.Error("lookup should return latest registration")
+	}
+	if len(c.Models()) != 1 {
+		t.Error("Models() should have one entry")
+	}
+	if len(me2.Classes()) != 2 {
+		t.Error("Classes proxy broken")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+)
+
+// complementCover builds a box cover of "the full grid minus (a prefix
+// of) the pruned regions". Because the upper envelope is exactly
+// everything not proven MUST-LOSE, subtracting pruned boxes from the
+// full region is an alternative envelope representation — and often a
+// far tighter one under a disjunct budget: the complement of one box is
+// at most 2·dims boxes, so excluding the handful of heavy (data-dense)
+// pruned regions yields a small cover whose mass is the full mass minus
+// the pruned mass. Pruned regions are subtracted heaviest-first and
+// subtraction stops before the cover would exceed maxBoxes.
+func complementCover(g *Grid, pruned []*region, maxBoxes int) []*region {
+	cover := []*region{fullRegion(g)}
+	if len(pruned) == 0 {
+		return cover
+	}
+	// The pruned pieces are mostly thin shrink slabs; reassembling them
+	// into fat boxes first lets a few subtractions remove most mass.
+	order := mergeRegions(g, append([]*region(nil), pruned...))
+	masses := make(map[*region]float64, len(order))
+	for _, p := range order {
+		masses[p] = regionMass(g, p)
+	}
+	sort.Slice(order, func(i, j int) bool { return masses[order[i]] > masses[order[j]] })
+	for _, p := range order {
+		var next []*region
+		ok := true
+		for _, c := range cover {
+			pieces := subtractBox(g, c, p)
+			next = append(next, pieces...)
+			if maxBoxes > 0 && len(next) > maxBoxes {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue // skip this pruned region; the cover stays sound
+		}
+		cover = mergeRegions(g, next)
+	}
+	return cover
+}
+
+// subtractBox returns disjoint boxes covering c minus p. If c and p do
+// not overlap, c itself is returned.
+func subtractBox(g *Grid, c, p *region) []*region {
+	// Check full-dimensional overlap first.
+	inters := make([][]int, len(c.sel))
+	for d := range c.sel {
+		in := intersectInts(c.sel[d], p.sel[d])
+		if len(in) == 0 {
+			return []*region{c}
+		}
+		inters[d] = in
+	}
+	var out []*region
+	cur := c.clone()
+	for d := range c.sel {
+		rest := differenceInts(cur.sel[d], p.sel[d])
+		if len(rest) > 0 {
+			if g.Dims[d].Ordered {
+				// Split into contiguous runs to keep ordered dims valid.
+				for _, run := range contiguousRuns(rest) {
+					piece := cur.clone()
+					piece.sel[d] = run
+					out = append(out, piece)
+				}
+			} else {
+				piece := cur.clone()
+				piece.sel[d] = rest
+				out = append(out, piece)
+			}
+		}
+		cur.sel[d] = inters[d]
+	}
+	// cur is now c ∩ p: the part removed.
+	return out
+}
+
+// intersectInts intersects two sorted int slices.
+func intersectInts(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// differenceInts returns the sorted elements of a not in b.
+func differenceInts(a, b []int) []int {
+	var out []int
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// contiguousRuns splits a sorted int slice into maximal contiguous runs.
+func contiguousRuns(s []int) [][]int {
+	var out [][]int
+	start := 0
+	for i := 1; i <= len(s); i++ {
+		if i == len(s) || s[i] != s[i-1]+1 {
+			out = append(out, s[start:i:i])
+			start = i
+		}
+	}
+	return out
+}
+
+// coverMass sums the masses of the cover's regions (an upper bound on
+// the covered mass when regions overlap; complement covers are
+// disjoint).
+func coverMass(g *Grid, cover []*region) float64 {
+	var s float64
+	for _, r := range cover {
+		s += regionMass(g, r)
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"minequery/internal/value"
+)
+
+// toyGrid builds a small 2-class point-score grid where class B wins
+// exactly inside the box [1..2]×[1..2] of a 4×4 grid.
+func toyGrid() *Grid {
+	g := &Grid{
+		Classes:  []value.Value{value.Str("A"), value.Str("B")},
+		Base:     []float64{0, 0},
+		TiePrior: []float64{0.6, 0.4},
+		Dims:     make([]Dim, 2),
+	}
+	for d := 0; d < 2; d++ {
+		dim := Dim{Col: []string{"x", "y"}[d], Ordered: true}
+		for l := 0; l < 4; l++ {
+			inside := l == 1 || l == 2
+			// B gets +1 per inside dim, A is flat: B wins only when both
+			// dims are inside (score 2 > A's tie-broken 0... per-dim +1).
+			bScore := -1.0
+			if inside {
+				bScore = 1.0
+			}
+			dim.Members = append(dim.Members, Member{Value: value.Int(int64(l))})
+			dim.ScoreLo = append(dim.ScoreLo, []float64{0, bScore})
+			dim.ScoreHi = append(dim.ScoreHi, []float64{0, bScore})
+		}
+		g.Dims[d] = dim
+	}
+	return g
+}
+
+func TestSubtractBoxPartition(t *testing.T) {
+	g := toyGrid()
+	c := fullRegion(g)
+	p := &region{sel: [][]int{{1, 2}, {1, 2}}}
+	pieces := subtractBox(g, c, p)
+	// The pieces plus p must tile the full grid exactly.
+	count := 0
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			ls := []int{x, y}
+			in := 0
+			if covered([]*region{p}, ls) {
+				in++
+			}
+			if covered(pieces, ls) {
+				in++
+			}
+			if in != 1 {
+				t.Fatalf("cell %v covered %d times", ls, in)
+			}
+			count++
+		}
+	}
+	// Ordered dims: every piece must be contiguous per dim.
+	for _, pc := range pieces {
+		for d, s := range pc.sel {
+			if !contiguous(s) {
+				t.Fatalf("piece %v not contiguous in dim %d", pc, d)
+			}
+		}
+	}
+}
+
+func TestSubtractBoxNoOverlap(t *testing.T) {
+	g := toyGrid()
+	c := &region{sel: [][]int{{0, 1}, {0, 1}}}
+	p := &region{sel: [][]int{{2, 3}, {2, 3}}}
+	pieces := subtractBox(g, c, p)
+	if len(pieces) != 1 || pieces[0] != c {
+		t.Fatalf("disjoint subtraction should return c unchanged, got %d pieces", len(pieces))
+	}
+}
+
+func TestComplementCoverExcludesPruned(t *testing.T) {
+	g := toyGrid()
+	pruned := []*region{{sel: [][]int{{1, 2}, {1, 2}}}}
+	cover := complementCover(g, pruned, 16)
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			ls := []int{x, y}
+			inPruned := x >= 1 && x <= 2 && y >= 1 && y <= 2
+			if covered(cover, ls) == inPruned {
+				t.Fatalf("cell %v: cover must be exactly the complement", ls)
+			}
+		}
+	}
+}
+
+func TestComplementCoverBudgetSkips(t *testing.T) {
+	g := toyGrid()
+	// Budget of 1 box cannot represent any subtraction: the cover stays
+	// the full region (sound).
+	pruned := []*region{{sel: [][]int{{1, 2}, {1, 2}}}}
+	cover := complementCover(g, pruned, 1)
+	if len(cover) != 1 || cover[0].cells() != 16 {
+		t.Fatalf("budget-1 cover should remain the full region, got %v", cover)
+	}
+	// Empty pruned set: full region.
+	cover = complementCover(g, nil, 8)
+	if len(cover) != 1 || cover[0].cells() != 16 {
+		t.Fatal("empty pruned set should give the full region")
+	}
+}
+
+func TestIntSetHelpers(t *testing.T) {
+	if got := intersectInts([]int{1, 3, 5}, []int{2, 3, 5, 7}); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := differenceInts([]int{1, 2, 3, 4}, []int{2, 4}); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("difference = %v", got)
+	}
+	runs := contiguousRuns([]int{1, 2, 4, 7, 8})
+	if len(runs) != 3 || len(runs[0]) != 2 || runs[1][0] != 4 || len(runs[2]) != 2 {
+		t.Errorf("runs = %v", runs)
+	}
+	if contiguousRuns(nil) != nil {
+		t.Error("empty input should give no runs")
+	}
+}
+
+func TestRegionMassMatchesBruteForce(t *testing.T) {
+	// For a point-score grid, regionMass must equal the summed cell
+	// probabilities Σ_c Pr(c)·Pr(cell|c).
+	g := GridFromNaiveBayes(paperNB(t))
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		reg := fullRegion(g)
+		for d := range g.Dims {
+			n := len(g.Dims[d].Members)
+			lo := r.Intn(n)
+			hi := lo + r.Intn(n-lo)
+			var sel []int
+			for l := lo; l <= hi; l++ {
+				sel = append(sel, l)
+			}
+			reg.sel[d] = sel
+		}
+		// Brute force: Σ over covered cells of Σ_c exp(Base_c + Σ score).
+		want := 0.0
+		ls := make([]int, len(g.Dims))
+		var walk func(d int)
+		walk = func(d int) {
+			if d == len(g.Dims) {
+				for c := range g.Classes {
+					s := g.Base[c]
+					for e, l := range ls {
+						s += g.Dims[e].ScoreHi[l][c]
+					}
+					want += math.Exp(s)
+				}
+				return
+			}
+			for _, l := range reg.sel[d] {
+				ls[d] = l
+				walk(d + 1)
+			}
+		}
+		walk(0)
+		got := regionMass(g, reg)
+		if rel := (got - want) / (want + 1e-12); rel > 1e-9 || rel < -1e-9 {
+			t.Fatalf("regionMass = %g, brute force %g", got, want)
+		}
+	}
+}

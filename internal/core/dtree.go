@@ -1,0 +1,96 @@
+package core
+
+import (
+	"minequery/internal/expr"
+	"minequery/internal/mining/dtree"
+	"minequery/internal/mining/rules"
+	"minequery/internal/value"
+)
+
+// TreeEnvelope extracts the exact upper envelope of a class from a
+// decision tree (Section 3.1): AND the test conditions on each
+// root-to-leaf path ending in the class, OR the paths together. The
+// result is exact — a tuple satisfies the envelope iff the tree predicts
+// the class — for tuples without NULLs in tested attributes.
+func TreeEnvelope(m *dtree.Model, class value.Value, maxDisjuncts int) expr.Expr {
+	var paths []expr.Expr
+	var walk func(n *dtree.Node, conds []expr.Expr)
+	walk = func(n *dtree.Node, conds []expr.Expr) {
+		if n == nil {
+			return
+		}
+		if n.Leaf {
+			if value.Equal(n.Class, class) {
+				paths = append(paths, expr.NewAnd(append([]expr.Expr(nil), conds...)...))
+			}
+			return
+		}
+		walk(n.True, append(conds, nodeCond(n, true)))
+		walk(n.False, append(conds, nodeCond(n, false)))
+	}
+	walk(m.Root, nil)
+	e := expr.NewOr(paths...)
+	budget := 4 * maxDisjuncts
+	if maxDisjuncts <= 0 {
+		budget = 0
+	}
+	if s, ok := expr.Simplify(e, budget); ok {
+		return s
+	}
+	return e
+}
+
+// nodeCond renders one tree test outcome as a predicate.
+func nodeCond(n *dtree.Node, outcome bool) expr.Expr {
+	switch n.Kind {
+	case dtree.SplitNumeric:
+		t := value.Float(n.Threshold)
+		if outcome {
+			return expr.Cmp{Col: n.Attr, Op: expr.OpLe, Val: t}
+		}
+		return expr.Cmp{Col: n.Attr, Op: expr.OpGt, Val: t}
+	default: // categorical
+		if outcome {
+			return expr.Cmp{Col: n.Attr, Op: expr.OpEq, Val: n.CatVal}
+		}
+		return expr.Cmp{Col: n.Attr, Op: expr.OpNe, Val: n.CatVal}
+	}
+}
+
+// RulesEnvelope derives the upper envelope of a class from an ordered
+// rule list (Section 3.1): the disjunction of the bodies of all rules
+// with the class as head. As the paper notes, the envelope need not be
+// exact because earlier rules of other classes may fire first; it is
+// still a sound upper bound. The default class gets the negation of all
+// rule bodies ORed with bodies of its own rules, simplified within the
+// budget; if that blows up, TRUE (trivially sound).
+func RulesEnvelope(m *rules.Model, class value.Value, maxDisjuncts int) expr.Expr {
+	var bodies []expr.Expr
+	var allBodies []expr.Expr
+	for _, r := range m.Rules {
+		body := expr.NewAnd(append([]expr.Expr(nil), r.Body...)...)
+		allBodies = append(allBodies, body)
+		if value.Equal(r.Class, class) {
+			bodies = append(bodies, body)
+		}
+	}
+	e := expr.NewOr(bodies...)
+	if value.Equal(m.Default, class) {
+		// Points reaching the default: no rule fired — or a rule of this
+		// class fired.
+		e = expr.NewOr(e, expr.Not{Kid: expr.NewOr(allBodies...)})
+	}
+	budget := 4 * maxDisjuncts
+	if maxDisjuncts <= 0 {
+		budget = 0
+	}
+	if s, ok := expr.Simplify(e, budget); ok {
+		return s
+	}
+	if value.Equal(m.Default, class) {
+		// Simplification blew up on the negation: fall back to the
+		// trivially sound envelope.
+		return expr.TrueExpr{}
+	}
+	return e
+}

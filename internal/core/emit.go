@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+
+	"minequery/internal/expr"
+	"minequery/internal/value"
+)
+
+// regionPredicate renders one region as a conjunction of simple
+// selection predicates over the grid's data columns. Dimensions covering
+// their whole domain contribute nothing.
+func regionPredicate(g *Grid, r *region) expr.Expr {
+	var conds []expr.Expr
+	for d := range g.Dims {
+		dim := &g.Dims[d]
+		s := r.sel[d]
+		if len(s) == len(dim.Members) {
+			continue // unconstrained
+		}
+		if len(s) == 0 {
+			return expr.FalseExpr{}
+		}
+		conds = append(conds, dimPredicate(dim, s))
+	}
+	return expr.NewAnd(conds...)
+}
+
+// dimPredicate renders one dimension's member selection.
+func dimPredicate(dim *Dim, s []int) expr.Expr {
+	if dim.Members[s[0]].Interval {
+		// Interval members: render each contiguous run as a range.
+		var runs []expr.Expr
+		for start := 0; start < len(s); {
+			end := start
+			for end+1 < len(s) && s[end+1] == s[end]+1 {
+				end++
+			}
+			runs = append(runs, intervalRun(dim, s[start], s[end]))
+			start = end + 1
+		}
+		return expr.NewOr(runs...)
+	}
+	if len(s) == 1 {
+		return expr.Cmp{Col: dim.Col, Op: expr.OpEq, Val: dim.Members[s[0]].Value}
+	}
+	if dim.Ordered && contiguous(s) {
+		// Discrete ordered values: a contiguous run becomes a closed
+		// range over the column (index-friendly, matching the paper's
+		// d0:[2..3] notation). Both bounds are emitted even at the
+		// domain edges: envelopes are guaranteed sound for values in the
+		// model's trained domain, and closed ranges let the optimizer
+		// enumerate small integer ranges into IN prefixes.
+		return expr.NewAnd(
+			expr.Cmp{Col: dim.Col, Op: expr.OpGe, Val: dim.Members[s[0]].Value},
+			expr.Cmp{Col: dim.Col, Op: expr.OpLe, Val: dim.Members[s[len(s)-1]].Value},
+		)
+	}
+	// Unordered (or non-contiguous) discrete members: set membership.
+	vals := make([]value.Value, len(s))
+	for i, l := range s {
+		vals[i] = dim.Members[l].Value
+	}
+	return expr.In{Col: dim.Col, Vals: vals}
+}
+
+// intervalRun renders members first..last (contiguous) as a range.
+func intervalRun(dim *Dim, first, last int) expr.Expr {
+	lo := dim.Members[first].Lo
+	hi := dim.Members[last].Hi
+	var conds []expr.Expr
+	if !math.IsInf(lo, -1) {
+		conds = append(conds, expr.Cmp{Col: dim.Col, Op: expr.OpGe, Val: value.Float(lo)})
+	}
+	if !math.IsInf(hi, 1) {
+		conds = append(conds, expr.Cmp{Col: dim.Col, Op: expr.OpLt, Val: value.Float(hi)})
+	}
+	return expr.NewAnd(conds...)
+}
+
+// RegionsToPredicate renders a region cover as the envelope predicate:
+// the disjunction of region conjunctions, normalized. An empty cover is
+// the NULL envelope (FALSE), which the optimizer turns into a constant
+// scan.
+func RegionsToPredicate(g *Grid, regions []*region, maxDisjuncts int) expr.Expr {
+	if len(regions) == 0 {
+		return expr.FalseExpr{}
+	}
+	kids := make([]expr.Expr, len(regions))
+	for i, r := range regions {
+		kids[i] = regionPredicate(g, r)
+	}
+	e := expr.NewOr(kids...)
+	budget := 4 * maxDisjuncts
+	if maxDisjuncts <= 0 {
+		budget = 0
+	}
+	if s, ok := expr.Simplify(e, budget); ok {
+		return s
+	}
+	return e
+}
+
+// GridEnvelope derives the upper envelope predicate for the class at
+// index k using the top-down algorithm.
+func GridEnvelope(g *Grid, k int, opts Options) expr.Expr {
+	opts.fill()
+	regions := TopDownEnvelope(g, k, opts, nil)
+	return RegionsToPredicate(g, regions, opts.MaxDisjuncts)
+}

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"minequery/internal/mining"
+	"minequery/internal/mining/dtree"
+	"minequery/internal/mining/nbayes"
+)
+
+// trainNBHelper and trainTreeHelper keep the rewrite fixture readable.
+
+func trainNBHelper(name, predCol string, ts *mining.TrainSet) (mining.Model, error) {
+	return nbayes.Train(name, predCol, ts, nbayes.Options{})
+}
+
+func trainTreeHelper(name, predCol string, ts *mining.TrainSet) (mining.Model, error) {
+	return dtree.Train(name, predCol, ts, dtree.Options{})
+}

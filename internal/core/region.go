@@ -1,0 +1,465 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// region selects a subset of members in each grid dimension. Ordered
+// dimensions keep contiguous index ranges (enforced by shrink/split);
+// unordered dimensions hold arbitrary sorted index sets.
+type region struct {
+	sel [][]int // sel[d] = sorted member indices included in dim d
+}
+
+// fullRegion covers the whole grid.
+func fullRegion(g *Grid) *region {
+	r := &region{sel: make([][]int, len(g.Dims))}
+	for d := range g.Dims {
+		idx := make([]int, len(g.Dims[d].Members))
+		for i := range idx {
+			idx[i] = i
+		}
+		r.sel[d] = idx
+	}
+	return r
+}
+
+// clone deep-copies the region.
+func (r *region) clone() *region {
+	out := &region{sel: make([][]int, len(r.sel))}
+	for d := range r.sel {
+		out.sel[d] = append([]int(nil), r.sel[d]...)
+	}
+	return out
+}
+
+// empty reports whether any dimension has no members left.
+func (r *region) empty() bool {
+	for _, s := range r.sel {
+		if len(s) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// cells returns the number of grid cells covered.
+func (r *region) cells() int {
+	n := 1
+	for _, s := range r.sel {
+		n *= len(s)
+	}
+	return n
+}
+
+// String renders the region like the paper's "[0..3], [0..2]" notation.
+func (r *region) String() string {
+	parts := make([]string, len(r.sel))
+	for d, s := range r.sel {
+		if len(s) == 0 {
+			parts[d] = "[]"
+			continue
+		}
+		contiguous := true
+		for i := 1; i < len(s); i++ {
+			if s[i] != s[i-1]+1 {
+				contiguous = false
+				break
+			}
+		}
+		if contiguous {
+			parts[d] = fmt.Sprintf("[%d..%d]", s[0], s[len(s)-1])
+		} else {
+			var b strings.Builder
+			b.WriteByte('{')
+			for i, x := range s {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d", x)
+			}
+			b.WriteByte('}')
+			parts[d] = b.String()
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// bounds carries the per-class score bounds of a region.
+type bounds struct {
+	minS []float64 // minProb analogue (log domain)
+	maxS []float64 // maxProb analogue
+}
+
+// computeBounds evaluates maxProb/minProb for the region: the additive
+// analogue of the paper's products (Section 3.2.2), computed in the log
+// domain.
+func computeBounds(g *Grid, r *region) bounds {
+	k := len(g.Classes)
+	b := bounds{minS: make([]float64, k), maxS: make([]float64, k)}
+	copy(b.minS, g.Base)
+	copy(b.maxS, g.Base)
+	for d := range g.Dims {
+		dim := &g.Dims[d]
+		for c := 0; c < k; c++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, l := range r.sel[d] {
+				if dim.ScoreLo[l][c] < lo {
+					lo = dim.ScoreLo[l][c]
+				}
+				if dim.ScoreHi[l][c] > hi {
+					hi = dim.ScoreHi[l][c]
+				}
+			}
+			b.minS[c] += lo
+			b.maxS[c] += hi
+		}
+	}
+	return b
+}
+
+// status classifies a region for a target class.
+type status uint8
+
+// Region statuses (Section 3.2.2).
+const (
+	statusAmbiguous status = iota
+	statusMustWin
+	statusMustLose
+)
+
+func (s status) String() string {
+	switch s {
+	case statusMustWin:
+		return "MUST-WIN"
+	case statusMustLose:
+		return "MUST-LOSE"
+	default:
+		return "AMBIGUOUS"
+	}
+}
+
+// BoundsKind selects the bound test used by the top-down algorithm.
+type BoundsKind uint8
+
+const (
+	// BoundsRatio (the default) uses the Lemma 3.2 ratio-transformed
+	// bounds (pairwise score differences), which are exact for K=2
+	// point-score grids and strictly tighter in general.
+	BoundsRatio BoundsKind = iota
+	// BoundsSimple uses the paper's plain maxProb/minProb comparison
+	// (kept for the ablation study).
+	BoundsSimple
+)
+
+// classify determines the region's status for class k.
+func classify(g *Grid, r *region, k int, kind BoundsKind) status {
+	switch kind {
+	case BoundsRatio:
+		return classifyRatio(g, r, k)
+	default:
+		return classifySimple(g, r, k)
+	}
+}
+
+func classifySimple(g *Grid, r *region, k int) status {
+	b := computeBounds(g, r)
+	win := true
+	for j := range g.Classes {
+		if j == k {
+			continue
+		}
+		if !(b.minS[k] > b.maxS[j]) {
+			win = false
+		}
+		if b.maxS[k] < b.minS[j] {
+			return statusMustLose
+		}
+	}
+	if win {
+		return statusMustWin
+	}
+	return statusAmbiguous
+}
+
+// classifyRatio applies pairwise difference bounds: because scores are
+// additive and dimensions independent, min/max over the region of
+// score_k − score_j decomposes exactly per dimension. MUST-WIN when the
+// minimum difference to every rival is positive; MUST-LOSE when some
+// rival's minimum advantage over k is positive.
+func classifyRatio(g *Grid, r *region, k int) status {
+	st := newRatioState(g, r, k)
+	return st.status()
+}
+
+// ratioState caches the per-dimension, per-rival aggregates of the
+// pairwise difference bounds for one region and target class, so the
+// shrink step's per-member tests run in O(K) instead of
+// O(dims × members × K). Infinite bounds (clustering grids have ±Inf on
+// unbounded intervals) are tracked by count so exclusion sums stay
+// well-defined.
+type ratioState struct {
+	g *Grid
+	r *region
+	k int
+	// dimMin[d][j] = min over sel[d] of diffLo(d, l, k, j);
+	// dimMax[d][j] = max over sel[d] of diffHi(d, l, k, j).
+	dimMin, dimMax [][]float64
+	// finMin/finMax[j]: finite parts of Σ_d dimMin/dimMax, plus base.
+	finMin, finMax []float64
+	// negInf[j]/posInf[j]: how many dims contribute −Inf to the min sum
+	// / +Inf to the max sum.
+	negInf, posInf []int
+}
+
+func newRatioState(g *Grid, r *region, k int) *ratioState {
+	st := &ratioState{
+		g: g, r: r, k: k,
+		dimMin: make([][]float64, len(g.Dims)),
+		dimMax: make([][]float64, len(g.Dims)),
+	}
+	K := len(g.Classes)
+	for d := range g.Dims {
+		st.dimMin[d] = make([]float64, K)
+		st.dimMax[d] = make([]float64, K)
+		st.refreshDim(d)
+	}
+	st.rebuildTotals()
+	return st
+}
+
+// refreshDim recomputes dimension d's per-rival aggregates from the
+// region's current member selection. Callers must rebuildTotals after.
+func (st *ratioState) refreshDim(d int) {
+	K := len(st.g.Classes)
+	dim := &st.g.Dims[d]
+	for j := 0; j < K; j++ {
+		if j == st.k {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, l := range st.r.sel[d] {
+			dLo, dHi := dim.diffBounds(l, st.k, j, K)
+			if dLo < lo {
+				lo = dLo
+			}
+			if dHi > hi {
+				hi = dHi
+			}
+		}
+		st.dimMin[d][j] = lo
+		st.dimMax[d][j] = hi
+	}
+}
+
+// rebuildTotals recomputes the per-rival sums.
+func (st *ratioState) rebuildTotals() {
+	K := len(st.g.Classes)
+	st.finMin = make([]float64, K)
+	st.finMax = make([]float64, K)
+	st.negInf = make([]int, K)
+	st.posInf = make([]int, K)
+	for j := 0; j < K; j++ {
+		if j == st.k {
+			continue
+		}
+		base := st.g.Base[st.k] - st.g.Base[j]
+		st.finMin[j], st.finMax[j] = base, base
+		for d := range st.g.Dims {
+			if math.IsInf(st.dimMin[d][j], -1) {
+				st.negInf[j]++
+			} else {
+				st.finMin[j] += st.dimMin[d][j]
+			}
+			if math.IsInf(st.dimMax[d][j], 1) {
+				st.posInf[j]++
+			} else {
+				st.finMax[j] += st.dimMax[d][j]
+			}
+		}
+	}
+}
+
+func (st *ratioState) totMin(j int) float64 {
+	if st.negInf[j] > 0 {
+		return math.Inf(-1)
+	}
+	return st.finMin[j]
+}
+
+func (st *ratioState) totMax(j int) float64 {
+	if st.posInf[j] > 0 {
+		return math.Inf(1)
+	}
+	return st.finMax[j]
+}
+
+// totMaxExcl is totMax with dimension d's contribution replaced by alt.
+func (st *ratioState) totMaxExcl(d, j int, alt float64) float64 {
+	inf := st.posInf[j]
+	fin := st.finMax[j]
+	if math.IsInf(st.dimMax[d][j], 1) {
+		inf--
+	} else {
+		fin -= st.dimMax[d][j]
+	}
+	if math.IsInf(alt, 1) {
+		inf++
+	} else {
+		fin += alt
+	}
+	if inf > 0 {
+		return math.Inf(1)
+	}
+	return fin
+}
+
+// status evaluates the region's classification from the cached totals.
+func (st *ratioState) status() status {
+	win := true
+	for j := range st.g.Classes {
+		if j == st.k {
+			continue
+		}
+		if st.totMax(j) < 0 {
+			return statusMustLose
+		}
+		if !(st.totMin(j) > 0) {
+			win = false
+		}
+	}
+	if win {
+		return statusMustWin
+	}
+	return statusAmbiguous
+}
+
+// memberLoses tests the MUST-LOSE condition for the region restricted to
+// member l in dimension d, in O(K) using the cached totals.
+func (st *ratioState) memberLoses(d, l int) bool {
+	K := len(st.g.Classes)
+	dim := &st.g.Dims[d]
+	for j := 0; j < K; j++ {
+		if j == st.k {
+			continue
+		}
+		_, dHi := dim.diffBounds(l, st.k, j, K)
+		if st.totMaxExcl(d, j, dHi) < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// shrink removes members that are MUST-LOSE for class k when the region
+// is restricted to that member (the paper's Shrink step). Unordered
+// dimensions drop any such member; ordered dimensions only trim from the
+// two ends to maintain contiguity. It reports whether anything changed.
+func shrink(g *Grid, r *region, k int, kind BoundsKind, pruned *[]*region) bool {
+	if kind == BoundsRatio {
+		return shrinkRatio(g, r, k, pruned)
+	}
+	changed := false
+	for d := range g.Dims {
+		dim := &g.Dims[d]
+		memberLoses := func(l int) bool {
+			// Restrict dimension d to the single member l and test
+			// MUST-LOSE with the chosen bounds.
+			saved := r.sel[d]
+			r.sel[d] = []int{l}
+			st := classify(g, r, k, kind)
+			r.sel[d] = saved
+			return st == statusMustLose
+		}
+		if dim.Ordered {
+			s := r.sel[d]
+			for len(s) > 0 && memberLoses(s[0]) {
+				s = s[1:]
+				changed = true
+			}
+			for len(s) > 0 && memberLoses(s[len(s)-1]) {
+				s = s[:len(s)-1]
+				changed = true
+			}
+			r.sel[d] = s
+		} else {
+			var keep []int
+			for _, l := range r.sel[d] {
+				if memberLoses(l) {
+					changed = true
+					continue
+				}
+				keep = append(keep, l)
+			}
+			r.sel[d] = keep
+		}
+		if len(r.sel[d]) == 0 {
+			return true
+		}
+	}
+	return changed
+}
+
+// shrinkRatio is the shrink step under the ratio bounds, using the
+// cached aggregates for O(K) member tests. Trimmed slices — which are
+// proven MUST-LOSE — are appended to pruned (when non-nil) so the
+// complement representation of the envelope can subtract them.
+func shrinkRatio(g *Grid, r *region, k int, pruned *[]*region) bool {
+	st := newRatioState(g, r, k)
+	changed := false
+	capture := func(d int, removed []int) {
+		if pruned == nil || len(removed) == 0 {
+			return
+		}
+		piece := r.clone()
+		piece.sel[d] = removed
+		*pruned = append(*pruned, piece)
+	}
+	for d := range g.Dims {
+		dim := &g.Dims[d]
+		dimChanged := false
+		if dim.Ordered {
+			s := r.sel[d]
+			var front, back []int
+			for len(s) > 0 && st.memberLoses(d, s[0]) {
+				front = append(front, s[0])
+				s = s[1:]
+				dimChanged = true
+			}
+			for len(s) > 0 && st.memberLoses(d, s[len(s)-1]) {
+				back = append([]int{s[len(s)-1]}, back...)
+				s = s[:len(s)-1]
+				dimChanged = true
+			}
+			r.sel[d] = s
+			capture(d, front)
+			capture(d, back)
+		} else {
+			keep := r.sel[d][:0:0]
+			var removed []int
+			for _, l := range r.sel[d] {
+				if st.memberLoses(d, l) {
+					removed = append(removed, l)
+					dimChanged = true
+					continue
+				}
+				keep = append(keep, l)
+			}
+			r.sel[d] = keep
+			capture(d, removed)
+		}
+		if len(r.sel[d]) == 0 {
+			return true
+		}
+		if dimChanged {
+			changed = true
+			// Tighten the aggregates so later dimensions benefit from
+			// this dimension's shrinkage.
+			st.refreshDim(d)
+			st.rebuildTotals()
+		}
+	}
+	return changed
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"minequery/internal/catalog"
+	"minequery/internal/expr"
+	"minequery/internal/sqlparse"
+	"minequery/internal/value"
+)
+
+// Rewrite is the Section 4 optimization of a parsed query: every mining
+// predicate f is replaced by f ∧ u_f, where u_f is assembled from the
+// cached per-class atomic envelopes, covering the four predicate shapes
+// of Section 4.1 (equality, IN, prediction-prediction joins,
+// prediction-data joins). DataPred is the part of the augmented
+// predicate that references only base-table columns — the predicate the
+// access-path selector sees.
+type Rewrite struct {
+	// FullPred is the augmented predicate (mining predicates retained,
+	// envelopes ANDed in). It is evaluated after the prediction joins.
+	FullPred expr.Expr
+	// DataPred is the sound weakening of FullPred to base columns only;
+	// it drives access-path selection before the prediction joins run.
+	DataPred expr.Expr
+	// ModelVersions pins the model versions whose envelopes were used,
+	// for plan invalidation.
+	ModelVersions map[string]int64
+	// Notes describes each rewrite applied (for EXPLAIN-style output).
+	Notes []string
+}
+
+// predCols maps a query's prediction-column names ("alias.predcol",
+// lowercased) to the model entries producing them.
+type predCols map[string]*catalog.ModelEntry
+
+// collectPredCols resolves each PREDICTION JOIN to its output column.
+func collectPredCols(q *sqlparse.Query, cat *catalog.Catalog) (predCols, error) {
+	pc := predCols{}
+	for _, j := range q.Joins {
+		me, ok := cat.Model(j.Model)
+		if !ok {
+			return nil, fmt.Errorf("core: no model %q", j.Model)
+		}
+		col := strings.ToLower(j.Alias + "." + me.Model.PredictColumn())
+		pc[col] = me
+	}
+	return pc, nil
+}
+
+// RewriteQuery applies the Section 4.2 optimization pipeline to a
+// parsed query. maxDisjuncts caps normalization work (<=0: default 64).
+func RewriteQuery(q *sqlparse.Query, cat *catalog.Catalog, maxDisjuncts int) (*Rewrite, error) {
+	if maxDisjuncts <= 0 {
+		maxDisjuncts = 64
+	}
+	pc, err := collectPredCols(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	rw := &Rewrite{ModelVersions: map[string]int64{}}
+	// Step 2: augment each mining predicate with its upper envelope.
+	augmented := rw.augment(q.Where, pc)
+	// Step 3: normalization and transitivity. Simplification prunes
+	// disjuncts made contradictory by the added envelopes (the
+	// transitivity effect of Section 4.1's last example).
+	if s, ok := expr.Simplify(augmented, maxDisjuncts); ok {
+		augmented = s
+	}
+	rw.FullPred = augmented
+	rw.DataPred = projectToData(augmented, pc, maxDisjuncts)
+	for _, j := range q.Joins {
+		if me, ok := cat.Model(j.Model); ok {
+			rw.ModelVersions[strings.ToLower(j.Model)] = me.Version
+		}
+	}
+	return rw, nil
+}
+
+// BaselineRewrite prepares a query for the unoptimized execution path:
+// mining predicates are kept as black-box post-prediction filters and no
+// envelopes are added, so DataPred carries only the query's own data
+// predicates. This is the "extract and mine" evaluation the paper's
+// technique improves on.
+func BaselineRewrite(q *sqlparse.Query, cat *catalog.Catalog, maxDisjuncts int) (*Rewrite, error) {
+	if maxDisjuncts <= 0 {
+		maxDisjuncts = 64
+	}
+	pc, err := collectPredCols(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	rw := &Rewrite{ModelVersions: map[string]int64{}}
+	rw.FullPred = q.Where
+	rw.DataPred = projectToData(q.Where, pc, maxDisjuncts)
+	for _, j := range q.Joins {
+		if me, ok := cat.Model(j.Model); ok {
+			rw.ModelVersions[strings.ToLower(j.Model)] = me.Version
+		}
+	}
+	return rw, nil
+}
+
+// augment walks the predicate tree, ANDing envelopes onto mining
+// predicate atoms.
+func (rw *Rewrite) augment(e expr.Expr, pc predCols) expr.Expr {
+	switch x := e.(type) {
+	case expr.And:
+		kids := make([]expr.Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = rw.augment(k, pc)
+		}
+		return expr.NewAnd(kids...)
+	case expr.Or:
+		kids := make([]expr.Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = rw.augment(k, pc)
+		}
+		return expr.NewOr(kids...)
+	case expr.Not:
+		// Negation flips predicate polarity; envelopes added below a NOT
+		// would be unsound, so leave the subtree unaugmented.
+		return x
+	case expr.Cmp:
+		me, ok := pc[strings.ToLower(x.Col)]
+		if !ok {
+			return x
+		}
+		switch x.Op {
+		case expr.OpEq:
+			u := rw.classEnvelope(me, x.Val, x.Col)
+			return expr.NewAnd(x, u)
+		case expr.OpNe:
+			// pred <> c is an IN over the remaining classes.
+			var rest []expr.Expr
+			for _, c := range me.Classes() {
+				if !value.Equal(c, x.Val) {
+					rest = append(rest, rw.classEnvelope(me, c, x.Col))
+				}
+			}
+			rw.note("%s <> %s: envelope disjunction over %d remaining classes", x.Col, x.Val, len(rest))
+			return expr.NewAnd(x, expr.NewOr(rest...))
+		default:
+			return x
+		}
+	case expr.In:
+		me, ok := pc[strings.ToLower(x.Col)]
+		if !ok {
+			return x
+		}
+		kids := make([]expr.Expr, 0, len(x.Vals))
+		for _, v := range x.Vals {
+			kids = append(kids, rw.classEnvelope(me, v, x.Col))
+		}
+		rw.note("%s IN (...): envelope disjunction over %d classes", x.Col, len(x.Vals))
+		return expr.NewAnd(x, expr.NewOr(kids...))
+	case expr.ColCmp:
+		if x.Op != expr.OpEq {
+			return x
+		}
+		meA, okA := pc[strings.ToLower(x.ColA)]
+		meB, okB := pc[strings.ToLower(x.ColB)]
+		switch {
+		case okA && okB:
+			// Join between two predicted columns: disjunction over the
+			// common class labels of both envelope conjunctions.
+			common := commonClasses(meA, meB)
+			kids := make([]expr.Expr, 0, len(common))
+			for _, c := range common {
+				kids = append(kids, expr.NewAnd(
+					rw.classEnvelope(meA, c, x.ColA),
+					rw.classEnvelope(meB, c, x.ColB),
+				))
+			}
+			rw.note("%s = %s: model-model join over %d common classes", x.ColA, x.ColB, len(common))
+			return expr.NewAnd(x, expr.NewOr(kids...))
+		case okA != okB:
+			// Join between a predicted column and a data column:
+			// enumerate the model's classes.
+			me, predCol, dataCol := meA, x.ColA, x.ColB
+			if okB {
+				me, predCol, dataCol = meB, x.ColB, x.ColA
+			}
+			classes := me.Classes()
+			kids := make([]expr.Expr, 0, len(classes))
+			for _, c := range classes {
+				kids = append(kids, expr.NewAnd(
+					rw.classEnvelope(me, c, predCol),
+					expr.Cmp{Col: dataCol, Op: expr.OpEq, Val: c},
+				))
+			}
+			rw.note("%s = %s: model-data join over %d classes", predCol, dataCol, len(classes))
+			return expr.NewAnd(x, expr.NewOr(kids...))
+		default:
+			return x
+		}
+	default:
+		return e
+	}
+}
+
+// classEnvelope looks up the cached atomic envelope for one class. A
+// class outside the model's label set yields FALSE (the predicate can
+// never hold); a class without a cached envelope yields TRUE (no
+// information, still sound).
+func (rw *Rewrite) classEnvelope(me *catalog.ModelEntry, class value.Value, col string) expr.Expr {
+	known := false
+	for _, c := range me.Classes() {
+		if value.Equal(c, class) {
+			known = true
+			break
+		}
+	}
+	if !known {
+		rw.note("%s = %s: label outside model's class set, predicate is unsatisfiable", col, class)
+		return expr.FalseExpr{}
+	}
+	if u, _, ok := me.Envelope(class); ok {
+		rw.note("%s = %s: added atomic envelope", col, class)
+		return u
+	}
+	rw.note("%s = %s: no cached envelope, left unaugmented", col, class)
+	return expr.TrueExpr{}
+}
+
+func (rw *Rewrite) note(format string, args ...any) {
+	rw.Notes = append(rw.Notes, fmt.Sprintf(format, args...))
+}
+
+func commonClasses(a, b *catalog.ModelEntry) []value.Value {
+	var out []value.Value
+	for _, ca := range a.Classes() {
+		for _, cb := range b.Classes() {
+			if value.Equal(ca, cb) {
+				out = append(out, ca)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// projectToData weakens the predicate to base-table columns: in each
+// DNF disjunct, atoms referencing prediction columns are dropped
+// (weakening a conjunction is sound). The result selects a superset of
+// the query's rows and is safe to drive access-path selection.
+func projectToData(e expr.Expr, pc predCols, maxDisjuncts int) expr.Expr {
+	d, ok := expr.ToDNF(e, maxDisjuncts)
+	if !ok {
+		return expr.TrueExpr{}
+	}
+	isData := func(col string) bool {
+		_, isPred := pc[strings.ToLower(col)]
+		return !isPred
+	}
+	var disjuncts []expr.Expr
+	for _, c := range d.Disjuncts {
+		var keep []expr.Expr
+		for _, cond := range c.Conds {
+			switch x := cond.(type) {
+			case expr.Cmp:
+				if isData(x.Col) {
+					keep = append(keep, x)
+				}
+			case expr.In:
+				if isData(x.Col) {
+					keep = append(keep, x)
+				}
+			case expr.ColCmp:
+				if isData(x.ColA) && isData(x.ColB) {
+					keep = append(keep, x)
+				}
+			default:
+				keep = append(keep, cond)
+			}
+		}
+		disjuncts = append(disjuncts, expr.NewAnd(keep...))
+	}
+	out := expr.NewOr(disjuncts...)
+	if s, ok := expr.Simplify(out, maxDisjuncts); ok {
+		return s
+	}
+	return out
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"minequery/internal/expr"
+	"minequery/internal/mining/cluster"
+	"minequery/internal/mining/nbayes"
+	"minequery/internal/value"
+)
+
+// trueCells enumerates the cells of a point-score grid predicted as
+// class k.
+func trueCells(g *Grid, k int) [][]int {
+	var out [][]int
+	ls := make([]int, len(g.Dims))
+	for {
+		if g.CellWinner(ls) == k {
+			out = append(out, append([]int(nil), ls...))
+		}
+		d := 0
+		for d < len(ls) {
+			ls[d]++
+			if ls[d] < len(g.Dims[d].Members) {
+				break
+			}
+			ls[d] = 0
+			d++
+		}
+		if d == len(ls) {
+			return out
+		}
+	}
+}
+
+// coveredCellCount counts grid cells covered by the regions (each cell
+// counted once even when regions overlap).
+func coveredCellCount(g *Grid, regions []*region) int {
+	n := 0
+	ls := make([]int, len(g.Dims))
+	for {
+		if covered(regions, ls) {
+			n++
+		}
+		d := 0
+		for d < len(ls) {
+			ls[d]++
+			if ls[d] < len(g.Dims[d].Members) {
+				break
+			}
+			ls[d] = 0
+			d++
+		}
+		if d == len(ls) {
+			return n
+		}
+	}
+}
+
+// TestPaperTable1Envelopes reproduces the worked example of Section
+// 3.2.2: the upper envelope of class c2 is
+// (d0:[2..3], d1:[0..1]) OR (d1:[0..0]).
+func TestPaperTable1Envelopes(t *testing.T) {
+	g := GridFromNaiveBayes(paperNB(t))
+	for k, cls := range g.Classes {
+		regions := TopDownEnvelope(g, k, Options{MaxExpansions: 100}, nil)
+		if missed := CoverageCheck(g, k, regions); missed != nil {
+			t.Fatalf("class %v: cell %v predicted as class but not covered", cls, missed)
+		}
+		// On this tiny grid the ratio bounds resolve everything: the
+		// cover must be exact.
+		want := len(trueCells(g, k))
+		got := coveredCellCount(g, regions)
+		if got != want {
+			t.Errorf("class %v: covered %d cells, true cells %d", cls, got, want)
+		}
+	}
+	// Explicit shape check for c2 (index 1 in sorted class order):
+	// 6 cells: all of d1=0 plus (d0 in {2,3}, d1=1).
+	k2 := 1
+	if g.Classes[k2].String() != `"c2"` {
+		t.Fatalf("class order unexpected: %v", g.Classes)
+	}
+	cells := trueCells(g, k2)
+	if len(cells) != 6 {
+		t.Fatalf("c2 true cells = %d, want 6", len(cells))
+	}
+	env := GridEnvelope(g, k2, Options{MaxExpansions: 100})
+	schema := value.MustSchema(
+		value.Column{Name: "d0", Kind: value.KindInt},
+		value.Column{Name: "d1", Kind: value.KindInt},
+	)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			tup := value.Tuple{value.Int(int64(i)), value.Int(int64(j))}
+			inEnv := env.Eval(schema, tup)
+			isC2 := g.CellWinner([]int{i, j}) == k2
+			if isC2 && !inEnv {
+				t.Errorf("envelope misses c2 cell (%d,%d): %s", i, j, env)
+			}
+			if !isC2 && inEnv {
+				t.Errorf("envelope over-covers cell (%d,%d): %s", i, j, env)
+			}
+		}
+	}
+}
+
+// TestFigure2Walkthrough reproduces the paper's Figure 2 trace facts for
+// class c1 using the paper's simple bounds: the full region starts
+// AMBIGUOUS, and the final cover for c1 is exactly its 4 winning cells.
+func TestFigure2Walkthrough(t *testing.T) {
+	g := GridFromNaiveBayes(paperNB(t))
+	k1 := 0 // "c1"
+	var trace []TraceEntry
+	regions := TopDownEnvelope(g, k1, Options{MaxExpansions: 100, Bounds: BoundsSimple}, &trace)
+	if len(trace) == 0 || trace[0].Status != "AMBIGUOUS" {
+		t.Fatalf("starting region should be AMBIGUOUS, trace: %+v", trace)
+	}
+	if missed := CoverageCheck(g, k1, regions); missed != nil {
+		t.Fatalf("cell %v uncovered", missed)
+	}
+	// c1 wins exactly at d0 in {0,1} x d1 in {1,2}.
+	want := len(trueCells(g, k1))
+	if want != 4 {
+		t.Fatalf("c1 true cells = %d, want 4", want)
+	}
+	got := coveredCellCount(g, regions)
+	if got != want {
+		t.Errorf("simple-bounds cover has %d cells, want exactly %d", got, want)
+	}
+	// The trace must contain at least one shrink or split (the region
+	// cannot resolve in one step).
+	if len(trace) < 2 {
+		t.Error("expected a multi-step trace")
+	}
+}
+
+// TestSoundnessRandomNB is the paper's core invariant: for random
+// trained models, every cell predicted as class k is covered by k's
+// envelope regions, under both bound kinds and tight budgets.
+func TestSoundnessRandomNB(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		m := randomNB(t, seed, 3, 5, 3, 400)
+		g := GridFromNaiveBayes(m)
+		for _, bounds := range []BoundsKind{BoundsSimple, BoundsRatio} {
+			for _, budget := range []int{1, 4, 64} {
+				for k := range g.Classes {
+					regions := TopDownEnvelope(g, k, Options{MaxExpansions: budget, Bounds: bounds}, nil)
+					if missed := CoverageCheck(g, k, regions); missed != nil {
+						t.Fatalf("seed %d bounds %d budget %d class %d: cell %v uncovered",
+							seed, bounds, budget, k, missed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnvelopePredicateSoundness checks the end-to-end property on the
+// emitted predicates: model predicts class c on a tuple ⟹ the tuple
+// satisfies envelope_c.
+func TestEnvelopePredicateSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for seed := int64(20); seed < 26; seed++ {
+		m := randomNB(t, seed, 3, 5, 3, 400)
+		g := GridFromNaiveBayes(m)
+		schema := value.MustSchema(
+			value.Column{Name: "a", Kind: value.KindInt},
+			value.Column{Name: "b", Kind: value.KindInt},
+			value.Column{Name: "c", Kind: value.KindInt},
+		)
+		envs := make(map[string]expr.Expr)
+		for k, cls := range g.Classes {
+			envs[cls.String()] = GridEnvelope(g, k, Options{MaxExpansions: 64})
+		}
+		for trial := 0; trial < 400; trial++ {
+			tup := make(value.Tuple, 3)
+			for d := 0; d < 3; d++ {
+				dom := m.Domains[d]
+				tup[d] = dom[r.Intn(len(dom))]
+			}
+			cls := m.Predict(tup)
+			if !envs[cls.String()].Eval(schema, tup) {
+				t.Fatalf("seed %d: predict(%v)=%v but envelope %s rejects it",
+					seed, tup, cls, envs[cls.String()])
+			}
+		}
+	}
+}
+
+// TestRatioTighterThanSimple verifies the Lemma 3.2 improvement: on
+// random models the ratio bounds never cover more cells than the simple
+// bounds; and on the classic adversarial case (one class dominating
+// member-wise while the simple min/max intervals overlap) the ratio
+// bounds resolve at the root where the simple bounds stay ambiguous.
+func TestRatioTighterThanSimple(t *testing.T) {
+	for seed := int64(40); seed < 52; seed++ {
+		m := randomNB(t, seed, 2, 6, 2, 300)
+		g := GridFromNaiveBayes(m)
+		for k := range g.Classes {
+			simple := TopDownEnvelope(g, k, Options{MaxExpansions: 8, Bounds: BoundsSimple}, nil)
+			ratio := TopDownEnvelope(g, k, Options{MaxExpansions: 8, Bounds: BoundsRatio}, nil)
+			cs := coveredCellCount(g, simple)
+			cr := coveredCellCount(g, ratio)
+			if cr > cs {
+				t.Fatalf("seed %d class %d: ratio cover %d > simple cover %d", seed, k, cr, cs)
+			}
+		}
+	}
+	// Adversarial model: A dominates B member-wise (0.9>0.5, 0.2>0.1 per
+	// dim), so B never wins; but minProb(A) = .04 < maxProb(B) = .25,
+	// leaving the simple bounds AMBIGUOUS at the root.
+	m, err := nbayes.FromParameters("adv", "cls",
+		[]string{"x", "y"},
+		[]value.Value{value.Str("A"), value.Str("B")},
+		[][]value.Value{
+			{value.Int(0), value.Int(1)},
+			{value.Int(0), value.Int(1)},
+		},
+		[]float64{0.5, 0.5},
+		[][][]float64{
+			{{0.9, 0.5}, {0.2, 0.1}},
+			{{0.9, 0.5}, {0.2, 0.1}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GridFromNaiveBayes(m)
+	kB := 1
+	simple := classify(g, fullRegion(g), kB, BoundsSimple)
+	ratio := classify(g, fullRegion(g), kB, BoundsRatio)
+	if simple != statusAmbiguous {
+		t.Errorf("simple bounds at root = %s, want AMBIGUOUS", simple)
+	}
+	if ratio != statusMustLose {
+		t.Errorf("ratio bounds at root = %s, want MUST-LOSE", ratio)
+	}
+	// With zero expansion budget the simple-bound cover for B keeps the
+	// whole grid while the ratio-bound cover is empty.
+	sB := TopDownEnvelope(g, kB, Options{MaxExpansions: 1, Bounds: BoundsSimple, MaxDisjuncts: -1}, nil)
+	rB := TopDownEnvelope(g, kB, Options{MaxExpansions: 1, Bounds: BoundsRatio, MaxDisjuncts: -1}, nil)
+	if coveredCellCount(g, rB) >= coveredCellCount(g, sB) {
+		t.Errorf("ratio cover %d not strictly tighter than simple cover %d",
+			coveredCellCount(g, rB), coveredCellCount(g, sB))
+	}
+}
+
+// TestK2RatioExact: with generous budget and K=2, the ratio-bound cover
+// equals the true cell set (Lemma 3.2 exactness).
+func TestK2RatioExact(t *testing.T) {
+	for seed := int64(60); seed < 70; seed++ {
+		m := randomNB(t, seed, 2, 5, 2, 300)
+		g := GridFromNaiveBayes(m)
+		for k := range g.Classes {
+			regions := TopDownEnvelope(g, k, Options{MaxExpansions: 4096, Bounds: BoundsRatio, MaxDisjuncts: -1}, nil)
+			want := len(trueCells(g, k))
+			got := coveredCellCount(g, regions)
+			if got != want {
+				t.Errorf("seed %d class %d: ratio cover %d cells, true %d", seed, k, got, want)
+			}
+		}
+	}
+}
+
+// TestMatchesEnumeration cross-checks the top-down cover against the
+// exhaustive enumeration oracle.
+func TestMatchesEnumeration(t *testing.T) {
+	for seed := int64(80); seed < 86; seed++ {
+		m := randomNB(t, seed, 3, 4, 3, 300)
+		g := GridFromNaiveBayes(m)
+		for k := range g.Classes {
+			exact, err := EnumerationEnvelope(g, k, 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			topdown := TopDownEnvelope(g, k, Options{MaxExpansions: 4096, MaxDisjuncts: -1}, nil)
+			ce, ct := coveredCellCount(g, exact), coveredCellCount(g, topdown)
+			if ce != len(trueCells(g, k)) {
+				t.Fatalf("seed %d class %d: enumeration cover %d != true %d", seed, k, ce, len(trueCells(g, k)))
+			}
+			if ct < ce {
+				t.Fatalf("seed %d class %d: top-down cover %d smaller than exact %d (unsound)", seed, k, ct, ce)
+			}
+		}
+	}
+}
+
+func TestEnumerationErrors(t *testing.T) {
+	m := paperNB(t)
+	g := GridFromNaiveBayes(m)
+	if _, err := EnumerationEnvelope(g, 0, 5); err == nil {
+		t.Error("cell budget should be enforced")
+	}
+	km, _ := cluster.FromCentroids("km", "cl", []string{"x"}, [][]float64{{0}, {1}}, nil)
+	gk := GridFromKMeans(km, 4)
+	if _, err := EnumerationEnvelope(gk, 0, 1000); err == nil {
+		t.Error("interval scores should be rejected by enumeration")
+	}
+}
+
+// TestShrinkAblation: disabling shrink must stay sound.
+func TestShrinkAblation(t *testing.T) {
+	m := randomNB(t, 99, 3, 5, 3, 400)
+	g := GridFromNaiveBayes(m)
+	for k := range g.Classes {
+		regions := TopDownEnvelope(g, k, Options{MaxExpansions: 16, DisableShrink: true}, nil)
+		if missed := CoverageCheck(g, k, regions); missed != nil {
+			t.Fatalf("class %d without shrink: cell %v uncovered", k, missed)
+		}
+	}
+}
+
+// TestKMeansEnvelopeSoundness: points assigned to cluster k satisfy
+// envelope_k.
+func TestKMeansEnvelopeSoundness(t *testing.T) {
+	m, err := cluster.FromCentroids("km", "cl", []string{"x", "y"},
+		[][]float64{{0, 0}, {10, 0}, {5, 9}, {-4, 6}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GridFromKMeans(m, 16)
+	schema := value.MustSchema(
+		value.Column{Name: "x", Kind: value.KindFloat},
+		value.Column{Name: "y", Kind: value.KindFloat},
+	)
+	envs := make([]expr.Expr, len(g.Classes))
+	for k := range g.Classes {
+		envs[k] = GridEnvelope(g, k, Options{MaxExpansions: 256})
+	}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 3000; trial++ {
+		x := []float64{r.Float64()*30 - 10, r.Float64()*30 - 10}
+		k := m.Assign(x)
+		tup := value.Tuple{value.Float(x[0]), value.Float(x[1])}
+		if !envs[k].Eval(schema, tup) {
+			t.Fatalf("point %v assigned to %d but envelope %s rejects it", x, k, envs[k])
+		}
+	}
+}
+
+// TestGMMEnvelopeSoundness mirrors the k-means test for mixtures.
+func TestGMMEnvelopeSoundness(t *testing.T) {
+	m, err := cluster.FromGaussians("g", "cl", []string{"x", "y"},
+		[]float64{0.3, 0.5, 0.2},
+		[][]float64{{0, 0}, {8, 2}, {3, 9}},
+		[][]float64{{1, 2}, {3, 1}, {1, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GridFromGMM(m, 16)
+	schema := value.MustSchema(
+		value.Column{Name: "x", Kind: value.KindFloat},
+		value.Column{Name: "y", Kind: value.KindFloat},
+	)
+	envs := make([]expr.Expr, len(g.Classes))
+	for k := range g.Classes {
+		envs[k] = GridEnvelope(g, k, Options{MaxExpansions: 256})
+	}
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 3000; trial++ {
+		x := []float64{r.Float64()*24 - 8, r.Float64()*24 - 8}
+		k := m.Assign(x)
+		tup := value.Tuple{value.Float(x[0]), value.Float(x[1])}
+		if !envs[k].Eval(schema, tup) {
+			t.Fatalf("point %v assigned to %d but envelope %s rejects it", x, k, envs[k])
+		}
+	}
+}
+
+// TestMaxDisjunctsCoalesce: the emitted envelope respects the disjunct
+// budget while staying sound.
+func TestMaxDisjunctsCoalesce(t *testing.T) {
+	m := randomNB(t, 123, 4, 5, 4, 600)
+	g := GridFromNaiveBayes(m)
+	for k := range g.Classes {
+		regions := TopDownEnvelope(g, k, Options{MaxExpansions: 512, MaxDisjuncts: 3}, nil)
+		if len(regions) > 3 {
+			t.Errorf("class %d: %d regions exceed budget 3", k, len(regions))
+		}
+		if missed := CoverageCheck(g, k, regions); missed != nil {
+			t.Fatalf("class %d coalesced cover misses cell %v", k, missed)
+		}
+	}
+}
+
+// TestEmptyEnvelopeIsFalse: a class that never wins gets the NULL
+// envelope (FALSE), enabling the constant-scan plan.
+func TestEmptyEnvelopeIsFalse(t *testing.T) {
+	// Class "B" is dominated everywhere: tiny prior, uniform scores.
+	g := &Grid{
+		Classes:  []value.Value{value.Str("A"), value.Str("B")},
+		Base:     []float64{0, -100},
+		TiePrior: []float64{0.99, 0.01},
+		Dims: []Dim{{
+			Col: "x", Ordered: true,
+			Members: []Member{{Value: value.Int(0)}, {Value: value.Int(1)}},
+			ScoreLo: [][]float64{{0, 0}, {0, 0}},
+			ScoreHi: [][]float64{{0, 0}, {0, 0}},
+		}},
+	}
+	env := GridEnvelope(g, 1, DefaultOptions())
+	if _, ok := env.(expr.FalseExpr); !ok {
+		t.Errorf("dominated class should have FALSE envelope, got %s", env)
+	}
+	envA := GridEnvelope(g, 0, DefaultOptions())
+	if _, ok := envA.(expr.TrueExpr); !ok {
+		t.Errorf("always-winning class should have TRUE envelope, got %s", envA)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	g := GridFromNaiveBayes(paperNB(t))
+	r := fullRegion(g)
+	if got := r.String(); got != "[0..3], [0..2]" {
+		t.Errorf("full region renders as %q", got)
+	}
+	r.sel[0] = []int{0, 2}
+	if got := r.String(); got != "{0,2}, [0..2]" {
+		t.Errorf("sparse region renders as %q", got)
+	}
+}

@@ -1,0 +1,421 @@
+// Package exec interprets physical plans as Volcano-style iterators over
+// the catalog's tables. Index accesses fetch rows by RID (counted as
+// random page reads by the storage layer), sequential scans read pages
+// in order, and PredictionJoin applies a mining model row by row — the
+// three behaviours whose relative costs the paper's experiments measure.
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"minequery/internal/btree"
+	"minequery/internal/catalog"
+	"minequery/internal/expr"
+	"minequery/internal/mining"
+	"minequery/internal/plan"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// Iterator produces tuples one at a time. After Next returns done=true
+// or an error, the iterator must not be used again.
+type Iterator interface {
+	// Schema describes the tuples the iterator produces.
+	Schema() *value.Schema
+	// Next returns the next tuple. done is true when the input is
+	// exhausted (and the tuple is nil).
+	Next() (t value.Tuple, done bool, err error)
+	// Close releases resources. It is safe to call more than once.
+	Close()
+}
+
+// Build compiles a physical plan into an iterator tree.
+func Build(c *catalog.Catalog, n plan.Node) (Iterator, error) {
+	switch x := n.(type) {
+	case *plan.SeqScan:
+		t, ok := c.Table(x.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: no table %q", x.Table)
+		}
+		return newSeqScan(t), nil
+	case *plan.ConstScan:
+		t, ok := c.Table(x.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: no table %q", x.Table)
+		}
+		return &constScan{schema: t.Schema}, nil
+	case *plan.IndexSeek:
+		t, ok := c.Table(x.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: no table %q", x.Table)
+		}
+		rids, err := seekRIDs(t, x)
+		if err != nil {
+			return nil, err
+		}
+		return newRIDFetch(t, rids), nil
+	case *plan.IndexUnion:
+		t, ok := c.Table(x.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: no table %q", x.Table)
+		}
+		seen := make(map[storage.RID]bool)
+		var rids []storage.RID
+		for _, s := range x.Seeks {
+			sub, err := seekRIDs(t, s)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range sub {
+				if !seen[r] {
+					seen[r] = true
+					rids = append(rids, r)
+				}
+			}
+		}
+		// Fetch in heap order to keep random I/O monotone.
+		sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
+		return newRIDFetch(t, rids), nil
+	case *plan.Filter:
+		child, err := Build(c, x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &filter{child: child, pred: x.Pred}, nil
+	case *plan.Project:
+		child, err := Build(c, x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newProject(child, x.Cols)
+	case *plan.Predict:
+		child, err := Build(c, x.Child)
+		if err != nil {
+			return nil, err
+		}
+		me, ok := c.Model(x.Model)
+		if !ok {
+			return nil, fmt.Errorf("exec: no model %q", x.Model)
+		}
+		if x.Version != 0 && me.Version != x.Version {
+			return nil, fmt.Errorf("exec: plan invalidated: model %q is v%d, plan was optimized at v%d",
+				x.Model, me.Version, x.Version)
+		}
+		return newPredict(child, me, x.As)
+	case *plan.Limit:
+		child, err := Build(c, x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &limit{child: child, n: x.N}, nil
+	}
+	return nil, fmt.Errorf("exec: unknown plan node %T", n)
+}
+
+// Run builds and drains a plan, returning all produced tuples.
+func Run(c *catalog.Catalog, n plan.Node) ([]value.Tuple, *value.Schema, error) {
+	it, err := Build(c, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer it.Close()
+	var out []value.Tuple
+	for {
+		t, done, err := it.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if done {
+			return out, it.Schema(), nil
+		}
+		out = append(out, t)
+	}
+}
+
+// seqScan streams a table heap.
+type seqScan struct {
+	table *catalog.Table
+	rows  []value.Tuple
+	pos   int
+	err   error
+}
+
+func newSeqScan(t *catalog.Table) *seqScan {
+	// Materialize the scan: the heap callback API does not suspend, and
+	// decoded rows are small. Page-read accounting happens here.
+	s := &seqScan{table: t}
+	t.Heap.Scan(func(_ storage.RID, rec []byte) bool {
+		tup, err := value.DecodeTuple(rec)
+		if err != nil {
+			s.err = fmt.Errorf("exec: scan %s: %w", t.Name, err)
+			return false
+		}
+		s.rows = append(s.rows, tup)
+		return true
+	})
+	return s
+}
+
+func (s *seqScan) Schema() *value.Schema { return s.table.Schema }
+
+func (s *seqScan) Next() (value.Tuple, bool, error) {
+	if s.err != nil {
+		return nil, false, s.err
+	}
+	if s.pos >= len(s.rows) {
+		return nil, true, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, false, nil
+}
+
+func (s *seqScan) Close() { s.rows = nil }
+
+// constScan produces nothing.
+type constScan struct{ schema *value.Schema }
+
+func (c *constScan) Schema() *value.Schema            { return c.schema }
+func (c *constScan) Next() (value.Tuple, bool, error) { return nil, true, nil }
+func (c *constScan) Close()                           {}
+
+// seekRIDs evaluates one index seek, returning matching RIDs.
+func seekRIDs(t *catalog.Table, s *plan.IndexSeek) ([]storage.RID, error) {
+	ix := findIndexByName(t, s.Index)
+	if ix == nil {
+		return nil, fmt.Errorf("exec: no index %q on %s", s.Index, s.Table)
+	}
+	if len(s.EqVals) > len(ix.Columns) {
+		return nil, fmt.Errorf("exec: seek on %s.%s uses %d equality values, index has %d columns",
+			s.Table, s.Index, len(s.EqVals), len(ix.Columns))
+	}
+	var prefix []byte
+	for _, v := range s.EqVals {
+		prefix = v.SortKey(prefix)
+	}
+	lo := prefix
+	if s.Lo != nil {
+		lo = s.Lo.Val.SortKey(append([]byte(nil), prefix...))
+	}
+	var hi []byte
+	switch {
+	case s.Hi != nil:
+		// Inclusive-by-construction upper bound: trailing index columns
+		// make composite keys extend past the bound value, so append a
+		// 0xFF sentinel (no SortKey encoding starts with 0xFF). Rows
+		// matching an exclusive bound exactly are dropped by the
+		// residual filter — a safe overscan.
+		hi = s.Hi.Val.SortKey(append([]byte(nil), prefix...))
+		hi = append(hi, 0xFF)
+	case len(prefix) > 0:
+		hi = append(append([]byte(nil), prefix...), 0xFF)
+	}
+	var rids []storage.RID
+	ix.Tree.AscendRange(lo, hi, true, true, func(e btree.Entry) bool {
+		if len(prefix) > 0 && !bytes.HasPrefix(e.Key, prefix) {
+			return false
+		}
+		rids = append(rids, e.RID)
+		return true
+	})
+	return rids, nil
+}
+
+func findIndexByName(t *catalog.Table, name string) *catalog.Index {
+	for _, ix := range t.Indexes {
+		if equalFold(ix.Name, name) {
+			return ix
+		}
+	}
+	return nil
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// ridFetch fetches rows for a RID list.
+type ridFetch struct {
+	table *catalog.Table
+	rids  []storage.RID
+	pos   int
+}
+
+func newRIDFetch(t *catalog.Table, rids []storage.RID) *ridFetch {
+	return &ridFetch{table: t, rids: rids}
+}
+
+func (r *ridFetch) Schema() *value.Schema { return r.table.Schema }
+
+func (r *ridFetch) Next() (value.Tuple, bool, error) {
+	for r.pos < len(r.rids) {
+		rid := r.rids[r.pos]
+		r.pos++
+		tup, ok, err := r.table.Fetch(rid)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return tup, false, nil
+		}
+		// Row deleted since the index was read: skip.
+	}
+	return nil, true, nil
+}
+
+func (r *ridFetch) Close() { r.rids = nil }
+
+// filter drops tuples failing the predicate.
+type filter struct {
+	child Iterator
+	pred  expr.Expr
+}
+
+func (f *filter) Schema() *value.Schema { return f.child.Schema() }
+
+func (f *filter) Next() (value.Tuple, bool, error) {
+	for {
+		t, done, err := f.child.Next()
+		if done || err != nil {
+			return nil, done, err
+		}
+		if f.pred.Eval(f.child.Schema(), t) {
+			return t, false, nil
+		}
+	}
+}
+
+func (f *filter) Close() { f.child.Close() }
+
+// project narrows columns.
+type project struct {
+	child  Iterator
+	ords   []int
+	schema *value.Schema
+}
+
+func newProject(child Iterator, cols []string) (Iterator, error) {
+	if len(cols) == 0 {
+		return child, nil
+	}
+	in := child.Schema()
+	ords := make([]int, len(cols))
+	outCols := make([]value.Column, len(cols))
+	for i, c := range cols {
+		o := in.Ordinal(c)
+		if o < 0 {
+			return nil, fmt.Errorf("exec: project: no column %q", c)
+		}
+		ords[i] = o
+		outCols[i] = in.Col(o)
+	}
+	schema, err := value.NewSchema(outCols...)
+	if err != nil {
+		return nil, fmt.Errorf("exec: project: %w", err)
+	}
+	return &project{child: child, ords: ords, schema: schema}, nil
+}
+
+func (p *project) Schema() *value.Schema { return p.schema }
+
+func (p *project) Next() (value.Tuple, bool, error) {
+	t, done, err := p.child.Next()
+	if done || err != nil {
+		return nil, done, err
+	}
+	out := make(value.Tuple, len(p.ords))
+	for i, o := range p.ords {
+		out[i] = t[o]
+	}
+	return out, false, nil
+}
+
+func (p *project) Close() { p.child.Close() }
+
+// predict appends the model's predicted class as a new column.
+type predict struct {
+	child   Iterator
+	binding mining.Binding
+	schema  *value.Schema
+	buf     value.Tuple
+}
+
+func newPredict(child Iterator, me *catalog.ModelEntry, as string) (Iterator, error) {
+	in := child.Schema()
+	b, ok := mining.Bind(me.Model, in)
+	if !ok {
+		return nil, fmt.Errorf("exec: model %q input columns %v not all present in %s",
+			me.Model.Name(), me.Model.InputColumns(), in)
+	}
+	kind := value.KindString
+	if cls := me.Model.Classes(); len(cls) > 0 {
+		kind = cls[0].Kind()
+	}
+	cols := append(append([]value.Column(nil), in.Columns...), value.Column{Name: as, Kind: kind})
+	schema, err := value.NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("exec: prediction join: %w", err)
+	}
+	return &predict{
+		child:   child,
+		binding: b,
+		schema:  schema,
+		buf:     make(value.Tuple, len(b.Ordinals)),
+	}, nil
+}
+
+func (p *predict) Schema() *value.Schema { return p.schema }
+
+func (p *predict) Next() (value.Tuple, bool, error) {
+	t, done, err := p.child.Next()
+	if done || err != nil {
+		return nil, done, err
+	}
+	cls := p.binding.PredictInto(t, p.buf)
+	out := make(value.Tuple, len(t)+1)
+	copy(out, t)
+	out[len(t)] = cls
+	return out, false, nil
+}
+
+func (p *predict) Close() { p.child.Close() }
+
+// limit stops after n rows.
+type limit struct {
+	child Iterator
+	n     int64
+	seen  int64
+}
+
+func (l *limit) Schema() *value.Schema { return l.child.Schema() }
+
+func (l *limit) Next() (value.Tuple, bool, error) {
+	if l.seen >= l.n {
+		return nil, true, nil
+	}
+	t, done, err := l.child.Next()
+	if done || err != nil {
+		return nil, done, err
+	}
+	l.seen++
+	return t, false, nil
+}
+
+func (l *limit) Close() { l.child.Close() }

@@ -1,0 +1,303 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"minequery/internal/catalog"
+	"minequery/internal/expr"
+	"minequery/internal/plan"
+	"minequery/internal/value"
+)
+
+func testDB(t *testing.T, rows int) (*catalog.Catalog, *catalog.Table) {
+	t.Helper()
+	c := catalog.New()
+	tb, err := c.CreateTable("t", value.MustSchema(
+		value.Column{Name: "id", Kind: value.KindInt},
+		value.Column{Name: "cat", Kind: value.KindString},
+		value.Column{Name: "num", Kind: value.KindInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < rows; i++ {
+		_, err := tb.Insert(value.Tuple{
+			value.Int(int64(i)),
+			value.Str(fmt.Sprintf("c%d", r.Intn(8))),
+			value.Int(int64(r.Intn(100))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.CreateIndex("ix_cat", "t", "cat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("ix_cat_num", "t", "cat", "num"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("ix_num", "t", "num"); err != nil {
+		t.Fatal(err)
+	}
+	tb.Analyze()
+	return c, tb
+}
+
+func runPlan(t *testing.T, c *catalog.Catalog, n plan.Node) []value.Tuple {
+	t.Helper()
+	rows, _, err := Run(c, n)
+	if err != nil {
+		t.Fatalf("run %s: %v", plan.Signature(n), err)
+	}
+	return rows
+}
+
+// sortTuples canonicalizes row order for set comparison.
+func sortTuples(rows []value.Tuple) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			if c := value.Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+func sameRows(a, b []value.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortTuples(a)
+	sortTuples(b)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSeqScanReturnsAllRows(t *testing.T) {
+	c, _ := testDB(t, 500)
+	rows := runPlan(t, c, &plan.SeqScan{Table: "t"})
+	if len(rows) != 500 {
+		t.Fatalf("seq scan returned %d rows", len(rows))
+	}
+}
+
+func TestConstScanReturnsNothing(t *testing.T) {
+	c, _ := testDB(t, 50)
+	rows := runPlan(t, c, &plan.ConstScan{Table: "t"})
+	if len(rows) != 0 {
+		t.Fatalf("const scan returned %d rows", len(rows))
+	}
+}
+
+func TestIndexSeekEquality(t *testing.T) {
+	c, _ := testDB(t, 2000)
+	pred := expr.Cmp{Col: "cat", Op: expr.OpEq, Val: value.Str("c3")}
+	want := runPlan(t, c, &plan.Filter{Child: &plan.SeqScan{Table: "t"}, Pred: pred})
+	got := runPlan(t, c, &plan.IndexSeek{
+		Table: "t", Index: "ix_cat", EqVals: []value.Value{value.Str("c3")},
+	})
+	if len(want) == 0 {
+		t.Fatal("test needs matching rows")
+	}
+	if !sameRows(got, want) {
+		t.Fatalf("index seek: %d rows, scan+filter: %d rows", len(got), len(want))
+	}
+}
+
+func TestIndexSeekCompositeWithRange(t *testing.T) {
+	c, _ := testDB(t, 2000)
+	pred := expr.NewAnd(
+		expr.Cmp{Col: "cat", Op: expr.OpEq, Val: value.Str("c1")},
+		expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(20)},
+		expr.Cmp{Col: "num", Op: expr.OpLe, Val: value.Int(40)},
+	)
+	want := runPlan(t, c, &plan.Filter{Child: &plan.SeqScan{Table: "t"}, Pred: pred})
+	seek := &plan.IndexSeek{
+		Table: "t", Index: "ix_cat_num",
+		EqVals: []value.Value{value.Str("c1")},
+		Lo:     &plan.Bound{Val: value.Int(20), Inc: true},
+		Hi:     &plan.Bound{Val: value.Int(40), Inc: true},
+	}
+	got := runPlan(t, c, &plan.Filter{Child: seek, Pred: pred})
+	if len(want) == 0 {
+		t.Fatal("test needs matching rows")
+	}
+	if !sameRows(got, want) {
+		t.Fatalf("composite seek: %d rows, want %d", len(got), len(want))
+	}
+}
+
+func TestIndexSeekExclusiveBoundsViaFilter(t *testing.T) {
+	c, _ := testDB(t, 2000)
+	pred := expr.NewAnd(
+		expr.Cmp{Col: "num", Op: expr.OpGt, Val: value.Int(90)},
+		expr.Cmp{Col: "num", Op: expr.OpLt, Val: value.Int(95)},
+	)
+	want := runPlan(t, c, &plan.Filter{Child: &plan.SeqScan{Table: "t"}, Pred: pred})
+	seek := &plan.IndexSeek{
+		Table: "t", Index: "ix_num",
+		Lo: &plan.Bound{Val: value.Int(90), Inc: false},
+		Hi: &plan.Bound{Val: value.Int(95), Inc: false},
+	}
+	got := runPlan(t, c, &plan.Filter{Child: seek, Pred: pred})
+	if !sameRows(got, want) {
+		t.Fatalf("exclusive range: %d rows, want %d", len(got), len(want))
+	}
+}
+
+func TestIndexUnionDeduplicates(t *testing.T) {
+	c, _ := testDB(t, 2000)
+	// Overlapping disjuncts: cat = c2 OR num >= 95 (some rows satisfy both).
+	pred := expr.NewOr(
+		expr.Cmp{Col: "cat", Op: expr.OpEq, Val: value.Str("c2")},
+		expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(95)},
+	)
+	want := runPlan(t, c, &plan.Filter{Child: &plan.SeqScan{Table: "t"}, Pred: pred})
+	union := &plan.IndexUnion{Table: "t", Seeks: []*plan.IndexSeek{
+		{Table: "t", Index: "ix_cat", EqVals: []value.Value{value.Str("c2")}},
+		{Table: "t", Index: "ix_num", Lo: &plan.Bound{Val: value.Int(95), Inc: true}},
+	}}
+	got := runPlan(t, c, &plan.Filter{Child: union, Pred: pred})
+	if !sameRows(got, want) {
+		t.Fatalf("index union: %d rows, want %d", len(got), len(want))
+	}
+}
+
+func TestProjectAndLimit(t *testing.T) {
+	c, _ := testDB(t, 100)
+	p := &plan.Limit{
+		Child: &plan.Project{Child: &plan.SeqScan{Table: "t"}, Cols: []string{"cat", "id"}},
+		N:     7,
+	}
+	it, err := Build(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if it.Schema().Len() != 2 || it.Schema().Col(0).Name != "cat" {
+		t.Fatalf("projected schema = %v", it.Schema())
+	}
+	n := 0
+	for {
+		_, done, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		n++
+	}
+	if n != 7 {
+		t.Fatalf("limit returned %d rows", n)
+	}
+}
+
+func TestProjectMissingColumn(t *testing.T) {
+	c, _ := testDB(t, 10)
+	_, err := Build(c, &plan.Project{Child: &plan.SeqScan{Table: "t"}, Cols: []string{"nope"}})
+	if err == nil {
+		t.Error("projecting a missing column should fail")
+	}
+}
+
+type catModel struct{}
+
+func (catModel) Name() string           { return "catmod" }
+func (catModel) PredictColumn() string  { return "cls" }
+func (catModel) InputColumns() []string { return []string{"num"} }
+func (catModel) Classes() []value.Value {
+	return []value.Value{value.Str("low"), value.Str("high")}
+}
+func (catModel) Predict(in value.Tuple) value.Value {
+	if in[0].AsInt() < 50 {
+		return value.Str("low")
+	}
+	return value.Str("high")
+}
+
+func TestPredictAppendsColumn(t *testing.T) {
+	c, _ := testDB(t, 200)
+	c.RegisterModel(catModel{}, nil)
+	p := &plan.Predict{Child: &plan.SeqScan{Table: "t"}, Model: "catmod", As: "m.cls"}
+	rows, schema, err := Run(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := schema.Ordinal("m.cls")
+	if o != 3 {
+		t.Fatalf("predicted column ordinal = %d", o)
+	}
+	for _, r := range rows {
+		want := "low"
+		if r[2].AsInt() >= 50 {
+			want = "high"
+		}
+		if r[o].AsString() != want {
+			t.Fatalf("row %v predicted %q, want %q", r, r[o].AsString(), want)
+		}
+	}
+}
+
+func TestPredictVersionInvalidation(t *testing.T) {
+	c, _ := testDB(t, 10)
+	me := c.RegisterModel(catModel{}, nil)
+	p := &plan.Predict{Child: &plan.SeqScan{Table: "t"}, Model: "catmod", As: "m.cls", Version: me.Version}
+	if _, _, err := Run(c, p); err != nil {
+		t.Fatalf("current-version plan should run: %v", err)
+	}
+	c.RegisterModel(catModel{}, nil) // retrain bumps version
+	if _, _, err := Run(c, p); err == nil {
+		t.Error("plan pinned to a stale model version must be invalidated")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	c, _ := testDB(t, 10)
+	cases := []plan.Node{
+		&plan.SeqScan{Table: "missing"},
+		&plan.ConstScan{Table: "missing"},
+		&plan.IndexSeek{Table: "missing"},
+		&plan.IndexSeek{Table: "t", Index: "missing"},
+		&plan.IndexSeek{Table: "t", Index: "ix_cat", EqVals: []value.Value{value.Str("a"), value.Str("b")}},
+		&plan.IndexUnion{Table: "missing"},
+		&plan.IndexUnion{Table: "t", Seeks: []*plan.IndexSeek{{Table: "t", Index: "missing"}}},
+		&plan.Predict{Child: &plan.SeqScan{Table: "t"}, Model: "missing", As: "x"},
+		&plan.Filter{Child: &plan.SeqScan{Table: "missing"}, Pred: expr.TrueExpr{}},
+		&plan.Project{Child: &plan.SeqScan{Table: "missing"}},
+		&plan.Limit{Child: &plan.SeqScan{Table: "missing"}, N: 1},
+		&plan.Predict{Child: &plan.SeqScan{Table: "missing"}, Model: "m", As: "x"},
+	}
+	for _, n := range cases {
+		if _, err := Build(c, n); err == nil {
+			t.Errorf("Build(%s) should fail", n.Describe())
+		}
+	}
+}
+
+func TestPredictUnboundModel(t *testing.T) {
+	c, _ := testDB(t, 10)
+	c.RegisterModel(wrongColsModel{}, nil)
+	_, err := Build(c, &plan.Predict{Child: &plan.SeqScan{Table: "t"}, Model: "wrong", As: "x"})
+	if err == nil {
+		t.Error("model with unbound input columns should fail to build")
+	}
+}
+
+type wrongColsModel struct{}
+
+func (wrongColsModel) Name() string                    { return "wrong" }
+func (wrongColsModel) PredictColumn() string           { return "c" }
+func (wrongColsModel) InputColumns() []string          { return []string{"no_such_col"} }
+func (wrongColsModel) Classes() []value.Value          { return nil }
+func (wrongColsModel) Predict(value.Tuple) value.Value { return value.Null() }

@@ -1,0 +1,53 @@
+package expr
+
+import (
+	"fmt"
+
+	"minequery/internal/value"
+)
+
+// ColCmp compares two columns of the same tuple, e.g. the paper's
+// Section 4.1 predicate M1.Prediction_column = T.Data_column (after the
+// prediction join has materialized the prediction as a column). It is an
+// opaque atom for DNF purposes: the rewriter eliminates it by class
+// enumeration before access-path selection, so the optimizer never needs
+// to make it sargable.
+type ColCmp struct {
+	ColA string
+	Op   CmpOp
+	ColB string
+}
+
+// Eval implements Expr with SQL NULL semantics (NULL operands yield
+// false).
+func (c ColCmp) Eval(s *value.Schema, t value.Tuple) bool {
+	i, j := s.Ordinal(c.ColA), s.Ordinal(c.ColB)
+	if i < 0 || j < 0 {
+		return false
+	}
+	a, b := t[i], t[j]
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	cmp := value.Compare(a, b)
+	switch c.Op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// String implements Expr.
+func (c ColCmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.ColA, c.Op, c.ColB)
+}

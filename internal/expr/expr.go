@@ -1,0 +1,306 @@
+// Package expr defines predicate expressions over tuples: the propositional
+// AND/OR/NOT combinations of simple selection conditions that the paper's
+// upper envelopes are constrained to be, plus the normalization,
+// simplification, and transitivity machinery that Section 4.2's
+// optimization pipeline relies on.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"minequery/internal/value"
+)
+
+// CmpOp is a comparison operator in a simple selection condition.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator in SQL syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Negate returns the complementary operator (e.g. < becomes >=).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	}
+	return op
+}
+
+// Expr is a boolean predicate over a tuple. Eval uses SQL three-valued
+// logic collapsed to bool: comparisons involving NULL are false.
+type Expr interface {
+	// Eval evaluates the predicate against t positionally aligned with s.
+	Eval(s *value.Schema, t value.Tuple) bool
+	// String renders the predicate in the SQL dialect.
+	String() string
+}
+
+// TrueExpr is the always-true predicate.
+type TrueExpr struct{}
+
+// FalseExpr is the always-false predicate. A NULL (empty) upper envelope
+// is represented as FalseExpr, which the optimizer turns into a constant
+// scan (the paper's "Constant Scan" plan-change case).
+type FalseExpr struct{}
+
+// Cmp is a simple selection condition `Col op Val`.
+type Cmp struct {
+	Col string
+	Op  CmpOp
+	Val value.Value
+}
+
+// In is set membership `Col IN (v1, ..., vn)`.
+type In struct {
+	Col  string
+	Vals []value.Value
+}
+
+// And is conjunction over one or more children.
+type And struct{ Kids []Expr }
+
+// Or is disjunction over one or more children.
+type Or struct{ Kids []Expr }
+
+// Not is negation.
+type Not struct{ Kid Expr }
+
+// Eval implements Expr.
+func (TrueExpr) Eval(*value.Schema, value.Tuple) bool { return true }
+
+// Eval implements Expr.
+func (FalseExpr) Eval(*value.Schema, value.Tuple) bool { return false }
+
+// Eval implements Expr.
+func (c Cmp) Eval(s *value.Schema, t value.Tuple) bool {
+	i := s.Ordinal(c.Col)
+	if i < 0 {
+		return false
+	}
+	v := t[i]
+	if v.IsNull() || c.Val.IsNull() {
+		return false
+	}
+	cmp := value.Compare(v, c.Val)
+	switch c.Op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Eval implements Expr.
+func (in In) Eval(s *value.Schema, t value.Tuple) bool {
+	i := s.Ordinal(in.Col)
+	if i < 0 {
+		return false
+	}
+	v := t[i]
+	if v.IsNull() {
+		return false
+	}
+	for _, w := range in.Vals {
+		if value.Equal(v, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval implements Expr.
+func (a And) Eval(s *value.Schema, t value.Tuple) bool {
+	for _, k := range a.Kids {
+		if !k.Eval(s, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval implements Expr.
+func (o Or) Eval(s *value.Schema, t value.Tuple) bool {
+	for _, k := range o.Kids {
+		if k.Eval(s, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Eval implements Expr.
+func (n Not) Eval(s *value.Schema, t value.Tuple) bool {
+	return !n.Kid.Eval(s, t)
+}
+
+// String implements Expr.
+func (TrueExpr) String() string { return "TRUE" }
+
+// String implements Expr.
+func (FalseExpr) String() string { return "FALSE" }
+
+// String implements Expr.
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.Col, c.Op, c.Val)
+}
+
+// String implements Expr.
+func (in In) String() string {
+	parts := make([]string, len(in.Vals))
+	for i, v := range in.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s IN (%s)", in.Col, strings.Join(parts, ", "))
+}
+
+// String implements Expr.
+func (a And) String() string { return joinKids(a.Kids, " AND ") }
+
+// String implements Expr.
+func (o Or) String() string { return joinKids(o.Kids, " OR ") }
+
+// String implements Expr.
+func (n Not) String() string { return "NOT (" + n.Kid.String() + ")" }
+
+func joinKids(kids []Expr, sep string) string {
+	if len(kids) == 0 {
+		if sep == " AND " {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = "(" + k.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// NewAnd builds a conjunction, flattening nested Ands and collapsing
+// trivial cases (empty -> TRUE, single child -> child, any FALSE -> FALSE).
+func NewAnd(kids ...Expr) Expr {
+	var flat []Expr
+	for _, k := range kids {
+		switch kk := k.(type) {
+		case TrueExpr:
+		case FalseExpr:
+			return FalseExpr{}
+		case And:
+			flat = append(flat, kk.Kids...)
+		default:
+			flat = append(flat, k)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return TrueExpr{}
+	case 1:
+		return flat[0]
+	}
+	return And{Kids: flat}
+}
+
+// NewOr builds a disjunction, flattening nested Ors and collapsing
+// trivial cases (empty -> FALSE, single child -> child, any TRUE -> TRUE).
+func NewOr(kids ...Expr) Expr {
+	var flat []Expr
+	for _, k := range kids {
+		switch kk := k.(type) {
+		case FalseExpr:
+		case TrueExpr:
+			return TrueExpr{}
+		case Or:
+			flat = append(flat, kk.Kids...)
+		default:
+			flat = append(flat, k)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return FalseExpr{}
+	case 1:
+		return flat[0]
+	}
+	return Or{Kids: flat}
+}
+
+// Columns returns the sorted set of column names referenced by e.
+func Columns(e Expr) []string {
+	set := map[string]bool{}
+	collectColumns(e, set)
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectColumns(e Expr, set map[string]bool) {
+	switch x := e.(type) {
+	case Cmp:
+		set[x.Col] = true
+	case In:
+		set[x.Col] = true
+	case ColCmp:
+		set[x.ColA] = true
+		set[x.ColB] = true
+	case And:
+		for _, k := range x.Kids {
+			collectColumns(k, set)
+		}
+	case Or:
+		for _, k := range x.Kids {
+			collectColumns(k, set)
+		}
+	case Not:
+		collectColumns(x.Kid, set)
+	}
+}

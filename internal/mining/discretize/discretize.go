@@ -1,0 +1,94 @@
+// Package discretize bins continuous attributes into ordered discrete
+// members, the preprocessing step the paper assumes for naive Bayes
+// ("in this paper we will describe the algorithm assuming that all
+// attributes are discretized") and the interval grid the clustering
+// envelope derivation operates on.
+package discretize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Discretizer maps a continuous value to a bin index using cut points:
+// bin i covers [Cuts[i-1], Cuts[i]), with bin 0 = (-inf, Cuts[0]) and
+// bin len(Cuts) = [Cuts[len-1], +inf).
+type Discretizer struct {
+	// Cuts are the ascending bin boundaries.
+	Cuts []float64
+}
+
+// Bins returns the number of bins (len(Cuts)+1).
+func (d *Discretizer) Bins() int { return len(d.Cuts) + 1 }
+
+// Bin returns the bin index of x.
+func (d *Discretizer) Bin(x float64) int {
+	// First cut strictly greater than x.
+	i := sort.SearchFloat64s(d.Cuts, x)
+	if i < len(d.Cuts) && d.Cuts[i] == x {
+		return i + 1 // boundary belongs to the right bin
+	}
+	return i
+}
+
+// Bounds returns the half-open interval [lo, hi) of bin i, using ±Inf
+// for the outer bins.
+func (d *Discretizer) Bounds(i int) (lo, hi float64) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if i > 0 {
+		lo = d.Cuts[i-1]
+	}
+	if i < len(d.Cuts) {
+		hi = d.Cuts[i]
+	}
+	return lo, hi
+}
+
+// EqualWidth builds a discretizer with bins of equal width over
+// [min, max]. It needs at least 2 bins and min < max.
+func EqualWidth(min, max float64, bins int) (*Discretizer, error) {
+	if bins < 2 {
+		return nil, fmt.Errorf("discretize: need at least 2 bins, got %d", bins)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("discretize: need min < max, got [%g, %g]", min, max)
+	}
+	cuts := make([]float64, bins-1)
+	w := (max - min) / float64(bins)
+	for i := range cuts {
+		cuts[i] = min + w*float64(i+1)
+	}
+	return &Discretizer{Cuts: cuts}, nil
+}
+
+// EqualDepth builds a discretizer whose bins hold roughly equal numbers
+// of the supplied sample values. Duplicate cut points are collapsed, so
+// the result may have fewer bins than requested.
+func EqualDepth(values []float64, bins int) (*Discretizer, error) {
+	if bins < 2 {
+		return nil, fmt.Errorf("discretize: need at least 2 bins, got %d", bins)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("discretize: no sample values")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var cuts []float64
+	for i := 1; i < bins; i++ {
+		idx := i * len(sorted) / bins
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		c := sorted[idx]
+		if len(cuts) == 0 || c > cuts[len(cuts)-1] {
+			cuts = append(cuts, c)
+		}
+	}
+	if len(cuts) == 0 {
+		// All samples identical: a single cut above the value keeps two
+		// well-formed bins.
+		cuts = []float64{sorted[0] + 1}
+	}
+	return &Discretizer{Cuts: cuts}, nil
+}

@@ -1,0 +1,112 @@
+package discretize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEqualWidthBins(t *testing.T) {
+	d, err := EqualWidth(0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bins() != 4 {
+		t.Fatalf("Bins = %d", d.Bins())
+	}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {24.9, 0}, {25, 1}, {49, 1}, {50, 2}, {74, 2}, {75, 3}, {100, 3}, {1e9, 3},
+	}
+	for _, c := range cases {
+		if got := d.Bin(c.x); got != c.want {
+			t.Errorf("Bin(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEqualWidthErrors(t *testing.T) {
+	if _, err := EqualWidth(0, 100, 1); err == nil {
+		t.Error("1 bin should error")
+	}
+	if _, err := EqualWidth(5, 5, 4); err == nil {
+		t.Error("empty range should error")
+	}
+	if _, err := EqualWidth(10, 5, 4); err == nil {
+		t.Error("inverted range should error")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d, _ := EqualWidth(0, 10, 2)
+	lo, hi := d.Bounds(0)
+	if !math.IsInf(lo, -1) || hi != 5 {
+		t.Errorf("bin 0 bounds = [%g, %g)", lo, hi)
+	}
+	lo, hi = d.Bounds(1)
+	if lo != 5 || !math.IsInf(hi, 1) {
+		t.Errorf("bin 1 bounds = [%g, %g)", lo, hi)
+	}
+}
+
+func TestBoundsConsistentWithBin(t *testing.T) {
+	d, _ := EqualWidth(-3, 7, 5)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x := r.Float64()*20 - 10
+		b := d.Bin(x)
+		lo, hi := d.Bounds(b)
+		if !(x >= lo && x < hi) && !(math.IsInf(lo, -1) && x < hi) && !(math.IsInf(hi, 1) && x >= lo) {
+			t.Fatalf("x=%g landed in bin %d with bounds [%g, %g)", x, b, lo, hi)
+		}
+	}
+}
+
+func TestEqualDepthBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = math.Exp(r.NormFloat64()) // skewed
+	}
+	d, err := EqualDepth(vals, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, d.Bins())
+	for _, v := range vals {
+		counts[d.Bin(v)]++
+	}
+	for i, c := range counts {
+		if c < len(vals)/d.Bins()/3 {
+			t.Errorf("bin %d badly underfilled: %d", i, c)
+		}
+	}
+}
+
+func TestEqualDepthDegenerate(t *testing.T) {
+	d, err := EqualDepth([]float64{5, 5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bins() < 2 {
+		t.Error("degenerate input should still yield >= 2 bins")
+	}
+	if d.Bin(5) == d.Bin(100) && d.Bins() > 1 {
+		t.Log("all-identical input maps everything into one bin side; acceptable")
+	}
+	if _, err := EqualDepth(nil, 4); err == nil {
+		t.Error("empty sample should error")
+	}
+	if _, err := EqualDepth([]float64{1}, 1); err == nil {
+		t.Error("1 bin should error")
+	}
+}
+
+func TestBoundaryBelongsToRightBin(t *testing.T) {
+	d := &Discretizer{Cuts: []float64{10, 20}}
+	if d.Bin(10) != 1 || d.Bin(20) != 2 || d.Bin(9.999) != 0 {
+		t.Errorf("boundary handling wrong: Bin(10)=%d Bin(20)=%d", d.Bin(10), d.Bin(20))
+	}
+}

@@ -1,0 +1,42 @@
+package dtree
+
+import (
+	"fmt"
+
+	"minequery/internal/value"
+)
+
+// FromParts assembles a model from an externally built tree (e.g. an
+// imported PMML-style model or a hand-written example). It panics on a
+// nil root; use Validate for structural checks.
+func FromParts(name, predCol string, cols []string, classes []value.Value, root *Node) *Model {
+	if root == nil {
+		panic("dtree: FromParts with nil root")
+	}
+	return &Model{name: name, predCol: predCol, cols: cols, classes: classes, Root: root}
+}
+
+// Validate checks that every internal node's attribute index is in
+// range and every leaf has a class label.
+func (m *Model) Validate() error {
+	return validateNode(m.Root, len(m.cols))
+}
+
+func validateNode(n *Node, arity int) error {
+	if n == nil {
+		return fmt.Errorf("dtree: nil node")
+	}
+	if n.Leaf {
+		if n.Class.IsNull() {
+			return fmt.Errorf("dtree: leaf without class label")
+		}
+		return nil
+	}
+	if n.AttrIdx < 0 || n.AttrIdx >= arity {
+		return fmt.Errorf("dtree: node tests attribute %d of %d", n.AttrIdx, arity)
+	}
+	if err := validateNode(n.True, arity); err != nil {
+		return err
+	}
+	return validateNode(n.False, arity)
+}

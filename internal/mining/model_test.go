@@ -1,0 +1,97 @@
+package mining
+
+import (
+	"testing"
+
+	"minequery/internal/value"
+)
+
+type sumModel struct{}
+
+func (sumModel) Name() string           { return "sum" }
+func (sumModel) PredictColumn() string  { return "s" }
+func (sumModel) InputColumns() []string { return []string{"b", "a"} }
+func (sumModel) Classes() []value.Value { return []value.Value{value.Int(0), value.Int(1)} }
+func (sumModel) Predict(in value.Tuple) value.Value {
+	// Classifies by whether b comes before a (checks binding order).
+	if in[0].AsInt() > in[1].AsInt() {
+		return value.Int(1)
+	}
+	return value.Int(0)
+}
+
+func TestBindResolvesByNameAndOrder(t *testing.T) {
+	s := value.MustSchema(
+		value.Column{Name: "a", Kind: value.KindInt},
+		value.Column{Name: "b", Kind: value.KindInt},
+		value.Column{Name: "c", Kind: value.KindInt},
+	)
+	b, ok := Bind(sumModel{}, s)
+	if !ok {
+		t.Fatal("bind failed")
+	}
+	// Model wants (b, a): ordinals should be (1, 0).
+	if b.Ordinals[0] != 1 || b.Ordinals[1] != 0 {
+		t.Fatalf("ordinals = %v", b.Ordinals)
+	}
+	// Row: a=5, b=9, c=0. Model sees (9, 5) -> class 1.
+	got := b.Predict(value.Tuple{value.Int(5), value.Int(9), value.Int(0)})
+	if got.AsInt() != 1 {
+		t.Errorf("bound predict = %v", got)
+	}
+	buf := make(value.Tuple, 2)
+	got = b.PredictInto(value.Tuple{value.Int(9), value.Int(5), value.Int(0)}, buf)
+	if got.AsInt() != 0 {
+		t.Errorf("PredictInto = %v", got)
+	}
+}
+
+func TestBindMissingColumn(t *testing.T) {
+	s := value.MustSchema(value.Column{Name: "a", Kind: value.KindInt})
+	if _, ok := Bind(sumModel{}, s); ok {
+		t.Error("bind with missing column should fail")
+	}
+}
+
+func TestTrainSetValidate(t *testing.T) {
+	s := value.MustSchema(value.Column{Name: "x", Kind: value.KindInt})
+	good := &TrainSet{
+		Schema: s,
+		Rows:   []value.Tuple{{value.Int(1)}, {value.Int(2)}},
+		Labels: []value.Value{value.Str("a"), value.Str("b")},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	cases := []*TrainSet{
+		{},
+		{Schema: s},
+		{Schema: s, Rows: []value.Tuple{{value.Int(1)}}, Labels: nil},
+		{Schema: s, Rows: []value.Tuple{{value.Int(1), value.Int(2)}}, Labels: []value.Value{value.Str("a")}},
+	}
+	for i, ts := range cases {
+		if err := ts.Validate(); err == nil {
+			t.Errorf("case %d: invalid set accepted", i)
+		}
+	}
+}
+
+func TestClassSetAndColumnNames(t *testing.T) {
+	s := value.MustSchema(
+		value.Column{Name: "x", Kind: value.KindInt},
+		value.Column{Name: "y", Kind: value.KindFloat},
+	)
+	ts := &TrainSet{
+		Schema: s,
+		Rows:   []value.Tuple{{value.Int(1), value.Float(1)}, {value.Int(2), value.Float(2)}, {value.Int(3), value.Float(3)}},
+		Labels: []value.Value{value.Str("b"), value.Str("a"), value.Str("b")},
+	}
+	cs := ts.ClassSet()
+	if len(cs) != 2 || cs[0].AsString() != "b" || cs[1].AsString() != "a" {
+		t.Errorf("ClassSet = %v (want first-seen order)", cs)
+	}
+	names := ts.ColumnNames()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+}

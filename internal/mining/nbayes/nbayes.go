@@ -1,0 +1,206 @@
+// Package nbayes implements the discrete naive Bayes classifier of
+// Section 3.2.1 of the paper: per-class priors Pr(c_k) and per-attribute
+// conditional probabilities Pr(x_d = m | c_k) over enumerated attribute
+// domains, with prediction by argmax of the product (computed as a log
+// sum) and ties resolved toward the larger prior. The trained parameter
+// tables are exactly the inputs the upper-envelope algorithms in
+// internal/core consume.
+package nbayes
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"minequery/internal/mining"
+	"minequery/internal/value"
+)
+
+// Model is a trained discrete naive Bayes classifier.
+type Model struct {
+	name    string
+	predCol string
+	cols    []string
+	classes []value.Value
+
+	// Domains[d] lists the members of attribute d, sorted by
+	// value.Compare.
+	Domains [][]value.Value
+	// Priors[k] is Pr(c_k).
+	Priors []float64
+	// Cond[d][l][k] is Pr(m_ld | c_k), Laplace-smoothed.
+	Cond [][][]float64
+	// Floor[d][k] is the smoothed probability assigned to attribute
+	// values never seen with class k during training (used when a test
+	// value is outside the trained domain).
+	Floor [][]float64
+}
+
+// Options tunes training.
+type Options struct {
+	// Laplace is the additive smoothing constant (default 1).
+	Laplace float64
+}
+
+// Train fits a naive Bayes model. All attributes are treated as
+// discrete; continuous attributes should be discretized first.
+func Train(name, predCol string, ts *mining.TrainSet, opts Options) (*Model, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("nbayes: %w", err)
+	}
+	if opts.Laplace <= 0 {
+		opts.Laplace = 1
+	}
+	classes := ts.ClassSet()
+	sort.Slice(classes, func(i, j int) bool { return value.Compare(classes[i], classes[j]) < 0 })
+	classIdx := map[string]int{}
+	for k, c := range classes {
+		classIdx[c.String()] = k
+	}
+	n := ts.Schema.Len()
+	m := &Model{
+		name:    name,
+		predCol: predCol,
+		cols:    ts.ColumnNames(),
+		classes: classes,
+		Domains: make([][]value.Value, n),
+		Priors:  make([]float64, len(classes)),
+		Cond:    make([][][]float64, n),
+		Floor:   make([][]float64, n),
+	}
+	// Enumerate domains.
+	memberIdx := make([]map[string]int, n)
+	for d := 0; d < n; d++ {
+		seen := map[string]value.Value{}
+		for _, r := range ts.Rows {
+			if !r[d].IsNull() {
+				seen[r[d].String()] = r[d]
+			}
+		}
+		dom := make([]value.Value, 0, len(seen))
+		for _, v := range seen {
+			dom = append(dom, v)
+		}
+		sort.Slice(dom, func(i, j int) bool { return value.Compare(dom[i], dom[j]) < 0 })
+		if len(dom) == 0 {
+			return nil, fmt.Errorf("nbayes: attribute %s has no non-null values", m.cols[d])
+		}
+		m.Domains[d] = dom
+		memberIdx[d] = make(map[string]int, len(dom))
+		for l, v := range dom {
+			memberIdx[d][v.String()] = l
+		}
+	}
+	// Count.
+	classCount := make([]float64, len(classes))
+	counts := make([][][]float64, n)
+	for d := 0; d < n; d++ {
+		counts[d] = make([][]float64, len(m.Domains[d]))
+		for l := range counts[d] {
+			counts[d][l] = make([]float64, len(classes))
+		}
+	}
+	for i, r := range ts.Rows {
+		k := classIdx[ts.Labels[i].String()]
+		classCount[k]++
+		for d := 0; d < n; d++ {
+			if r[d].IsNull() {
+				continue
+			}
+			counts[d][memberIdx[d][r[d].String()]][k]++
+		}
+	}
+	total := float64(len(ts.Rows))
+	minCount := classCount[0]
+	for k := range classes {
+		m.Priors[k] = classCount[k] / total
+		if classCount[k] < minCount {
+			minCount = classCount[k]
+		}
+	}
+	for d := 0; d < n; d++ {
+		nd := float64(len(m.Domains[d]))
+		m.Cond[d] = make([][]float64, len(m.Domains[d]))
+		m.Floor[d] = make([]float64, len(classes))
+		// Probability clipping: every class shares the floor of the
+		// rarest class. Without this, a rare class's fatter Laplace
+		// floor (α/(N_c + α·n_d) grows as N_c shrinks) makes it win any
+		// cell holding a couple of values unseen in the common classes'
+		// larger training samples — a well-known small-sample naive
+		// Bayes artifact that would scatter spurious prediction regions
+		// across the whole attribute space.
+		floor := opts.Laplace / (minCount + opts.Laplace*nd)
+		for k := range classes {
+			m.Floor[d][k] = floor
+		}
+		for l := range m.Domains[d] {
+			m.Cond[d][l] = make([]float64, len(classes))
+			for k := range classes {
+				p := (counts[d][l][k] + opts.Laplace) / (classCount[k] + opts.Laplace*nd)
+				if p < floor {
+					p = floor
+				}
+				m.Cond[d][l][k] = p
+			}
+		}
+	}
+	return m, nil
+}
+
+// Name implements mining.Model.
+func (m *Model) Name() string { return m.name }
+
+// PredictColumn implements mining.Model.
+func (m *Model) PredictColumn() string { return m.predCol }
+
+// InputColumns implements mining.Model.
+func (m *Model) InputColumns() []string { return m.cols }
+
+// Classes implements mining.Model.
+func (m *Model) Classes() []value.Value { return m.classes }
+
+// MemberIndex locates v in attribute d's domain, or -1 if absent.
+func (m *Model) MemberIndex(d int, v value.Value) int {
+	dom := m.Domains[d]
+	i := sort.Search(len(dom), func(i int) bool { return value.Compare(dom[i], v) >= 0 })
+	if i < len(dom) && value.Equal(dom[i], v) {
+		return i
+	}
+	return -1
+}
+
+// Predict implements mining.Model: argmax_k Pr(c_k) Π_d Pr(x_d|c_k),
+// computed in the log domain, with ties resolved toward the class with
+// the larger prior (the paper's tie rule).
+func (m *Model) Predict(in value.Tuple) value.Value {
+	best, bestScore := -1, math.Inf(-1)
+	for k := range m.classes {
+		s := math.Log(m.Priors[k])
+		for d := range m.Domains {
+			p := m.Floor[d][k]
+			if !in[d].IsNull() {
+				if l := m.MemberIndex(d, in[d]); l >= 0 {
+					p = m.Cond[d][l][k]
+				}
+			}
+			s += math.Log(p)
+		}
+		switch {
+		case best < 0 || s > bestScore:
+			best, bestScore = k, s
+		case s == bestScore && m.Priors[k] > m.Priors[best]:
+			best = k
+		}
+	}
+	return m.classes[best]
+}
+
+// JointProb returns Pr(c_k) Π_d Pr(x_d = member l_d | c_k) for the
+// member-index vector ls (used by tests and the enumeration baseline).
+func (m *Model) JointProb(ls []int, k int) float64 {
+	p := m.Priors[k]
+	for d, l := range ls {
+		p *= m.Cond[d][l][k]
+	}
+	return p
+}

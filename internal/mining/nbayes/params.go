@@ -1,0 +1,71 @@
+package nbayes
+
+import (
+	"fmt"
+	"math"
+
+	"minequery/internal/value"
+)
+
+// FromParameters builds a model directly from its parameter tables,
+// bypassing training. This supports importing externally trained models
+// (the paper's PMML-style exchange) and reproducing worked examples such
+// as the paper's Table 1 classifier.
+//
+// cond is indexed [attribute][member][class]. Floors default to the
+// smallest conditional probability of each (attribute, class) pair.
+func FromParameters(name, predCol string, cols []string, classes []value.Value,
+	domains [][]value.Value, priors []float64, cond [][][]float64) (*Model, error) {
+
+	if len(cols) != len(domains) || len(domains) != len(cond) {
+		return nil, fmt.Errorf("nbayes: %d cols, %d domains, %d cond tables", len(cols), len(domains), len(cond))
+	}
+	if len(priors) != len(classes) {
+		return nil, fmt.Errorf("nbayes: %d priors for %d classes", len(priors), len(classes))
+	}
+	var sum float64
+	for k, p := range priors {
+		if p <= 0 {
+			return nil, fmt.Errorf("nbayes: prior of class %s must be positive, got %g", classes[k], p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("nbayes: priors sum to %g, want 1", sum)
+	}
+	m := &Model{
+		name:    name,
+		predCol: predCol,
+		cols:    cols,
+		classes: classes,
+		Domains: domains,
+		Priors:  priors,
+		Cond:    cond,
+		Floor:   make([][]float64, len(domains)),
+	}
+	for d := range domains {
+		if len(cond[d]) != len(domains[d]) {
+			return nil, fmt.Errorf("nbayes: attribute %s: %d members, %d cond rows", cols[d], len(domains[d]), len(cond[d]))
+		}
+		m.Floor[d] = make([]float64, len(classes))
+		for k := range classes {
+			min := math.Inf(1)
+			for l := range domains[d] {
+				if len(cond[d][l]) != len(classes) {
+					return nil, fmt.Errorf("nbayes: attribute %s member %d: %d probabilities for %d classes",
+						cols[d], l, len(cond[d][l]), len(classes))
+				}
+				p := cond[d][l][k]
+				if p <= 0 {
+					return nil, fmt.Errorf("nbayes: attribute %s member %d class %s: probability must be positive",
+						cols[d], l, classes[k])
+				}
+				if p < min {
+					min = p
+				}
+			}
+			m.Floor[d][k] = min
+		}
+	}
+	return m, nil
+}

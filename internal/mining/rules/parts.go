@@ -1,0 +1,20 @@
+package rules
+
+import (
+	"minequery/internal/value"
+)
+
+// FromParts assembles a rule-list model from externally supplied rules
+// (e.g. an imported model or a hand-written example).
+func FromParts(name, predCol string, cols []string, schema *value.Schema,
+	classes []value.Value, ruleList []Rule, def value.Value) *Model {
+	return &Model{
+		name:    name,
+		predCol: predCol,
+		cols:    cols,
+		schema:  schema,
+		classes: classes,
+		Rules:   ruleList,
+		Default: def,
+	}
+}

@@ -1,0 +1,257 @@
+// Package rules implements a sequential-covering rule learner in the
+// style of Section 3.1's rule-based classifiers: an ordered list of
+// if-then rules whose bodies are conjunctions of simple attribute
+// conditions, resolved first-match with a default class. Because rule
+// bodies are already propositional selection predicates, the upper
+// envelope of a class is simply the disjunction of its rule bodies
+// (plus the default-class remainder), as the paper observes.
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"minequery/internal/expr"
+	"minequery/internal/mining"
+	"minequery/internal/value"
+)
+
+// Rule is one if-then rule: body (a conjunction of atomic conditions)
+// and a head class.
+type Rule struct {
+	Body  []expr.Expr
+	Class value.Value
+}
+
+// Model is an ordered rule list with a default class.
+type Model struct {
+	name    string
+	predCol string
+	cols    []string
+	classes []value.Value
+	schema  *value.Schema
+
+	Rules   []Rule
+	Default value.Value
+}
+
+// Options tunes training.
+type Options struct {
+	// MaxConds bounds conditions per rule (default 4).
+	MaxConds int
+	// MinCoverage is the minimum number of positives a rule must cover
+	// (default 3).
+	MinCoverage int
+	// MinPrecision is the precision at which rule growth stops early
+	// (default 0.9).
+	MinPrecision float64
+}
+
+func (o *Options) fill() {
+	if o.MaxConds <= 0 {
+		o.MaxConds = 4
+	}
+	if o.MinCoverage <= 0 {
+		o.MinCoverage = 3
+	}
+	if o.MinPrecision <= 0 {
+		o.MinPrecision = 0.9
+	}
+}
+
+// Train learns an ordered rule list by sequential covering: classes are
+// processed from rarest to most common; the most common class becomes
+// the default.
+func Train(name, predCol string, ts *mining.TrainSet, opts Options) (*Model, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("rules: %w", err)
+	}
+	opts.fill()
+	classes := ts.ClassSet()
+	counts := map[string]int{}
+	for _, l := range ts.Labels {
+		counts[l.String()]++
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		ci, cj := counts[classes[i].String()], counts[classes[j].String()]
+		if ci != cj {
+			return ci < cj
+		}
+		return value.Compare(classes[i], classes[j]) < 0
+	})
+	m := &Model{
+		name:    name,
+		predCol: predCol,
+		cols:    ts.ColumnNames(),
+		schema:  ts.Schema,
+		Default: classes[len(classes)-1], // most common class
+	}
+	// Stable class order for Classes(): sorted by value.
+	m.classes = append([]value.Value(nil), classes...)
+	sort.Slice(m.classes, func(i, j int) bool { return value.Compare(m.classes[i], m.classes[j]) < 0 })
+
+	active := make([]bool, len(ts.Rows))
+	for i := range active {
+		active[i] = true
+	}
+	for _, cls := range classes[:len(classes)-1] {
+		for {
+			rule, covered := growRule(ts, active, cls, opts)
+			if rule == nil {
+				break
+			}
+			m.Rules = append(m.Rules, *rule)
+			for _, i := range covered {
+				active[i] = false
+			}
+		}
+	}
+	return m, nil
+}
+
+// growRule greedily adds the condition that maximizes precision (ties
+// broken by coverage) until precision is high enough or MaxConds is
+// reached. It returns nil when no useful rule remains.
+func growRule(ts *mining.TrainSet, active []bool, cls value.Value, opts Options) (*Rule, []int) {
+	var body []expr.Expr
+	covered := make([]int, 0, len(ts.Rows))
+	for i, a := range active {
+		if a {
+			covered = append(covered, i)
+		}
+	}
+	for len(body) < opts.MaxConds {
+		prec, pos := precision(ts, covered, cls)
+		if pos < opts.MinCoverage {
+			return nil, nil
+		}
+		if prec >= opts.MinPrecision {
+			break
+		}
+		cond, newCovered := bestCondition(ts, covered, cls, prec)
+		if cond == nil {
+			break
+		}
+		body = append(body, cond)
+		covered = newCovered
+	}
+	prec, pos := precision(ts, covered, cls)
+	if len(body) == 0 || pos < opts.MinCoverage || prec <= 0.5 {
+		return nil, nil
+	}
+	return &Rule{Body: body, Class: cls}, covered
+}
+
+func precision(ts *mining.TrainSet, covered []int, cls value.Value) (float64, int) {
+	if len(covered) == 0 {
+		return 0, 0
+	}
+	pos := 0
+	for _, i := range covered {
+		if value.Equal(ts.Labels[i], cls) {
+			pos++
+		}
+	}
+	return float64(pos) / float64(len(covered)), pos
+}
+
+// maxThresholdCandidates caps numeric threshold candidates per grow step.
+const maxThresholdCandidates = 16
+
+func bestCondition(ts *mining.TrainSet, covered []int, cls value.Value, basePrec float64) (expr.Expr, []int) {
+	var best expr.Expr
+	var bestCovered []int
+	bestScore := basePrec
+	bestPos := 0
+	try := func(cond expr.Expr) {
+		var sub []int
+		for _, i := range covered {
+			if cond.Eval(ts.Schema, ts.Rows[i]) {
+				sub = append(sub, i)
+			}
+		}
+		prec, pos := precision(ts, sub, cls)
+		if pos == 0 || len(sub) == len(covered) {
+			return
+		}
+		if prec > bestScore || (prec == bestScore && pos > bestPos) {
+			best, bestCovered, bestScore, bestPos = cond, sub, prec, pos
+		}
+	}
+	for d := 0; d < ts.Schema.Len(); d++ {
+		col := ts.Schema.Col(d).Name
+		kind := ts.Schema.Col(d).Kind
+		if kind == value.KindInt || kind == value.KindFloat {
+			vals := make([]float64, 0, len(covered))
+			for _, i := range covered {
+				if v := ts.Rows[i][d]; !v.IsNull() {
+					vals = append(vals, v.AsFloat())
+				}
+			}
+			sort.Float64s(vals)
+			step := len(vals) / maxThresholdCandidates
+			if step == 0 {
+				step = 1
+			}
+			for i := step; i < len(vals); i += step {
+				if vals[i] == vals[i-1] {
+					continue
+				}
+				t := (vals[i] + vals[i-1]) / 2
+				try(expr.Cmp{Col: col, Op: expr.OpLe, Val: value.Float(t)})
+				try(expr.Cmp{Col: col, Op: expr.OpGt, Val: value.Float(t)})
+			}
+		} else {
+			seen := map[string]value.Value{}
+			for _, i := range covered {
+				if v := ts.Rows[i][d]; !v.IsNull() {
+					seen[v.String()] = v
+				}
+			}
+			keys := make([]string, 0, len(seen))
+			for k := range seen {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				try(expr.Cmp{Col: col, Op: expr.OpEq, Val: seen[k]})
+			}
+		}
+	}
+	return best, bestCovered
+}
+
+// Name implements mining.Model.
+func (m *Model) Name() string { return m.name }
+
+// PredictColumn implements mining.Model.
+func (m *Model) PredictColumn() string { return m.predCol }
+
+// InputColumns implements mining.Model.
+func (m *Model) InputColumns() []string { return m.cols }
+
+// Classes implements mining.Model.
+func (m *Model) Classes() []value.Value { return m.classes }
+
+// Schema exposes the input schema (needed for envelope derivation and
+// rule evaluation).
+func (m *Model) Schema() *value.Schema { return m.schema }
+
+// Predict implements mining.Model with first-match semantics.
+func (m *Model) Predict(in value.Tuple) value.Value {
+	for _, r := range m.Rules {
+		if matches(r.Body, m.schema, in) {
+			return r.Class
+		}
+	}
+	return m.Default
+}
+
+func matches(body []expr.Expr, s *value.Schema, in value.Tuple) bool {
+	for _, c := range body {
+		if !c.Eval(s, in) {
+			return false
+		}
+	}
+	return true
+}

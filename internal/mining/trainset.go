@@ -1,0 +1,60 @@
+package mining
+
+import (
+	"fmt"
+
+	"minequery/internal/value"
+)
+
+// TrainSet is the common training input for all model inducers: input
+// attribute rows plus one class label per row.
+type TrainSet struct {
+	// Schema describes the input attributes (not the label).
+	Schema *value.Schema
+	// Rows holds the input tuples, positionally aligned with Schema.
+	Rows []value.Tuple
+	// Labels holds the class label of each row.
+	Labels []value.Value
+}
+
+// Validate checks arity consistency.
+func (ts *TrainSet) Validate() error {
+	if ts.Schema == nil {
+		return fmt.Errorf("mining: train set has no schema")
+	}
+	if len(ts.Rows) != len(ts.Labels) {
+		return fmt.Errorf("mining: %d rows but %d labels", len(ts.Rows), len(ts.Labels))
+	}
+	if len(ts.Rows) == 0 {
+		return fmt.Errorf("mining: empty train set")
+	}
+	for i, r := range ts.Rows {
+		if len(r) != ts.Schema.Len() {
+			return fmt.Errorf("mining: row %d arity %d, schema arity %d", i, len(r), ts.Schema.Len())
+		}
+	}
+	return nil
+}
+
+// ClassSet returns the distinct labels in first-seen order.
+func (ts *TrainSet) ClassSet() []value.Value {
+	var out []value.Value
+	seen := map[string]bool{}
+	for _, l := range ts.Labels {
+		k := l.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ColumnNames returns the schema's column names in order.
+func (ts *TrainSet) ColumnNames() []string {
+	out := make([]string, ts.Schema.Len())
+	for i := range out {
+		out[i] = ts.Schema.Col(i).Name
+	}
+	return out
+}

@@ -1,0 +1,465 @@
+// Package opt implements minequery's cost-based access-path selection:
+// given a table and a (possibly envelope-augmented) predicate, it decides
+// between a sequential scan, a single index seek, an index union over the
+// predicate's disjuncts, or a constant scan when the predicate is
+// unsatisfiable. This is the decision the paper's upper envelopes exist
+// to influence, and its §4.2 caveats (disjunct thresholding, well-behaved
+// handling of complex AND/OR filters) are reflected in Config.
+package opt
+
+import (
+	"math"
+
+	"minequery/internal/catalog"
+	"minequery/internal/expr"
+	"minequery/internal/plan"
+	"minequery/internal/stats"
+	"minequery/internal/value"
+)
+
+// Config tunes the cost model.
+type Config struct {
+	// SeqPageCost is the cost of reading one page sequentially.
+	SeqPageCost float64
+	// RandomPageCost is the cost of one random page fetch (index seek
+	// row lookup). The classic 4x penalty by default.
+	RandomPageCost float64
+	// RowCPUCost is the per-row predicate-evaluation cost.
+	RowCPUCost float64
+	// MaxDisjuncts caps DNF expansion of the predicate; beyond it the
+	// optimizer degrades to a sequential scan with a residual filter
+	// (the paper's §4.2 thresholding of envelope complexity).
+	MaxDisjuncts int
+	// MaxInExpansion caps how many values of an IN condition may be
+	// expanded into separate index seeks.
+	MaxInExpansion int
+}
+
+// DefaultConfig returns the standard cost model. A sequential scan pays
+// one unit per page plus a per-row decode-and-evaluate cost; an index
+// fetch pays one random page unit plus the per-row cost per matching
+// row. With these weights the scan/index crossover lands at roughly 10%
+// selectivity, matching the paper's observation that "when a predicate's
+// selectivity is high (e.g., above 10%) the optimizer rarely selects
+// indexes".
+func DefaultConfig() Config {
+	return Config{
+		SeqPageCost:    1.0,
+		RandomPageCost: 1.0,
+		RowCPUCost:     0.1,
+		MaxDisjuncts:   256,
+		MaxInExpansion: 128,
+	}
+}
+
+// Result reports the chosen plan and the estimates behind the choice.
+type Result struct {
+	Plan plan.Node
+	// Path classifies the chosen access path.
+	Path plan.AccessPath
+	// EstSelectivity is the estimated fraction of rows satisfying the
+	// predicate.
+	EstSelectivity float64
+	// ScanCost and IndexCost are the estimated costs of the two
+	// alternatives (IndexCost is +Inf when no index applies).
+	ScanCost  float64
+	IndexCost float64
+}
+
+// ChooseAccessPath plans a selection over one table.
+func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
+	ts := t.Stats()
+	rowCount := float64(t.Heap.Len())
+	pages := float64(t.Heap.PageCount())
+	scanCost := pages*cfg.SeqPageCost + rowCount*cfg.RowCPUCost
+
+	simplified, ok := expr.Simplify(pred, cfg.MaxDisjuncts)
+	if !ok {
+		// Too complex to normalize within budget: fall back to a scan
+		// with the original predicate as the filter.
+		return Result{
+			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, pred),
+			Path:           plan.AccessSeqScan,
+			EstSelectivity: ts.Selectivity(pred),
+			ScanCost:       scanCost,
+			IndexCost:      inf,
+		}
+	}
+	sel := ts.Selectivity(simplified)
+
+	if _, isFalse := simplified.(expr.FalseExpr); isFalse {
+		return Result{
+			Plan:           &plan.ConstScan{Table: t.Name},
+			Path:           plan.AccessConstant,
+			EstSelectivity: 0,
+			ScanCost:       scanCost,
+			IndexCost:      0,
+		}
+	}
+	if _, isTrue := simplified.(expr.TrueExpr); isTrue {
+		return Result{
+			Plan:           &plan.SeqScan{Table: t.Name},
+			Path:           plan.AccessSeqScan,
+			EstSelectivity: 1,
+			ScanCost:       scanCost,
+			IndexCost:      inf,
+		}
+	}
+
+	d, ok := expr.ToDNF(simplified, cfg.MaxDisjuncts)
+	if !ok || len(d.Disjuncts) == 0 {
+		return Result{
+			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, simplified),
+			Path:           plan.AccessSeqScan,
+			EstSelectivity: sel,
+			ScanCost:       scanCost,
+			IndexCost:      inf,
+		}
+	}
+
+	// Find the best seek set per disjunct; all disjuncts must be
+	// index-accessible for an index plan to be sound.
+	var seeks []*plan.IndexSeek
+	indexRows := 0.0
+	covered := true
+	for _, c := range d.Disjuncts {
+		c = rangeToIn(ts, intBounds(t, c), cfg)
+		cand := bestSeeks(t, ts, c, cfg)
+		if cand == nil {
+			covered = false
+			break
+		}
+		seeks = append(seeks, cand.seeks...)
+		indexRows += cand.estRows
+	}
+	if !covered || len(seeks) == 0 {
+		return Result{
+			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, simplified),
+			Path:           plan.AccessSeqScan,
+			EstSelectivity: sel,
+			ScanCost:       scanCost,
+			IndexCost:      inf,
+		}
+	}
+	if indexRows > rowCount {
+		indexRows = rowCount
+	}
+	// Each fetched row is a potential random page read; seeks add a
+	// small per-probe cost (tree descent).
+	indexCost := indexRows*cfg.RandomPageCost + float64(len(seeks))*seekProbeCost + indexRows*cfg.RowCPUCost
+
+	if indexCost >= scanCost {
+		return Result{
+			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, simplified),
+			Path:           plan.AccessSeqScan,
+			EstSelectivity: sel,
+			ScanCost:       scanCost,
+			IndexCost:      indexCost,
+		}
+	}
+	var access plan.Node
+	var path plan.AccessPath
+	if len(seeks) == 1 {
+		access, path = seeks[0], plan.AccessIndex
+	} else {
+		access, path = &plan.IndexUnion{Table: t.Name, Seeks: seeks}, plan.AccessIndexUnion
+	}
+	return Result{
+		// Index access can overscan (inclusive range bounds, partial
+		// sargability), so the full predicate is re-applied.
+		Plan:           withFilter(access, simplified),
+		Path:           path,
+		EstSelectivity: sel,
+		ScanCost:       scanCost,
+		IndexCost:      indexCost,
+	}
+}
+
+var inf = 1e308
+
+// seekProbeCost is the planning cost of one B+-tree descent. The tree is
+// in memory, so a probe is far cheaper than a page read; wide IN
+// expansions (many probes) stay attractive when they pinpoint few rows.
+const seekProbeCost = 0.25
+
+func withFilter(n plan.Node, pred expr.Expr) plan.Node {
+	if _, isTrue := pred.(expr.TrueExpr); isTrue {
+		return n
+	}
+	return &plan.Filter{Child: n, Pred: pred}
+}
+
+// intBounds tightens fractional range bounds over INT columns: for an
+// integer x, "x >= 1.9" is "x >= 2" and "x < 2.6" is "x <= 2". Sound by
+// the column's declared type; it turns the float cut points of
+// clustering envelopes into integer ranges the IN-expansion can use.
+func intBounds(t *catalog.Table, c expr.Conjunct) expr.Conjunct {
+	out := make([]expr.Expr, len(c.Conds))
+	for i, cond := range c.Conds {
+		out[i] = cond
+		cmp, ok := cond.(expr.Cmp)
+		if !ok || cmp.Val.Kind() != value.KindFloat {
+			continue
+		}
+		o := t.Schema.Ordinal(cmp.Col)
+		if o < 0 || t.Schema.Col(o).Kind != value.KindInt {
+			continue
+		}
+		f := cmp.Val.AsFloat()
+		switch cmp.Op {
+		case expr.OpGe:
+			out[i] = expr.Cmp{Col: cmp.Col, Op: expr.OpGe, Val: value.Int(int64(math.Ceil(f)))}
+		case expr.OpGt:
+			out[i] = expr.Cmp{Col: cmp.Col, Op: expr.OpGe, Val: value.Int(int64(math.Floor(f)) + 1)}
+		case expr.OpLe:
+			out[i] = expr.Cmp{Col: cmp.Col, Op: expr.OpLe, Val: value.Int(int64(math.Floor(f)))}
+		case expr.OpLt:
+			out[i] = expr.Cmp{Col: cmp.Col, Op: expr.OpLe, Val: value.Int(int64(math.Ceil(f)) - 1)}
+		}
+	}
+	return expr.Conjunct{Conds: out}
+}
+
+// rangeToIn rewrites closed integer ranges into IN conditions: a range
+// like 2 <= col <= 4 over INT values becomes col IN (2,3,4), which the
+// composite-index matcher can use as an equality prefix. The expansion
+// enumerates the integers in the range itself — no statistics involved —
+// so it is sound regardless of data changes. Open and non-integer
+// ranges are left alone.
+func rangeToIn(ts *stats.TableStats, c expr.Conjunct, cfg Config) expr.Conjunct {
+	simplified, sat := expr.SimplifyConjunct(c.Conds)
+	if !sat {
+		return c
+	}
+	type rng struct{ lo, hi *expr.Cmp }
+	ranges := map[string]*rng{}
+	var order []string
+	var passthrough []expr.Expr
+	for i := range simplified {
+		cmp, ok := simplified[i].(expr.Cmp)
+		if !ok {
+			passthrough = append(passthrough, simplified[i])
+			continue
+		}
+		var isRange bool
+		switch cmp.Op {
+		case expr.OpGt, expr.OpGe, expr.OpLt, expr.OpLe:
+			isRange = true
+		}
+		if !isRange {
+			passthrough = append(passthrough, cmp)
+			continue
+		}
+		key := norm(cmp.Col)
+		r := ranges[key]
+		if r == nil {
+			r = &rng{}
+			ranges[key] = r
+			order = append(order, key)
+		}
+		cc := cmp
+		switch cmp.Op {
+		case expr.OpGt, expr.OpGe:
+			r.lo = &cc
+		default:
+			r.hi = &cc
+		}
+	}
+	out := append([]expr.Expr(nil), passthrough...)
+	for _, key := range order {
+		r := ranges[key]
+		vals, ok := enumerateIntRange(r.lo, r.hi, cfg.MaxInExpansion)
+		switch {
+		case ok && len(vals) == 0:
+			out = append(out, expr.FalseExpr{})
+		case ok && len(vals) == 1:
+			out = append(out, expr.Cmp{Col: rangeCol(r.lo, r.hi), Op: expr.OpEq, Val: vals[0]})
+		case ok:
+			out = append(out, expr.In{Col: rangeCol(r.lo, r.hi), Vals: vals})
+		default:
+			if r.lo != nil {
+				out = append(out, *r.lo)
+			}
+			if r.hi != nil {
+				out = append(out, *r.hi)
+			}
+		}
+	}
+	_ = ts
+	return expr.Conjunct{Conds: out}
+}
+
+func rangeCol(lo, hi *expr.Cmp) string {
+	if lo != nil {
+		return lo.Col
+	}
+	return hi.Col
+}
+
+// enumerateIntRange lists the integers satisfying both bounds, when both
+// bounds are INT values and the count is within max.
+func enumerateIntRange(lo, hi *expr.Cmp, max int) ([]value.Value, bool) {
+	if lo == nil || hi == nil {
+		return nil, false
+	}
+	if lo.Val.Kind() != value.KindInt || hi.Val.Kind() != value.KindInt {
+		return nil, false
+	}
+	a, b := lo.Val.AsInt(), hi.Val.AsInt()
+	if lo.Op == expr.OpGt {
+		a++
+	}
+	if hi.Op == expr.OpLt {
+		b--
+	}
+	if b < a {
+		return nil, true // empty range
+	}
+	if b-a+1 > int64(max) {
+		return nil, false
+	}
+	out := make([]value.Value, 0, b-a+1)
+	for v := a; v <= b; v++ {
+		out = append(out, value.Int(v))
+	}
+	return out, true
+}
+
+// candidate is the seek set serving one disjunct through one index.
+type candidate struct {
+	seeks   []*plan.IndexSeek
+	estRows float64
+}
+
+// bestSeeks finds the cheapest index application for one conjunct, or
+// nil if no index is usable.
+func bestSeeks(t *catalog.Table, ts *stats.TableStats, c expr.Conjunct, cfg Config) *candidate {
+	// Bucket the conjunct's conditions per column.
+	eq := map[string]value.Value{}
+	in := map[string][]value.Value{}
+	lo := map[string]*plan.Bound{}
+	hi := map[string]*plan.Bound{}
+	var consumedExpr = map[string][]expr.Expr{}
+	for _, cond := range c.Conds {
+		switch x := cond.(type) {
+		case expr.Cmp:
+			col := norm(x.Col)
+			switch x.Op {
+			case expr.OpEq:
+				eq[col] = x.Val
+				consumedExpr[col] = append(consumedExpr[col], x)
+			case expr.OpLt, expr.OpLe:
+				b := &plan.Bound{Val: x.Val, Inc: x.Op == expr.OpLe}
+				if cur := hi[col]; cur == nil || value.Compare(b.Val, cur.Val) < 0 {
+					hi[col] = b
+				}
+				consumedExpr[col] = append(consumedExpr[col], x)
+			case expr.OpGt, expr.OpGe:
+				b := &plan.Bound{Val: x.Val, Inc: x.Op == expr.OpGe}
+				if cur := lo[col]; cur == nil || value.Compare(b.Val, cur.Val) > 0 {
+					lo[col] = b
+				}
+				consumedExpr[col] = append(consumedExpr[col], x)
+			}
+		case expr.In:
+			col := norm(x.Col)
+			if len(x.Vals) <= cfg.MaxInExpansion {
+				in[col] = x.Vals
+				consumedExpr[col] = append(consumedExpr[col], x)
+			}
+		}
+	}
+
+	var best *candidate
+	bestCost := inf
+	for _, ix := range t.Indexes {
+		cand := matchIndex(t, ts, ix, eq, in, lo, hi, consumedExpr, cfg)
+		if cand == nil {
+			continue
+		}
+		cost := cand.estRows*cfg.RandomPageCost + float64(len(cand.seeks))*seekProbeCost
+		if cost < bestCost {
+			best, bestCost = cand, cost
+		}
+	}
+	return best
+}
+
+// matchIndex matches a conjunct's per-column conditions against one
+// index's column order: an equality (or small IN) prefix, optionally
+// followed by one range column.
+func matchIndex(t *catalog.Table, ts *stats.TableStats, ix *catalog.Index,
+	eq map[string]value.Value, in map[string][]value.Value,
+	lo, hi map[string]*plan.Bound, consumed map[string][]expr.Expr, cfg Config) *candidate {
+
+	type prefixAlt struct {
+		vals []value.Value
+	}
+	alts := []prefixAlt{{}}
+	var sargable []expr.Expr
+	var rangeLo, rangeHi *plan.Bound
+	matchedAny := false
+
+	for _, col := range ix.Columns {
+		cn := norm(col)
+		if v, ok := eq[cn]; ok {
+			for i := range alts {
+				alts[i].vals = append(alts[i].vals, v)
+			}
+			sargable = append(sargable, consumed[cn]...)
+			matchedAny = true
+			continue
+		}
+		if vals, ok := in[cn]; ok && len(alts)*len(vals) <= cfg.MaxInExpansion {
+			// IN consumes the column as equality alternatives; the
+			// prefix continues through it while total seek fan-out stays
+			// within budget.
+			var next []prefixAlt
+			for _, a := range alts {
+				for _, v := range vals {
+					nv := make([]value.Value, len(a.vals), len(a.vals)+1)
+					copy(nv, a.vals)
+					next = append(next, prefixAlt{vals: append(nv, v)})
+				}
+			}
+			alts = next
+			sargable = append(sargable, consumed[cn]...)
+			matchedAny = true
+			continue
+		}
+		l, hasLo := lo[cn]
+		h, hasHi := hi[cn]
+		if hasLo || hasHi {
+			rangeLo, rangeHi = l, h
+			sargable = append(sargable, consumed[cn]...)
+			matchedAny = true
+		}
+		break // first non-equality column ends the prefix
+	}
+	if !matchedAny {
+		return nil
+	}
+	seeks := make([]*plan.IndexSeek, 0, len(alts))
+	for _, a := range alts {
+		seeks = append(seeks, &plan.IndexSeek{
+			Table:  t.Name,
+			Index:  ix.Name,
+			EqVals: a.vals,
+			Lo:     rangeLo,
+			Hi:     rangeHi,
+		})
+	}
+	selPart := ts.Selectivity(expr.NewAnd(sargable...))
+	rows := selPart * float64(t.Heap.Len())
+	return &candidate{seeks: seeks, estRows: rows}
+}
+
+func norm(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if 'A' <= b[i] && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,445 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"minequery/internal/expr"
+	"minequery/internal/value"
+)
+
+// OnPair maps one model input column to a data column in a PREDICTION
+// JOIN's ON clause.
+type OnPair struct {
+	ModelCol string
+	DataCol  string
+}
+
+// PredictionJoin is one "PREDICTION JOIN model AS alias ON ..." clause.
+type PredictionJoin struct {
+	Model string
+	Alias string
+	On    []OnPair
+}
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	// Select lists projected columns; empty means "*".
+	Select []string
+	// Table is the FROM table, Alias its optional alias.
+	Table string
+	Alias string
+	// Joins are the PREDICTION JOIN clauses.
+	Joins []PredictionJoin
+	// Where is the predicate (TrueExpr if absent). Predicted columns
+	// appear as "alias.column" atoms; data columns appear bare.
+	Where expr.Expr
+	// Limit is the row limit, or -1 if absent.
+	Limit int64
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("unexpected trailing input %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: "+format+" (at offset %d)", append(args, p.peek().pos)...)
+}
+
+// acceptKeyword consumes an identifier token equal (case-insensitively)
+// to kw.
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errf("expected %q, found %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+// ident reads a possibly bracket-quoted identifier.
+func (p *parser) ident() (string, error) {
+	if p.acceptSymbol("[") {
+		t := p.next()
+		if t.kind != tokIdent {
+			return "", p.errf("expected identifier inside [ ], found %q", t.text)
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return "", err
+		}
+		return t.text, nil
+	}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// columnRef reads ident[.ident], returning the dotted form.
+func (p *parser) columnRef() (string, error) {
+	first, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.acceptSymbol(".") {
+		second, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return first + "." + second, nil
+	}
+	return first, nil
+}
+
+var reservedAfterFrom = map[string]bool{
+	"prediction": true, "where": true, "limit": true, "on": true, "and": true,
+}
+
+func (p *parser) parseSelect() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1, Where: expr.TrueExpr{}}
+	if p.acceptSymbol("*") {
+		// empty Select means all columns
+	} else {
+		for {
+			col, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.Select = append(q.Select, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	q.Table = tbl
+	if p.acceptKeyword("as") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.Alias = a
+	} else if t := p.peek(); t.kind == tokIdent && !reservedAfterFrom[strings.ToLower(t.text)] {
+		q.Alias = t.text
+		p.pos++
+	}
+	for p.acceptKeyword("prediction") {
+		if err := p.expectKeyword("join"); err != nil {
+			return nil, err
+		}
+		j, err := p.parsePredictionJoin()
+		if err != nil {
+			return nil, err
+		}
+		q.Joins = append(q.Joins, *j)
+	}
+	if p.acceptKeyword("where") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.acceptKeyword("limit") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT, found %q", t.text)
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT value %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parsePredictionJoin() (*PredictionJoin, error) {
+	model, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	j := &PredictionJoin{Model: model, Alias: model}
+	if p.acceptKeyword("as") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		j.Alias = a
+	} else if t := p.peek(); t.kind == tokIdent && !reservedAfterFrom[strings.ToLower(t.text)] {
+		j.Alias = t.text
+		p.pos++
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	for {
+		left, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		right, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		// By convention the model side is the one qualified with the
+		// join alias (or model name); accept either order.
+		pair, err := orientOnPair(j, left, right)
+		if err != nil {
+			return nil, err
+		}
+		j.On = append(j.On, pair)
+		if !p.acceptKeyword("and") {
+			break
+		}
+	}
+	return j, nil
+}
+
+func orientOnPair(j *PredictionJoin, left, right string) (OnPair, error) {
+	lq, lcol := splitQualifier(left)
+	rq, rcol := splitQualifier(right)
+	switch {
+	case strings.EqualFold(lq, j.Alias) || strings.EqualFold(lq, j.Model):
+		return OnPair{ModelCol: lcol, DataCol: stripAny(rq, rcol)}, nil
+	case strings.EqualFold(rq, j.Alias) || strings.EqualFold(rq, j.Model):
+		return OnPair{ModelCol: rcol, DataCol: stripAny(lq, lcol)}, nil
+	default:
+		return OnPair{}, fmt.Errorf("sqlparse: ON condition %s = %s does not reference model alias %q", left, right, j.Alias)
+	}
+}
+
+func splitQualifier(ref string) (qualifier, col string) {
+	if i := strings.IndexByte(ref, '.'); i >= 0 {
+		return ref[:i], ref[i+1:]
+	}
+	return "", ref
+}
+
+func stripAny(_, col string) string { return col }
+
+// Predicate grammar: or := and (OR and)*; and := unary (AND unary)*;
+// unary := NOT unary | '(' or ')' | atom.
+func (p *parser) parseOr() (expr.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []expr.Expr{left}
+	for p.acceptKeyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	return expr.NewOr(kids...), nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []expr.Expr{left}
+	for p.acceptKeyword("and") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	return expr.NewAnd(kids...), nil
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.acceptKeyword("not") {
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{Kid: kid}, nil
+	}
+	if p.acceptSymbol("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseAtom()
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"=": expr.OpEq, "<>": expr.OpNe, "!=": expr.OpNe,
+	"<": expr.OpLt, "<=": expr.OpLe, ">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) parseAtom() (expr.Expr, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.pos++
+			return expr.TrueExpr{}, nil
+		case "false":
+			p.pos++
+			return expr.FalseExpr{}, nil
+		}
+	}
+	col, err := p.columnRef()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("in") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []value.Value
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return expr.In{Col: col, Vals: vals}, nil
+	}
+	t := p.next()
+	if t.kind != tokSymbol {
+		return nil, p.errf("expected comparison operator after %q, found %q", col, t.text)
+	}
+	op, ok := cmpOps[t.text]
+	if !ok {
+		return nil, p.errf("unknown operator %q", t.text)
+	}
+	// The right side is a literal or another column reference.
+	switch rt := p.peek(); rt.kind {
+	case tokIdent:
+		if strings.EqualFold(rt.text, "true") || strings.EqualFold(rt.text, "false") ||
+			strings.EqualFold(rt.text, "null") {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Cmp{Col: col, Op: op, Val: v}, nil
+		}
+		other, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		return expr.ColCmp{ColA: col, Op: op, ColB: other}, nil
+	default:
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Cmp{Col: col, Op: op, Val: v}, nil
+	}
+}
+
+func (p *parser) literal() (value.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString:
+		return value.Str(t.text), nil
+	case tokNumber:
+		if !strings.ContainsAny(t.text, ".eE") {
+			n, err := strconv.ParseInt(t.text, 10, 64)
+			if err == nil {
+				return value.Int(n), nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return value.Value{}, p.errf("bad number %q", t.text)
+		}
+		return value.Float(f), nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			return value.Bool(true), nil
+		case "false":
+			return value.Bool(false), nil
+		case "null":
+			return value.Null(), nil
+		}
+	}
+	return value.Value{}, p.errf("expected literal, found %q", t.text)
+}

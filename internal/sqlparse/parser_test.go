@@ -1,0 +1,199 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"minequery/internal/expr"
+	"minequery/internal/value"
+)
+
+func TestParseBasicSelect(t *testing.T) {
+	q, err := Parse("SELECT * FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "customers" || len(q.Select) != 0 || q.Limit != -1 {
+		t.Errorf("unexpected query: %+v", q)
+	}
+	if _, ok := q.Where.(expr.TrueExpr); !ok {
+		t.Error("absent WHERE should default to TRUE")
+	}
+}
+
+func TestParseProjectionAndLimit(t *testing.T) {
+	q, err := Parse("SELECT id, name FROM t LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 || q.Select[0] != "id" || q.Select[1] != "name" {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if q.Limit != 10 {
+		t.Errorf("Limit = %d", q.Limit)
+	}
+}
+
+func TestParseWherePredicates(t *testing.T) {
+	q, err := Parse("SELECT * FROM t WHERE age > 30 AND (city = 'NY' OR city = 'SF') AND active = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Where.String()
+	for _, want := range []string{"age > 30", `city = "NY"`, `city = "SF"`, "active = TRUE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("WHERE %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	q, err := Parse("SELECT * FROM t WHERE cat IN ('a', 'b', 'c')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ok := q.Where.(expr.In)
+	if !ok || len(in.Vals) != 3 {
+		t.Fatalf("WHERE = %v", q.Where)
+	}
+}
+
+func TestParseNumbersAndNulls(t *testing.T) {
+	q, err := Parse("SELECT * FROM t WHERE a = -5 AND b = 2.5 AND c = 1e3 AND d = NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := q.Where.(expr.And)
+	if !ok || len(and.Kids) != 4 {
+		t.Fatalf("WHERE = %v", q.Where)
+	}
+	if v := and.Kids[0].(expr.Cmp).Val; v.Kind() != value.KindInt || v.AsInt() != -5 {
+		t.Errorf("a literal = %v", v)
+	}
+	if v := and.Kids[1].(expr.Cmp).Val; v.Kind() != value.KindFloat || v.AsFloat() != 2.5 {
+		t.Errorf("b literal = %v", v)
+	}
+	if v := and.Kids[2].(expr.Cmp).Val; v.Kind() != value.KindFloat || v.AsFloat() != 1000 {
+		t.Errorf("c literal = %v", v)
+	}
+	if v := and.Kids[3].(expr.Cmp).Val; !v.IsNull() {
+		t.Errorf("d literal = %v", v)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q, err := Parse("SELECT * FROM t WHERE name = 'O''Brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := q.Where.(expr.Cmp)
+	if c.Val.AsString() != "O'Brien" {
+		t.Errorf("string = %q", c.Val.AsString())
+	}
+}
+
+func TestParseNotAndComparisons(t *testing.T) {
+	q, err := Parse("SELECT * FROM t WHERE NOT (a <= 1) AND b <> 2 AND c != 3 AND d >= 4 AND e < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.Where.String(), "NOT") {
+		t.Error("NOT lost")
+	}
+}
+
+func TestParsePredictionJoin(t *testing.T) {
+	src := `SELECT d.customer_id, m.risk FROM customers AS d
+		PREDICTION JOIN risk_class AS m
+		ON m.gender = d.gender AND m.age = d.age
+		WHERE m.risk = 'low'`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Alias != "d" || q.Table != "customers" {
+		t.Errorf("table = %q alias = %q", q.Table, q.Alias)
+	}
+	if len(q.Joins) != 1 {
+		t.Fatalf("joins = %d", len(q.Joins))
+	}
+	j := q.Joins[0]
+	if j.Model != "risk_class" || j.Alias != "m" || len(j.On) != 2 {
+		t.Errorf("join = %+v", j)
+	}
+	if j.On[0].ModelCol != "gender" || j.On[0].DataCol != "gender" {
+		t.Errorf("on[0] = %+v", j.On[0])
+	}
+	c, ok := q.Where.(expr.Cmp)
+	if !ok || c.Col != "m.risk" || c.Val.AsString() != "low" {
+		t.Errorf("mining predicate = %v", q.Where)
+	}
+}
+
+func TestParsePredictionJoinReversedOn(t *testing.T) {
+	q, err := Parse("SELECT * FROM t PREDICTION JOIN m ON t.age = m.age WHERE m.cls = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Joins[0].On[0].ModelCol != "age" || q.Joins[0].On[0].DataCol != "age" {
+		t.Errorf("reversed ON mis-oriented: %+v", q.Joins[0].On[0])
+	}
+}
+
+func TestParseTwoPredictionJoins(t *testing.T) {
+	src := `SELECT * FROM visitors
+		PREDICTION JOIN sas_model AS m1 ON m1.age = visitors.age
+		PREDICTION JOIN spss_model AS m2 ON m2.age = visitors.age
+		WHERE m1.job = m2.job`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 2 {
+		t.Fatalf("joins = %d", len(q.Joins))
+	}
+	cc, ok := q.Where.(expr.ColCmp)
+	if !ok || cc.ColA != "m1.job" || cc.ColB != "m2.job" {
+		t.Errorf("column-column predicate = %v", q.Where)
+	}
+}
+
+func TestParseBracketIdentifiers(t *testing.T) {
+	q, err := Parse("SELECT * FROM t PREDICTION JOIN [Risk_Class] AS m ON m.age = t.age WHERE m.risk = 'low'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Joins[0].Model != "Risk_Class" {
+		t.Errorf("model = %q", q.Joins[0].Model)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a >",
+		"SELECT * FROM t WHERE a ~ 1",
+		"SELECT * FROM t WHERE a IN ()",
+		"SELECT * FROM t WHERE a IN (1",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t PREDICTION m",
+		"SELECT * FROM t PREDICTION JOIN m ON x.a = y.b",
+		"SELECT * FROM t WHERE name = 'unterminated",
+		"SELECT * FROM t extra stuff ???",
+		"SELECT * FROM t WHERE (a = 1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseOnWithoutQualifierErrors(t *testing.T) {
+	if _, err := Parse("SELECT * FROM t PREDICTION JOIN m ON a = b WHERE m.c = 1"); err == nil {
+		t.Error("ON without model qualifier should fail")
+	}
+}

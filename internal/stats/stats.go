@@ -1,0 +1,432 @@
+// Package stats builds per-column statistics (exact frequent-value
+// counts for low-cardinality columns, equi-depth histograms otherwise)
+// and estimates the selectivity of AND/OR predicate expressions. The
+// optimizer uses these estimates for access-path selection — the paper's
+// premise is that upper-envelope predicates only pay off when their
+// estimated selectivity is low enough to make an index attractive.
+package stats
+
+import (
+	"sort"
+
+	"minequery/internal/expr"
+	"minequery/internal/value"
+)
+
+// MaxExactDistinct is the number of distinct values a column may have
+// before exact value counts are abandoned in favour of a histogram.
+const MaxExactDistinct = 512
+
+// NumBuckets is the number of equi-depth histogram buckets.
+const NumBuckets = 64
+
+// ValueCount pairs a value with its occurrence count.
+type ValueCount struct {
+	Val   value.Value
+	Count int64
+}
+
+// Bucket is one equi-depth histogram bucket covering [Lo, Hi].
+type Bucket struct {
+	Lo, Hi   value.Value
+	Count    int64
+	Distinct int64
+}
+
+// ColumnStats summarizes one column.
+type ColumnStats struct {
+	Count     int64 // non-null values
+	NullCount int64
+	Distinct  int64
+	// Exact holds exact per-value counts when the column stayed within
+	// MaxExactDistinct distinct values; nil otherwise.
+	Exact []ValueCount
+	// Hist is the equi-depth histogram, built only when Exact is nil.
+	Hist []Bucket
+	Min  value.Value
+	Max  value.Value
+}
+
+// TableStats summarizes a table.
+type TableStats struct {
+	RowCount int64
+	Cols     map[string]*ColumnStats
+}
+
+// builder accumulates one column during a build pass.
+type builder struct {
+	exact    map[uint64][]ValueCount // hash -> values (collision chain)
+	overflow []value.Value           // all values, kept for histogram if exact overflows
+	distinct int
+	count    int64
+	nulls    int64
+	min, max value.Value
+	spilled  bool
+}
+
+func newBuilder() *builder {
+	return &builder{exact: make(map[uint64][]ValueCount)}
+}
+
+func (b *builder) add(v value.Value) {
+	if v.IsNull() {
+		b.nulls++
+		return
+	}
+	b.count++
+	if b.count == 1 {
+		b.min, b.max = v, v
+	} else {
+		if value.Compare(v, b.min) < 0 {
+			b.min = v
+		}
+		if value.Compare(v, b.max) > 0 {
+			b.max = v
+		}
+	}
+	b.overflow = append(b.overflow, v)
+	if b.spilled {
+		return
+	}
+	h := v.Hash()
+	chain := b.exact[h]
+	for i := range chain {
+		if value.Equal(chain[i].Val, v) {
+			chain[i].Count++
+			return
+		}
+	}
+	b.exact[h] = append(chain, ValueCount{Val: v, Count: 1})
+	b.distinct++
+	if b.distinct > MaxExactDistinct {
+		b.spilled = true
+	}
+}
+
+func (b *builder) finish() *ColumnStats {
+	cs := &ColumnStats{Count: b.count, NullCount: b.nulls, Min: b.min, Max: b.max}
+	if !b.spilled {
+		for _, chain := range b.exact {
+			cs.Exact = append(cs.Exact, chain...)
+		}
+		sort.Slice(cs.Exact, func(i, j int) bool {
+			return value.Compare(cs.Exact[i].Val, cs.Exact[j].Val) < 0
+		})
+		cs.Distinct = int64(len(cs.Exact))
+		return cs
+	}
+	// Equi-depth histogram over all collected values.
+	vals := b.overflow
+	sort.Slice(vals, func(i, j int) bool { return value.Compare(vals[i], vals[j]) < 0 })
+	distinct := int64(0)
+	for i := range vals {
+		if i == 0 || !value.Equal(vals[i], vals[i-1]) {
+			distinct++
+		}
+	}
+	cs.Distinct = distinct
+	per := (len(vals) + NumBuckets - 1) / NumBuckets
+	for start := 0; start < len(vals); start += per {
+		end := start + per
+		if end > len(vals) {
+			end = len(vals)
+		}
+		bk := Bucket{Lo: vals[start], Hi: vals[end-1], Count: int64(end - start)}
+		d := int64(0)
+		for i := start; i < end; i++ {
+			if i == start || !value.Equal(vals[i], vals[i-1]) {
+				d++
+			}
+		}
+		bk.Distinct = d
+		cs.Hist = append(cs.Hist, bk)
+	}
+	return cs
+}
+
+// Build computes table statistics from a row source. scan must call the
+// callback once per row.
+func Build(schema *value.Schema, scan func(func(value.Tuple))) *TableStats {
+	builders := make([]*builder, schema.Len())
+	for i := range builders {
+		builders[i] = newBuilder()
+	}
+	var rows int64
+	scan(func(t value.Tuple) {
+		rows++
+		for i := range builders {
+			builders[i].add(t[i])
+		}
+	})
+	ts := &TableStats{RowCount: rows, Cols: make(map[string]*ColumnStats, schema.Len())}
+	for i, b := range builders {
+		ts.Cols[normalize(schema.Col(i).Name)] = b.finish()
+	}
+	return ts
+}
+
+func normalize(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if 'A' <= b[i] && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// Col returns the stats for the named column (case-insensitive), or nil.
+func (ts *TableStats) Col(name string) *ColumnStats {
+	return ts.Cols[normalize(name)]
+}
+
+// eqFraction estimates the fraction of rows with column value v.
+func (cs *ColumnStats) eqFraction(v value.Value, rows int64) float64 {
+	if rows == 0 || cs == nil {
+		return 0
+	}
+	if cs.Exact != nil {
+		i := sort.Search(len(cs.Exact), func(i int) bool {
+			return value.Compare(cs.Exact[i].Val, v) >= 0
+		})
+		if i < len(cs.Exact) && value.Equal(cs.Exact[i].Val, v) {
+			return float64(cs.Exact[i].Count) / float64(rows)
+		}
+		return 0
+	}
+	if cs.Distinct > 0 {
+		return float64(cs.Count) / float64(cs.Distinct) / float64(rows)
+	}
+	return 0
+}
+
+// rangeFraction estimates the fraction of rows with lo <(=) col <(=) hi.
+// Nil bounds are unbounded.
+func (cs *ColumnStats) rangeFraction(lo, hi *value.Value, loInc, hiInc bool, rows int64) float64 {
+	if rows == 0 || cs == nil || cs.Count == 0 {
+		return 0
+	}
+	inRange := func(v value.Value) bool {
+		if lo != nil {
+			c := value.Compare(v, *lo)
+			if c < 0 || (c == 0 && !loInc) {
+				return false
+			}
+		}
+		if hi != nil {
+			c := value.Compare(v, *hi)
+			if c > 0 || (c == 0 && !hiInc) {
+				return false
+			}
+		}
+		return true
+	}
+	if cs.Exact != nil {
+		var n int64
+		for _, vc := range cs.Exact {
+			if inRange(vc.Val) {
+				n += vc.Count
+			}
+		}
+		return float64(n) / float64(rows)
+	}
+	var n float64
+	for _, bk := range cs.Hist {
+		loIn, hiIn := inRange(bk.Lo), inRange(bk.Hi)
+		switch {
+		case loIn && hiIn:
+			n += float64(bk.Count)
+		case !loIn && !hiIn:
+			// Bucket may still straddle the range interior.
+			if lo != nil && hi != nil &&
+				value.Compare(bk.Lo, *lo) < 0 && value.Compare(bk.Hi, *hi) > 0 {
+				n += float64(bk.Count) * interp(*lo, *hi, bk)
+			}
+		default:
+			// Partial overlap: linear interpolation over the bucket span.
+			l, h := bk.Lo, bk.Hi
+			if lo != nil && value.Compare(*lo, l) > 0 {
+				l = *lo
+			}
+			if hi != nil && value.Compare(*hi, h) < 0 {
+				h = *hi
+			}
+			n += float64(bk.Count) * interp(l, h, bk)
+		}
+	}
+	return n / float64(rows)
+}
+
+// interp returns the fraction of bucket bk spanned by [l, h], assuming a
+// uniform distribution over numeric buckets; non-numeric buckets return
+// a half-bucket guess.
+func interp(l, h value.Value, bk Bucket) float64 {
+	if bk.Lo.Kind() == value.KindString || bk.Hi.Kind() == value.KindString {
+		return 0.5
+	}
+	span := bk.Hi.AsFloat() - bk.Lo.AsFloat()
+	if span <= 0 {
+		return 1
+	}
+	f := (h.AsFloat() - l.AsFloat()) / span
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Selectivity estimates the fraction of rows satisfying e. Unknown
+// constructs contribute the conventional default of 1/3.
+func (ts *TableStats) Selectivity(e expr.Expr) float64 {
+	const defaultSel = 1.0 / 3.0
+	if ts == nil {
+		return defaultSel
+	}
+	switch x := e.(type) {
+	case expr.TrueExpr:
+		return 1
+	case expr.FalseExpr:
+		return 0
+	case expr.Cmp:
+		cs := ts.Col(x.Col)
+		if cs == nil {
+			return defaultSel
+		}
+		switch x.Op {
+		case expr.OpEq:
+			return cs.eqFraction(x.Val, ts.RowCount)
+		case expr.OpNe:
+			return clamp(nonNull(cs, ts.RowCount) - cs.eqFraction(x.Val, ts.RowCount))
+		case expr.OpLt:
+			return cs.rangeFraction(nil, &x.Val, false, false, ts.RowCount)
+		case expr.OpLe:
+			return cs.rangeFraction(nil, &x.Val, false, true, ts.RowCount)
+		case expr.OpGt:
+			return cs.rangeFraction(&x.Val, nil, false, false, ts.RowCount)
+		case expr.OpGe:
+			return cs.rangeFraction(&x.Val, nil, true, false, ts.RowCount)
+		}
+		return defaultSel
+	case expr.In:
+		cs := ts.Col(x.Col)
+		if cs == nil {
+			return defaultSel
+		}
+		var s float64
+		for _, v := range x.Vals {
+			s += cs.eqFraction(v, ts.RowCount)
+		}
+		return clamp(s)
+	case expr.And:
+		return ts.andSelectivity(x.Kids)
+	case expr.Or:
+		s := 0.0
+		for _, k := range x.Kids {
+			sk := ts.Selectivity(k)
+			s = s + sk - s*sk
+		}
+		return clamp(s)
+	case expr.Not:
+		return clamp(1 - ts.Selectivity(x.Kid))
+	}
+	return defaultSel
+}
+
+// rangeConj accumulates the interval implied by several range conditions
+// on the same column within a conjunction.
+type rangeConj struct {
+	lo, hi     *value.Value
+	loInc      bool
+	hiInc      bool
+	col        string
+	nonRange   []expr.Expr // same-column conditions that are not ranges
+	contradict bool
+}
+
+func (rc *rangeConj) addLo(v value.Value, inc bool) {
+	if rc.lo == nil || value.Compare(v, *rc.lo) > 0 || (value.Equal(v, *rc.lo) && !inc) {
+		rc.lo, rc.loInc = &v, inc
+	}
+}
+
+func (rc *rangeConj) addHi(v value.Value, inc bool) {
+	if rc.hi == nil || value.Compare(v, *rc.hi) < 0 || (value.Equal(v, *rc.hi) && !inc) {
+		rc.hi, rc.hiInc = &v, inc
+	}
+}
+
+// andSelectivity estimates a conjunction, intersecting range conditions
+// that constrain the same column before applying the independence
+// assumption across columns and residual conditions.
+func (ts *TableStats) andSelectivity(kids []expr.Expr) float64 {
+	ranges := map[string]*rangeConj{}
+	var order []string
+	var residual []expr.Expr
+	for _, k := range kids {
+		c, ok := k.(expr.Cmp)
+		if !ok || c.Val.IsNull() {
+			residual = append(residual, k)
+			continue
+		}
+		var isRange bool
+		switch c.Op {
+		case expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+			isRange = true
+		}
+		if !isRange {
+			residual = append(residual, k)
+			continue
+		}
+		col := normalize(c.Col)
+		rc := ranges[col]
+		if rc == nil {
+			rc = &rangeConj{col: c.Col}
+			ranges[col] = rc
+			order = append(order, col)
+		}
+		switch c.Op {
+		case expr.OpLt:
+			rc.addHi(c.Val, false)
+		case expr.OpLe:
+			rc.addHi(c.Val, true)
+		case expr.OpGt:
+			rc.addLo(c.Val, false)
+		case expr.OpGe:
+			rc.addLo(c.Val, true)
+		}
+	}
+	s := 1.0
+	for _, col := range order {
+		rc := ranges[col]
+		cs := ts.Col(rc.col)
+		if cs == nil {
+			s *= 1.0 / 3.0
+			continue
+		}
+		s *= cs.rangeFraction(rc.lo, rc.hi, rc.loInc, rc.hiInc, ts.RowCount)
+	}
+	for _, k := range residual {
+		s *= ts.Selectivity(k)
+	}
+	return clamp(s)
+}
+
+func nonNull(cs *ColumnStats, rows int64) float64 {
+	if rows == 0 {
+		return 0
+	}
+	return float64(cs.Count) / float64(rows)
+}
+
+func clamp(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,205 @@
+// Package storage implements the minequery table heap: slotted pages of
+// encoded rows addressed by record identifiers (RIDs). The heap is an
+// in-memory paged store, but all access goes through page granularity and
+// is counted, so the executor's cost accounting (sequential page reads vs
+// random record fetches) matches the access-path behaviour the paper's
+// experiments depend on.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed size of a heap page in bytes.
+const PageSize = 8192
+
+// pageHeaderSize is bytes reserved at the start of each page: slot count.
+const pageHeaderSize = 4
+
+// slotSize is bytes per slot directory entry: offset (2) + length (2).
+const slotSize = 4
+
+// RID addresses one record in a heap.
+type RID struct {
+	Page uint32
+	Slot uint16
+}
+
+// String renders the RID as "page:slot".
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// Less orders RIDs by page, then slot (heap order).
+func (r RID) Less(o RID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+// IOStats counts page-granularity accesses to a heap. Sequential reads
+// are pages touched by full scans; random reads are pages touched by
+// RID-based fetches (index lookups).
+type IOStats struct {
+	SeqPageReads  int64
+	RandPageReads int64
+	PageWrites    int64
+	// TupleReads counts records materialized (decoded) from the heap,
+	// whether via scan or RID fetch; the executor's per-row CPU cost.
+	TupleReads int64
+}
+
+// Reset zeroes all counters.
+func (s *IOStats) Reset() { *s = IOStats{} }
+
+// page is one slotted page. Slots grow from the front after the header;
+// record bytes grow from the back.
+type page struct {
+	data []byte
+	free int // offset of first free byte from the back (records end here)
+}
+
+func newPage() *page {
+	return &page{data: make([]byte, PageSize), free: PageSize}
+}
+
+func (p *page) slotCount() int {
+	return int(binary.LittleEndian.Uint32(p.data[0:4]))
+}
+
+func (p *page) setSlotCount(n int) {
+	binary.LittleEndian.PutUint32(p.data[0:4], uint32(n))
+}
+
+func (p *page) slotAt(i int) (off, length int) {
+	base := pageHeaderSize + i*slotSize
+	off = int(binary.LittleEndian.Uint16(p.data[base : base+2]))
+	length = int(binary.LittleEndian.Uint16(p.data[base+2 : base+4]))
+	return off, length
+}
+
+func (p *page) setSlot(i, off, length int) {
+	base := pageHeaderSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.data[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.data[base+2:base+4], uint16(length))
+}
+
+// canFit reports whether a record of n bytes plus its slot fits.
+func (p *page) canFit(n int) bool {
+	slotsEnd := pageHeaderSize + (p.slotCount()+1)*slotSize
+	return p.free-n >= slotsEnd
+}
+
+// insert places rec in the page and returns its slot number.
+func (p *page) insert(rec []byte) int {
+	n := p.slotCount()
+	p.free -= len(rec)
+	copy(p.data[p.free:], rec)
+	p.setSlot(n, p.free, len(rec))
+	p.setSlotCount(n + 1)
+	return n
+}
+
+func (p *page) record(slot int) ([]byte, bool) {
+	if slot >= p.slotCount() {
+		return nil, false
+	}
+	off, length := p.slotAt(slot)
+	if length == 0 {
+		return nil, false // deleted
+	}
+	return p.data[off : off+length], true
+}
+
+func (p *page) delete(slot int) bool {
+	if slot >= p.slotCount() {
+		return false
+	}
+	off, length := p.slotAt(slot)
+	if length == 0 {
+		return false
+	}
+	p.setSlot(slot, off, 0)
+	return true
+}
+
+// Heap is an append-oriented table heap of encoded records.
+type Heap struct {
+	pages []*page
+	live  int64
+	Stats IOStats
+}
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap { return &Heap{} }
+
+// MaxRecordSize is the largest record a heap accepts (must fit a page).
+const MaxRecordSize = PageSize - pageHeaderSize - slotSize
+
+// Insert appends a record and returns its RID.
+func (h *Heap) Insert(rec []byte) (RID, error) {
+	if len(rec) > MaxRecordSize {
+		return RID{}, fmt.Errorf("storage: record of %d bytes exceeds page capacity", len(rec))
+	}
+	if len(h.pages) == 0 || !h.pages[len(h.pages)-1].canFit(len(rec)) {
+		h.pages = append(h.pages, newPage())
+	}
+	pi := len(h.pages) - 1
+	slot := h.pages[pi].insert(rec)
+	h.live++
+	h.Stats.PageWrites++
+	return RID{Page: uint32(pi), Slot: uint16(slot)}, nil
+}
+
+// Get fetches the record at rid as a random page access. The returned
+// slice aliases page memory and must not be retained across writes.
+func (h *Heap) Get(rid RID) ([]byte, bool) {
+	if int(rid.Page) >= len(h.pages) {
+		return nil, false
+	}
+	h.Stats.RandPageReads++
+	rec, ok := h.pages[rid.Page].record(int(rid.Slot))
+	if ok {
+		h.Stats.TupleReads++
+	}
+	return rec, ok
+}
+
+// Delete marks the record at rid deleted. It reports whether a live
+// record was removed.
+func (h *Heap) Delete(rid RID) bool {
+	if int(rid.Page) >= len(h.pages) {
+		return false
+	}
+	if h.pages[rid.Page].delete(int(rid.Slot)) {
+		h.live--
+		h.Stats.PageWrites++
+		return true
+	}
+	return false
+}
+
+// Scan visits every live record in heap order as a sequential read. The
+// callback receives the RID and record bytes; returning false stops the
+// scan early.
+func (h *Heap) Scan(fn func(RID, []byte) bool) {
+	for pi, p := range h.pages {
+		h.Stats.SeqPageReads++
+		for s := 0; s < p.slotCount(); s++ {
+			rec, ok := p.record(s)
+			if !ok {
+				continue
+			}
+			h.Stats.TupleReads++
+			if !fn(RID{Page: uint32(pi), Slot: uint16(s)}, rec) {
+				return
+			}
+		}
+	}
+}
+
+// Len returns the number of live records.
+func (h *Heap) Len() int64 { return h.live }
+
+// PageCount returns the number of allocated pages.
+func (h *Heap) PageCount() int { return len(h.pages) }

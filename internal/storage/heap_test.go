@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestInsertGetRoundTrip(t *testing.T) {
+	h := NewHeap()
+	recs := make(map[RID][]byte)
+	for i := 0; i < 5000; i++ {
+		rec := []byte(fmt.Sprintf("record-%d-%s", i, string(make([]byte, i%50))))
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		recs[rid] = append([]byte(nil), rec...)
+	}
+	if h.Len() != 5000 {
+		t.Fatalf("Len = %d, want 5000", h.Len())
+	}
+	for rid, want := range recs {
+		got, ok := h.Get(rid)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%v) = %q, %v; want %q", rid, got, ok, want)
+		}
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	h := NewHeap()
+	if _, ok := h.Get(RID{Page: 5, Slot: 0}); ok {
+		t.Error("Get on empty heap should fail")
+	}
+	rid, _ := h.Insert([]byte("x"))
+	if _, ok := h.Get(RID{Page: rid.Page, Slot: rid.Slot + 10}); ok {
+		t.Error("Get of out-of-range slot should fail")
+	}
+}
+
+func TestInsertTooLarge(t *testing.T) {
+	h := NewHeap()
+	if _, err := h.Insert(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Error("oversized record should be rejected")
+	}
+	if _, err := h.Insert(make([]byte, MaxRecordSize)); err != nil {
+		t.Errorf("max-size record should fit: %v", err)
+	}
+}
+
+func TestScanOrderAndCompleteness(t *testing.T) {
+	h := NewHeap()
+	var rids []RID
+	for i := 0; i < 2000; i++ {
+		rid, _ := h.Insert([]byte{byte(i), byte(i >> 8)})
+		rids = append(rids, rid)
+	}
+	var seen []RID
+	h.Scan(func(r RID, rec []byte) bool {
+		seen = append(seen, r)
+		return true
+	})
+	if len(seen) != len(rids) {
+		t.Fatalf("scan saw %d records, want %d", len(seen), len(rids))
+	}
+	for i := 1; i < len(seen); i++ {
+		if !seen[i-1].Less(seen[i]) {
+			t.Fatal("scan must visit records in heap order")
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	h := NewHeap()
+	for i := 0; i < 100; i++ {
+		h.Insert([]byte{byte(i)})
+	}
+	n := 0
+	h.Scan(func(RID, []byte) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("scan visited %d records after early stop, want 10", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h := NewHeap()
+	r1, _ := h.Insert([]byte("a"))
+	r2, _ := h.Insert([]byte("b"))
+	if !h.Delete(r1) {
+		t.Fatal("delete of live record should succeed")
+	}
+	if h.Delete(r1) {
+		t.Error("double delete should fail")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len after delete = %d, want 1", h.Len())
+	}
+	if _, ok := h.Get(r1); ok {
+		t.Error("deleted record should not be fetchable")
+	}
+	var n int
+	h.Scan(func(r RID, _ []byte) bool {
+		if r == r1 {
+			t.Error("scan must skip deleted records")
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Errorf("scan saw %d records, want 1", n)
+	}
+	if !h.Delete(r2) {
+		t.Error("delete of second record should succeed")
+	}
+	if h.Delete(RID{Page: 99}) {
+		t.Error("delete of bad page should fail")
+	}
+}
+
+func TestIOStatsCounting(t *testing.T) {
+	h := NewHeap()
+	var rids []RID
+	for i := 0; i < 1000; i++ {
+		rec := make([]byte, 100)
+		rid, _ := h.Insert(rec)
+		rids = append(rids, rid)
+	}
+	if h.PageCount() < 2 {
+		t.Fatalf("expected multiple pages, got %d", h.PageCount())
+	}
+	h.Stats.Reset()
+	h.Scan(func(RID, []byte) bool { return true })
+	if int(h.Stats.SeqPageReads) != h.PageCount() {
+		t.Errorf("scan should read every page once: %d vs %d", h.Stats.SeqPageReads, h.PageCount())
+	}
+	h.Stats.Reset()
+	for _, r := range rids[:10] {
+		h.Get(r)
+	}
+	if h.Stats.RandPageReads != 10 {
+		t.Errorf("10 Gets should count 10 random reads, got %d", h.Stats.RandPageReads)
+	}
+}
+
+func TestRandomizedHeapAgainstModel(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	h := NewHeap()
+	model := map[RID][]byte{}
+	var order []RID
+	for op := 0; op < 10000; op++ {
+		if r.Intn(4) != 0 || len(order) == 0 {
+			rec := make([]byte, 1+r.Intn(200))
+			r.Read(rec)
+			rid, err := h.Insert(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[rid] = append([]byte(nil), rec...)
+			order = append(order, rid)
+		} else {
+			rid := order[r.Intn(len(order))]
+			want := model[rid]
+			got, ok := h.Get(rid)
+			if want == nil {
+				if ok {
+					t.Fatalf("deleted record %v still readable", rid)
+				}
+				continue
+			}
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("Get(%v) mismatch", rid)
+			}
+			if r.Intn(2) == 0 {
+				h.Delete(rid)
+				model[rid] = nil
+			}
+		}
+	}
+	var liveWant int64
+	for _, v := range model {
+		if v != nil {
+			liveWant++
+		}
+	}
+	if h.Len() != liveWant {
+		t.Fatalf("Len = %d, model says %d", h.Len(), liveWant)
+	}
+}

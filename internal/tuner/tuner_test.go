@@ -1,0 +1,135 @@
+package tuner
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"minequery/internal/catalog"
+	"minequery/internal/expr"
+	"minequery/internal/value"
+)
+
+func buildTable(t *testing.T) (*catalog.Catalog, *catalog.Table) {
+	t.Helper()
+	cat := catalog.New()
+	tb, err := cat.CreateTable("t", value.MustSchema(
+		value.Column{Name: "a", Kind: value.KindInt},
+		value.Column{Name: "b", Kind: value.KindInt},
+		value.Column{Name: "c", Kind: value.KindString},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		tb.Insert(value.Tuple{
+			value.Int(int64(r.Intn(10))),
+			value.Int(int64(r.Intn(100))),
+			value.Str(fmt.Sprintf("s%d", r.Intn(4))),
+		})
+	}
+	tb.Analyze()
+	return cat, tb
+}
+
+func eq(col string, v int64) expr.Expr {
+	return expr.Cmp{Col: col, Op: expr.OpEq, Val: value.Int(v)}
+}
+
+func TestRecommendCompositeFromConjunct(t *testing.T) {
+	_, tb := buildTable(t)
+	// b=5 (sel ~1%) is more selective than a=3 (~10%): the composite
+	// candidate should lead with b.
+	pred := expr.NewAnd(eq("a", 3), eq("b", 5))
+	cands := Recommend(tb, []expr.Expr{pred}, 4)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if !strings.EqualFold(cands[0].Columns[0], "b") {
+		t.Errorf("leading column = %v, want b (most selective)", cands[0].Columns)
+	}
+	if len(cands[0].Columns) < 2 {
+		t.Errorf("composite expected, got %v", cands[0].Columns)
+	}
+}
+
+func TestRecommendCoversEveryDisjunct(t *testing.T) {
+	_, tb := buildTable(t)
+	// Three disjuncts over three distinct columns: set cover must give
+	// each one a usable leading column.
+	pred := expr.NewOr(
+		eq("a", 1),
+		eq("b", 2),
+		expr.Cmp{Col: "c", Op: expr.OpEq, Val: value.Str("s1")},
+	)
+	cands := Recommend(tb, []expr.Expr{pred}, 8)
+	leading := map[string]bool{}
+	for _, c := range cands {
+		leading[strings.ToLower(c.Columns[0])] = true
+	}
+	for _, col := range []string{"a", "b", "c"} {
+		if !leading[col] {
+			t.Errorf("no candidate leads with %s: %+v", col, cands)
+		}
+	}
+}
+
+func TestRecommendRangeOrdering(t *testing.T) {
+	_, tb := buildTable(t)
+	// A two-sided range (enumerable) should precede a one-sided range.
+	pred := expr.NewAnd(
+		expr.Cmp{Col: "a", Op: expr.OpGe, Val: value.Int(2)},
+		expr.Cmp{Col: "a", Op: expr.OpLe, Val: value.Int(3)},
+		expr.Cmp{Col: "b", Op: expr.OpLe, Val: value.Int(10)},
+	)
+	cands := Recommend(tb, []expr.Expr{pred}, 4)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	cols := cands[0].Columns
+	if !strings.EqualFold(cols[0], "a") || len(cols) < 2 || !strings.EqualFold(cols[1], "b") {
+		t.Errorf("expected [a b] (two-sided first, one-sided last), got %v", cols)
+	}
+}
+
+func TestRecommendBudget(t *testing.T) {
+	_, tb := buildTable(t)
+	var preds []expr.Expr
+	for i := 0; i < 20; i++ {
+		preds = append(preds, expr.NewAnd(eq("a", int64(i%10)), eq("b", int64(i))))
+	}
+	cands := Recommend(tb, preds, 3)
+	if len(cands) > 3 {
+		t.Errorf("budget exceeded: %d candidates", len(cands))
+	}
+}
+
+func TestApplyCreatesIndexes(t *testing.T) {
+	cat, tb := buildTable(t)
+	cands := Recommend(tb, []expr.Expr{expr.NewAnd(eq("a", 1), eq("b", 2))}, 4)
+	names, err := Apply(cat, "t", cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(cands) {
+		t.Fatalf("created %d of %d indexes", len(names), len(cands))
+	}
+	if len(tb.Indexes) != len(cands) {
+		t.Fatalf("table has %d indexes", len(tb.Indexes))
+	}
+	// Idempotence is not required, but re-applying must surface the
+	// duplicate-name error rather than silently succeed.
+	if _, err := Apply(cat, "t", cands); err == nil {
+		t.Error("re-apply with same names should error")
+	}
+}
+
+func TestRecommendIgnoresUnusablePredicates(t *testing.T) {
+	_, tb := buildTable(t)
+	cands := Recommend(tb, []expr.Expr{expr.TrueExpr{}, expr.FalseExpr{}}, 4)
+	if len(cands) != 0 {
+		t.Errorf("constant predicates should yield no candidates, got %+v", cands)
+	}
+}

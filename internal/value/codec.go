@@ -1,0 +1,148 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoding of a Value:
+//
+//	byte 0: kind tag
+//	INT/FLOAT: 8 bytes little-endian payload
+//	BOOL: 1 byte
+//	TEXT: uvarint length + bytes
+//	NULL: nothing
+//
+// Tuples are the concatenation of their value encodings preceded by a
+// uvarint arity, so rows round-trip without the schema.
+
+// Encode appends the binary encoding of v to dst and returns the extended
+// slice.
+func (v Value) Encode(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.i))
+	case KindFloat:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+	case KindBool:
+		dst = append(dst, byte(v.i))
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// DecodeValue reads one value from b, returning the value and the number
+// of bytes consumed.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Value{}, 0, fmt.Errorf("value: decode: empty buffer")
+	}
+	k := Kind(b[0])
+	rest := b[1:]
+	switch k {
+	case KindNull:
+		return Null(), 1, nil
+	case KindInt:
+		if len(rest) < 8 {
+			return Value{}, 0, fmt.Errorf("value: decode INT: short buffer")
+		}
+		return Int(int64(binary.LittleEndian.Uint64(rest))), 9, nil
+	case KindFloat:
+		if len(rest) < 8 {
+			return Value{}, 0, fmt.Errorf("value: decode FLOAT: short buffer")
+		}
+		return Float(math.Float64frombits(binary.LittleEndian.Uint64(rest))), 9, nil
+	case KindBool:
+		if len(rest) < 1 {
+			return Value{}, 0, fmt.Errorf("value: decode BOOL: short buffer")
+		}
+		return Bool(rest[0] != 0), 2, nil
+	case KindString:
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < n {
+			return Value{}, 0, fmt.Errorf("value: decode TEXT: short buffer")
+		}
+		return Str(string(rest[sz : sz+int(n)])), 1 + sz + int(n), nil
+	default:
+		return Value{}, 0, fmt.Errorf("value: decode: bad kind tag %d", b[0])
+	}
+}
+
+// EncodeTuple appends the binary encoding of t to dst.
+func EncodeTuple(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = v.Encode(dst)
+	}
+	return dst
+}
+
+// DecodeTuple parses a tuple encoded by EncodeTuple.
+func DecodeTuple(b []byte) (Tuple, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("value: decode tuple: bad arity")
+	}
+	b = b[sz:]
+	t := make(Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, used, err := DecodeValue(b)
+		if err != nil {
+			return nil, fmt.Errorf("value: decode tuple field %d: %w", i, err)
+		}
+		t = append(t, v)
+		b = b[used:]
+	}
+	return t, nil
+}
+
+// SortKey appends an order-preserving binary encoding of v: for values a,
+// b of kinds comparable under Compare, bytes.Compare(SortKey(a),
+// SortKey(b)) == Compare(a, b). Used as B+-tree key material.
+func (v Value) SortKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, 0x00)
+	case KindInt, KindFloat:
+		dst = append(dst, 0x01)
+		bits := math.Float64bits(v.AsFloat())
+		// Flip for order preservation: positive floats get the sign bit
+		// set; negative floats are fully complemented.
+		if bits&(1<<63) != 0 {
+			bits = ^bits
+		} else {
+			bits |= 1 << 63
+		}
+		return binary.BigEndian.AppendUint64(dst, bits)
+	case KindBool:
+		return append(dst, 0x02, byte(v.i))
+	case KindString:
+		// 0x03 tag, then bytes with 0x00 escaped as 0x00 0xFF, terminated
+		// by 0x00 0x00 so prefixes order correctly.
+		dst = append(dst, 0x03)
+		for i := 0; i < len(v.s); i++ {
+			c := v.s[i]
+			if c == 0x00 {
+				dst = append(dst, 0x00, 0xFF)
+			} else {
+				dst = append(dst, c)
+			}
+		}
+		return append(dst, 0x00, 0x00)
+	}
+	return dst
+}
+
+// TupleSortKey appends the concatenated order-preserving keys of all
+// values in t.
+func TupleSortKey(dst []byte, t Tuple) []byte {
+	for _, v := range t {
+		dst = v.SortKey(dst)
+	}
+	return dst
+}

@@ -1,0 +1,112 @@
+package value
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from columns. Column names must be unique
+// (case-insensitive).
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := s.byName[key]; dup {
+			return nil, fmt.Errorf("schema: duplicate column %q", c.Name)
+		}
+		s.byName[key] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and literals.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Ordinal returns the position of the named column (case-insensitive),
+// or -1 if absent.
+func (s *Schema) Ordinal(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Col returns the column at ordinal i.
+func (s *Schema) Col(i int) Column { return s.Columns[i] }
+
+// String renders the schema as "(a INT, b TEXT)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Tuple is one row: values positionally aligned with a Schema.
+type Tuple []Value
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports positional equality of two tuples.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !Equal(t[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash combines the hashes of all values in the tuple.
+func (t Tuple) Hash() uint64 {
+	var h uint64 = 1469598103934665603
+	for _, v := range t {
+		h ^= v.Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,300 @@
+package value
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "FLOAT",
+		KindString: "TEXT", KindBool: "BOOL",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if Int(7).AsInt() != 7 {
+		t.Error("Int round trip failed")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float round trip failed")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("Int widened to float failed")
+	}
+	if Str("abc").AsString() != "abc" {
+		t.Error("Str round trip failed")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool round trip failed")
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misreports")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt on string", func() { Str("x").AsInt() })
+	mustPanic("AsString on int", func() { Int(1).AsString() })
+	mustPanic("AsBool on int", func() { Int(1).AsBool() })
+	mustPanic("AsFloat on string", func() { Str("x").AsFloat() })
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(2), Float(2.0), 0},
+		{Float(1.5), Int(2), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Null(), Int(-100), -1},
+		{Int(-100), Null(), 1},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareCrossKindTotalOrder(t *testing.T) {
+	// Incompatible kinds must still produce an antisymmetric order.
+	a, b := Str("zzz"), Bool(true)
+	if Compare(a, b) != -Compare(b, a) {
+		t.Error("cross-kind compare is not antisymmetric")
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(int64(r.Intn(2000) - 1000))
+	case 2:
+		return Float(r.Float64()*200 - 100)
+	case 3:
+		letters := []byte("abcdefgh")
+		n := r.Intn(6)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = letters[r.Intn(len(letters))]
+		}
+		return Str(string(s))
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+func TestHashEqualConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randomValue(r), randomValue(r)
+		if Equal(a, b) && a.Hash() != b.Hash() {
+			t.Fatalf("equal values %v and %v have different hashes", a, b)
+		}
+	}
+	if Int(2).Hash() != Float(2.0).Hash() {
+		t.Error("numerically equal INT and FLOAT must hash alike")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		v := randomValue(r)
+		enc := v.Encode(nil)
+		got, n, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode %v consumed %d of %d bytes", v, n, len(enc))
+		}
+		if !Equal(got, v) || got.Kind() != v.Kind() {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("decode of empty buffer should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindInt), 1, 2}); err == nil {
+		t.Error("short INT should fail")
+	}
+	if _, _, err := DecodeValue([]byte{255}); err == nil {
+		t.Error("bad kind tag should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindString), 10, 'a'}); err == nil {
+		t.Error("short TEXT should fail")
+	}
+	if _, err := DecodeTuple(nil); err == nil {
+		t.Error("decode tuple of empty buffer should fail")
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		tup := make(Tuple, r.Intn(6))
+		for j := range tup {
+			tup[j] = randomValue(r)
+		}
+		enc := EncodeTuple(nil, tup)
+		got, err := DecodeTuple(enc)
+		if err != nil {
+			t.Fatalf("decode tuple %v: %v", tup, err)
+		}
+		if !got.Equal(tup) {
+			t.Fatalf("tuple round trip %v -> %v", tup, got)
+		}
+	}
+}
+
+func TestSortKeyOrderPreserving(t *testing.T) {
+	// Property: for same-comparable-kind values, byte order of SortKey
+	// equals Compare order.
+	r := rand.New(rand.NewSource(4))
+	gens := []func() Value{
+		func() Value { return Int(int64(r.Intn(2000) - 1000)) },
+		func() Value { return Float(r.Float64()*2e6 - 1e6) },
+		func() Value { return Str(string(rune('a' + r.Intn(26)))) },
+	}
+	for gi, gen := range gens {
+		for i := 0; i < 3000; i++ {
+			a, b := gen(), gen()
+			ka, kb := a.SortKey(nil), b.SortKey(nil)
+			bc := bytes.Compare(ka, kb)
+			vc := Compare(a, b)
+			if sign(bc) != sign(vc) {
+				t.Fatalf("gen %d: SortKey order mismatch %v vs %v: bytes %d, compare %d", gi, a, b, bc, vc)
+			}
+		}
+	}
+	// Mixed int/float and null ordering.
+	vals := []Value{Null(), Float(-5.5), Int(-5), Int(0), Float(0.25), Int(3), Float(3.5), Str("")}
+	keys := make([][]byte, len(vals))
+	for i, v := range vals {
+		keys[i] = v.SortKey(nil)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 }) {
+		t.Error("SortKey does not preserve mixed ordering")
+	}
+}
+
+func TestSortKeyStringPrefixAndNulByte(t *testing.T) {
+	pairs := [][2]string{{"ab", "abc"}, {"a\x00b", "a\x00c"}, {"a", "a\x00"}, {"", "a"}}
+	for _, p := range pairs {
+		ka, kb := Str(p[0]).SortKey(nil), Str(p[1]).SortKey(nil)
+		if bytes.Compare(ka, kb) >= 0 {
+			t.Errorf("SortKey(%q) should sort before SortKey(%q)", p[0], p[1])
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestSchema(t *testing.T) {
+	s := MustSchema(Column{"id", KindInt}, Column{"Name", KindString})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.Ordinal("name") != 1 || s.Ordinal("ID") != 0 {
+		t.Error("Ordinal should be case-insensitive")
+	}
+	if s.Ordinal("missing") != -1 {
+		t.Error("Ordinal of missing column should be -1")
+	}
+	if s.Col(1).Name != "Name" {
+		t.Error("Col returned wrong column")
+	}
+	if got := s.String(); got != "(id INT, Name TEXT)" {
+		t.Errorf("String = %q", got)
+	}
+	if _, err := NewSchema(Column{"a", KindInt}, Column{"A", KindFloat}); err == nil {
+		t.Error("duplicate column names should error")
+	}
+}
+
+func TestTupleHelpers(t *testing.T) {
+	tup := Tuple{Int(1), Str("x")}
+	cl := tup.Clone()
+	cl[0] = Int(9)
+	if tup[0].AsInt() != 1 {
+		t.Error("Clone must be independent")
+	}
+	if !tup.Equal(Tuple{Int(1), Str("x")}) {
+		t.Error("Equal tuples misreported")
+	}
+	if tup.Equal(Tuple{Int(1)}) {
+		t.Error("different arity tuples reported equal")
+	}
+	if tup.Equal(Tuple{Int(1), Str("y")}) {
+		t.Error("different tuples reported equal")
+	}
+	if tup.Hash() != (Tuple{Int(1), Str("x")}).Hash() {
+		t.Error("equal tuples must hash alike")
+	}
+	if got := tup.String(); got != `(1, "x")` {
+		t.Errorf("Tuple.String = %q", got)
+	}
+}
+
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool) bool {
+		for _, v := range []Value{Int(i), Float(fl), Str(s), Bool(b), Null()} {
+			enc := v.Encode(nil)
+			got, _, err := DecodeValue(enc)
+			if err != nil || !Equal(got, v) || got.Kind() != v.Kind() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringSortKey(t *testing.T) {
+	f := func(a, b string) bool {
+		bc := bytes.Compare(Str(a).SortKey(nil), Str(b).SortKey(nil))
+		return sign(bc) == sign(Compare(Str(a), Str(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

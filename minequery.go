@@ -1,0 +1,546 @@
+// Package minequery is an embedded relational engine with first-class
+// mining models and semantic optimization of queries with mining
+// predicates, reproducing "Efficient Evaluation of Queries with Mining
+// Predicates" (Chaudhuri, Narasayya, Sarawagi — ICDE 2002).
+//
+// A minequery Engine stores tables (heap files with optional B+-tree
+// indexes), trains or imports discrete predictive models (decision
+// trees, naive Bayes, rule lists, k-means, Gaussian mixtures), and runs
+// a SQL dialect with PREDICTION JOIN. When a query filters on a
+// predicted column ("mining predicate"), the engine adds the model's
+// precomputed upper-envelope predicate — a propositional predicate over
+// the data columns implied by the prediction — and lets the cost-based
+// optimizer exploit indexes or even prove the query empty, exactly the
+// optimization the paper proposes.
+//
+// Quick start:
+//
+//	eng := minequery.New()
+//	eng.CreateTable("customers", minequery.MustSchema(
+//		minequery.Column{Name: "age", Kind: minequery.KindInt},
+//		minequery.Column{Name: "income", Kind: minequery.KindInt},
+//	))
+//	// ... Insert rows, then:
+//	eng.TrainDecisionTree("risk", "risk", "customers",
+//		[]string{"age", "income"}, labels, minequery.TreeOptions{})
+//	res, err := eng.Query(`SELECT * FROM customers
+//		PREDICTION JOIN risk AS m ON m.age = customers.age AND m.income = customers.income
+//		WHERE m.risk = 'high'`)
+package minequery
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"minequery/internal/catalog"
+	"minequery/internal/core"
+	"minequery/internal/exec"
+	"minequery/internal/expr"
+	"minequery/internal/mining"
+	"minequery/internal/mining/cluster"
+	"minequery/internal/mining/dtree"
+	"minequery/internal/mining/nbayes"
+	"minequery/internal/mining/rules"
+	"minequery/internal/opt"
+	"minequery/internal/plan"
+	"minequery/internal/sqlparse"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// Re-exported value types so downstream users never import internal
+// packages.
+type (
+	// Value is a typed SQL scalar.
+	Value = value.Value
+	// Tuple is one row of Values.
+	Tuple = value.Tuple
+	// Schema describes a relation's columns.
+	Schema = value.Schema
+	// Column is one schema column.
+	Column = value.Column
+	// Kind is a value type tag.
+	Kind = value.Kind
+	// Model is a trained discrete predictive model.
+	Model = mining.Model
+	// TrainSet is the training input for model inducers.
+	TrainSet = mining.TrainSet
+	// Expr is a predicate expression (envelopes are Exprs).
+	Expr = expr.Expr
+)
+
+// Value kind constants.
+const (
+	KindNull   = value.KindNull
+	KindInt    = value.KindInt
+	KindFloat  = value.KindFloat
+	KindString = value.KindString
+	KindBool   = value.KindBool
+)
+
+// Value constructors.
+var (
+	// Int makes an INT value.
+	Int = value.Int
+	// Float makes a FLOAT value.
+	Float = value.Float
+	// Str makes a TEXT value.
+	Str = value.Str
+	// Bool makes a BOOL value.
+	Bool = value.Bool
+	// Null makes the NULL value.
+	Null = value.Null
+	// MustSchema builds a schema or panics.
+	MustSchema = value.MustSchema
+	// NewSchema builds a schema.
+	NewSchema = value.NewSchema
+)
+
+// Model option re-exports.
+type (
+	// TreeOptions tunes decision-tree training.
+	TreeOptions = dtree.Options
+	// BayesOptions tunes naive Bayes training.
+	BayesOptions = nbayes.Options
+	// RuleOptions tunes rule-list training.
+	RuleOptions = rules.Options
+	// ClusterOptions tunes k-means and GMM training.
+	ClusterOptions = cluster.Options
+	// EnvelopeOptions tunes upper-envelope derivation.
+	EnvelopeOptions = core.Options
+)
+
+// Engine is an embedded minequery database. An Engine is intended for
+// use from one goroutine at a time: queries share storage-level I/O
+// accounting, so interleaved calls would attribute costs to the wrong
+// query. Wrap calls in external synchronization for concurrent use.
+type Engine struct {
+	cat     *catalog.Catalog
+	optCfg  opt.Config
+	envOpts core.Options
+}
+
+// Config tunes an Engine.
+type Config struct {
+	// Optimizer is the cost model (zero value: opt defaults).
+	Optimizer opt.Config
+	// Envelopes tunes envelope derivation (zero value: core defaults).
+	Envelopes core.Options
+}
+
+// New returns an empty engine with default configuration.
+func New() *Engine { return NewWithConfig(Config{}) }
+
+// NewWithConfig returns an empty engine with explicit configuration.
+func NewWithConfig(cfg Config) *Engine {
+	if cfg.Optimizer == (opt.Config{}) {
+		cfg.Optimizer = opt.DefaultConfig()
+	}
+	zero := core.Options{}
+	if cfg.Envelopes == zero {
+		cfg.Envelopes = core.DefaultOptions()
+	}
+	return &Engine{cat: catalog.New(), optCfg: cfg.Optimizer, envOpts: cfg.Envelopes}
+}
+
+// CreateTable registers an empty table.
+func (e *Engine) CreateTable(name string, schema *Schema) error {
+	_, err := e.cat.CreateTable(name, schema)
+	return err
+}
+
+// Insert appends one row.
+func (e *Engine) Insert(table string, row Tuple) error {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("minequery: no table %q", table)
+	}
+	_, err := t.Insert(row)
+	return err
+}
+
+// InsertBatch appends many rows.
+func (e *Engine) InsertBatch(table string, rows []Tuple) error {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("minequery: no table %q", table)
+	}
+	for i, r := range rows {
+		if _, err := t.Insert(r); err != nil {
+			return fmt.Errorf("minequery: row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CreateIndex builds a secondary index over existing rows.
+func (e *Engine) CreateIndex(name, table string, columns ...string) error {
+	_, err := e.cat.CreateIndex(name, table, columns...)
+	return err
+}
+
+// DropIndexes removes all indexes from a table.
+func (e *Engine) DropIndexes(table string) error { return e.cat.DropIndexes(table) }
+
+// Analyze refreshes a table's optimizer statistics.
+func (e *Engine) Analyze(table string) error {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("minequery: no table %q", table)
+	}
+	t.Analyze()
+	return nil
+}
+
+// RowCount returns a table's live row count.
+func (e *Engine) RowCount(table string) (int64, error) {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("minequery: no table %q", table)
+	}
+	return t.Heap.Len(), nil
+}
+
+// ModelInfo reports the outcome of training or registering a model.
+type ModelInfo struct {
+	Name string
+	// Classes enumerates the model's class labels.
+	Classes []Value
+	// TrainTime is the inducer's wall time.
+	TrainTime time.Duration
+	// EnvelopeTime is the upper-envelope precomputation wall time (the
+	// Section 5 overhead metric: it should be a small fraction of
+	// TrainTime).
+	EnvelopeTime time.Duration
+	// ExactEnvelopes reports whether the envelopes are exact.
+	ExactEnvelopes bool
+	// Version is the catalog model version.
+	Version int64
+}
+
+// buildTrainSet extracts (inputs, labels) from a stored table.
+func (e *Engine) buildTrainSet(table string, inputCols []string, labelCol string) (*mining.TrainSet, error) {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("minequery: no table %q", table)
+	}
+	ords := make([]int, len(inputCols))
+	cols := make([]Column, len(inputCols))
+	for i, c := range inputCols {
+		o := t.Schema.Ordinal(c)
+		if o < 0 {
+			return nil, fmt.Errorf("minequery: no column %q in %s", c, table)
+		}
+		ords[i] = o
+		cols[i] = t.Schema.Col(o)
+	}
+	labelOrd := -1
+	if labelCol != "" {
+		labelOrd = t.Schema.Ordinal(labelCol)
+		if labelOrd < 0 {
+			return nil, fmt.Errorf("minequery: no label column %q in %s", labelCol, table)
+		}
+	}
+	schema, err := value.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	ts := &mining.TrainSet{Schema: schema}
+	var scanErr error
+	t.Heap.Scan(func(_ storage.RID, rec []byte) bool {
+		row, err := value.DecodeTuple(rec)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		in := make(Tuple, len(ords))
+		for i, o := range ords {
+			in[i] = row[o]
+		}
+		ts.Rows = append(ts.Rows, in)
+		if labelOrd >= 0 {
+			ts.Labels = append(ts.Labels, row[labelOrd])
+		} else {
+			ts.Labels = append(ts.Labels, value.Null())
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return ts, nil
+}
+
+// registerWithEnvelopes derives envelopes and registers the model.
+func (e *Engine) registerWithEnvelopes(m mining.Model, trainTime time.Duration) (*ModelInfo, error) {
+	der, err := core.UpperEnvelopes(m, e.envOpts)
+	if err != nil {
+		return nil, err
+	}
+	me := e.cat.RegisterModel(m, der.Envelopes)
+	return &ModelInfo{
+		Name:           m.Name(),
+		Classes:        m.Classes(),
+		TrainTime:      trainTime,
+		EnvelopeTime:   der.Elapsed,
+		ExactEnvelopes: der.Exact,
+		Version:        me.Version,
+	}, nil
+}
+
+// TrainDecisionTree trains a decision tree over table data and
+// precomputes its (exact) envelopes.
+func (e *Engine) TrainDecisionTree(name, predCol, table string, inputCols []string, labelCol string, opts TreeOptions) (*ModelInfo, error) {
+	ts, err := e.buildTrainSet(table, inputCols, labelCol)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m, err := dtree.Train(name, predCol, ts, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.registerWithEnvelopes(m, time.Since(start))
+}
+
+// TrainNaiveBayes trains a discrete naive Bayes model over table data
+// and precomputes its envelopes with the top-down algorithm.
+func (e *Engine) TrainNaiveBayes(name, predCol, table string, inputCols []string, labelCol string, opts BayesOptions) (*ModelInfo, error) {
+	ts, err := e.buildTrainSet(table, inputCols, labelCol)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m, err := nbayes.Train(name, predCol, ts, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.registerWithEnvelopes(m, time.Since(start))
+}
+
+// TrainRules trains a sequential-covering rule list over table data.
+func (e *Engine) TrainRules(name, predCol, table string, inputCols []string, labelCol string, opts RuleOptions) (*ModelInfo, error) {
+	ts, err := e.buildTrainSet(table, inputCols, labelCol)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m, err := rules.Train(name, predCol, ts, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.registerWithEnvelopes(m, time.Since(start))
+}
+
+// TrainKMeans trains a k-means clustering over numeric table columns.
+func (e *Engine) TrainKMeans(name, predCol, table string, inputCols []string, opts ClusterOptions) (*ModelInfo, error) {
+	ts, err := e.buildTrainSet(table, inputCols, "")
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m, err := cluster.TrainKMeans(name, predCol, ts, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.registerWithEnvelopes(m, time.Since(start))
+}
+
+// TrainGMM trains a diagonal-Gaussian mixture clustering.
+func (e *Engine) TrainGMM(name, predCol, table string, inputCols []string, opts ClusterOptions) (*ModelInfo, error) {
+	ts, err := e.buildTrainSet(table, inputCols, "")
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m, err := cluster.TrainGMM(name, predCol, ts, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.registerWithEnvelopes(m, time.Since(start))
+}
+
+// RegisterModel registers an externally built model (e.g. assembled
+// via nbayes.FromParameters or dtree.FromParts), deriving envelopes.
+func (e *Engine) RegisterModel(m Model) (*ModelInfo, error) {
+	return e.registerWithEnvelopes(m, 0)
+}
+
+// Envelope returns the cached upper-envelope predicate for a model
+// class.
+func (e *Engine) Envelope(model string, class Value) (Expr, bool) {
+	me, ok := e.cat.Model(model)
+	if !ok {
+		return nil, false
+	}
+	env, _, ok := me.Envelope(class)
+	return env, ok
+}
+
+// ExecStats reports the measured cost of one query execution.
+type ExecStats struct {
+	// Duration is wall-clock time.
+	Duration time.Duration
+	// SeqPageReads/RandPageReads/TupleReads are storage-level counters.
+	SeqPageReads  int64
+	RandPageReads int64
+	TupleReads    int64
+	// CostUnits combines the counters with the optimizer's cost weights:
+	// the simulated "running time" the experiments report.
+	CostUnits float64
+}
+
+// Result is a completed query.
+type Result struct {
+	// Columns names the output columns.
+	Columns []string
+	// Rows holds the output tuples.
+	Rows []Tuple
+	// Plan is the executed physical plan (Explain form).
+	Plan string
+	// AccessPath classifies how the base table was read.
+	AccessPath string
+	// PlanChanged reports the paper's plan-change condition: the
+	// optimizer chose an index or a constant scan instead of a full
+	// sequential scan.
+	PlanChanged bool
+	// EstSelectivity is the optimizer's selectivity estimate for the
+	// data predicate.
+	EstSelectivity float64
+	// RewriteNotes documents the envelope rewrites applied.
+	RewriteNotes []string
+	// Stats is the measured execution cost.
+	Stats ExecStats
+}
+
+// Query parses, rewrites (adding upper envelopes), optimizes, and runs
+// a SELECT.
+func (e *Engine) Query(sql string) (*Result, error) {
+	return e.run(sql, true)
+}
+
+// QueryBaseline runs a SELECT without envelope optimization: mining
+// predicates are evaluated as black-box filters after the prediction
+// join, the paper's unoptimized evaluation strategy.
+func (e *Engine) QueryBaseline(sql string) (*Result, error) {
+	return e.run(sql, false)
+}
+
+func (e *Engine) run(sql string, optimize bool) (*Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := e.cat.Table(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("minequery: no table %q", q.Table)
+	}
+	var rw *core.Rewrite
+	if optimize {
+		rw, err = core.RewriteQuery(q, e.cat, e.optCfg.MaxDisjuncts)
+	} else {
+		rw, err = core.BaselineRewrite(q, e.cat, e.optCfg.MaxDisjuncts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	root, res := e.buildPlan(q, t, rw)
+	before := t.Heap.Stats
+	start := time.Now()
+	rows, schema, err := exec.Run(e.cat, root)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	after := t.Heap.Stats
+	st := ExecStats{
+		Duration:      elapsed,
+		SeqPageReads:  after.SeqPageReads - before.SeqPageReads,
+		RandPageReads: after.RandPageReads - before.RandPageReads,
+		TupleReads:    after.TupleReads - before.TupleReads,
+	}
+	st.CostUnits = float64(st.SeqPageReads)*e.optCfg.SeqPageCost +
+		float64(st.RandPageReads)*e.optCfg.RandomPageCost +
+		float64(st.TupleReads)*e.optCfg.RowCPUCost
+	cols := make([]string, schema.Len())
+	for i := range cols {
+		cols[i] = schema.Col(i).Name
+	}
+	return &Result{
+		Columns:        cols,
+		Rows:           rows,
+		Plan:           plan.Explain(root),
+		AccessPath:     plan.PathOf(root).String(),
+		PlanChanged:    plan.Changed(root),
+		EstSelectivity: res.EstSelectivity,
+		RewriteNotes:   rw.Notes,
+		Stats:          st,
+	}, nil
+}
+
+// buildPlan assembles the physical plan: access path for the data
+// predicate, prediction joins, post-prediction filter, projection,
+// limit.
+func (e *Engine) buildPlan(q *sqlparse.Query, t *catalog.Table, rw *core.Rewrite) (plan.Node, opt.Result) {
+	res := opt.ChooseAccessPath(t, rw.DataPred, e.optCfg)
+	root := res.Plan
+	for _, j := range q.Joins {
+		me, ok := e.cat.Model(j.Model)
+		if !ok {
+			continue // caught earlier by the rewriter
+		}
+		root = &plan.Predict{
+			Child:   root,
+			Model:   j.Model,
+			As:      strings.ToLower(j.Alias + "." + me.Model.PredictColumn()),
+			Version: rw.ModelVersions[strings.ToLower(j.Model)],
+		}
+	}
+	if needsPostFilter(rw) {
+		root = &plan.Filter{Child: root, Pred: rw.FullPred}
+	}
+	if len(q.Select) > 0 {
+		root = &plan.Project{Child: root, Cols: q.Select}
+	}
+	if q.Limit >= 0 {
+		root = &plan.Limit{Child: root, N: q.Limit}
+	}
+	return root, res
+}
+
+// needsPostFilter reports whether FullPred adds constraints beyond
+// DataPred (i.e., it references prediction columns).
+func needsPostFilter(rw *core.Rewrite) bool {
+	if _, isTrue := rw.FullPred.(expr.TrueExpr); isTrue {
+		return false
+	}
+	return rw.FullPred.String() != rw.DataPred.String()
+}
+
+// Explain returns the physical plan and rewrite notes for a query
+// without executing it.
+func (e *Engine) Explain(sql string) (string, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	t, ok := e.cat.Table(q.Table)
+	if !ok {
+		return "", fmt.Errorf("minequery: no table %q", q.Table)
+	}
+	rw, err := core.RewriteQuery(q, e.cat, e.optCfg.MaxDisjuncts)
+	if err != nil {
+		return "", err
+	}
+	root, _ := e.buildPlan(q, t, rw)
+	var b strings.Builder
+	b.WriteString(plan.Explain(root))
+	if len(rw.Notes) > 0 {
+		b.WriteString("rewrites:\n")
+		for _, n := range rw.Notes {
+			b.WriteString("  " + n + "\n")
+		}
+	}
+	return b.String(), nil
+}
