@@ -8,7 +8,8 @@
 //	fig6       — avg % reduction bucketed by selectivity
 //	fig7       — scatter of original vs envelope selectivity (NB + clustering)
 //	overhead   — envelope precompute time vs training time; optimize vs lookup
-//	all        — everything above
+//	scan       — morsel-driven parallel scan sweep: wall time at DOP 1..N
+//	all        — everything above (except scan, which is standalone)
 //
 // Shapes, not absolute numbers, are the comparison target: the engine is
 // a simulator, not the paper's SQL Server testbed. See EXPERIMENTS.md.
@@ -17,19 +18,33 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
+	"minequery/internal/catalog"
 	"minequery/internal/dataset"
+	"minequery/internal/exec"
+	"minequery/internal/expr"
+	"minequery/internal/plan"
+	"minequery/internal/value"
 	"minequery/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|runtime|planchange|fig3|fig4|fig5|fig6|fig7|overhead|all")
+	exp := flag.String("exp", "all", "experiment: table2|runtime|planchange|fig3|fig4|fig5|fig6|fig7|overhead|scan|all")
 	rows := flag.Int("rows", 40000, "test-table rows per data set (paper: >1M; selectivities are scale-invariant)")
 	only := flag.String("dataset", "", "restrict to one data set (by name)")
+	dop := flag.Int("dop", 1, "scan degree of parallelism for execution and costing (rerun any experiment at DOP 1 vs N)")
 	flag.Parse()
+
+	if *exp == "scan" {
+		scanSweep(*rows)
+		return
+	}
 
 	specs := dataset.Table2()
 	if *only != "" {
@@ -54,6 +69,7 @@ func main() {
 
 	cfg := workload.DefaultConfig()
 	cfg.TestRows = *rows
+	cfg.DOP = *dop
 	results := runAll(specs, cfg)
 
 	switch *exp {
@@ -86,6 +102,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(1)
 	}
+}
+
+// scanSweep measures the morsel-driven parallel sequential scan: one
+// large synthetic table, a full-scan-plus-filter plan, executed at
+// increasing DOP. Row counts must be identical at every DOP (the
+// morsel reassembly is order-preserving); wall time should fall until
+// the worker count passes the machine's core count.
+func scanSweep(rows int) {
+	fmt.Printf("== Morsel-driven parallel scan sweep (%d rows, GOMAXPROCS=%d) ==\n",
+		rows, runtime.GOMAXPROCS(0))
+	cat := catalog.New()
+	table, err := cat.CreateTable("sweep", value.MustSchema(
+		value.Column{Name: "num", Kind: value.KindInt},
+		value.Column{Name: "aux", Kind: value.KindFloat},
+		value.Column{Name: "tag", Kind: value.KindString},
+	))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < rows; i++ {
+		_, err := table.Insert(value.Tuple{
+			value.Int(int64(r.Intn(1000))),
+			value.Float(r.Float64()),
+			value.Str(fmt.Sprintf("tag-%03d", r.Intn(500))),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	root := &plan.Filter{
+		Child: &plan.SeqScan{Table: "sweep"},
+		Pred:  expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(500)},
+	}
+	fmt.Printf("%6s %12s %12s %10s\n", "dop", "rows-out", "pages-read", "elapsed")
+	dops := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		dops = append(dops, n)
+	}
+	for _, dop := range dops {
+		before := table.Heap.Stats()
+		start := time.Now()
+		out, _, err := exec.RunOpts(cat, root, exec.Options{DOP: dop})
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		after := table.Heap.Stats()
+		fmt.Printf("%6d %12d %12d %10v\n", dop, len(out), after.SeqPageReads-before.SeqPageReads, elapsed.Round(time.Microsecond))
+	}
+	fmt.Println()
 }
 
 func table2(specs []*dataset.Spec) {

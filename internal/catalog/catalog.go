@@ -38,15 +38,24 @@ func (ix *Index) KeyFor(t value.Tuple) []byte {
 	return key
 }
 
-// Table is a stored relation.
+// Table is a stored relation. Index and statistics access is guarded so
+// concurrent readers (parallel scan workers, the optimizer) can share a
+// table while indexes are created or stats refreshed.
 type Table struct {
-	Name    string
-	Schema  *value.Schema
-	Heap    *storage.Heap
-	Indexes []*Index
+	Name   string
+	Schema *value.Schema
+	Heap   *storage.Heap
 
-	mu    sync.RWMutex
-	stats *stats.TableStats
+	mu      sync.RWMutex
+	indexes []*Index
+	stats   *stats.TableStats
+}
+
+// Indexes returns a snapshot of the table's secondary indexes.
+func (t *Table) Indexes() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*Index(nil), t.indexes...)
 }
 
 // Stats returns the most recently computed statistics (nil before the
@@ -100,7 +109,7 @@ func (t *Table) Insert(row value.Tuple) (storage.RID, error) {
 	if err != nil {
 		return storage.RID{}, err
 	}
-	for _, ix := range t.Indexes {
+	for _, ix := range t.Indexes() {
 		ix.Tree.Insert(ix.KeyFor(row), rid)
 	}
 	return rid, nil
@@ -122,7 +131,7 @@ func (t *Table) Fetch(rid storage.RID) (value.Tuple, bool, error) {
 // FindIndex returns the index with the given leading columns (exact
 // prefix match on names, case-insensitive), or nil.
 func (t *Table) FindIndex(leading ...string) *Index {
-	for _, ix := range t.Indexes {
+	for _, ix := range t.Indexes() {
 		if len(ix.Columns) < len(leading) {
 			continue
 		}
@@ -223,17 +232,17 @@ func (c *Catalog) CreateIndex(name, table string, columns ...string) (*Index, er
 		}
 		ords[i] = o
 	}
-	c.mu.Lock()
-	for _, ix := range t.Indexes {
+	t.mu.Lock()
+	for _, ix := range t.indexes {
 		if strings.EqualFold(ix.Name, name) {
-			c.mu.Unlock()
+			t.mu.Unlock()
 			return nil, fmt.Errorf("catalog: index %q already exists on %s", name, table)
 		}
 	}
 	ix := &Index{Name: name, Table: t.Name, Columns: columns, Ordinals: ords, Tree: btree.New(64)}
-	t.Indexes = append(t.Indexes, ix)
-	c.mu.Unlock()
-	// Backfill outside the catalog lock.
+	t.indexes = append(t.indexes, ix)
+	t.mu.Unlock()
+	// Backfill outside the table lock.
 	var buildErr error
 	t.Heap.Scan(func(rid storage.RID, rec []byte) bool {
 		tup, err := value.DecodeTuple(rec)
@@ -257,9 +266,9 @@ func (c *Catalog) DropIndexes(table string) error {
 	if !ok {
 		return fmt.Errorf("catalog: drop indexes: no table %q", table)
 	}
-	c.mu.Lock()
-	t.Indexes = nil
-	c.mu.Unlock()
+	t.mu.Lock()
+	t.indexes = nil
+	t.mu.Unlock()
 	return nil
 }
 

@@ -112,7 +112,7 @@ func TestIndexMaintenance(t *testing.T) {
 	if err := c.DropIndexes("t"); err != nil {
 		t.Fatal(err)
 	}
-	if len(tb.Indexes) != 0 {
+	if len(tb.Indexes()) != 0 {
 		t.Error("DropIndexes left indexes behind")
 	}
 	if err := c.DropIndexes("missing"); err == nil {

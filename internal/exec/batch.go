@@ -1,0 +1,424 @@
+// Batch-at-a-time execution: the NextBatch path of the iterator
+// contract. Operators that can profitably amortize per-tuple dispatch
+// (scans, filters, prediction joins, projections) implement
+// BatchIterator natively; everything else is adapted through AsBatch, so
+// tuple-at-a-time operators keep working unchanged.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+
+	"minequery/internal/catalog"
+	"minequery/internal/expr"
+	"minequery/internal/mining"
+	"minequery/internal/plan"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// Batch is an ordered group of tuples handed from a BatchIterator to its
+// consumer. Ownership transfers with the batch: the consumer may mutate
+// or retain it, and the producer must not reuse the backing array.
+type Batch = []value.Tuple
+
+// BatchIterator produces tuples a batch at a time. Batches are never
+// empty; done=true (with a nil batch) signals exhaustion. After done or
+// an error the iterator must not be used again, except Close.
+type BatchIterator interface {
+	// Schema describes the tuples the iterator produces.
+	Schema() *value.Schema
+	// NextBatch returns the next batch of tuples.
+	NextBatch() (Batch, bool, error)
+	// Close releases resources. It is safe to call more than once.
+	Close()
+}
+
+// DefaultBatchSize is the target tuples per batch.
+const DefaultBatchSize = 256
+
+// DefaultMorselPages is the heap pages per parallel-scan morsel.
+const DefaultMorselPages = 16
+
+// Options tunes batch execution.
+type Options struct {
+	// DOP is the degree of parallelism for sequential scans: the number
+	// of workers consuming page-range morsels. <=0 means 1 (serial).
+	DOP int
+	// BatchSize is the target tuples per batch (<=0: DefaultBatchSize).
+	BatchSize int
+	// MorselPages is the heap pages per scan morsel (<=0:
+	// DefaultMorselPages).
+	MorselPages int
+}
+
+func (o Options) fill() Options {
+	if o.DOP <= 0 {
+		o.DOP = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.MorselPages <= 0 {
+		o.MorselPages = DefaultMorselPages
+	}
+	return o
+}
+
+// DefaultOptions returns the standard batch-execution configuration:
+// one scan worker per available CPU.
+func DefaultOptions() Options {
+	return Options{
+		DOP:         runtime.GOMAXPROCS(0),
+		BatchSize:   DefaultBatchSize,
+		MorselPages: DefaultMorselPages,
+	}
+}
+
+// BuildBatch compiles a physical plan into a batch-iterator tree.
+// Scans, filters, prediction joins, projections, and limits execute
+// batch-natively; index access paths (already bounded by the RID list)
+// run tuple-at-a-time and are adapted.
+func BuildBatch(c *catalog.Catalog, n plan.Node, opts Options) (BatchIterator, error) {
+	opts = opts.fill()
+	switch x := n.(type) {
+	case *plan.SeqScan:
+		t, ok := c.Table(x.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: no table %q", x.Table)
+		}
+		if opts.DOP > 1 {
+			return newParallelScan(t, opts), nil
+		}
+		return newBatchSeqScan(t, opts), nil
+	case *plan.Filter:
+		child, err := BuildBatch(c, x.Child, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &batchFilter{child: child, pred: x.Pred}, nil
+	case *plan.Project:
+		child, err := BuildBatch(c, x.Child, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newBatchProject(child, x.Cols)
+	case *plan.Predict:
+		child, err := BuildBatch(c, x.Child, opts)
+		if err != nil {
+			return nil, err
+		}
+		me, ok := c.Model(x.Model)
+		if !ok {
+			return nil, fmt.Errorf("exec: no model %q", x.Model)
+		}
+		if x.Version != 0 && me.Version != x.Version {
+			return nil, fmt.Errorf("exec: plan invalidated: model %q is v%d, plan was optimized at v%d",
+				x.Model, me.Version, x.Version)
+		}
+		return newBatchPredict(child, me, x.As)
+	case *plan.Limit:
+		child, err := BuildBatch(c, x.Child, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &batchLimit{child: child, n: x.N}, nil
+	default:
+		it, err := Build(c, n)
+		if err != nil {
+			return nil, err
+		}
+		return AsBatch(it, opts.BatchSize), nil
+	}
+}
+
+// RunOpts builds and drains a plan batch-at-a-time with the given
+// options, returning all produced tuples in plan order (parallel scans
+// reassemble morsels in heap order, so results are deterministic at any
+// DOP).
+func RunOpts(c *catalog.Catalog, n plan.Node, opts Options) ([]value.Tuple, *value.Schema, error) {
+	it, err := BuildBatch(c, n, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer it.Close()
+	var out []value.Tuple
+	for {
+		b, done, err := it.NextBatch()
+		if err != nil {
+			return nil, nil, err
+		}
+		if done {
+			return out, it.Schema(), nil
+		}
+		out = append(out, b...)
+	}
+}
+
+// AsBatch adapts an iterator to the batch contract. Iterators that are
+// already batch-native are returned unchanged.
+func AsBatch(it Iterator, batchSize int) BatchIterator {
+	if b, ok := it.(BatchIterator); ok {
+		return b
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &batcher{child: it, size: batchSize}
+}
+
+// batcher groups a tuple-at-a-time iterator's output into batches.
+type batcher struct {
+	child Iterator
+	size  int
+}
+
+func (b *batcher) Schema() *value.Schema { return b.child.Schema() }
+
+func (b *batcher) NextBatch() (Batch, bool, error) {
+	var batch Batch
+	for len(batch) < b.size {
+		t, done, err := b.child.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if done {
+			break
+		}
+		if batch == nil {
+			batch = make(Batch, 0, b.size)
+		}
+		batch = append(batch, t)
+	}
+	if len(batch) == 0 {
+		return nil, true, nil
+	}
+	return batch, false, nil
+}
+
+func (b *batcher) Close() { b.child.Close() }
+
+// Unbatch adapts a batch iterator back to the tuple contract, so
+// tuple-at-a-time consumers can sit on top of batch-native producers.
+func Unbatch(b BatchIterator) Iterator {
+	if it, ok := b.(Iterator); ok {
+		return it
+	}
+	return &unbatcher{child: b}
+}
+
+// unbatcher yields a batch iterator's tuples one at a time.
+type unbatcher struct {
+	child BatchIterator
+	buf   Batch
+	pos   int
+	done  bool
+}
+
+func (u *unbatcher) Schema() *value.Schema { return u.child.Schema() }
+
+func (u *unbatcher) Next() (value.Tuple, bool, error) {
+	for u.pos >= len(u.buf) {
+		if u.done {
+			return nil, true, nil
+		}
+		b, done, err := u.child.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if done {
+			u.done = true
+			return nil, true, nil
+		}
+		u.buf, u.pos = b, 0
+	}
+	t := u.buf[u.pos]
+	u.pos++
+	return t, false, nil
+}
+
+func (u *unbatcher) Close() { u.child.Close() }
+
+// batchSeqScan streams a table heap page by page, decoding rows into
+// batches on demand (no up-front materialization).
+type batchSeqScan struct {
+	table     *catalog.Table
+	batchSize int
+	nextPage  int
+	pageCount int
+	err       error
+}
+
+func newBatchSeqScan(t *catalog.Table, opts Options) *batchSeqScan {
+	return &batchSeqScan{table: t, batchSize: opts.BatchSize, pageCount: t.Heap.PageCount()}
+}
+
+func (s *batchSeqScan) Schema() *value.Schema { return s.table.Schema }
+
+func (s *batchSeqScan) NextBatch() (Batch, bool, error) {
+	if s.err != nil {
+		return nil, false, s.err
+	}
+	var batch Batch
+	for len(batch) < s.batchSize && s.nextPage < s.pageCount {
+		s.table.Heap.ScanPages(s.nextPage, s.nextPage+1, func(_ storage.RID, rec []byte) bool {
+			tup, err := value.DecodeTuple(rec)
+			if err != nil {
+				s.err = fmt.Errorf("exec: scan %s: %w", s.table.Name, err)
+				return false
+			}
+			if batch == nil {
+				batch = make(Batch, 0, s.batchSize)
+			}
+			batch = append(batch, tup)
+			return true
+		})
+		s.nextPage++
+		if s.err != nil {
+			return nil, false, s.err
+		}
+	}
+	if len(batch) == 0 {
+		return nil, true, nil
+	}
+	return batch, false, nil
+}
+
+func (s *batchSeqScan) Close() { s.nextPage = s.pageCount }
+
+// batchFilter drops tuples failing the predicate, in place: the batch's
+// backing array is reused for the survivors (ownership transferred).
+type batchFilter struct {
+	child BatchIterator
+	pred  expr.Expr
+}
+
+func (f *batchFilter) Schema() *value.Schema { return f.child.Schema() }
+
+func (f *batchFilter) NextBatch() (Batch, bool, error) {
+	s := f.child.Schema()
+	for {
+		b, done, err := f.child.NextBatch()
+		if done || err != nil {
+			return nil, done, err
+		}
+		kept := b[:0]
+		for _, t := range b {
+			if f.pred.Eval(s, t) {
+				kept = append(kept, t)
+			}
+		}
+		if len(kept) > 0 {
+			return kept, false, nil
+		}
+	}
+}
+
+func (f *batchFilter) Close() { f.child.Close() }
+
+// batchProject narrows columns for a whole batch at a time.
+type batchProject struct {
+	child  BatchIterator
+	ords   []int
+	schema *value.Schema
+}
+
+func newBatchProject(child BatchIterator, cols []string) (BatchIterator, error) {
+	if len(cols) == 0 {
+		return child, nil
+	}
+	ords, schema, err := projectOrds(child.Schema(), cols)
+	if err != nil {
+		return nil, err
+	}
+	return &batchProject{child: child, ords: ords, schema: schema}, nil
+}
+
+func (p *batchProject) Schema() *value.Schema { return p.schema }
+
+func (p *batchProject) NextBatch() (Batch, bool, error) {
+	b, done, err := p.child.NextBatch()
+	if done || err != nil {
+		return nil, done, err
+	}
+	// One backing allocation for the whole batch's narrowed tuples.
+	backing := make(value.Tuple, len(b)*len(p.ords))
+	for i, t := range b {
+		out := backing[i*len(p.ords) : (i+1)*len(p.ords) : (i+1)*len(p.ords)]
+		for j, o := range p.ords {
+			out[j] = t[o]
+		}
+		b[i] = out
+	}
+	return b, false, nil
+}
+
+func (p *batchProject) Close() { p.child.Close() }
+
+// batchPredict appends the model's predicted class to every tuple of a
+// batch (the batch-at-a-time PredictionJoin).
+type batchPredict struct {
+	child   BatchIterator
+	binding mining.Binding
+	schema  *value.Schema
+	buf     value.Tuple
+}
+
+func newBatchPredict(child BatchIterator, me *catalog.ModelEntry, as string) (BatchIterator, error) {
+	b, schema, err := predictBinding(child.Schema(), me, as)
+	if err != nil {
+		return nil, err
+	}
+	return &batchPredict{
+		child:   child,
+		binding: b,
+		schema:  schema,
+		buf:     make(value.Tuple, len(b.Ordinals)),
+	}, nil
+}
+
+func (p *batchPredict) Schema() *value.Schema { return p.schema }
+
+func (p *batchPredict) NextBatch() (Batch, bool, error) {
+	b, done, err := p.child.NextBatch()
+	if done || err != nil {
+		return nil, done, err
+	}
+	width := p.schema.Len()
+	backing := make(value.Tuple, len(b)*width)
+	for i, t := range b {
+		out := backing[i*width : (i+1)*width : (i+1)*width]
+		copy(out, t)
+		out[width-1] = p.binding.PredictInto(t, p.buf)
+		b[i] = out
+	}
+	return b, false, nil
+}
+
+func (p *batchPredict) Close() { p.child.Close() }
+
+// batchLimit truncates the stream after n rows.
+type batchLimit struct {
+	child BatchIterator
+	n     int64
+	seen  int64
+}
+
+func (l *batchLimit) Schema() *value.Schema { return l.child.Schema() }
+
+func (l *batchLimit) NextBatch() (Batch, bool, error) {
+	if l.seen >= l.n {
+		return nil, true, nil
+	}
+	b, done, err := l.child.NextBatch()
+	if done || err != nil {
+		return nil, done, err
+	}
+	if remaining := l.n - l.seen; int64(len(b)) > remaining {
+		b = b[:remaining]
+	}
+	l.seen += int64(len(b))
+	return b, false, nil
+}
+
+func (l *batchLimit) Close() { l.child.Close() }

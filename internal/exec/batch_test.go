@@ -1,0 +1,217 @@
+package exec
+
+import (
+	"testing"
+
+	"minequery/internal/expr"
+	"minequery/internal/plan"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// drainBatches pulls a batch iterator dry, checking the contract along
+// the way: batches are never empty, and done comes with a nil batch.
+func drainBatches(t *testing.T, it BatchIterator) []value.Tuple {
+	t.Helper()
+	defer it.Close()
+	var out []value.Tuple
+	for {
+		b, done, err := it.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			if b != nil {
+				t.Fatal("done=true must come with a nil batch")
+			}
+			return out
+		}
+		if len(b) == 0 {
+			t.Fatal("NextBatch returned an empty batch without done")
+		}
+		out = append(out, b...)
+	}
+}
+
+// sameOrderedRows demands exact positional equality, not just the same
+// multiset — the parallel scan promises deterministic heap order.
+func sameOrderedRows(a, b []value.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBatchRunMatchesTupleRun(t *testing.T) {
+	c, _ := testDB(t, 3000)
+	c.RegisterModel(catModel{}, nil)
+	plans := []plan.Node{
+		&plan.SeqScan{Table: "t"},
+		&plan.Filter{Child: &plan.SeqScan{Table: "t"},
+			Pred: expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(60)}},
+		&plan.Project{Child: &plan.SeqScan{Table: "t"}, Cols: []string{"num", "cat"}},
+		&plan.Predict{Child: &plan.SeqScan{Table: "t"}, Model: "catmod", As: "m.cls"},
+		&plan.Filter{
+			Child: &plan.Predict{Child: &plan.SeqScan{Table: "t"}, Model: "catmod", As: "m.cls"},
+			Pred:  expr.Cmp{Col: "m.cls", Op: expr.OpEq, Val: value.Str("low")},
+		},
+		// Index access is adapted through AsBatch rather than batch-native.
+		&plan.IndexSeek{Table: "t", Index: "ix_cat", EqVals: []value.Value{value.Str("c5")}},
+	}
+	for _, p := range plans {
+		want, wantSchema, err := Run(c, p)
+		if err != nil {
+			t.Fatalf("%s: tuple run: %v", plan.Signature(p), err)
+		}
+		for _, dop := range []int{1, 4} {
+			got, gotSchema, err := RunOpts(c, p, Options{DOP: dop, BatchSize: 64})
+			if err != nil {
+				t.Fatalf("%s dop=%d: batch run: %v", plan.Signature(p), dop, err)
+			}
+			if gotSchema.String() != wantSchema.String() {
+				t.Fatalf("%s dop=%d: schema %v, want %v", plan.Signature(p), dop, gotSchema, wantSchema)
+			}
+			if !sameOrderedRows(got, want) {
+				t.Fatalf("%s dop=%d: %d rows, want %d (or order differs)",
+					plan.Signature(p), dop, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestParallelScanMatchesSerialAfterDeletes(t *testing.T) {
+	_, tb := testDB(t, 5000)
+	// Punch holes so some pages are sparse and slot iteration must skip
+	// deleted records inside morsels.
+	var victims []storage.RID
+	n := 0
+	tb.Heap.Scan(func(rid storage.RID, _ []byte) bool {
+		if n%3 == 0 {
+			victims = append(victims, rid)
+		}
+		n++
+		return true
+	})
+	for _, rid := range victims {
+		tb.Heap.Delete(rid)
+	}
+	want := drainBatches(t, newBatchSeqScan(tb, Options{}.fill()))
+	for _, dop := range []int{2, 4, 8} {
+		got := drainBatches(t, newParallelScan(tb, Options{DOP: dop, MorselPages: 3}.fill()))
+		if len(got) != int(tb.Heap.Len()) {
+			t.Fatalf("dop=%d: %d rows, heap has %d live", dop, len(got), tb.Heap.Len())
+		}
+		if !sameOrderedRows(got, want) {
+			t.Fatalf("dop=%d: parallel scan order/content differs from serial", dop)
+		}
+	}
+}
+
+func TestParallelScanTinyTable(t *testing.T) {
+	// Fewer pages than DOP*MorselPages: workers must handle having
+	// nothing to claim.
+	c, _ := testDB(t, 5)
+	got, _, err := RunOpts(c, &plan.SeqScan{Table: "t"}, Options{DOP: 8, MorselPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d rows, want 5", len(got))
+	}
+}
+
+func TestBatchLimitStopsParallelScanEarly(t *testing.T) {
+	c, _ := testDB(t, 5000)
+	p := &plan.Limit{Child: &plan.SeqScan{Table: "t"}, N: 10}
+	got, _, err := RunOpts(c, p, Options{DOP: 4, MorselPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("limit over parallel scan returned %d rows", len(got))
+	}
+	// Limit preserves heap order, so the prefix must match the serial scan.
+	want, _, err := RunOpts(c, p, Options{DOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameOrderedRows(got, want) {
+		t.Fatal("limited parallel prefix differs from serial prefix")
+	}
+}
+
+func TestBatcherUnbatcherRoundTrip(t *testing.T) {
+	c, _ := testDB(t, 777)
+	it, err := Build(c, &plan.SeqScan{Table: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuple -> batch (size 10 forces many partial batches) -> tuple.
+	round := Unbatch(AsBatch(it, 10))
+	defer round.Close()
+	n := 0
+	for {
+		_, done, err := round.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		n++
+	}
+	if n != 777 {
+		t.Fatalf("round trip yielded %d rows, want 777", n)
+	}
+}
+
+// dualIter implements both iterator contracts; the adapters must return
+// it unchanged instead of stacking wrapper layers.
+type dualIter struct{}
+
+func (dualIter) Schema() *value.Schema            { return nil }
+func (dualIter) Next() (value.Tuple, bool, error) { return nil, true, nil }
+func (dualIter) NextBatch() (Batch, bool, error)  { return nil, true, nil }
+func (dualIter) Close()                           {}
+
+func TestAdaptersAreIdentityOnDualIterators(t *testing.T) {
+	d := dualIter{}
+	if AsBatch(d, 1) != BatchIterator(d) {
+		t.Fatal("AsBatch must not wrap an iterator that is already batch-native")
+	}
+	if Unbatch(d) != Iterator(d) {
+		t.Fatal("Unbatch must not wrap a batch iterator that is already tuple-native")
+	}
+}
+
+func TestBatchFilterSkipsEmptyBatches(t *testing.T) {
+	c, _ := testDB(t, 2000)
+	// A predicate matching nothing: the filter must keep pulling child
+	// batches and report done, never an empty batch.
+	p := &plan.Filter{Child: &plan.SeqScan{Table: "t"},
+		Pred: expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(1000)}}
+	it, err := BuildBatch(c, p, Options{DOP: 2, BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := drainBatches(t, it); len(rows) != 0 {
+		t.Fatalf("filter matching nothing returned %d rows", len(rows))
+	}
+}
+
+func TestParallelScanCloseWithoutDrain(t *testing.T) {
+	c, tb := testDB(t, 5000)
+	_ = c
+	for i := 0; i < 20; i++ {
+		it := newParallelScan(tb, Options{DOP: 4, MorselPages: 1}.fill())
+		if _, done, err := it.NextBatch(); err != nil || done {
+			t.Fatalf("iter %d: first batch: done=%v err=%v", i, done, err)
+		}
+		it.Close() // abandon mid-scan; workers must wind down without leaking
+	}
+}

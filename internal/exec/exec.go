@@ -224,7 +224,7 @@ func seekRIDs(t *catalog.Table, s *plan.IndexSeek) ([]storage.RID, error) {
 }
 
 func findIndexByName(t *catalog.Table, name string) *catalog.Index {
-	for _, ix := range t.Indexes {
+	for _, ix := range t.Indexes() {
 		if equalFold(ix.Name, name) {
 			return ix
 		}
@@ -315,22 +315,31 @@ func newProject(child Iterator, cols []string) (Iterator, error) {
 	if len(cols) == 0 {
 		return child, nil
 	}
-	in := child.Schema()
+	ords, schema, err := projectOrds(child.Schema(), cols)
+	if err != nil {
+		return nil, err
+	}
+	return &project{child: child, ords: ords, schema: schema}, nil
+}
+
+// projectOrds resolves projection columns against the input schema,
+// shared by the tuple and batch projection operators.
+func projectOrds(in *value.Schema, cols []string) ([]int, *value.Schema, error) {
 	ords := make([]int, len(cols))
 	outCols := make([]value.Column, len(cols))
 	for i, c := range cols {
 		o := in.Ordinal(c)
 		if o < 0 {
-			return nil, fmt.Errorf("exec: project: no column %q", c)
+			return nil, nil, fmt.Errorf("exec: project: no column %q", c)
 		}
 		ords[i] = o
 		outCols[i] = in.Col(o)
 	}
 	schema, err := value.NewSchema(outCols...)
 	if err != nil {
-		return nil, fmt.Errorf("exec: project: %w", err)
+		return nil, nil, fmt.Errorf("exec: project: %w", err)
 	}
-	return &project{child: child, ords: ords, schema: schema}, nil
+	return ords, schema, nil
 }
 
 func (p *project) Schema() *value.Schema { return p.schema }
@@ -358,10 +367,25 @@ type predict struct {
 }
 
 func newPredict(child Iterator, me *catalog.ModelEntry, as string) (Iterator, error) {
-	in := child.Schema()
+	b, schema, err := predictBinding(child.Schema(), me, as)
+	if err != nil {
+		return nil, err
+	}
+	return &predict{
+		child:   child,
+		binding: b,
+		schema:  schema,
+		buf:     make(value.Tuple, len(b.Ordinals)),
+	}, nil
+}
+
+// predictBinding resolves a model against the input schema and builds
+// the output schema with the predicted column appended, shared by the
+// tuple and batch prediction-join operators.
+func predictBinding(in *value.Schema, me *catalog.ModelEntry, as string) (mining.Binding, *value.Schema, error) {
 	b, ok := mining.Bind(me.Model, in)
 	if !ok {
-		return nil, fmt.Errorf("exec: model %q input columns %v not all present in %s",
+		return mining.Binding{}, nil, fmt.Errorf("exec: model %q input columns %v not all present in %s",
 			me.Model.Name(), me.Model.InputColumns(), in)
 	}
 	kind := value.KindString
@@ -371,14 +395,9 @@ func newPredict(child Iterator, me *catalog.ModelEntry, as string) (Iterator, er
 	cols := append(append([]value.Column(nil), in.Columns...), value.Column{Name: as, Kind: kind})
 	schema, err := value.NewSchema(cols...)
 	if err != nil {
-		return nil, fmt.Errorf("exec: prediction join: %w", err)
+		return mining.Binding{}, nil, fmt.Errorf("exec: prediction join: %w", err)
 	}
-	return &predict{
-		child:   child,
-		binding: b,
-		schema:  schema,
-		buf:     make(value.Tuple, len(b.Ordinals)),
-	}, nil
+	return b, schema, nil
 }
 
 func (p *predict) Schema() *value.Schema { return p.schema }

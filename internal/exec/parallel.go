@@ -1,0 +1,139 @@
+// Morsel-driven parallel sequential scan: the heap is split into
+// fixed-size page-range morsels claimed by a pool of workers off a
+// shared atomic cursor (the scheduling scheme of Leis et al.'s
+// "Morsel-Driven Parallelism"). Workers decode rows into batches; the
+// consumer reassembles morsels in heap order, so the scan's output is
+// deterministic and identical to the serial scan at any DOP.
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"minequery/internal/catalog"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// morselResult is one decoded morsel: the batches of its page range, in
+// heap order.
+type morselResult struct {
+	batches []Batch
+	err     error
+}
+
+// parallelScan is the consumer end of the worker pool. NextBatch must be
+// called from a single goroutine (the usual iterator contract); the
+// workers it feeds from run concurrently.
+type parallelScan struct {
+	table *catalog.Table
+
+	// results has one single-use buffered channel per morsel; worker i
+	// writes exactly one morselResult to results[m] for each morsel m it
+	// claims, so no send ever blocks and Close never needs to drain.
+	results []chan morselResult
+	claim   *atomic.Int64
+	cancel  *atomic.Bool
+
+	nextMorsel int
+	pending    []Batch
+	err        error
+}
+
+func newParallelScan(t *catalog.Table, opts Options) *parallelScan {
+	pageCount := t.Heap.PageCount()
+	nMorsels := (pageCount + opts.MorselPages - 1) / opts.MorselPages
+	ps := &parallelScan{
+		table:   t,
+		results: make([]chan morselResult, nMorsels),
+		claim:   new(atomic.Int64),
+		cancel:  new(atomic.Bool),
+	}
+	for i := range ps.results {
+		ps.results[i] = make(chan morselResult, 1)
+	}
+	workers := opts.DOP
+	if workers > nMorsels {
+		workers = nMorsels
+	}
+	for w := 0; w < workers; w++ {
+		go scanWorker(t, ps.results, ps.claim, ps.cancel, opts, pageCount)
+	}
+	return ps
+}
+
+// scanWorker claims morsels until the cursor runs off the end, decoding
+// each into batches. It deliberately holds no reference to the
+// parallelScan so an abandoned scan can be collected while stragglers
+// finish.
+func scanWorker(t *catalog.Table, results []chan morselResult, claim *atomic.Int64, cancel *atomic.Bool, opts Options, pageCount int) {
+	for {
+		m := int(claim.Add(1) - 1)
+		if m >= len(results) {
+			return
+		}
+		if cancel.Load() {
+			results[m] <- morselResult{}
+			continue
+		}
+		lo := m * opts.MorselPages
+		hi := lo + opts.MorselPages
+		if hi > pageCount {
+			hi = pageCount
+		}
+		res := morselResult{}
+		batch := make(Batch, 0, opts.BatchSize)
+		t.Heap.ScanPages(lo, hi, func(_ storage.RID, rec []byte) bool {
+			tup, err := value.DecodeTuple(rec)
+			if err != nil {
+				res.err = fmt.Errorf("exec: scan %s: %w", t.Name, err)
+				return false
+			}
+			batch = append(batch, tup)
+			if len(batch) >= opts.BatchSize {
+				res.batches = append(res.batches, batch)
+				batch = make(Batch, 0, opts.BatchSize)
+			}
+			return true
+		})
+		if len(batch) > 0 {
+			res.batches = append(res.batches, batch)
+		}
+		results[m] <- res
+	}
+}
+
+func (ps *parallelScan) Schema() *value.Schema { return ps.table.Schema }
+
+func (ps *parallelScan) NextBatch() (Batch, bool, error) {
+	if ps.err != nil {
+		return nil, false, ps.err
+	}
+	for {
+		if len(ps.pending) > 0 {
+			b := ps.pending[0]
+			ps.pending = ps.pending[1:]
+			return b, false, nil
+		}
+		if ps.nextMorsel >= len(ps.results) {
+			return nil, true, nil
+		}
+		r := <-ps.results[ps.nextMorsel]
+		ps.nextMorsel++
+		if r.err != nil {
+			ps.err = r.err
+			ps.cancel.Store(true)
+			return nil, false, ps.err
+		}
+		ps.pending = r.batches
+	}
+}
+
+// Close tells the workers to stop claiming real work. Workers never
+// block (each morsel channel is buffered for its single send), so there
+// is nothing to drain or join.
+func (ps *parallelScan) Close() {
+	ps.cancel.Store(true)
+	ps.pending = nil
+	ps.nextMorsel = len(ps.results)
+}

@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"minequery/internal/catalog"
+	"minequery/internal/core"
+	"minequery/internal/expr"
+	"minequery/internal/mining"
+	"minequery/internal/mining/dtree"
+	"minequery/internal/opt"
+	"minequery/internal/plan"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// Plan-equivalence harness: whatever access path the optimizer picks —
+// seq scan, index seek, index union, or constant scan — executing it
+// must produce exactly the rows of a forced full-table scan with the
+// same predicate, at any degree of parallelism. This is the safety net
+// under both the cost model (a wrong *choice* only loses performance)
+// and the envelope machinery (a wrong *plan* would lose rows).
+
+// equivCheck runs the optimizer's plan and the forced-scan plan and
+// compares multisets at DOP 1 and DOP 4.
+func equivCheck(t *testing.T, c *catalogAndTable, pred expr.Expr, cfg opt.Config) plan.AccessPath {
+	t.Helper()
+	res := opt.ChooseAccessPath(c.tb, pred, cfg)
+	forced := &plan.Filter{Child: &plan.SeqScan{Table: c.tb.Name}, Pred: pred}
+	want, _, err := Run(c.cat, forced)
+	if err != nil {
+		t.Fatalf("forced scan: %v", err)
+	}
+	for _, dop := range []int{1, 4} {
+		got, _, err := RunOpts(c.cat, res.Plan, Options{DOP: dop, BatchSize: 64})
+		if err != nil {
+			t.Fatalf("optimized plan (%s, dop=%d): %v", plan.Signature(res.Plan), dop, err)
+		}
+		if !sameRows(got, want) {
+			t.Fatalf("plan %s at dop=%d returned %d rows, forced scan %d",
+				plan.Signature(res.Plan), dop, len(got), len(want))
+		}
+	}
+	return res.Path
+}
+
+type catalogAndTable struct {
+	cat *catalog.Catalog
+	tb  *catalog.Table
+}
+
+func TestPlanEquivalenceAccessPaths(t *testing.T) {
+	cc, tb := testDB(t, 4000)
+	db := &catalogAndTable{cat: cc, tb: tb}
+	preds := []expr.Expr{
+		expr.Cmp{Col: "cat", Op: expr.OpEq, Val: value.Str("c2")},
+		expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(97)},
+		expr.NewAnd(
+			expr.Cmp{Col: "cat", Op: expr.OpEq, Val: value.Str("c1")},
+			expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(10)},
+			expr.Cmp{Col: "num", Op: expr.OpLe, Val: value.Int(14)},
+		),
+		expr.NewOr(
+			expr.Cmp{Col: "cat", Op: expr.OpEq, Val: value.Str("c0")},
+			expr.Cmp{Col: "num", Op: expr.OpEq, Val: value.Int(42)},
+		),
+		expr.In{Col: "cat", Vals: []value.Value{value.Str("c3"), value.Str("c4")}},
+		// Selective enough that a scan wins; still must be equivalent.
+		expr.Cmp{Col: "num", Op: expr.OpLe, Val: value.Int(80)},
+		// Unsatisfiable: optimizer may emit a constant scan.
+		expr.NewAnd(
+			expr.Cmp{Col: "num", Op: expr.OpGt, Val: value.Int(50)},
+			expr.Cmp{Col: "num", Op: expr.OpLt, Val: value.Int(40)},
+		),
+		expr.TrueExpr{},
+	}
+	paths := map[plan.AccessPath]int{}
+	for i, pred := range preds {
+		t.Run(fmt.Sprintf("pred%d", i), func(t *testing.T) {
+			paths[equivCheck(t, db, pred, opt.DefaultConfig())]++
+		})
+	}
+	// The harness is only meaningful if it exercised more than one path
+	// shape — guard against cost-model drift making it vacuous.
+	if len(paths) < 2 {
+		t.Fatalf("all predicates chose the same access path %v; harness is vacuous", paths)
+	}
+}
+
+// TestPlanEquivalenceDOPInvariantChoice pins that raising the DOP makes
+// scans relatively cheaper: whatever the optimizer chooses, both the
+// DOP-1 and DOP-N choices stay row-equivalent to a forced scan.
+func TestPlanEquivalenceDOPCosting(t *testing.T) {
+	cc, tb := testDB(t, 4000)
+	db := &catalogAndTable{cat: cc, tb: tb}
+	pred := expr.Cmp{Col: "cat", Op: expr.OpEq, Val: value.Str("c6")}
+	serial := opt.DefaultConfig()
+	par := opt.DefaultConfig()
+	par.DOP = 8
+	equivCheck(t, db, pred, serial)
+	equivCheck(t, db, pred, par)
+	rs, rp := opt.ChooseAccessPath(tb, pred, serial), opt.ChooseAccessPath(tb, pred, par)
+	if rp.ScanCost >= rs.ScanCost {
+		t.Fatalf("scan cost did not drop with DOP: serial %.1f, dop8 %.1f", rs.ScanCost, rp.ScanCost)
+	}
+	if rp.IndexCost != rs.IndexCost {
+		t.Fatalf("index cost must stay serial: %.1f vs %.1f", rs.IndexCost, rp.IndexCost)
+	}
+}
+
+// TestPlanEquivalenceMiningPredicate runs the paper's full pipeline:
+// train a model on the table, derive upper envelopes, let the optimizer
+// pick an access path for the envelope, and check that
+// Filter(class) ∘ Predict ∘ <chosen path for envelope> matches
+// Filter(class) ∘ Predict ∘ SeqScan at DOP 1 and 4.
+func TestPlanEquivalenceMiningPredicate(t *testing.T) {
+	cc, tb := testDB(t, 3000)
+
+	// Label rows by a num threshold with the label column NOT derivable
+	// from any index, then train a depth-limited tree on num alone.
+	ts := &mining.TrainSet{Schema: value.MustSchema(value.Column{Name: "num", Kind: value.KindInt})}
+	tb.Heap.Scan(func(_ storage.RID, rec []byte) bool {
+		row, err := value.DecodeTuple(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		num := row[2]
+		ts.Rows = append(ts.Rows, value.Tuple{num})
+		cls := "low"
+		if num.AsInt() >= 90 {
+			cls = "high" // ~10% of rows: index-friendly class region
+		}
+		ts.Labels = append(ts.Labels, value.Str(cls))
+		return true
+	})
+	m, err := dtree.Train("dt", "cls", ts, dtree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := core.UpperEnvelopes(m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.RegisterModel(m, der.Envelopes)
+
+	for _, cls := range m.Classes() {
+		env := der.Envelopes[cls.String()]
+		if env == nil {
+			t.Fatalf("no envelope for class %s", cls)
+		}
+		res := opt.ChooseAccessPath(tb, env, opt.DefaultConfig())
+		classPred := expr.Cmp{Col: "dt.cls", Op: expr.OpEq, Val: cls}
+		optimized := &plan.Filter{
+			Child: &plan.Predict{Child: res.Plan, Model: "dt", As: "dt.cls"},
+			Pred:  classPred,
+		}
+		forced := &plan.Filter{
+			Child: &plan.Predict{Child: &plan.SeqScan{Table: "t"}, Model: "dt", As: "dt.cls"},
+			Pred:  classPred,
+		}
+		want, _, err := Run(cc, forced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			t.Fatalf("class %s matches no rows; test data is degenerate", cls)
+		}
+		for _, dop := range []int{1, 4} {
+			got, _, err := RunOpts(cc, optimized, Options{DOP: dop, BatchSize: 64})
+			if err != nil {
+				t.Fatalf("class %s dop=%d: %v", cls, dop, err)
+			}
+			if !sameRows(got, want) {
+				t.Fatalf("class %s dop=%d: envelope plan %s returned %d rows, want %d",
+					cls, dop, plan.Signature(res.Plan), len(got), len(want))
+			}
+		}
+	}
+}

@@ -33,6 +33,11 @@ type Config struct {
 	// MaxInExpansion caps how many values of an IN condition may be
 	// expanded into separate index seeks.
 	MaxInExpansion int
+	// DOP is the degree of parallelism the executor will use for
+	// sequential scans. Scan cost is divided by DOP (morsels are spread
+	// evenly across workers); index seeks stay serial, so a higher DOP
+	// shifts the scan/index crossover toward scans. <=0 means 1.
+	DOP int
 }
 
 // DefaultConfig returns the standard cost model. A sequential scan pays
@@ -49,6 +54,7 @@ func DefaultConfig() Config {
 		RowCPUCost:     0.1,
 		MaxDisjuncts:   256,
 		MaxInExpansion: 128,
+		DOP:            1,
 	}
 }
 
@@ -71,7 +77,13 @@ func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 	ts := t.Stats()
 	rowCount := float64(t.Heap.Len())
 	pages := float64(t.Heap.PageCount())
-	scanCost := pages*cfg.SeqPageCost + rowCount*cfg.RowCPUCost
+	dop := float64(cfg.DOP)
+	if dop < 1 {
+		dop = 1
+	}
+	// Page reads and per-row evaluation of a scan parallelize across the
+	// morsel workers; index seeks (below) remain serial.
+	scanCost := (pages*cfg.SeqPageCost + rowCount*cfg.RowCPUCost) / dop
 
 	simplified, ok := expr.Simplify(pred, cfg.MaxDisjuncts)
 	if !ok {
@@ -372,7 +384,7 @@ func bestSeeks(t *catalog.Table, ts *stats.TableStats, c expr.Conjunct, cfg Conf
 
 	var best *candidate
 	bestCost := inf
-	for _, ix := range t.Indexes {
+	for _, ix := range t.Indexes() {
 		cand := matchIndex(t, ts, ix, eq, in, lo, hi, consumedExpr, cfg)
 		if cand == nil {
 			continue

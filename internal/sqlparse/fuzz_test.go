@@ -1,0 +1,88 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// seedQueries covers the dialect: plain selects, the paper's four mining
+// predicate shapes (=, <>, IN, PREDICTION JOIN), quoting, numerics, and
+// a few malformed inputs so the fuzzer starts near error paths too.
+var seedQueries = []string{
+	"SELECT * FROM customers",
+	"SELECT id, name FROM t LIMIT 10",
+	"SELECT * FROM t WHERE age > 30 AND (city = 'NY' OR city = 'SF') AND active = TRUE",
+	"SELECT * FROM t WHERE cat IN ('a', 'b', 'c')",
+	"SELECT * FROM t WHERE a = -5 AND b = 2.5 AND c = 1e3 AND d = NULL",
+	"SELECT * FROM t WHERE name = 'O''Brien'",
+	"SELECT * FROM t WHERE NOT (a <= 1) AND b <> 2 AND c != 3 AND d >= 4 AND e < 5",
+	"SELECT * FROM t PREDICTION JOIN m ON t.age = m.age WHERE m.cls = 'x'",
+	"SELECT * FROM sales PREDICTION JOIN risk ON sales.amt = risk.amt WHERE risk.label <> 'low' LIMIT 5",
+	"SELECT * FROM t WHERE m.cls IN ('a','b') AND num >= 10",
+	"select lower, keywords from t where mixed_Case <> 0",
+	"",
+	"SELECT",
+	"SELECT * FROM",
+	"SELECT * FROM t WHERE",
+	"SELECT * FROM t WHERE a = ",
+	"SELECT * FROM t WHERE a = 'unterminated",
+	"SELECT * FROM t LIMIT notanumber",
+	"SELECT * FROM t WHERE a = 9999999999999999999999999",
+	"SELECT * FROM t WHERE a = 1e309",
+	"SELECT * FROM t WHERE a IN ()",
+	"SELECT * FROM t PREDICTION JOIN",
+	"\x00\xff SELECT * FROM t",
+	"SELECT * FROM t -- trailing garbage )))",
+}
+
+// FuzzLexer checks that tokenization never panics and that every
+// returned token's text is a substring the input could have produced
+// (no invented text, no out-of-range slicing).
+func FuzzLexer(f *testing.F) {
+	for _, q := range seedQueries {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return // rejecting input is fine; panicking is not
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("token stream must end in EOF: %v", toks)
+		}
+		for _, tok := range toks {
+			if tok.kind == tokString || tok.kind == tokEOF {
+				continue // string text is unescaped, EOF is empty
+			}
+			if tok.text != "" && !strings.Contains(strings.ToLower(src), strings.ToLower(tok.text)) {
+				t.Fatalf("token %q not found in input %q", tok.text, src)
+			}
+		}
+	})
+}
+
+// FuzzParser checks that Parse never panics: any input either yields a
+// query with the basic invariants intact or a proper error.
+func FuzzParser(f *testing.F) {
+	for _, q := range seedQueries {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			if q != nil {
+				t.Fatal("Parse must not return both a query and an error")
+			}
+			return
+		}
+		if q == nil {
+			t.Fatal("Parse returned neither query nor error")
+		}
+		if q.Table == "" {
+			t.Fatalf("parsed query has no table: %q", src)
+		}
+		if q.Limit < -1 {
+			t.Fatalf("parsed limit %d out of range", q.Limit)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 type tokenKind int
@@ -44,11 +45,19 @@ func lex(src string) ([]token, error) {
 			return l.toks, nil
 		}
 		start := l.pos
-		c := l.src[l.pos]
+		// Decode a full rune for dispatch: a multi-byte letter must start
+		// an identifier as a whole, never be split at its first byte. An
+		// invalid byte decodes as RuneError (width 1) and falls through to
+		// the unexpected-character error below.
+		c, w := utf8.DecodeRuneInString(l.src[l.pos:])
 		switch {
-		case isIdentStart(rune(c)):
-			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-				l.pos++
+		case isIdentStart(c) && (c != utf8.RuneError || w > 1):
+			for l.pos < len(l.src) {
+				r, rw := utf8.DecodeRuneInString(l.src[l.pos:])
+				if !isIdentPart(r) || (r == utf8.RuneError && rw == 1) {
+					break
+				}
+				l.pos += rw
 			}
 			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
 		case c >= '0' && c <= '9' || c == '.' && l.peekDigit(1):
@@ -72,8 +81,12 @@ func lex(src string) ([]token, error) {
 }
 
 func (l *lexer) skipSpace() {
-	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
-		l.pos++
+	for l.pos < len(l.src) {
+		r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !unicode.IsSpace(r) || (r == utf8.RuneError && w == 1) {
+			return
+		}
+		l.pos += w
 	}
 }
 

@@ -4,11 +4,20 @@
 // is counted, so the executor's cost accounting (sequential page reads vs
 // random record fetches) matches the access-path behaviour the paper's
 // experiments depend on.
+//
+// Reads are safe to issue from many goroutines at once (the morsel-driven
+// parallel scan in internal/exec relies on this): the page directory is
+// guarded by an RWMutex and all I/O counters are atomic. Writers (Insert,
+// Delete) take the write lock for directory changes but record bytes are
+// only immutable once inserted — interleaving writes with an in-flight
+// scan of the same page is not supported.
 package storage
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the fixed size of a heap page in bytes.
@@ -37,9 +46,9 @@ func (r RID) Less(o RID) bool {
 	return r.Slot < o.Slot
 }
 
-// IOStats counts page-granularity accesses to a heap. Sequential reads
-// are pages touched by full scans; random reads are pages touched by
-// RID-based fetches (index lookups).
+// IOStats is a point-in-time snapshot of a heap's access counters.
+// Sequential reads are pages touched by full scans; random reads are
+// pages touched by RID-based fetches (index lookups).
 type IOStats struct {
 	SeqPageReads  int64
 	RandPageReads int64
@@ -49,8 +58,24 @@ type IOStats struct {
 	TupleReads int64
 }
 
-// Reset zeroes all counters.
-func (s *IOStats) Reset() { *s = IOStats{} }
+// ioCounters is the live, atomically-updated form of IOStats. Parallel
+// scan workers bump these concurrently, so they must not be read or
+// written as plain fields.
+type ioCounters struct {
+	seqPageReads  atomic.Int64
+	randPageReads atomic.Int64
+	pageWrites    atomic.Int64
+	tupleReads    atomic.Int64
+}
+
+func (c *ioCounters) snapshot() IOStats {
+	return IOStats{
+		SeqPageReads:  c.seqPageReads.Load(),
+		RandPageReads: c.randPageReads.Load(),
+		PageWrites:    c.pageWrites.Load(),
+		TupleReads:    c.tupleReads.Load(),
+	}
+}
 
 // page is one slotted page. Slots grow from the front after the header;
 // record bytes grow from the back.
@@ -125,13 +150,25 @@ func (p *page) delete(slot int) bool {
 
 // Heap is an append-oriented table heap of encoded records.
 type Heap struct {
+	mu    sync.RWMutex
 	pages []*page
-	live  int64
-	Stats IOStats
+	live  atomic.Int64
+	stats ioCounters
 }
 
 // NewHeap returns an empty heap.
 func NewHeap() *Heap { return &Heap{} }
+
+// Stats returns a snapshot of the heap's I/O counters.
+func (h *Heap) Stats() IOStats { return h.stats.snapshot() }
+
+// ResetStats zeroes all I/O counters.
+func (h *Heap) ResetStats() {
+	h.stats.seqPageReads.Store(0)
+	h.stats.randPageReads.Store(0)
+	h.stats.pageWrites.Store(0)
+	h.stats.tupleReads.Store(0)
+}
 
 // MaxRecordSize is the largest record a heap accepts (must fit a page).
 const MaxRecordSize = PageSize - pageHeaderSize - slotSize
@@ -141,26 +178,39 @@ func (h *Heap) Insert(rec []byte) (RID, error) {
 	if len(rec) > MaxRecordSize {
 		return RID{}, fmt.Errorf("storage: record of %d bytes exceeds page capacity", len(rec))
 	}
+	h.mu.Lock()
 	if len(h.pages) == 0 || !h.pages[len(h.pages)-1].canFit(len(rec)) {
 		h.pages = append(h.pages, newPage())
 	}
 	pi := len(h.pages) - 1
 	slot := h.pages[pi].insert(rec)
-	h.live++
-	h.Stats.PageWrites++
+	h.mu.Unlock()
+	h.live.Add(1)
+	h.stats.pageWrites.Add(1)
 	return RID{Page: uint32(pi), Slot: uint16(slot)}, nil
+}
+
+// pageAt returns the page at index pi, or nil.
+func (h *Heap) pageAt(pi int) *page {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if pi < 0 || pi >= len(h.pages) {
+		return nil
+	}
+	return h.pages[pi]
 }
 
 // Get fetches the record at rid as a random page access. The returned
 // slice aliases page memory and must not be retained across writes.
 func (h *Heap) Get(rid RID) ([]byte, bool) {
-	if int(rid.Page) >= len(h.pages) {
+	p := h.pageAt(int(rid.Page))
+	if p == nil {
 		return nil, false
 	}
-	h.Stats.RandPageReads++
-	rec, ok := h.pages[rid.Page].record(int(rid.Slot))
+	h.stats.randPageReads.Add(1)
+	rec, ok := p.record(int(rid.Slot))
 	if ok {
-		h.Stats.TupleReads++
+		h.stats.tupleReads.Add(1)
 	}
 	return rec, ok
 }
@@ -168,12 +218,14 @@ func (h *Heap) Get(rid RID) ([]byte, bool) {
 // Delete marks the record at rid deleted. It reports whether a live
 // record was removed.
 func (h *Heap) Delete(rid RID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if int(rid.Page) >= len(h.pages) {
 		return false
 	}
 	if h.pages[rid.Page].delete(int(rid.Slot)) {
-		h.live--
-		h.Stats.PageWrites++
+		h.live.Add(-1)
+		h.stats.pageWrites.Add(1)
 		return true
 	}
 	return false
@@ -183,14 +235,33 @@ func (h *Heap) Delete(rid RID) bool {
 // callback receives the RID and record bytes; returning false stops the
 // scan early.
 func (h *Heap) Scan(fn func(RID, []byte) bool) {
-	for pi, p := range h.pages {
-		h.Stats.SeqPageReads++
+	h.ScanPages(0, h.PageCount(), fn)
+}
+
+// ScanPages visits the live records of pages [lo, hi) in heap order as
+// sequential reads — one morsel of a (possibly parallel) scan. Bounds
+// are clamped to the allocated page range; returning false from the
+// callback stops this morsel early. ScanPages is safe to call from many
+// goroutines at once over disjoint (or even overlapping) ranges.
+func (h *Heap) ScanPages(lo, hi int, fn func(RID, []byte) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if n := h.PageCount(); hi > n {
+		hi = n
+	}
+	for pi := lo; pi < hi; pi++ {
+		p := h.pageAt(pi)
+		if p == nil {
+			return
+		}
+		h.stats.seqPageReads.Add(1)
 		for s := 0; s < p.slotCount(); s++ {
 			rec, ok := p.record(s)
 			if !ok {
 				continue
 			}
-			h.Stats.TupleReads++
+			h.stats.tupleReads.Add(1)
 			if !fn(RID{Page: uint32(pi), Slot: uint16(s)}, rec) {
 				return
 			}
@@ -199,7 +270,11 @@ func (h *Heap) Scan(fn func(RID, []byte) bool) {
 }
 
 // Len returns the number of live records.
-func (h *Heap) Len() int64 { return h.live }
+func (h *Heap) Len() int64 { return h.live.Load() }
 
 // PageCount returns the number of allocated pages.
-func (h *Heap) PageCount() int { return len(h.pages) }
+func (h *Heap) PageCount() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pages)
+}

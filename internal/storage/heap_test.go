@@ -133,17 +133,17 @@ func TestIOStatsCounting(t *testing.T) {
 	if h.PageCount() < 2 {
 		t.Fatalf("expected multiple pages, got %d", h.PageCount())
 	}
-	h.Stats.Reset()
+	h.ResetStats()
 	h.Scan(func(RID, []byte) bool { return true })
-	if int(h.Stats.SeqPageReads) != h.PageCount() {
-		t.Errorf("scan should read every page once: %d vs %d", h.Stats.SeqPageReads, h.PageCount())
+	if int(h.Stats().SeqPageReads) != h.PageCount() {
+		t.Errorf("scan should read every page once: %d vs %d", h.Stats().SeqPageReads, h.PageCount())
 	}
-	h.Stats.Reset()
+	h.ResetStats()
 	for _, r := range rids[:10] {
 		h.Get(r)
 	}
-	if h.Stats.RandPageReads != 10 {
-		t.Errorf("10 Gets should count 10 random reads, got %d", h.Stats.RandPageReads)
+	if h.Stats().RandPageReads != 10 {
+		t.Errorf("10 Gets should count 10 random reads, got %d", h.Stats().RandPageReads)
 	}
 }
 

@@ -116,8 +116,8 @@ func TestApplyCreatesIndexes(t *testing.T) {
 	if len(names) != len(cands) {
 		t.Fatalf("created %d of %d indexes", len(names), len(cands))
 	}
-	if len(tb.Indexes) != len(cands) {
-		t.Fatalf("table has %d indexes", len(tb.Indexes))
+	if len(tb.Indexes()) != len(cands) {
+		t.Fatalf("table has %d indexes", len(tb.Indexes()))
 	}
 	// Idempotence is not required, but re-applying must surface the
 	// duplicate-name error rather than silently succeed.

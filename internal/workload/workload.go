@@ -57,6 +57,10 @@ type Config struct {
 	Optimizer opt.Config
 	// Envelopes tunes derivation.
 	Envelopes core.Options
+	// DOP is the scan degree of parallelism for query execution and
+	// costing (<=0: serial), so the paper's experiments can be rerun at
+	// DOP 1 vs N.
+	DOP int
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -219,6 +223,9 @@ func Run(spec *dataset.Spec, kind ModelKind, cfg Config) (*Result, error) {
 	if cfg.TestRows <= 0 {
 		cfg.TestRows = DefaultConfig().TestRows
 	}
+	if cfg.DOP > 0 {
+		cfg.Optimizer.DOP = cfg.DOP
+	}
 	cat := catalog.New()
 	table, err := cat.CreateTable(spec.Name, spec.Schema())
 	if err != nil {
@@ -366,15 +373,15 @@ func measure(cat *catalog.Catalog, table *catalog.Table, env expr.Expr, cfg opt.
 }
 
 func runAndCost(cat *catalog.Catalog, table *catalog.Table, root plan.Node, cfg opt.Config) (float64, time.Duration, error) {
-	before := table.Heap.Stats
+	before := table.Heap.Stats()
 	start := time.Now()
-	it, err := exec.Build(cat, root)
+	it, err := exec.BuildBatch(cat, root, exec.Options{DOP: cfg.DOP})
 	if err != nil {
 		return 0, 0, err
 	}
 	defer it.Close()
 	for {
-		_, done, err := it.Next()
+		_, done, err := it.NextBatch()
 		if err != nil {
 			return 0, 0, err
 		}
@@ -383,7 +390,7 @@ func runAndCost(cat *catalog.Catalog, table *catalog.Table, root plan.Node, cfg 
 		}
 	}
 	elapsed := time.Since(start)
-	after := table.Heap.Stats
+	after := table.Heap.Stats()
 	cost := float64(after.SeqPageReads-before.SeqPageReads)*cfg.SeqPageCost +
 		float64(after.RandPageReads-before.RandPageReads)*cfg.RandomPageCost +
 		float64(after.TupleReads-before.TupleReads)*cfg.RowCPUCost

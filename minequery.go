@@ -115,10 +115,13 @@ type (
 // use from one goroutine at a time: queries share storage-level I/O
 // accounting, so interleaved calls would attribute costs to the wrong
 // query. Wrap calls in external synchronization for concurrent use.
+// (A single query may still fan out internally: sequential scans are
+// morsel-driven and run on Exec.DOP workers.)
 type Engine struct {
-	cat     *catalog.Catalog
-	optCfg  opt.Config
-	envOpts core.Options
+	cat      *catalog.Catalog
+	optCfg   opt.Config
+	envOpts  core.Options
+	execOpts exec.Options
 }
 
 // Config tunes an Engine.
@@ -127,6 +130,11 @@ type Config struct {
 	Optimizer opt.Config
 	// Envelopes tunes envelope derivation (zero value: core defaults).
 	Envelopes core.Options
+	// Exec tunes batch execution: scan parallelism (DOP), batch size,
+	// morsel size. Zero value: exec defaults (one scan worker per CPU).
+	// Parallel scans reassemble morsels in heap order, so results are
+	// identical at any DOP.
+	Exec exec.Options
 }
 
 // New returns an empty engine with default configuration.
@@ -141,7 +149,22 @@ func NewWithConfig(cfg Config) *Engine {
 	if cfg.Envelopes == zero {
 		cfg.Envelopes = core.DefaultOptions()
 	}
-	return &Engine{cat: catalog.New(), optCfg: cfg.Optimizer, envOpts: cfg.Envelopes}
+	if cfg.Exec == (exec.Options{}) {
+		cfg.Exec = exec.DefaultOptions()
+	}
+	return &Engine{cat: catalog.New(), optCfg: cfg.Optimizer, envOpts: cfg.Envelopes, execOpts: cfg.Exec}
+}
+
+// SetDOP sets the degree of parallelism used by subsequent query
+// execution and by the optimizer's scan costing. dop <= 0 resets to one
+// worker per CPU.
+func (e *Engine) SetDOP(dop int) {
+	if dop <= 0 {
+		e.execOpts.DOP = exec.DefaultOptions().DOP
+	} else {
+		e.execOpts.DOP = dop
+	}
+	e.optCfg.DOP = e.execOpts.DOP
 }
 
 // CreateTable registers an empty table.
@@ -446,14 +469,14 @@ func (e *Engine) run(sql string, optimize bool) (*Result, error) {
 		return nil, err
 	}
 	root, res := e.buildPlan(q, t, rw)
-	before := t.Heap.Stats
+	before := t.Heap.Stats()
 	start := time.Now()
-	rows, schema, err := exec.Run(e.cat, root)
+	rows, schema, err := exec.RunOpts(e.cat, root, e.execOpts)
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
-	after := t.Heap.Stats
+	after := t.Heap.Stats()
 	st := ExecStats{
 		Duration:      elapsed,
 		SeqPageReads:  after.SeqPageReads - before.SeqPageReads,
