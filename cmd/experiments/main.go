@@ -9,7 +9,8 @@
 //	fig7       — scatter of original vs envelope selectivity (NB + clustering)
 //	overhead   — envelope precompute time vs training time; optimize vs lookup
 //	scan       — morsel-driven parallel scan sweep: wall time at DOP 1..N
-//	all        — everything above (except scan, which is standalone)
+//	server     — minequeryd end-to-end latency: prepared vs ad-hoc (BENCH_server.json)
+//	all        — everything above (except scan and server, which are standalone)
 //
 // Shapes, not absolute numbers, are the comparison target: the engine is
 // a simulator, not the paper's SQL Server testbed. See EXPERIMENTS.md.
@@ -35,14 +36,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|runtime|planchange|fig3|fig4|fig5|fig6|fig7|overhead|scan|all")
+	exp := flag.String("exp", "all", "experiment: table2|runtime|planchange|fig3|fig4|fig5|fig6|fig7|overhead|scan|server|all")
 	rows := flag.Int("rows", 40000, "test-table rows per data set (paper: >1M; selectivities are scale-invariant)")
 	only := flag.String("dataset", "", "restrict to one data set (by name)")
 	dop := flag.Int("dop", 1, "scan degree of parallelism for execution and costing (rerun any experiment at DOP 1 vs N)")
+	benchN := flag.Int("bench-n", 400, "server bench: requests per workload")
+	benchConc := flag.Int("bench-conc", 8, "server bench: concurrent clients")
+	benchOut := flag.String("bench-out", "BENCH_server.json", "server bench: output JSON path (empty: stdout only)")
 	flag.Parse()
 
 	if *exp == "scan" {
 		scanSweep(*rows)
+		return
+	}
+	if *exp == "server" {
+		serverBench(*rows, *benchN, *benchConc, *benchOut)
 		return
 	}
 

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"minequery"
+	"minequery/internal/server"
+)
+
+// serverBench drives minequeryd's HTTP surface end to end and reports
+// client-observed latency percentiles for two workloads over the same
+// mining-predicate query: "prepared" (one prepare, then execute by
+// statement id — parse, envelope derivation, and optimization all
+// cached) and "adhoc" (a distinct SQL text per request, forcing the
+// full plan pipeline every time). The gap between the two is the
+// server-side payoff of the statement/envelope caches; the JSON
+// artifact lands in -bench-out for CI trending.
+func serverBench(rows, n, conc int, out string) {
+	eng := benchEngine(rows)
+	srv := server.New(eng, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const q = `SELECT id, age, income FROM customers
+		PREDICTION JOIN segmodel AS m ON m.age = customers.age AND m.income = customers.income
+		WHERE m.segment = 'vip'`
+
+	// Prepare once; every execute below should be a statement-cache hit.
+	var prep struct {
+		StatementID string `json:"statement_id"`
+	}
+	postJSON(ts.URL+"/v1/prepare", map[string]any{"sql": q}, &prep)
+
+	warm := func(body map[string]any) {
+		for i := 0; i < conc; i++ {
+			postJSON(ts.URL+"/v1/execute", body, nil)
+		}
+	}
+
+	warm(map[string]any{"statement_id": prep.StatementID})
+	prepared := benchRun(n, conc, func(int) map[string]any {
+		return map[string]any{"statement_id": prep.StatementID}
+	}, ts.URL)
+
+	// Distinct texts, identical results: the id bound changes per request
+	// (so normalization cannot collapse them and each is planned from
+	// scratch) but always exceeds every id in the table.
+	adhocBody := func(i int) map[string]any {
+		return map[string]any{"sql": fmt.Sprintf("%s AND customers.id < %d", q, 1_000_000_000+i)}
+	}
+	warm(adhocBody(0))
+	adhoc := benchRun(n, conc, adhocBody, ts.URL)
+
+	var stats json.RawMessage
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err == nil {
+		_ = json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+	}
+
+	report := map[string]any{
+		"rows":        rows,
+		"requests":    n,
+		"concurrency": conc,
+		"prepared":    prepared,
+		"adhoc":       adhoc,
+		"server":      stats,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server bench: %v\n", err)
+		os.Exit(1)
+	}
+	if out != "" {
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "server bench: write %s: %v\n", out, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("== minequeryd server benchmark ==")
+	fmt.Printf("rows=%d requests=%d concurrency=%d\n", rows, n, conc)
+	fmt.Printf("%-9s  %10s %10s %10s %10s %9s\n", "workload", "p50_us", "p95_us", "p99_us", "mean_us", "qps")
+	for _, w := range []struct {
+		name string
+		lat  latencySummary
+	}{{"prepared", prepared}, {"adhoc", adhoc}} {
+		fmt.Printf("%-9s  %10d %10d %10d %10d %9.0f\n",
+			w.name, w.lat.P50US, w.lat.P95US, w.lat.P99US, w.lat.MeanUS, w.lat.QPS)
+	}
+	if out != "" {
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+// benchEngine mirrors minequeryd's -demo fixture shape: a customers
+// table with a rare vip segment, a naive Bayes model, and an index the
+// envelope rewrite can exploit.
+func benchEngine(rows int) *minequery.Engine {
+	eng := minequery.New()
+	must := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "server bench: fixture: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	must(eng.CreateTable("customers", minequery.MustSchema(
+		minequery.Column{Name: "id", Kind: minequery.KindInt},
+		minequery.Column{Name: "age", Kind: minequery.KindInt},
+		minequery.Column{Name: "income", Kind: minequery.KindInt},
+		minequery.Column{Name: "segment", Kind: minequery.KindString},
+	)))
+	r := rand.New(rand.NewSource(11))
+	batch := make([]minequery.Tuple, 0, rows)
+	for i := 0; i < rows; i++ {
+		age := int64(r.Intn(10))
+		income := int64(r.Intn(8))
+		seg := "regular"
+		switch {
+		case age == 0 && income == 7:
+			seg = "vip"
+		case income <= 1:
+			seg = "budget"
+		}
+		batch = append(batch, minequery.Tuple{
+			minequery.Int(int64(i)), minequery.Int(age), minequery.Int(income), minequery.Str(seg),
+		})
+	}
+	must(eng.InsertBatch("customers", batch))
+	must(eng.Analyze("customers"))
+	_, err := eng.TrainNaiveBayes("segmodel", "segment", "customers",
+		[]string{"age", "income"}, "segment", minequery.BayesOptions{})
+	must(err)
+	must(eng.CreateIndex("ix_age_income", "customers", "age", "income"))
+	must(eng.Analyze("customers"))
+	return eng
+}
+
+type latencySummary struct {
+	P50US  int64   `json:"p50_us"`
+	P95US  int64   `json:"p95_us"`
+	P99US  int64   `json:"p99_us"`
+	MeanUS int64   `json:"mean_us"`
+	QPS    float64 `json:"qps"`
+}
+
+// benchRun issues n requests across conc workers, timing each round
+// trip, and summarizes the client-observed latency distribution.
+func benchRun(n, conc int, body func(i int) map[string]any, url string) latencySummary {
+	if conc < 1 {
+		conc = 1
+	}
+	lats := make([]time.Duration, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				t0 := time.Now()
+				postJSON(url+"/v1/execute", body(i), nil)
+				lats[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	pct := func(p float64) int64 {
+		idx := int(p * float64(n-1))
+		return lats[idx].Microseconds()
+	}
+	return latencySummary{
+		P50US:  pct(0.50),
+		P95US:  pct(0.95),
+		P99US:  pct(0.99),
+		MeanUS: (sum / time.Duration(n)).Microseconds(),
+		QPS:    float64(n) / wall.Seconds(),
+	}
+}
+
+func postJSON(url string, body map[string]any, into any) {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server bench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server bench: post %s: %v\n", url, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		fmt.Fprintf(os.Stderr, "server bench: %s -> %d: %s\n", url, resp.StatusCode, msg.String())
+		os.Exit(1)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			fmt.Fprintf(os.Stderr, "server bench: decode: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command minequeryd serves a minequery engine over HTTP/JSON: session
+// management, prepared statements with plan caching, a shared envelope
+// cache, and admission control. See DESIGN.md §8 and the README
+// quickstart for the API.
+//
+//	minequeryd -demo -addr 127.0.0.1:7654
+//	curl -s -X POST localhost:7654/v1/execute -d '{"sql":"SELECT ..."}'
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"minequery"
+	"minequery/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7654", "listen address")
+		workers  = flag.Int("workers", 0, "max concurrently executing queries (0: NumCPU)")
+		queue    = flag.Int("queue", 32, "max queries queued waiting for a worker (-1: no queue)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+		drain    = flag.Duration("drain", 10*time.Second, "max time to drain in-flight queries on shutdown")
+		demo     = flag.Bool("demo", false, "seed a demo database (customers table + risk_tree/seg_bayes models)")
+		demoRows = flag.Int("demo-rows", 30000, "row count for -demo")
+	)
+	flag.Parse()
+
+	eng := minequery.New()
+	if *demo {
+		if err := seedDemo(eng, *demoRows); err != nil {
+			log.Fatalf("minequeryd: seed demo: %v", err)
+		}
+		log.Printf("minequeryd: demo database ready (%d rows, models risk_tree, seg_bayes)", *demoRows)
+	}
+
+	q := *queue
+	if q < 0 {
+		q = 0
+	}
+	srv := server.New(eng, server.Config{
+		Workers:        *workers,
+		QueueDepth:     q,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("minequeryd: shutting down, draining for up to %s", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("minequeryd: drain: %v", err)
+		}
+		_ = httpSrv.Shutdown(dctx)
+	}()
+
+	log.Printf("minequeryd: listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("minequeryd: %v", err)
+	}
+	log.Printf("minequeryd: stopped")
+}
+
+// seedDemo loads the same demo database as mqshell: a customers table
+// with a rare "vip" segment, two trained models, and two indexes.
+func seedDemo(eng *minequery.Engine, n int) error {
+	if err := eng.CreateTable("customers", minequery.MustSchema(
+		minequery.Column{Name: "id", Kind: minequery.KindInt},
+		minequery.Column{Name: "age", Kind: minequery.KindInt},
+		minequery.Column{Name: "income", Kind: minequery.KindInt},
+		minequery.Column{Name: "visits", Kind: minequery.KindInt},
+		minequery.Column{Name: "segment", Kind: minequery.KindString},
+	)); err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(7))
+	rows := make([]minequery.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		age := int64(r.Intn(10))
+		income := int64(r.Intn(8))
+		seg := "regular"
+		switch {
+		case age == 0 && income == 7:
+			seg = "vip"
+		case income <= 1:
+			seg = "budget"
+		}
+		rows = append(rows, minequery.Tuple{
+			minequery.Int(int64(i)), minequery.Int(age), minequery.Int(income),
+			minequery.Int(int64(r.Intn(50))), minequery.Str(seg),
+		})
+	}
+	if err := eng.InsertBatch("customers", rows); err != nil {
+		return err
+	}
+	if err := eng.Analyze("customers"); err != nil {
+		return err
+	}
+	if _, err := eng.TrainDecisionTree("risk_tree", "risk", "customers",
+		[]string{"age", "income"}, "segment", minequery.TreeOptions{}); err != nil {
+		return err
+	}
+	if _, err := eng.TrainNaiveBayes("seg_bayes", "segment", "customers",
+		[]string{"age", "income"}, "segment", minequery.BayesOptions{}); err != nil {
+		return err
+	}
+	if err := eng.CreateIndex("ix_age_income", "customers", "age", "income"); err != nil {
+		return err
+	}
+	if err := eng.CreateIndex("ix_income", "customers", "income"); err != nil {
+		return err
+	}
+	return eng.Analyze("customers")
+}

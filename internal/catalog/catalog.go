@@ -8,9 +8,11 @@ package catalog
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"minequery/internal/btree"
 	"minequery/internal/expr"
@@ -153,9 +155,31 @@ func (t *Table) FindIndex(leading ...string) *Index {
 type ModelEntry struct {
 	Model   mining.Model
 	Version int64
+	// Fingerprint is a stable content hash of the model's metadata and
+	// its envelope set: two registrations of behaviourally identical
+	// models share a fingerprint across versions, while any change to the
+	// envelopes (retraining on different data) changes it. Caches keyed
+	// by fingerprint therefore never serve stale envelopes.
+	Fingerprint string
 	// envelopes maps class-label key to the precomputed upper envelope
 	// for M.PredictColumn = class.
 	envelopes map[string]expr.Expr
+}
+
+// fingerprint hashes the model metadata together with the envelope
+// predicates, sorted by class key for determinism.
+func fingerprint(m mining.Model, envelopes map[string]expr.Expr) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%016x|", mining.Fingerprint(m))
+	keys := make([]string, 0, len(envelopes))
+	for k := range envelopes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%s|", k, envelopes[k].String())
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Envelope returns the cached upper envelope for the given class label
@@ -169,11 +193,35 @@ func (me *ModelEntry) Envelope(class value.Value) (e expr.Expr, version int64, o
 // Classes proxies the model's class enumeration.
 func (me *ModelEntry) Classes() []value.Value { return me.Model.Classes() }
 
+// InvalidationEvent describes a catalog change that can stale cached
+// plans or envelope compositions: model registration/retraining or
+// removal, index creation or removal, and statistics refresh. Epoch is
+// the catalog epoch after the change.
+type InvalidationEvent struct {
+	// Reason is one of "model-registered", "model-dropped",
+	// "index-created", "index-dropped", "stats-refreshed".
+	Reason string
+	// Table names the affected table ("" for model events).
+	Table string
+	// Model names the affected model ("" for table events).
+	Model string
+	// Epoch is the catalog epoch after the change.
+	Epoch int64
+}
+
 // Catalog is the namespace of tables and models.
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 	models map[string]*ModelEntry
+
+	// epoch increments on every change that can invalidate a cached
+	// plan. Plan caches snapshot it at prepare time and compare before
+	// reuse.
+	epoch atomic.Int64
+
+	lmu       sync.Mutex
+	listeners []func(InvalidationEvent)
 }
 
 // New returns an empty catalog.
@@ -181,6 +229,33 @@ func New() *Catalog {
 	return &Catalog{
 		tables: make(map[string]*Table),
 		models: make(map[string]*ModelEntry),
+	}
+}
+
+// Epoch returns the current invalidation epoch. Any cached artifact
+// derived from catalog state (parsed plans, envelope compositions) is
+// safe to reuse only while the epoch is unchanged.
+func (c *Catalog) Epoch() int64 { return c.epoch.Load() }
+
+// OnInvalidate registers a listener called (synchronously, outside
+// catalog locks) after every invalidating change. Listeners must not
+// block; they may call back into the catalog.
+func (c *Catalog) OnInvalidate(fn func(InvalidationEvent)) {
+	c.lmu.Lock()
+	c.listeners = append(c.listeners, fn)
+	c.lmu.Unlock()
+}
+
+// invalidate bumps the epoch and notifies listeners. Callers must not
+// hold c.mu (listeners may re-enter the catalog).
+func (c *Catalog) invalidate(reason, table, model string) {
+	ev := InvalidationEvent{Reason: reason, Table: table, Model: model, Epoch: c.epoch.Add(1)}
+	c.lmu.Lock()
+	ls := make([]func(InvalidationEvent), len(c.listeners))
+	copy(ls, c.listeners)
+	c.lmu.Unlock()
+	for _, fn := range ls {
+		fn(ev)
 	}
 }
 
@@ -256,6 +331,7 @@ func (c *Catalog) CreateIndex(name, table string, columns ...string) (*Index, er
 	if buildErr != nil {
 		return nil, fmt.Errorf("catalog: create index %q: %w", name, buildErr)
 	}
+	c.invalidate("index-created", t.Name, "")
 	return ix, nil
 }
 
@@ -269,7 +345,21 @@ func (c *Catalog) DropIndexes(table string) error {
 	t.mu.Lock()
 	t.indexes = nil
 	t.mu.Unlock()
+	c.invalidate("index-dropped", t.Name, "")
 	return nil
+}
+
+// Analyze refreshes a table's optimizer statistics and notifies plan
+// caches (fresh statistics can change the preferred access path, so
+// prepared plans should be re-optimized).
+func (c *Catalog) Analyze(table string) (*stats.TableStats, error) {
+	t, ok := c.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("catalog: analyze: no table %q", table)
+	}
+	ts := t.Analyze()
+	c.invalidate("stats-refreshed", t.Name, "")
+	return ts, nil
 }
 
 // RegisterModel registers (or replaces) a mining model together with its
@@ -277,15 +367,30 @@ func (c *Catalog) DropIndexes(table string) error {
 // version, invalidating plans that used the previous envelopes.
 func (c *Catalog) RegisterModel(m mining.Model, envelopes map[string]expr.Expr) *ModelEntry {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	prev := c.models[key(m.Name())]
 	ver := int64(1)
 	if prev != nil {
 		ver = prev.Version + 1
 	}
-	me := &ModelEntry{Model: m, Version: ver, envelopes: envelopes}
+	me := &ModelEntry{Model: m, Version: ver, Fingerprint: fingerprint(m, envelopes), envelopes: envelopes}
 	c.models[key(m.Name())] = me
+	c.mu.Unlock()
+	c.invalidate("model-registered", "", m.Name())
 	return me
+}
+
+// DropModel removes a model. Queries referencing it fail to prepare, and
+// prepared plans exploiting its envelopes are invalidated.
+func (c *Catalog) DropModel(name string) error {
+	c.mu.Lock()
+	if _, ok := c.models[key(name)]; !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("catalog: drop model: no model %q", name)
+	}
+	delete(c.models, key(name))
+	c.mu.Unlock()
+	c.invalidate("model-dropped", "", name)
+	return nil
 }
 
 // Model looks up a model entry by name.

@@ -197,3 +197,73 @@ func TestModelRegistrationAndVersioning(t *testing.T) {
 		t.Error("Classes proxy broken")
 	}
 }
+
+func TestEpochAndInvalidationEvents(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", demoSchema())
+	tb.Insert(value.Tuple{value.Int(1), value.Str("a"), value.Float(0.5)})
+
+	var events []InvalidationEvent
+	c.OnInvalidate(func(ev InvalidationEvent) { events = append(events, ev) })
+
+	if c.Epoch() != 0 {
+		t.Fatalf("fresh catalog epoch = %d, want 0", c.Epoch())
+	}
+	steps := []struct {
+		do     func() error
+		reason string
+	}{
+		{func() error { _, err := c.CreateIndex("ix", "t", "cat"); return err }, "index-created"},
+		{func() error { _, err := c.Analyze("t"); return err }, "stats-refreshed"},
+		{func() error { c.RegisterModel(fakeModel{name: "m"}, nil); return nil }, "model-registered"},
+		{func() error { return c.DropIndexes("t") }, "index-dropped"},
+		{func() error { return c.DropModel("m") }, "model-dropped"},
+	}
+	for i, s := range steps {
+		before := c.Epoch()
+		if err := s.do(); err != nil {
+			t.Fatalf("step %d (%s): %v", i, s.reason, err)
+		}
+		if c.Epoch() != before+1 {
+			t.Errorf("step %d (%s): epoch %d -> %d, want +1", i, s.reason, before, c.Epoch())
+		}
+		if len(events) != i+1 || events[i].Reason != s.reason {
+			t.Fatalf("step %d: events = %+v, want last reason %q", i, events, s.reason)
+		}
+		if events[i].Epoch != c.Epoch() {
+			t.Errorf("step %d: event epoch %d, catalog epoch %d", i, events[i].Epoch, c.Epoch())
+		}
+	}
+	if err := c.DropModel("m"); err == nil {
+		t.Error("dropping a missing model should fail")
+	}
+	if _, err := c.Analyze("nope"); err == nil {
+		t.Error("analyzing a missing table should fail")
+	}
+}
+
+func TestModelFingerprintStability(t *testing.T) {
+	c := New()
+	env := map[string]expr.Expr{
+		"a": expr.Cmp{Col: "cat", Op: expr.OpEq, Val: value.Str("a")},
+	}
+	me1 := c.RegisterModel(fakeModel{name: "m"}, env)
+	me2 := c.RegisterModel(fakeModel{name: "m"}, env)
+	if me1.Fingerprint == "" || me1.Fingerprint != me2.Fingerprint {
+		t.Errorf("identical registrations should share a fingerprint: %q vs %q", me1.Fingerprint, me2.Fingerprint)
+	}
+	if me2.Version != 2 {
+		t.Errorf("version should still bump, got %d", me2.Version)
+	}
+	env2 := map[string]expr.Expr{
+		"a": expr.Cmp{Col: "cat", Op: expr.OpEq, Val: value.Str("b")},
+	}
+	me3 := c.RegisterModel(fakeModel{name: "m"}, env2)
+	if me3.Fingerprint == me1.Fingerprint {
+		t.Error("changed envelopes should change the fingerprint")
+	}
+	me4 := c.RegisterModel(fakeModel{name: "other"}, env)
+	if me4.Fingerprint == me1.Fingerprint {
+		t.Error("different model names should not collide")
+	}
+}

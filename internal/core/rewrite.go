@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"minequery/internal/catalog"
@@ -9,6 +10,26 @@ import (
 	"minequery/internal/sqlparse"
 	"minequery/internal/value"
 )
+
+// CachedEnvelope is one memoized envelope derivation: the assembled
+// predicate for a (model, class-set) pair plus the rewrite notes its
+// construction emitted, so a cache hit replays the exact explain output
+// of the original derivation.
+type CachedEnvelope struct {
+	Pred  expr.Expr
+	Notes []string
+}
+
+// EnvelopeCache memoizes envelope derivations across queries. Keys
+// embed the model fingerprint (a content hash of the model and its
+// envelopes), so entries for a retrained or re-registered model are
+// simply never looked up again — staleness is impossible by
+// construction and eviction is purely a space concern. Implementations
+// must be safe for concurrent use.
+type EnvelopeCache interface {
+	Get(key string) (CachedEnvelope, bool)
+	Put(key string, ce CachedEnvelope)
+}
 
 // Rewrite is the Section 4 optimization of a parsed query: every mining
 // predicate f is replaced by f ∧ u_f, where u_f is assembled from the
@@ -29,6 +50,9 @@ type Rewrite struct {
 	ModelVersions map[string]int64
 	// Notes describes each rewrite applied (for EXPLAIN-style output).
 	Notes []string
+
+	// cache, when set, memoizes class-set envelope assembly.
+	cache EnvelopeCache
 }
 
 // predCols maps a query's prediction-column names ("alias.predcol",
@@ -49,9 +73,48 @@ func collectPredCols(q *sqlparse.Query, cat *catalog.Catalog) (predCols, error) 
 	return pc, nil
 }
 
+// validateColumns rejects references that name neither a base column of
+// the query's table nor a predicted column. A predicate over an unknown
+// name would otherwise evaluate to false on every row — a silently
+// empty result instead of an error.
+func validateColumns(q *sqlparse.Query, cat *catalog.Catalog, pc predCols) error {
+	t, ok := cat.Table(q.Table)
+	if !ok {
+		return fmt.Errorf("core: no table %q", q.Table)
+	}
+	check := func(col string) error {
+		if t.Schema.Ordinal(col) >= 0 {
+			return nil
+		}
+		if _, ok := pc[strings.ToLower(col)]; ok {
+			return nil
+		}
+		return fmt.Errorf("core: unknown column %q (table %q)", col, q.Table)
+	}
+	for _, c := range q.Select {
+		if err := check(c); err != nil {
+			return err
+		}
+	}
+	for _, c := range expr.Columns(q.Where) {
+		if err := check(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RewriteQuery applies the Section 4.2 optimization pipeline to a
 // parsed query. maxDisjuncts caps normalization work (<=0: default 64).
 func RewriteQuery(q *sqlparse.Query, cat *catalog.Catalog, maxDisjuncts int) (*Rewrite, error) {
+	return RewriteQueryCached(q, cat, maxDisjuncts, nil)
+}
+
+// RewriteQueryCached is RewriteQuery with an optional envelope cache:
+// class-set envelope assembly is memoized under fingerprint-derived
+// keys, so repeated queries against the same models skip re-derivation.
+// A nil cache disables memoization.
+func RewriteQueryCached(q *sqlparse.Query, cat *catalog.Catalog, maxDisjuncts int, cache EnvelopeCache) (*Rewrite, error) {
 	if maxDisjuncts <= 0 {
 		maxDisjuncts = 64
 	}
@@ -59,7 +122,10 @@ func RewriteQuery(q *sqlparse.Query, cat *catalog.Catalog, maxDisjuncts int) (*R
 	if err != nil {
 		return nil, err
 	}
-	rw := &Rewrite{ModelVersions: map[string]int64{}}
+	if err := validateColumns(q, cat, pc); err != nil {
+		return nil, err
+	}
+	rw := &Rewrite{ModelVersions: map[string]int64{}, cache: cache}
 	// Step 2: augment each mining predicate with its upper envelope.
 	augmented := rw.augment(q.Where, pc)
 	// Step 3: normalization and transitivity. Simplification prunes
@@ -89,6 +155,9 @@ func BaselineRewrite(q *sqlparse.Query, cat *catalog.Catalog, maxDisjuncts int) 
 	}
 	pc, err := collectPredCols(q, cat)
 	if err != nil {
+		return nil, err
+	}
+	if err := validateColumns(q, cat, pc); err != nil {
 		return nil, err
 	}
 	rw := &Rewrite{ModelVersions: map[string]int64{}}
@@ -129,18 +198,27 @@ func (rw *Rewrite) augment(e expr.Expr, pc predCols) expr.Expr {
 		}
 		switch x.Op {
 		case expr.OpEq:
-			u := rw.classEnvelope(me, x.Val, x.Col)
+			u := rw.memoized(classSetKey("eq", me, []value.Value{x.Val}), func() expr.Expr {
+				return rw.classEnvelope(me, x.Val, x.Col)
+			})
 			return expr.NewAnd(x, u)
 		case expr.OpNe:
 			// pred <> c is an IN over the remaining classes.
-			var rest []expr.Expr
+			var restClasses []value.Value
 			for _, c := range me.Classes() {
 				if !value.Equal(c, x.Val) {
-					rest = append(rest, rw.classEnvelope(me, c, x.Col))
+					restClasses = append(restClasses, c)
 				}
 			}
-			rw.note("%s <> %s: envelope disjunction over %d remaining classes", x.Col, x.Val, len(rest))
-			return expr.NewAnd(x, expr.NewOr(rest...))
+			u := rw.memoized(classSetKey("ne:"+valueKey(x.Val), me, restClasses), func() expr.Expr {
+				rest := make([]expr.Expr, 0, len(restClasses))
+				for _, c := range restClasses {
+					rest = append(rest, rw.classEnvelope(me, c, x.Col))
+				}
+				rw.note("%s <> %s: envelope disjunction over %d remaining classes", x.Col, x.Val, len(rest))
+				return expr.NewOr(rest...)
+			})
+			return expr.NewAnd(x, u)
 		default:
 			return x
 		}
@@ -149,12 +227,15 @@ func (rw *Rewrite) augment(e expr.Expr, pc predCols) expr.Expr {
 		if !ok {
 			return x
 		}
-		kids := make([]expr.Expr, 0, len(x.Vals))
-		for _, v := range x.Vals {
-			kids = append(kids, rw.classEnvelope(me, v, x.Col))
-		}
-		rw.note("%s IN (...): envelope disjunction over %d classes", x.Col, len(x.Vals))
-		return expr.NewAnd(x, expr.NewOr(kids...))
+		u := rw.memoized(classSetKey("in", me, x.Vals), func() expr.Expr {
+			kids := make([]expr.Expr, 0, len(x.Vals))
+			for _, v := range x.Vals {
+				kids = append(kids, rw.classEnvelope(me, v, x.Col))
+			}
+			rw.note("%s IN (...): envelope disjunction over %d classes", x.Col, len(x.Vals))
+			return expr.NewOr(kids...)
+		})
+		return expr.NewAnd(x, u)
 	case expr.ColCmp:
 		if x.Op != expr.OpEq {
 			return x
@@ -166,15 +247,18 @@ func (rw *Rewrite) augment(e expr.Expr, pc predCols) expr.Expr {
 			// Join between two predicted columns: disjunction over the
 			// common class labels of both envelope conjunctions.
 			common := commonClasses(meA, meB)
-			kids := make([]expr.Expr, 0, len(common))
-			for _, c := range common {
-				kids = append(kids, expr.NewAnd(
-					rw.classEnvelope(meA, c, x.ColA),
-					rw.classEnvelope(meB, c, x.ColB),
-				))
-			}
-			rw.note("%s = %s: model-model join over %d common classes", x.ColA, x.ColB, len(common))
-			return expr.NewAnd(x, expr.NewOr(kids...))
+			u := rw.memoized(classSetKey("mm:"+meB.Fingerprint, meA, common), func() expr.Expr {
+				kids := make([]expr.Expr, 0, len(common))
+				for _, c := range common {
+					kids = append(kids, expr.NewAnd(
+						rw.classEnvelope(meA, c, x.ColA),
+						rw.classEnvelope(meB, c, x.ColB),
+					))
+				}
+				rw.note("%s = %s: model-model join over %d common classes", x.ColA, x.ColB, len(common))
+				return expr.NewOr(kids...)
+			})
+			return expr.NewAnd(x, u)
 		case okA != okB:
 			// Join between a predicted column and a data column:
 			// enumerate the model's classes.
@@ -183,15 +267,18 @@ func (rw *Rewrite) augment(e expr.Expr, pc predCols) expr.Expr {
 				me, predCol, dataCol = meB, x.ColB, x.ColA
 			}
 			classes := me.Classes()
-			kids := make([]expr.Expr, 0, len(classes))
-			for _, c := range classes {
-				kids = append(kids, expr.NewAnd(
-					rw.classEnvelope(me, c, predCol),
-					expr.Cmp{Col: dataCol, Op: expr.OpEq, Val: c},
-				))
-			}
-			rw.note("%s = %s: model-data join over %d classes", predCol, dataCol, len(classes))
-			return expr.NewAnd(x, expr.NewOr(kids...))
+			u := rw.memoized(classSetKey("md:"+strings.ToLower(dataCol), me, classes), func() expr.Expr {
+				kids := make([]expr.Expr, 0, len(classes))
+				for _, c := range classes {
+					kids = append(kids, expr.NewAnd(
+						rw.classEnvelope(me, c, predCol),
+						expr.Cmp{Col: dataCol, Op: expr.OpEq, Val: c},
+					))
+				}
+				rw.note("%s = %s: model-data join over %d classes", predCol, dataCol, len(classes))
+				return expr.NewOr(kids...)
+			})
+			return expr.NewAnd(x, u)
 		default:
 			return x
 		}
@@ -226,6 +313,46 @@ func (rw *Rewrite) classEnvelope(me *catalog.ModelEntry, class value.Value, col 
 
 func (rw *Rewrite) note(format string, args ...any) {
 	rw.Notes = append(rw.Notes, fmt.Sprintf(format, args...))
+}
+
+// memoized returns the cached envelope for key, or runs build and
+// caches the result. The notes build emits are stored with the
+// predicate and replayed verbatim on a hit, so cached and uncached
+// rewrites of the same query are indistinguishable to callers.
+func (rw *Rewrite) memoized(key string, build func() expr.Expr) expr.Expr {
+	if rw.cache != nil {
+		if ce, ok := rw.cache.Get(key); ok {
+			rw.Notes = append(rw.Notes, ce.Notes...)
+			return ce.Pred
+		}
+	}
+	mark := len(rw.Notes)
+	e := build()
+	if rw.cache != nil {
+		notes := make([]string, len(rw.Notes)-mark)
+		copy(notes, rw.Notes[mark:])
+		rw.cache.Put(key, CachedEnvelope{Pred: e, Notes: notes})
+	}
+	return e
+}
+
+// classSetKey builds a cache key from the predicate shape, the model's
+// content fingerprint, and the (sorted) class labels involved. The
+// fingerprint folds in the envelope set, so any retrain or envelope
+// change yields fresh keys and old entries simply rot unused.
+func classSetKey(shape string, me *catalog.ModelEntry, classes []value.Value) string {
+	keys := make([]string, len(classes))
+	for i, c := range classes {
+		keys[i] = valueKey(c)
+	}
+	sort.Strings(keys)
+	return shape + "|" + me.Fingerprint + "|" + strings.Join(keys, ",")
+}
+
+// valueKey encodes a class label unambiguously (kind-tagged, so
+// Int(1) and Str("1") never collide).
+func valueKey(v value.Value) string {
+	return fmt.Sprintf("%d:%s", v.Kind(), v.String())
 }
 
 func commonClasses(a, b *catalog.ModelEntry) []value.Value {

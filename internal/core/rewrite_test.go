@@ -314,3 +314,115 @@ func TestRewriteRecordsModelVersions(t *testing.T) {
 		t.Error("rewrite notes missing")
 	}
 }
+
+// mapEnvCache is a minimal EnvelopeCache for tests.
+type mapEnvCache struct {
+	m            map[string]CachedEnvelope
+	hits, misses int
+}
+
+func newMapEnvCache() *mapEnvCache { return &mapEnvCache{m: map[string]CachedEnvelope{}} }
+
+func (c *mapEnvCache) Get(key string) (CachedEnvelope, bool) {
+	ce, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return ce, ok
+}
+
+func (c *mapEnvCache) Put(key string, ce CachedEnvelope) { c.m[key] = ce }
+
+// TestRewriteCachedMatchesUncached: memoized envelope assembly must be
+// invisible — same predicates and same notes as a cold rewrite — while
+// the second pass over the same query serves every class set from cache.
+func TestRewriteCachedMatchesUncached(t *testing.T) {
+	f := newRewriteFixture(t)
+	queries := []string{
+		"SELECT * FROM customers PREDICTION JOIN fans AS m ON m.age = customers.age AND m.income = customers.income WHERE m.segment_pred = 'fan'",
+		"SELECT * FROM customers PREDICTION JOIN fans AS m ON m.age = customers.age AND m.income = customers.income WHERE m.segment_pred IN ('fan', 'casual')",
+		"SELECT * FROM customers PREDICTION JOIN fans AS m ON m.age = customers.age AND m.income = customers.income WHERE m.segment_pred <> 'fan'",
+		"SELECT * FROM customers PREDICTION JOIN fans AS m ON m.age = customers.age AND m.income = customers.income WHERE m.segment_pred = segment",
+		"SELECT * FROM customers PREDICTION JOIN fans AS m ON m.age = customers.age AND m.income = customers.income PREDICTION JOIN fans AS n ON n.age = customers.age AND n.income = customers.income WHERE m.segment_pred = n.segment_pred",
+	}
+	for _, sql := range queries {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := RewriteQuery(q, f.cat, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := newMapEnvCache()
+		for pass := 0; pass < 2; pass++ {
+			rw, err := RewriteQueryCached(q, f.cat, 0, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := rw.FullPred.String(), cold.FullPred.String(); got != want {
+				t.Fatalf("%s pass %d: FullPred %s, want %s", sql, pass, got, want)
+			}
+			if got, want := rw.DataPred.String(), cold.DataPred.String(); got != want {
+				t.Fatalf("%s pass %d: DataPred %s, want %s", sql, pass, got, want)
+			}
+			if got, want := strings.Join(rw.Notes, "\n"), strings.Join(cold.Notes, "\n"); got != want {
+				t.Fatalf("%s pass %d: notes differ:\n%s\n-- want --\n%s", sql, pass, got, want)
+			}
+		}
+		if cache.hits == 0 {
+			t.Fatalf("%s: second rewrite never hit the cache", sql)
+		}
+	}
+	// Fingerprint keys must keep entries for distinct models apart: the
+	// tree model's 'hi' class is not the NB model's envelope.
+	cache := newMapEnvCache()
+	for _, sql := range []string{
+		"SELECT * FROM customers PREDICTION JOIN fans AS m ON m.age = customers.age AND m.income = customers.income WHERE m.segment_pred = 'fan'",
+		"SELECT * FROM customers PREDICTION JOIN risk AS r ON r.age = customers.age AND r.income = customers.income WHERE r.risk = 'hi'",
+	} {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RewriteQueryCached(q, f.cat, 0, cache); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.hits != 0 {
+		t.Fatalf("distinct models shared a cache entry (%d hits)", cache.hits)
+	}
+}
+
+// TestUnknownColumnRejected: a WHERE or SELECT reference that names
+// neither a base column nor a predicted column must fail the rewrite
+// instead of silently matching no rows.
+func TestUnknownColumnRejected(t *testing.T) {
+	fx := newRewriteFixture(t)
+	for _, src := range []string{
+		"SELECT id FROM customers WHERE nosuch = 1",
+		"SELECT nosuch FROM customers",
+		"SELECT id FROM customers PREDICTION JOIN fans AS m ON m.age = age WHERE m.nosuch = 'x'",
+	} {
+		q, err := sqlparse.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", src, err)
+		}
+		if _, err := RewriteQuery(q, fx.cat, 0); err == nil || !strings.Contains(err.Error(), "unknown column") {
+			t.Errorf("%s: err = %v, want unknown column", src, err)
+		}
+		if _, err := BaselineRewrite(q, fx.cat, 0); err == nil || !strings.Contains(err.Error(), "unknown column") {
+			t.Errorf("%s: baseline err = %v, want unknown column", src, err)
+		}
+	}
+	// Valid references still pass.
+	q, err := sqlparse.Parse("SELECT id FROM customers PREDICTION JOIN fans AS m ON m.age = age WHERE m.segment_pred = 'fan' AND customers.income = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RewriteQuery(q, fx.cat, 0); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}

@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -80,7 +81,19 @@ func DefaultOptions() Options {
 // batch-natively; index access paths (already bounded by the RID list)
 // run tuple-at-a-time and are adapted.
 func BuildBatch(c *catalog.Catalog, n plan.Node, opts Options) (BatchIterator, error) {
+	return BuildBatchCtx(context.Background(), c, n, opts)
+}
+
+// BuildBatchCtx is BuildBatch with a cancellation context threaded into
+// the scan leaves: a cancelled or timed-out ctx makes NextBatch return
+// ctx's error (wrapped, so errors.Is matches context.Canceled /
+// context.DeadlineExceeded), and morsel-scan workers stop claiming and
+// decoding work promptly instead of finishing the table.
+func BuildBatchCtx(ctx context.Context, c *catalog.Catalog, n plan.Node, opts Options) (BatchIterator, error) {
 	opts = opts.fill()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	switch x := n.(type) {
 	case *plan.SeqScan:
 		t, ok := c.Table(x.Table)
@@ -88,23 +101,23 @@ func BuildBatch(c *catalog.Catalog, n plan.Node, opts Options) (BatchIterator, e
 			return nil, fmt.Errorf("exec: no table %q", x.Table)
 		}
 		if opts.DOP > 1 {
-			return newParallelScan(t, opts), nil
+			return newParallelScan(ctx, t, opts), nil
 		}
-		return newBatchSeqScan(t, opts), nil
+		return newBatchSeqScan(ctx, t, opts), nil
 	case *plan.Filter:
-		child, err := BuildBatch(c, x.Child, opts)
+		child, err := BuildBatchCtx(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &batchFilter{child: child, pred: x.Pred}, nil
 	case *plan.Project:
-		child, err := BuildBatch(c, x.Child, opts)
+		child, err := BuildBatchCtx(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
 		return newBatchProject(child, x.Cols)
 	case *plan.Predict:
-		child, err := BuildBatch(c, x.Child, opts)
+		child, err := BuildBatchCtx(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -118,26 +131,72 @@ func BuildBatch(c *catalog.Catalog, n plan.Node, opts Options) (BatchIterator, e
 		}
 		return newBatchPredict(child, me, x.As)
 	case *plan.Limit:
-		child, err := BuildBatch(c, x.Child, opts)
+		child, err := BuildBatchCtx(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &batchLimit{child: child, n: x.N}, nil
 	default:
+		if err := ctxErr(ctx); err != nil {
+			// Index access paths materialize their RID lists inside
+			// Build; don't start that work for a dead query.
+			return nil, err
+		}
 		it, err := Build(c, n)
 		if err != nil {
 			return nil, err
 		}
-		return AsBatch(it, opts.BatchSize), nil
+		return &ctxBatch{ctx: ctx, child: AsBatch(it, opts.BatchSize)}, nil
 	}
 }
+
+// ctxErr wraps a context error so callers can both errors.Is-match the
+// cause and see that execution (not planning) was interrupted.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("exec: query interrupted: %w", err)
+	}
+	return nil
+}
+
+// ctxBatch checks the context once per batch on behalf of adapted
+// tuple-at-a-time subtrees (index paths), bounding how long a cancelled
+// query keeps running to one batch.
+type ctxBatch struct {
+	ctx   context.Context
+	child BatchIterator
+}
+
+func (c *ctxBatch) Schema() *value.Schema { return c.child.Schema() }
+
+func (c *ctxBatch) NextBatch() (Batch, bool, error) {
+	if err := ctxErr(c.ctx); err != nil {
+		return nil, false, err
+	}
+	return c.child.NextBatch()
+}
+
+func (c *ctxBatch) Close() { c.child.Close() }
 
 // RunOpts builds and drains a plan batch-at-a-time with the given
 // options, returning all produced tuples in plan order (parallel scans
 // reassemble morsels in heap order, so results are deterministic at any
 // DOP).
 func RunOpts(c *catalog.Catalog, n plan.Node, opts Options) ([]value.Tuple, *value.Schema, error) {
-	it, err := BuildBatch(c, n, opts)
+	return RunCtx(context.Background(), c, n, opts)
+}
+
+// RunCtx is RunOpts under a cancellation context: execution stops (and
+// the ctx error is returned) as soon as cancellation is observed, which
+// is at worst one batch after it fires.
+func RunCtx(ctx context.Context, c *catalog.Catalog, n plan.Node, opts Options) ([]value.Tuple, *value.Schema, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+	it, err := BuildBatchCtx(ctx, c, n, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -242,6 +301,7 @@ func (u *unbatcher) Close() { u.child.Close() }
 // batchSeqScan streams a table heap page by page, decoding rows into
 // batches on demand (no up-front materialization).
 type batchSeqScan struct {
+	ctx       context.Context
 	table     *catalog.Table
 	batchSize int
 	nextPage  int
@@ -249,8 +309,8 @@ type batchSeqScan struct {
 	err       error
 }
 
-func newBatchSeqScan(t *catalog.Table, opts Options) *batchSeqScan {
-	return &batchSeqScan{table: t, batchSize: opts.BatchSize, pageCount: t.Heap.PageCount()}
+func newBatchSeqScan(ctx context.Context, t *catalog.Table, opts Options) *batchSeqScan {
+	return &batchSeqScan{ctx: ctx, table: t, batchSize: opts.BatchSize, pageCount: t.Heap.PageCount()}
 }
 
 func (s *batchSeqScan) Schema() *value.Schema { return s.table.Schema }
@@ -261,6 +321,9 @@ func (s *batchSeqScan) NextBatch() (Batch, bool, error) {
 	}
 	var batch Batch
 	for len(batch) < s.batchSize && s.nextPage < s.pageCount {
+		if s.err = ctxErr(s.ctx); s.err != nil {
+			return nil, false, s.err
+		}
 		s.table.Heap.ScanPages(s.nextPage, s.nextPage+1, func(_ storage.RID, rec []byte) bool {
 			tup, err := value.DecodeTuple(rec)
 			if err != nil {

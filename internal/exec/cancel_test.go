@@ -1,0 +1,129 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"minequery/internal/catalog"
+	"minequery/internal/expr"
+	"minequery/internal/plan"
+	"minequery/internal/value"
+)
+
+// cancelFixture builds a table large enough to span many morsels.
+func cancelFixture(t *testing.T, rows int) (*catalog.Catalog, *catalog.Table) {
+	t.Helper()
+	cat := catalog.New()
+	tb, err := cat.CreateTable("big", value.MustSchema(
+		value.Column{Name: "id", Kind: value.KindInt},
+		value.Column{Name: "payload", Kind: value.KindString},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := tb.Insert(value.Tuple{value.Int(int64(i)), value.Str(fmt.Sprintf("row-%06d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat, tb
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	cat, _ := cancelFixture(t, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, dop := range []int{1, 4} {
+		_, _, err := RunCtx(ctx, cat, &plan.SeqScan{Table: "big"}, Options{DOP: dop})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("DOP %d: err = %v, want context.Canceled", dop, err)
+		}
+	}
+}
+
+func TestCancelMidParallelScan(t *testing.T) {
+	cat, tb := cancelFixture(t, 30000)
+	if tb.Heap.PageCount() < 8 {
+		t.Fatalf("fixture too small: %d pages", tb.Heap.PageCount())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	it, err := BuildBatchCtx(ctx, cat, &plan.SeqScan{Table: "big"}, Options{DOP: 4, MorselPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if _, done, err := it.NextBatch(); done || err != nil {
+		t.Fatalf("first batch: done=%v err=%v", done, err)
+	}
+	cancel()
+	// The iterator must surface the cancellation as an error, never run
+	// to clean completion.
+	var total int
+	for {
+		b, done, err := it.NextBatch()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			return
+		}
+		if done {
+			t.Fatal("scan completed cleanly despite cancellation")
+		}
+		total += len(b)
+		if total > 40000 {
+			t.Fatal("runaway iterator")
+		}
+	}
+}
+
+func TestDeadlineMidScan(t *testing.T) {
+	cat, _ := cancelFixture(t, 30000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	// Burn the deadline so expiry is guaranteed regardless of scan speed.
+	time.Sleep(2 * time.Millisecond)
+	for _, dop := range []int{1, 4} {
+		root := &plan.Filter{
+			Child: &plan.SeqScan{Table: "big"},
+			Pred:  expr.Cmp{Col: "id", Op: expr.OpGe, Val: value.Int(0)},
+		}
+		_, _, err := RunCtx(ctx, cat, root, Options{DOP: dop})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("DOP %d: err = %v, want context.DeadlineExceeded", dop, err)
+		}
+	}
+}
+
+// TestCancelStopsWorkers asserts promptness: after cancellation the
+// morsel workers stop claiming work, so the heap's page-read counter
+// stops well short of a full scan.
+func TestCancelStopsWorkers(t *testing.T) {
+	cat, tb := cancelFixture(t, 150000)
+	pages := tb.Heap.PageCount()
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := BuildBatchCtx(ctx, cat, &plan.SeqScan{Table: "big"}, Options{DOP: 2, MorselPages: 1, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if _, done, err := it.NextBatch(); done || err != nil {
+		t.Fatalf("first batch: done=%v err=%v", done, err)
+	}
+	cancel()
+	for {
+		if _, done, err := it.NextBatch(); err != nil || done {
+			break
+		}
+	}
+	// Give stragglers a moment to observe cancellation, then snapshot.
+	time.Sleep(20 * time.Millisecond)
+	read := tb.Heap.Stats().SeqPageReads
+	if read >= int64(pages) {
+		t.Errorf("workers read %d of %d pages after cancellation; expected an early stop", read, pages)
+	}
+}

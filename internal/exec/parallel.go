@@ -7,6 +7,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -26,6 +27,7 @@ type morselResult struct {
 // called from a single goroutine (the usual iterator contract); the
 // workers it feeds from run concurrently.
 type parallelScan struct {
+	ctx   context.Context
 	table *catalog.Table
 
 	// results has one single-use buffered channel per morsel; worker i
@@ -40,10 +42,11 @@ type parallelScan struct {
 	err        error
 }
 
-func newParallelScan(t *catalog.Table, opts Options) *parallelScan {
+func newParallelScan(ctx context.Context, t *catalog.Table, opts Options) *parallelScan {
 	pageCount := t.Heap.PageCount()
 	nMorsels := (pageCount + opts.MorselPages - 1) / opts.MorselPages
 	ps := &parallelScan{
+		ctx:     ctx,
 		table:   t,
 		results: make([]chan morselResult, nMorsels),
 		claim:   new(atomic.Int64),
@@ -57,7 +60,7 @@ func newParallelScan(t *catalog.Table, opts Options) *parallelScan {
 		workers = nMorsels
 	}
 	for w := 0; w < workers; w++ {
-		go scanWorker(t, ps.results, ps.claim, ps.cancel, opts, pageCount)
+		go scanWorker(ctx, t, ps.results, ps.claim, ps.cancel, opts, pageCount)
 	}
 	return ps
 }
@@ -65,15 +68,29 @@ func newParallelScan(t *catalog.Table, opts Options) *parallelScan {
 // scanWorker claims morsels until the cursor runs off the end, decoding
 // each into batches. It deliberately holds no reference to the
 // parallelScan so an abandoned scan can be collected while stragglers
-// finish.
-func scanWorker(t *catalog.Table, results []chan morselResult, claim *atomic.Int64, cancel *atomic.Bool, opts Options, pageCount int) {
+// finish. Cancellation — the consumer's cancel flag or the query
+// context — is observed at each morsel claim and at each batch flush
+// inside a morsel, so a dead query stops decoding within one batch.
+func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResult, claim *atomic.Int64, cancel *atomic.Bool, opts Options, pageCount int) {
+	done := ctx.Done()
+	stopped := func() bool {
+		if cancel.Load() {
+			return true
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	for {
 		m := int(claim.Add(1) - 1)
 		if m >= len(results) {
 			return
 		}
-		if cancel.Load() {
-			results[m] <- morselResult{}
+		if stopped() {
+			results[m] <- morselResult{err: ctx.Err()}
 			continue
 		}
 		lo := m * opts.MorselPages
@@ -93,10 +110,14 @@ func scanWorker(t *catalog.Table, results []chan morselResult, claim *atomic.Int
 			if len(batch) >= opts.BatchSize {
 				res.batches = append(res.batches, batch)
 				batch = make(Batch, 0, opts.BatchSize)
+				if stopped() {
+					res.err = ctx.Err()
+					return false
+				}
 			}
 			return true
 		})
-		if len(batch) > 0 {
+		if len(batch) > 0 && res.err == nil {
 			res.batches = append(res.batches, batch)
 		}
 		results[m] <- res
@@ -110,6 +131,10 @@ func (ps *parallelScan) NextBatch() (Batch, bool, error) {
 		return nil, false, ps.err
 	}
 	for {
+		if err := ctxErr(ps.ctx); err != nil {
+			ps.fail(err)
+			return nil, false, ps.err
+		}
 		if len(ps.pending) > 0 {
 			b := ps.pending[0]
 			ps.pending = ps.pending[1:]
@@ -121,12 +146,22 @@ func (ps *parallelScan) NextBatch() (Batch, bool, error) {
 		r := <-ps.results[ps.nextMorsel]
 		ps.nextMorsel++
 		if r.err != nil {
-			ps.err = r.err
-			ps.cancel.Store(true)
+			// A worker aborted this morsel: a decode error, or it saw the
+			// context die mid-morsel (err is then the raw ctx error).
+			ps.fail(r.err)
 			return nil, false, ps.err
 		}
 		ps.pending = r.batches
 	}
+}
+
+// fail records the scan error and stops the workers.
+func (ps *parallelScan) fail(err error) {
+	if ctxCause := ps.ctx.Err(); ctxCause != nil && err == ctxCause {
+		err = fmt.Errorf("exec: query interrupted: %w", err)
+	}
+	ps.err = err
+	ps.cancel.Store(true)
 }
 
 // Close tells the workers to stop claiming real work. Workers never

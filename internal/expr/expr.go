@@ -271,6 +271,39 @@ func NewOr(kids ...Expr) Expr {
 	return Or{Kids: flat}
 }
 
+// MapColumns returns e with every column reference rewritten through f;
+// structure, operators, and literals are preserved.
+func MapColumns(e Expr, f func(string) string) Expr {
+	switch x := e.(type) {
+	case Cmp:
+		x.Col = f(x.Col)
+		return x
+	case In:
+		x.Col = f(x.Col)
+		return x
+	case ColCmp:
+		x.ColA = f(x.ColA)
+		x.ColB = f(x.ColB)
+		return x
+	case And:
+		kids := make([]Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = MapColumns(k, f)
+		}
+		return And{Kids: kids}
+	case Or:
+		kids := make([]Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = MapColumns(k, f)
+		}
+		return Or{Kids: kids}
+	case Not:
+		return Not{Kid: MapColumns(x.Kid, f)}
+	default:
+		return e
+	}
+}
+
 // Columns returns the sorted set of column names referenced by e.
 func Columns(e Expr) []string {
 	set := map[string]bool{}

@@ -1,0 +1,33 @@
+package mining
+
+import (
+	"hash/fnv"
+	"io"
+)
+
+// Fingerprint returns a stable content hash of a model's
+// interface-visible identity: name, prediction column, input columns,
+// and class labels. It deliberately excludes any registration version,
+// so re-registering an identical model keeps its fingerprint. Callers
+// that cache artifacts derived from model *parameters* (e.g. envelope
+// predicates) must mix in a parameter digest as well — the catalog does
+// this by hashing the envelope set alongside this fingerprint.
+func Fingerprint(m Model) uint64 {
+	h := fnv.New64a()
+	writeDelim(h, m.Name())
+	writeDelim(h, m.PredictColumn())
+	for _, c := range m.InputColumns() {
+		writeDelim(h, c)
+	}
+	for _, c := range m.Classes() {
+		writeDelim(h, c.String())
+	}
+	return h.Sum64()
+}
+
+// writeDelim writes s followed by a separator so that field boundaries
+// cannot alias ("ab","c" hashes differently from "a","bc").
+func writeDelim(w io.Writer, s string) {
+	io.WriteString(w, s)
+	w.Write([]byte{0})
+}

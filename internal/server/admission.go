@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission is a bounded worker pool with a bounded wait queue: at most
+// `workers` queries execute concurrently, at most `queueDepth` more
+// wait for a slot, and everything beyond that is rejected immediately
+// with a typed error rather than queued indefinitely (the standard
+// load-shedding posture for a query server).
+type admission struct {
+	slots      chan struct{}
+	queueDepth int64
+	waiting    atomic.Int64
+
+	rejected atomic.Int64
+	admitted atomic.Int64
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{slots: make(chan struct{}, workers), queueDepth: int64(queueDepth)}
+}
+
+// acquire claims an execution slot, waiting in the queue if all slots
+// are busy. It fails with errRejected when the queue is full, or with
+// the context's error if the caller gives up while waiting. The caller
+// must release() after the query finishes.
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	// Slow path: count ourselves into the wait queue, bounded.
+	if a.waiting.Add(1) > a.queueDepth {
+		a.waiting.Add(-1)
+		a.rejected.Add(1)
+		return errRejected
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// admissionStats is the /v1/stats view of the pool.
+type admissionStats struct {
+	Workers  int   `json:"workers"`
+	InFlight int   `json:"in_flight"`
+	Waiting  int64 `json:"waiting"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+}
+
+func (a *admission) stats() admissionStats {
+	return admissionStats{
+		Workers:  cap(a.slots),
+		InFlight: len(a.slots),
+		Waiting:  a.waiting.Load(),
+		Admitted: a.admitted.Load(),
+		Rejected: a.rejected.Load(),
+	}
+}

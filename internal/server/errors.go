@@ -1,0 +1,75 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"minequery"
+)
+
+// Error codes returned in the JSON error envelope. Each maps to one
+// HTTP status; clients branch on Code, not on message text.
+const (
+	CodeBadRequest   = "bad_request"   // 400: malformed request or SQL error
+	CodeNotFound     = "not_found"     // 404: unknown session/statement
+	CodeRejected     = "rejected"      // 429: admission queue full
+	CodeShuttingDown = "shutting_down" // 503: server is draining
+	CodeInternal     = "internal"      // 500: unexpected failure
+	CodeTimeout      = "timeout"       // 504: per-query deadline exceeded
+	CodeCancelled    = "cancelled"     // 499: client went away mid-query
+	CodeStalePlan    = "stale_plan"    // 409: catalog churned faster than re-prepare retries
+)
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the response was produced.
+const statusClientClosedRequest = 499
+
+// apiError is a typed server error carrying its wire code.
+type apiError struct {
+	code string
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errBadRequest(msg string) error { return &apiError{code: CodeBadRequest, msg: msg} }
+func errNotFound(msg string) error   { return &apiError{code: CodeNotFound, msg: msg} }
+
+// errRejected is returned by the admission controller when the wait
+// queue is at capacity.
+var errRejected = &apiError{code: CodeRejected, msg: "server busy: admission queue full"}
+
+// errShuttingDown is returned once Shutdown has begun.
+var errShuttingDown = &apiError{code: CodeShuttingDown, msg: "server is shutting down"}
+
+// classify maps an error to (code, http status). Context errors from
+// query execution become timeout/cancelled; apiErrors keep their code;
+// anything else is a bad request if it happened before execution (the
+// caller decides) or internal.
+func classify(err error) (string, int) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		switch ae.code {
+		case CodeRejected:
+			return CodeRejected, http.StatusTooManyRequests
+		case CodeShuttingDown:
+			return CodeShuttingDown, http.StatusServiceUnavailable
+		case CodeNotFound:
+			return CodeNotFound, http.StatusNotFound
+		case CodeBadRequest:
+			return CodeBadRequest, http.StatusBadRequest
+		default:
+			return CodeInternal, http.StatusInternalServerError
+		}
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeTimeout, http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return CodeCancelled, statusClientClosedRequest
+	case errors.Is(err, minequery.ErrStalePlan):
+		return CodeStalePlan, http.StatusConflict
+	}
+	return CodeBadRequest, http.StatusBadRequest
+}

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"minequery"
+	"minequery/internal/sqlparse"
+)
+
+// stmtEntry is one registered statement. The registry's map lock is
+// never held across engine calls; each entry serializes its own
+// (re)preparation under entry.mu while executions of an already-valid
+// plan proceed without it.
+type stmtEntry struct {
+	id    string
+	key   string
+	sql   string
+	force bool // ForceSeqScan hint baked into the plan
+
+	mu       sync.Mutex
+	prepared *minequery.Prepared
+}
+
+// registry caches prepared statements keyed by normalized SQL: two
+// spellings of the same query share one plan. Entries go stale via the
+// catalog epoch and are re-prepared lazily on next use — invalidation
+// events are only counted, never walked, so a retrain costs O(1) no
+// matter how many statements are registered.
+type registry struct {
+	eng *minequery.Engine
+
+	mu    sync.Mutex
+	next  int64
+	byKey map[string]*stmtEntry
+	byID  map[string]*stmtEntry
+	order []string // keys in insertion order, for FIFO eviction
+	max   int
+
+	hits       atomic.Int64 // prepare/execute served from a cached valid plan
+	misses     atomic.Int64 // first-time preparations
+	reprepares atomic.Int64 // stale plans rebuilt in place
+	evictions  atomic.Int64
+}
+
+func newRegistry(eng *minequery.Engine, max int) *registry {
+	if max <= 0 {
+		max = 256
+	}
+	return &registry{
+		eng:   eng,
+		byKey: map[string]*stmtEntry{},
+		byID:  map[string]*stmtEntry{},
+		max:   max,
+	}
+}
+
+// cacheKey normalizes sql and folds in plan hints, so the same text
+// prepared with different hints yields distinct plans.
+func cacheKey(sql string, force bool) (string, error) {
+	norm, err := sqlparse.Normalize(sql)
+	if err != nil {
+		return "", err
+	}
+	if force {
+		return "force-seqscan|" + norm, nil
+	}
+	return norm, nil
+}
+
+// lookup finds or creates the entry for (sql, force) without preparing
+// it. The bool reports whether the entry already existed.
+func (r *registry) lookup(sql string, force bool) (*stmtEntry, bool, error) {
+	key, err := cacheKey(sql, force)
+	if err != nil {
+		return nil, false, errBadRequest(err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ent, ok := r.byKey[key]; ok {
+		return ent, true, nil
+	}
+	for len(r.byKey) >= r.max && len(r.order) > 0 {
+		victim := r.order[0]
+		r.order = r.order[1:]
+		if old, ok := r.byKey[victim]; ok {
+			delete(r.byKey, victim)
+			delete(r.byID, old.id)
+			r.evictions.Add(1)
+		}
+	}
+	r.next++
+	ent := &stmtEntry{id: fmt.Sprintf("q%d", r.next), key: key, sql: sql, force: force}
+	r.byKey[key] = ent
+	r.byID[ent.id] = ent
+	r.order = append(r.order, key)
+	return ent, false, nil
+}
+
+func (r *registry) byStatementID(id string) (*stmtEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ent, ok := r.byID[id]
+	return ent, ok
+}
+
+// prepare ensures the entry holds a valid plan, building or rebuilding
+// it as needed. cached reports whether a previously built, still-valid
+// plan was reused (the /v1/prepare response's "cached" field and the
+// hit counter's definition).
+func (r *registry) prepare(sql string, force bool) (ent *stmtEntry, cached bool, err error) {
+	ent, _, err = r.lookup(sql, force)
+	if err != nil {
+		return nil, false, err
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.prepared != nil && ent.prepared.Valid() {
+		r.hits.Add(1)
+		return ent, true, nil
+	}
+	p, err := r.eng.PrepareOpts(ent.sql, minequery.PrepareOptions{ForceSeqScan: ent.force})
+	if err != nil {
+		return nil, false, err
+	}
+	if ent.prepared != nil {
+		r.reprepares.Add(1)
+	} else {
+		// First build for this entry — whether we created it or a
+		// concurrent caller did, no plan existed yet, so it's a miss.
+		r.misses.Add(1)
+	}
+	ent.prepared = p
+	return ent, false, nil
+}
+
+// maxExecuteRetries bounds the re-prepare loop: each retry means the
+// catalog changed mid-flight, so more than a handful signals a retrain
+// storm and the caller gets the staleness error instead of livelock.
+const maxExecuteRetries = 5
+
+// execute runs the entry's plan, lazily (re)preparing when the plan is
+// missing or stale. planReused reports whether this call executed a
+// plan built by an earlier call — the signal that the prepared path
+// skipped parse, envelope derivation, and optimization entirely.
+func (r *registry) execute(ctx context.Context, ent *stmtEntry, eo minequery.ExecOptions) (res *minequery.Result, planReused bool, err error) {
+	for attempt := 0; attempt <= maxExecuteRetries; attempt++ {
+		ent.mu.Lock()
+		p := ent.prepared
+		if p == nil || !p.Valid() {
+			np, perr := r.eng.PrepareOpts(ent.sql, minequery.PrepareOptions{ForceSeqScan: ent.force})
+			if perr != nil {
+				ent.mu.Unlock()
+				return nil, false, perr
+			}
+			if p != nil {
+				r.reprepares.Add(1)
+			} else {
+				r.misses.Add(1)
+			}
+			ent.prepared = np
+			p = np
+			reused := false
+			ent.mu.Unlock()
+			res, err = p.ExecuteOpts(ctx, eo)
+			if err == nil {
+				return res, reused, nil
+			}
+		} else {
+			r.hits.Add(1)
+			ent.mu.Unlock()
+			res, err = p.ExecuteOpts(ctx, eo)
+			if err == nil {
+				return res, true, nil
+			}
+		}
+		if !errors.Is(err, minequery.ErrStalePlan) {
+			return nil, false, err
+		}
+		// Plan went stale between the validity check and execution; loop
+		// to rebuild against the new catalog state.
+	}
+	return nil, false, err
+}
+
+// registryStats is the /v1/stats view of the statement cache.
+type registryStats struct {
+	Size       int   `json:"size"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Reprepares int64 `json:"reprepares"`
+	Evictions  int64 `json:"evictions"`
+}
+
+func (r *registry) stats() registryStats {
+	r.mu.Lock()
+	size := len(r.byKey)
+	r.mu.Unlock()
+	return registryStats{
+		Size:       size,
+		Hits:       r.hits.Load(),
+		Misses:     r.misses.Load(),
+		Reprepares: r.reprepares.Load(),
+		Evictions:  r.evictions.Load(),
+	}
+}

@@ -1,0 +1,501 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minequery"
+)
+
+// Config tunes a Server. Zero values take the documented defaults.
+type Config struct {
+	// Workers bounds concurrently executing queries (default: NumCPU).
+	Workers int
+	// QueueDepth bounds queries waiting for a worker slot; arrivals
+	// beyond workers+queue are rejected with code "rejected"
+	// (default 32).
+	QueueDepth int
+	// DefaultTimeout is the per-query deadline when neither the session
+	// nor the request sets one (default 30s).
+	DefaultTimeout time.Duration
+	// MaxStatements bounds the prepared-statement registry (default 256,
+	// FIFO eviction).
+	MaxStatements int
+	// EnvelopeCacheSize bounds the shared envelope cache (default 1024
+	// entries, FIFO eviction).
+	EnvelopeCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 32
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxStatements <= 0 {
+		c.MaxStatements = 256
+	}
+	if c.EnvelopeCacheSize <= 0 {
+		c.EnvelopeCacheSize = 1024
+	}
+	return c
+}
+
+// Server is the minequeryd core: session management, the
+// prepared-statement registry, the shared envelope cache, and admission
+// control in front of one embedded engine. Create with New, expose
+// Handler over any net/http server, stop with Shutdown (which drains
+// in-flight queries).
+type Server struct {
+	eng      *minequery.Engine
+	cfg      Config
+	mux      *http.ServeMux
+	adm      *admission
+	reg      *registry
+	env      *envCache
+	sessions *sessionStore
+	started  time.Time
+
+	mu      sync.Mutex
+	closing bool
+	wg      sync.WaitGroup
+
+	queries       atomic.Int64
+	timeouts      atomic.Int64
+	cancelled     atomic.Int64
+	invalidations atomic.Int64
+
+	// execHook, when set, runs after admission but before execution —
+	// a test seam for holding a worker slot at a known point.
+	execHook func()
+}
+
+// New wires a server around an engine. It installs the shared envelope
+// cache on the engine and subscribes to catalog invalidation events;
+// the engine should not be mutated concurrently with serving except
+// through catalog operations (retrain, index DDL, analyze), which the
+// cache layers are built to absorb.
+func New(eng *minequery.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		adm:      newAdmission(cfg.Workers, cfg.QueueDepth),
+		reg:      newRegistry(eng, cfg.MaxStatements),
+		env:      newEnvCache(cfg.EnvelopeCacheSize),
+		sessions: newSessionStore(),
+		started:  time.Now(),
+	}
+	eng.SetEnvelopeCache(s.env)
+	eng.OnInvalidate(func(ev minequery.InvalidationEvent) {
+		s.invalidations.Add(1)
+		// Statement plans re-validate lazily against the epoch; the
+		// envelope cache is fingerprint-keyed so model churn only strands
+		// dead entries — purge to reclaim the space.
+		if ev.Model != "" {
+			s.env.Purge()
+		}
+	})
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/session/{id}/settings", s.handleSessionSettings)
+	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
+	s.mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP entry point.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops admitting new requests and waits for in-flight ones
+// to drain, or for ctx to expire. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown drain: %w", ctx.Err())
+	}
+}
+
+// beginRequest registers an in-flight request against the drain group,
+// refusing once shutdown has begun. Callers must call the returned
+// func when done.
+func (s *Server) beginRequest() (func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return nil, errShuttingDown
+	}
+	s.wg.Add(1)
+	return s.wg.Done, nil
+}
+
+// ---- request/response wire types ----
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type sessionResponse struct {
+	SessionID string `json:"session_id"`
+}
+
+type settingsRequest struct {
+	DOP       *int    `json:"dop"`
+	ForcePath *string `json:"force_path"`
+	TimeoutMS *int64  `json:"timeout_ms"`
+}
+
+type prepareRequest struct {
+	SQL       string `json:"sql"`
+	SessionID string `json:"session_id"`
+}
+
+type prepareResponse struct {
+	StatementID string `json:"statement_id"`
+	Cached      bool   `json:"cached"`
+	Plan        string `json:"plan"`
+	AccessPath  string `json:"access_path"`
+}
+
+type executeRequest struct {
+	SQL         string `json:"sql"`
+	StatementID string `json:"statement_id"`
+	SessionID   string `json:"session_id"`
+	TimeoutMS   int64  `json:"timeout_ms"`
+}
+
+type execStatsBody struct {
+	DurationUS    int64   `json:"duration_us"`
+	SeqPageReads  int64   `json:"seq_page_reads"`
+	RandPageReads int64   `json:"rand_page_reads"`
+	TupleReads    int64   `json:"tuple_reads"`
+	CostUnits     float64 `json:"cost_units"`
+}
+
+type executeResponse struct {
+	StatementID       string        `json:"statement_id"`
+	StatementCacheHit bool          `json:"statement_cache_hit"`
+	Columns           []string      `json:"columns"`
+	Rows              [][]any       `json:"rows"`
+	RowCount          int           `json:"row_count"`
+	Plan              string        `json:"plan"`
+	AccessPath        string        `json:"access_path"`
+	PlanChanged       bool          `json:"plan_changed"`
+	EstSelectivity    float64       `json:"est_selectivity"`
+	Stats             execStatsBody `json:"stats"`
+}
+
+type statsResponse struct {
+	UptimeMS           int64          `json:"uptime_ms"`
+	Sessions           int            `json:"sessions"`
+	Queries            int64          `json:"queries"`
+	Timeouts           int64          `json:"timeouts"`
+	Cancelled          int64          `json:"cancelled"`
+	CatalogEpoch       int64          `json:"catalog_epoch"`
+	InvalidationEvents int64          `json:"invalidation_events"`
+	Admission          admissionStats `json:"admission"`
+	Prepared           registryStats  `json:"prepared"`
+	EnvelopeCache      envCacheStats  `json:"envelope_cache"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code, status := classify(err)
+	switch code {
+	case CodeTimeout:
+		s.timeouts.Add(1)
+	case CodeCancelled:
+		s.cancelled.Add(1)
+	}
+	writeJSON(w, status, map[string]errorBody{"error": {Code: code, Message: err.Error()}})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest("decode request: " + err.Error())
+	}
+	return nil
+}
+
+// rowsToJSON converts tuples to JSON-friendly values.
+func rowsToJSON(rows []minequery.Tuple) [][]any {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			switch v.Kind() {
+			case minequery.KindNull:
+				vals[j] = nil
+			case minequery.KindInt:
+				vals[j] = v.AsInt()
+			case minequery.KindFloat:
+				vals[j] = v.AsFloat()
+			case minequery.KindBool:
+				vals[j] = v.AsBool()
+			default:
+				vals[j] = v.AsString()
+			}
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+// ---- handlers ----
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	done, err := s.beginRequest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer done()
+	sess := s.sessions.create()
+	writeJSON(w, http.StatusOK, sessionResponse{SessionID: sess.id})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	done, err := s.beginRequest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer done()
+	if !s.sessions.drop(r.PathValue("id")) {
+		s.writeError(w, errNotFound("no session "+r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+func (s *Server) handleSessionSettings(w http.ResponseWriter, r *http.Request) {
+	done, err := s.beginRequest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer done()
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, errNotFound("no session "+r.PathValue("id")))
+		return
+	}
+	var req settingsRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.ForcePath != nil && *req.ForcePath != "" && *req.ForcePath != "seqscan" {
+		s.writeError(w, errBadRequest(`force_path must be "" or "seqscan"`))
+		return
+	}
+	sess.mu.Lock()
+	if req.DOP != nil {
+		sess.settings.DOP = *req.DOP
+	}
+	if req.ForcePath != nil {
+		sess.settings.ForcePath = *req.ForcePath
+	}
+	if req.TimeoutMS != nil {
+		sess.settings.Timeout = time.Duration(*req.TimeoutMS) * time.Millisecond
+	}
+	cur := sess.settings
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dop":        cur.DOP,
+		"force_path": cur.ForcePath,
+		"timeout_ms": cur.Timeout.Milliseconds(),
+	})
+}
+
+// resolveSettings loads the session's settings, or defaults when no
+// session is named.
+func (s *Server) resolveSettings(sessionID string) (sessionSettings, error) {
+	if sessionID == "" {
+		return sessionSettings{}, nil
+	}
+	sess, ok := s.sessions.get(sessionID)
+	if !ok {
+		return sessionSettings{}, errNotFound("no session " + sessionID)
+	}
+	return sess.snapshot(), nil
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	done, err := s.beginRequest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer done()
+	var req prepareRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.SQL == "" {
+		s.writeError(w, errBadRequest("sql is required"))
+		return
+	}
+	settings, err := s.resolveSettings(req.SessionID)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ent, cached, err := s.reg.prepare(req.SQL, settings.ForcePath == "seqscan")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ent.mu.Lock()
+	planStr, path := ent.prepared.Plan(), ent.prepared.AccessPath()
+	ent.mu.Unlock()
+	writeJSON(w, http.StatusOK, prepareResponse{
+		StatementID: ent.id,
+		Cached:      cached,
+		Plan:        planStr,
+		AccessPath:  path,
+	})
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	done, err := s.beginRequest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer done()
+	var req executeRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if (req.SQL == "") == (req.StatementID == "") {
+		s.writeError(w, errBadRequest("exactly one of sql or statement_id is required"))
+		return
+	}
+	settings, err := s.resolveSettings(req.SessionID)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if settings.Timeout > 0 {
+		timeout = settings.Timeout
+	}
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Admission: a worker slot or a bounded wait for one. The wait is
+	// itself under the query deadline, so a queued query times out
+	// rather than waiting forever.
+	if err := s.adm.acquire(ctx); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.adm.release()
+	if s.execHook != nil {
+		s.execHook()
+	}
+
+	var ent *stmtEntry
+	if req.StatementID != "" {
+		var ok bool
+		if ent, ok = s.reg.byStatementID(req.StatementID); !ok {
+			s.writeError(w, errNotFound("no statement "+req.StatementID))
+			return
+		}
+	} else {
+		if ent, _, err = s.reg.lookup(req.SQL, settings.ForcePath == "seqscan"); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
+	res, reused, err := s.reg.execute(ctx, ent, minequery.ExecOptions{DOP: settings.DOP})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.queries.Add(1)
+	writeJSON(w, http.StatusOK, executeResponse{
+		StatementID:       ent.id,
+		StatementCacheHit: reused,
+		Columns:           res.Columns,
+		Rows:              rowsToJSON(res.Rows),
+		RowCount:          len(res.Rows),
+		Plan:              res.Plan,
+		AccessPath:        res.AccessPath,
+		PlanChanged:       res.PlanChanged,
+		EstSelectivity:    res.EstSelectivity,
+		Stats: execStatsBody{
+			DurationUS:    res.Stats.Duration.Microseconds(),
+			SeqPageReads:  res.Stats.SeqPageReads,
+			RandPageReads: res.Stats.RandPageReads,
+			TupleReads:    res.Stats.TupleReads,
+			CostUnits:     res.Stats.CostUnits,
+		},
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeMS:           time.Since(s.started).Milliseconds(),
+		Sessions:           s.sessions.count(),
+		Queries:            s.queries.Load(),
+		Timeouts:           s.timeouts.Load(),
+		Cancelled:          s.cancelled.Load(),
+		CatalogEpoch:       s.eng.CatalogEpoch(),
+		InvalidationEvents: s.invalidations.Load(),
+		Admission:          s.adm.stats(),
+		Prepared:           s.reg.stats(),
+		EnvelopeCache:      s.env.stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

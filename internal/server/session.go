@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// sessionSettings are the per-session execution knobs. The zero value
+// means "server defaults".
+type sessionSettings struct {
+	// DOP overrides scan parallelism for the session's queries (<=0:
+	// engine default).
+	DOP int
+	// ForcePath pins the access path; the only supported value is
+	// "seqscan" ("" lets the optimizer choose).
+	ForcePath string
+	// Timeout overrides the server's default per-query timeout (0:
+	// default).
+	Timeout time.Duration
+}
+
+type session struct {
+	id       string
+	mu       sync.Mutex
+	settings sessionSettings
+	created  time.Time
+}
+
+func (s *session) snapshot() sessionSettings {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.settings
+}
+
+// sessionStore hands out monotonic session IDs; IDs are never reused
+// within a server's lifetime.
+type sessionStore struct {
+	mu   sync.Mutex
+	next int64
+	m    map[string]*session
+	now  func() time.Time
+}
+
+func newSessionStore() *sessionStore {
+	return &sessionStore{m: map[string]*session{}, now: time.Now}
+}
+
+func (st *sessionStore) create() *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	s := &session{id: fmt.Sprintf("s%d", st.next), created: st.now()}
+	st.m[s.id] = s
+	return s
+}
+
+func (st *sessionStore) get(id string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.m[id]
+	return s, ok
+}
+
+func (st *sessionStore) drop(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[id]; !ok {
+		return false
+	}
+	delete(st.m, id)
+	return true
+}
+
+func (st *sessionStore) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}

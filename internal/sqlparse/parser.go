@@ -53,7 +53,43 @@ func Parse(src string) (*Query, error) {
 	if !p.atEOF() {
 		return nil, p.errf("unexpected trailing input %q", p.peek().text)
 	}
+	if err := q.resolveRefs(); err != nil {
+		return nil, err
+	}
 	return q, nil
+}
+
+// resolveRefs normalizes qualified column references after parsing: a
+// qualifier naming the FROM table (or its alias) is stripped so data
+// columns appear bare, a qualifier naming a PREDICTION JOIN alias (or
+// its model) is kept — it denotes a predicted column — and any other
+// qualifier is an error. Without this, "t.col" would be an unknown
+// name that every predicate silently evaluates to false.
+func (q *Query) resolveRefs() error {
+	var firstErr error
+	resolve := func(ref string) string {
+		qual, col := splitQualifier(ref)
+		if qual == "" {
+			return ref
+		}
+		if strings.EqualFold(qual, q.Table) || (q.Alias != "" && strings.EqualFold(qual, q.Alias)) {
+			return col
+		}
+		for _, j := range q.Joins {
+			if strings.EqualFold(qual, j.Alias) || strings.EqualFold(qual, j.Model) {
+				return ref
+			}
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("sqlparse: unknown qualifier %q in column reference %q", qual, ref)
+		}
+		return ref
+	}
+	for i, c := range q.Select {
+		q.Select[i] = resolve(c)
+	}
+	q.Where = expr.MapColumns(q.Where, resolve)
+	return firstErr
 }
 
 type parser struct {

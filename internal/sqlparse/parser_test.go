@@ -197,3 +197,43 @@ func TestParseOnWithoutQualifierErrors(t *testing.T) {
 		t.Error("ON without model qualifier should fail")
 	}
 }
+
+func TestQualifiedColumnResolution(t *testing.T) {
+	// Qualifiers naming the FROM table or its alias are stripped; data
+	// columns always come out bare.
+	for _, src := range []string{
+		"SELECT customers.id FROM customers WHERE customers.age = 3",
+		"SELECT c.id FROM customers AS c WHERE c.age = 3",
+		"SELECT C.id FROM customers c WHERE Customers.age = 3",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if len(q.Select) != 1 || q.Select[0] != "id" {
+			t.Errorf("%s: Select = %v, want [id]", src, q.Select)
+		}
+		c, ok := q.Where.(expr.Cmp)
+		if !ok || c.Col != "age" {
+			t.Errorf("%s: Where = %v, want bare age", src, q.Where)
+		}
+	}
+
+	// Prediction-join qualifiers are kept: they denote predicted columns.
+	q, err := Parse("SELECT id FROM t PREDICTION JOIN mod AS m ON m.a = t.a WHERE m.cls = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := q.Where.(expr.Cmp); !ok || c.Col != "m.cls" {
+		t.Errorf("Where = %v, want m.cls retained", q.Where)
+	}
+
+	// Unknown qualifiers are an error, not a predicate that silently
+	// matches nothing.
+	if _, err := Parse("SELECT id FROM t WHERE other.age = 3"); err == nil {
+		t.Error("unknown qualifier accepted")
+	}
+	if _, err := Parse("SELECT nope.id FROM t"); err == nil {
+		t.Error("unknown qualifier in projection accepted")
+	}
+}

@@ -29,6 +29,7 @@
 package minequery
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -68,6 +69,14 @@ type (
 	TrainSet = mining.TrainSet
 	// Expr is a predicate expression (envelopes are Exprs).
 	Expr = expr.Expr
+	// EnvelopeCache memoizes envelope derivations across queries; see
+	// SetEnvelopeCache.
+	EnvelopeCache = core.EnvelopeCache
+	// CachedEnvelope is one EnvelopeCache entry.
+	CachedEnvelope = core.CachedEnvelope
+	// InvalidationEvent describes a catalog change that invalidates
+	// cached plans; see OnInvalidate.
+	InvalidationEvent = catalog.InvalidationEvent
 )
 
 // Value kind constants.
@@ -122,6 +131,7 @@ type Engine struct {
 	optCfg   opt.Config
 	envOpts  core.Options
 	execOpts exec.Options
+	envCache core.EnvelopeCache
 }
 
 // Config tunes an Engine.
@@ -167,6 +177,24 @@ func (e *Engine) SetDOP(dop int) {
 	e.optCfg.DOP = e.execOpts.DOP
 }
 
+// SetEnvelopeCache installs a cache memoizing class-set envelope
+// assembly across queries (nil disables caching, the default). Cache
+// keys embed model content fingerprints, so entries can never serve a
+// stale envelope after a retrain — at worst they waste space. The cache
+// must be safe for concurrent use if the engine is shared.
+func (e *Engine) SetEnvelopeCache(c EnvelopeCache) { e.envCache = c }
+
+// OnInvalidate registers a callback for catalog changes that can
+// invalidate cached plans: model registration/retrain/drop, index
+// creation/drop, statistics refresh. Callbacks run synchronously on the
+// mutating goroutine and must not call back into the catalog.
+func (e *Engine) OnInvalidate(fn func(InvalidationEvent)) { e.cat.OnInvalidate(fn) }
+
+// CatalogEpoch returns the catalog's monotonically increasing change
+// counter; a prepared statement is valid while the epoch it was built
+// at is still current.
+func (e *Engine) CatalogEpoch() int64 { return e.cat.Epoch() }
+
 // CreateTable registers an empty table.
 func (e *Engine) CreateTable(name string, schema *Schema) error {
 	_, err := e.cat.CreateTable(name, schema)
@@ -208,13 +236,14 @@ func (e *Engine) DropIndexes(table string) error { return e.cat.DropIndexes(tabl
 
 // Analyze refreshes a table's optimizer statistics.
 func (e *Engine) Analyze(table string) error {
-	t, ok := e.cat.Table(table)
-	if !ok {
-		return fmt.Errorf("minequery: no table %q", table)
-	}
-	t.Analyze()
-	return nil
+	_, err := e.cat.Analyze(table)
+	return err
 }
+
+// DropModel removes a model from the catalog. Prepared statements that
+// reference it go stale; in-flight queries finish against the model
+// snapshot they captured at build time.
+func (e *Engine) DropModel(name string) error { return e.cat.DropModel(name) }
 
 // RowCount returns a table's live row count.
 func (e *Engine) RowCount(table string) (int64, error) {
@@ -440,17 +469,30 @@ type Result struct {
 // Query parses, rewrites (adding upper envelopes), optimizes, and runs
 // a SELECT.
 func (e *Engine) Query(sql string) (*Result, error) {
-	return e.run(sql, true)
+	return e.run(context.Background(), sql, true)
+}
+
+// QueryContext is Query with cancellation: when ctx is cancelled or its
+// deadline passes, execution stops between batches and the returned
+// error matches context.Canceled or context.DeadlineExceeded via
+// errors.Is.
+func (e *Engine) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return e.run(ctx, sql, true)
 }
 
 // QueryBaseline runs a SELECT without envelope optimization: mining
 // predicates are evaluated as black-box filters after the prediction
 // join, the paper's unoptimized evaluation strategy.
 func (e *Engine) QueryBaseline(sql string) (*Result, error) {
-	return e.run(sql, false)
+	return e.run(context.Background(), sql, false)
 }
 
-func (e *Engine) run(sql string, optimize bool) (*Result, error) {
+// QueryBaselineContext is QueryBaseline with cancellation.
+func (e *Engine) QueryBaselineContext(ctx context.Context, sql string) (*Result, error) {
+	return e.run(ctx, sql, false)
+}
+
+func (e *Engine) run(ctx context.Context, sql string, optimize bool) (*Result, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -461,17 +503,24 @@ func (e *Engine) run(sql string, optimize bool) (*Result, error) {
 	}
 	var rw *core.Rewrite
 	if optimize {
-		rw, err = core.RewriteQuery(q, e.cat, e.optCfg.MaxDisjuncts)
+		rw, err = core.RewriteQueryCached(q, e.cat, e.optCfg.MaxDisjuncts, e.envCache)
 	} else {
 		rw, err = core.BaselineRewrite(q, e.cat, e.optCfg.MaxDisjuncts)
 	}
 	if err != nil {
 		return nil, err
 	}
-	root, res := e.buildPlan(q, t, rw)
+	root, res := e.buildPlan(q, t, rw, false)
+	return e.executePlan(ctx, t, root, res, rw, e.execOpts)
+}
+
+// executePlan runs an assembled physical plan and packages the Result.
+// It is shared by the one-shot query path and prepared statements, so
+// both produce identical output for identical plans.
+func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root plan.Node, res opt.Result, rw *core.Rewrite, execOpts exec.Options) (*Result, error) {
 	before := t.Heap.Stats()
 	start := time.Now()
-	rows, schema, err := exec.RunOpts(e.cat, root, e.execOpts)
+	rows, schema, err := exec.RunCtx(ctx, e.cat, root, execOpts)
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, err
@@ -504,10 +553,18 @@ func (e *Engine) run(sql string, optimize bool) (*Result, error) {
 
 // buildPlan assembles the physical plan: access path for the data
 // predicate, prediction joins, post-prediction filter, projection,
-// limit.
-func (e *Engine) buildPlan(q *sqlparse.Query, t *catalog.Table, rw *core.Rewrite) (plan.Node, opt.Result) {
+// limit. forceSeq pins the access path to a filtered sequential scan
+// (the optimizer still runs, for its selectivity estimate).
+func (e *Engine) buildPlan(q *sqlparse.Query, t *catalog.Table, rw *core.Rewrite, forceSeq bool) (plan.Node, opt.Result) {
 	res := opt.ChooseAccessPath(t, rw.DataPred, e.optCfg)
 	root := res.Plan
+	if forceSeq {
+		var seq plan.Node = &plan.SeqScan{Table: t.Name}
+		if _, isTrue := rw.DataPred.(expr.TrueExpr); !isTrue {
+			seq = &plan.Filter{Child: seq, Pred: rw.DataPred}
+		}
+		root = seq
+	}
 	for _, j := range q.Joins {
 		me, ok := e.cat.Model(j.Model)
 		if !ok {
@@ -552,11 +609,11 @@ func (e *Engine) Explain(sql string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("minequery: no table %q", q.Table)
 	}
-	rw, err := core.RewriteQuery(q, e.cat, e.optCfg.MaxDisjuncts)
+	rw, err := core.RewriteQueryCached(q, e.cat, e.optCfg.MaxDisjuncts, e.envCache)
 	if err != nil {
 		return "", err
 	}
-	root, _ := e.buildPlan(q, t, rw)
+	root, _ := e.buildPlan(q, t, rw, false)
 	var b strings.Builder
 	b.WriteString(plan.Explain(root))
 	if len(rw.Notes) > 0 {

@@ -1,0 +1,143 @@
+package minequery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"minequery/internal/catalog"
+	"minequery/internal/core"
+	"minequery/internal/opt"
+	"minequery/internal/plan"
+	"minequery/internal/sqlparse"
+)
+
+// ErrStalePlan reports that a prepared statement's cached plan was
+// built against a catalog state that has since changed (model retrained
+// or dropped, index created or dropped, statistics refreshed). The
+// caller should re-prepare; results from the stale plan were never
+// produced.
+var ErrStalePlan = errors.New("minequery: prepared plan is stale, re-prepare")
+
+// PrepareOptions tunes statement preparation.
+type PrepareOptions struct {
+	// ForceSeqScan pins the access path to a filtered sequential scan,
+	// overriding the cost-based choice (a session-level plan hint).
+	ForceSeqScan bool
+}
+
+// ExecOptions tunes one execution of a prepared statement.
+type ExecOptions struct {
+	// DOP overrides the engine's degree of parallelism for this
+	// execution only (<=0: engine default). Results are identical at any
+	// DOP; only the scan fan-out changes.
+	DOP int
+}
+
+// Prepared is a parsed, rewritten, and optimized statement whose plan
+// can be executed repeatedly without re-deriving envelopes or re-running
+// the optimizer. It is immutable after Prepare and safe for concurrent
+// Execute calls (subject to the Engine's own concurrency caveats).
+type Prepared struct {
+	eng      *Engine
+	sql      string
+	query    *sqlparse.Query
+	rewrite  *core.Rewrite
+	table    *catalog.Table
+	root     plan.Node
+	optRes   opt.Result
+	epoch    int64
+	forceSeq bool
+}
+
+// Prepare parses, rewrites, and optimizes a SELECT once, returning a
+// statement handle that executes the cached plan.
+func (e *Engine) Prepare(sql string) (*Prepared, error) {
+	return e.PrepareOpts(sql, PrepareOptions{})
+}
+
+// PrepareOpts is Prepare with plan hints.
+func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
+	// Snapshot the epoch before reading any catalog state: if the
+	// catalog changes while we plan, the statement is born stale rather
+	// than silently half-new.
+	epoch := e.cat.Epoch()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := e.cat.Table(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("minequery: no table %q", q.Table)
+	}
+	rw, err := core.RewriteQueryCached(q, e.cat, e.optCfg.MaxDisjuncts, e.envCache)
+	if err != nil {
+		return nil, err
+	}
+	root, res := e.buildPlan(q, t, rw, po.ForceSeqScan)
+	return &Prepared{
+		eng:      e,
+		sql:      sql,
+		query:    q,
+		rewrite:  rw,
+		table:    t,
+		root:     root,
+		optRes:   res,
+		epoch:    epoch,
+		forceSeq: po.ForceSeqScan,
+	}, nil
+}
+
+// SQL returns the statement text as prepared.
+func (p *Prepared) SQL() string { return p.sql }
+
+// Plan returns the cached physical plan in Explain form.
+func (p *Prepared) Plan() string { return plan.Explain(p.root) }
+
+// AccessPath reports how the cached plan reads the base table.
+func (p *Prepared) AccessPath() string { return plan.PathOf(p.root).String() }
+
+// Epoch returns the catalog epoch the plan was built at.
+func (p *Prepared) Epoch() int64 { return p.epoch }
+
+// Valid reports whether the cached plan is still current: no model,
+// index, or statistics change has occurred since Prepare.
+func (p *Prepared) Valid() bool { return p.epoch == p.eng.cat.Epoch() }
+
+// References returns the table and model names the statement depends
+// on (model names lowercased, in join order).
+func (p *Prepared) References() (table string, models []string) {
+	models = make([]string, 0, len(p.query.Joins))
+	for _, j := range p.query.Joins {
+		models = append(models, strings.ToLower(j.Model))
+	}
+	return p.query.Table, models
+}
+
+// Execute runs the cached plan. It fails with ErrStalePlan when the
+// catalog has changed since Prepare — re-prepare and retry. Execution
+// (not planning) is also guarded by the plan's pinned model versions,
+// so a retrain racing past the epoch check still cannot mix plans
+// across model generations.
+func (p *Prepared) Execute(ctx context.Context) (*Result, error) {
+	return p.ExecuteOpts(ctx, ExecOptions{})
+}
+
+// ExecuteOpts is Execute with per-call overrides.
+func (p *Prepared) ExecuteOpts(ctx context.Context, eo ExecOptions) (*Result, error) {
+	if !p.Valid() {
+		return nil, ErrStalePlan
+	}
+	opts := p.eng.execOpts
+	if eo.DOP > 0 {
+		opts.DOP = eo.DOP
+	}
+	res, err := p.eng.executePlan(ctx, p.table, p.root, p.optRes, p.rewrite, opts)
+	if err != nil && strings.Contains(err.Error(), "plan invalidated") {
+		// The exec-layer version guard fired: a model changed between the
+		// epoch check and plan build-out. Surface it as staleness.
+		return nil, fmt.Errorf("%w (%v)", ErrStalePlan, err)
+	}
+	return res, err
+}

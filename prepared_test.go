@@ -1,0 +1,231 @@
+package minequery
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// rowsEqual demands positional equality: prepared execution must be
+// byte-identical to the one-shot path, not merely the same multiset.
+func rowsEqual(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPreparedMatchesQueryAtAnyDOP(t *testing.T) {
+	e := seedEngine(t, 20000)
+	trainNB(t, e)
+	if err := e.CreateIndex("ix_age_income", "customers", "age", "income"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Query(nbQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("test needs a non-empty result")
+	}
+	p, err := e.Prepare(nbQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid() {
+		t.Fatal("freshly prepared statement must be valid")
+	}
+	for _, dop := range []int{1, 4} {
+		got, err := p.ExecuteOpts(context.Background(), ExecOptions{DOP: dop})
+		if err != nil {
+			t.Fatalf("DOP %d: %v", dop, err)
+		}
+		if !rowsEqual(got.Rows, want.Rows) {
+			t.Fatalf("DOP %d: prepared rows differ from Query rows", dop)
+		}
+		if got.Plan != want.Plan || got.AccessPath != want.AccessPath {
+			t.Fatalf("DOP %d: prepared plan diverged:\n%s\nwant:\n%s", dop, got.Plan, want.Plan)
+		}
+	}
+	// Repeat executions reuse the same plan object: no re-optimization.
+	first := p.Plan()
+	if _, err := p.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Plan() != first {
+		t.Fatal("plan changed across executions")
+	}
+}
+
+func TestPreparedGoesStale(t *testing.T) {
+	stale := func(t *testing.T, mutate func(e *Engine)) {
+		t.Helper()
+		e := seedEngine(t, 4000)
+		trainNB(t, e)
+		p, err := e.Prepare(nbQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Execute(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		mutate(e)
+		if p.Valid() {
+			t.Fatal("statement still valid after catalog change")
+		}
+		if _, err := p.Execute(context.Background()); !errors.Is(err, ErrStalePlan) {
+			t.Fatalf("err = %v, want ErrStalePlan", err)
+		}
+		// Re-preparing yields a working statement again.
+		p2, err := e.Prepare(nbQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := e.Query(nbQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p2.Execute(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rowsEqual(got.Rows, fresh.Rows) {
+			t.Fatal("re-prepared rows differ from fresh Query")
+		}
+	}
+	t.Run("retrain", func(t *testing.T) {
+		stale(t, func(e *Engine) { trainNB(t, e) })
+	})
+	t.Run("index-create", func(t *testing.T) {
+		stale(t, func(e *Engine) {
+			if err := e.CreateIndex("ix_late", "customers", "age", "income"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	t.Run("index-drop", func(t *testing.T) {
+		stale(t, func(e *Engine) {
+			if err := e.CreateIndex("ix_tmp", "customers", "income"); err != nil {
+				t.Fatal(err)
+			}
+			// The create already staled the statement; the drop must too
+			// (epoch strictly increases, never reverts).
+			if err := e.DropIndexes("customers"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	t.Run("analyze", func(t *testing.T) {
+		stale(t, func(e *Engine) {
+			if err := e.Analyze("customers"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	t.Run("model-drop", func(t *testing.T) {
+		stale(t, func(e *Engine) {
+			if err := e.DropModel("segmodel"); err != nil {
+				t.Fatal(err)
+			}
+			// Retrain so the helper's re-prepare has a model to bind; the
+			// drop alone already bumped the epoch.
+			trainNB(t, e)
+		})
+	})
+}
+
+func TestPreparedForceSeqScan(t *testing.T) {
+	e := seedEngine(t, 20000)
+	trainNB(t, e)
+	if err := e.CreateIndex("ix_age_income", "customers", "age", "income"); err != nil {
+		t.Fatal(err)
+	}
+	free, err := e.Prepare(nbQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.AccessPath() == "seqscan" {
+		t.Fatal("fixture must favor an index path for the hint to matter")
+	}
+	pinned, err := e.PrepareOpts(nbQuery, PrepareOptions{ForceSeqScan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.AccessPath() != "seqscan" {
+		t.Fatalf("forced path = %q, want seqscan", pinned.AccessPath())
+	}
+	a, err := free.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pinned.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rowsEqual(a.Rows, b.Rows) {
+		t.Fatal("forced seqscan changed the result")
+	}
+}
+
+func TestQueryContextCancel(t *testing.T) {
+	e := seedEngine(t, 20000)
+	trainNB(t, e)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.QueryContext(ctx, nbQuery); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := e.QueryBaselineContext(ctx, nbQuery); !errors.Is(err, context.Canceled) {
+		t.Fatalf("baseline err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineEnvelopeCacheSharedAcrossStatements(t *testing.T) {
+	e := seedEngine(t, 4000)
+	trainNB(t, e)
+	cache := &countingCache{m: map[string]CachedEnvelope{}}
+	e.SetEnvelopeCache(cache)
+	if _, err := e.Query(nbQuery); err != nil {
+		t.Fatal(err)
+	}
+	misses := cache.misses
+	if misses == 0 {
+		t.Fatal("first query should populate the cache")
+	}
+	// A different statement with the same mining predicate reuses the
+	// derived envelope.
+	other := `SELECT id FROM customers
+		PREDICTION JOIN segmodel AS m ON m.age = customers.age AND m.income = customers.income
+		WHERE m.segment = 'vip' LIMIT 5`
+	if _, err := e.Query(other); err != nil {
+		t.Fatal(err)
+	}
+	if cache.hits == 0 {
+		t.Fatal("second statement with the same class set missed the cache")
+	}
+	if cache.misses != misses {
+		t.Fatalf("second statement re-derived envelopes (%d new misses)", cache.misses-misses)
+	}
+}
+
+type countingCache struct {
+	m            map[string]CachedEnvelope
+	hits, misses int
+}
+
+func (c *countingCache) Get(key string) (CachedEnvelope, bool) {
+	ce, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return ce, ok
+}
+
+func (c *countingCache) Put(key string, ce CachedEnvelope) { c.m[key] = ce }
