@@ -1,0 +1,112 @@
+package minequery
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/analyze")
+
+// analyzeFixture is the shared engine for golden tests: seeded data,
+// one trained model, two indexes — enough to exercise every access
+// path. Everything about it is deterministic (fixed rand seed, fixed
+// insertion order), which is what makes byte-exact goldens possible.
+func analyzeFixture(t testing.TB) *Engine {
+	t.Helper()
+	e := seedEngine(t, 20000)
+	trainNB(t, e)
+	if err := e.CreateIndex("ix_age_income", "customers", "age", "income"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateIndex("ix_income", "customers", "income"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Analyze("customers"); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestExplainAnalyzeGolden locks the rendered EXPLAIN ANALYZE output
+// for each access path at DOP 1 and 4. Timings and the per-worker
+// morsel distribution are elided by Render(true); everything else —
+// operator tree, estimated and actual rows, batch counts, rejection
+// attribution, leaf I/O, worker count — must be byte-identical across
+// runs and platforms. Regenerate with: go test -run Golden -update .
+func TestExplainAnalyzeGolden(t *testing.T) {
+	e := analyzeFixture(t)
+	cases := []struct {
+		name     string
+		sql      string
+		wantPath string
+	}{
+		{"seqscan", strings.Replace(nbQuery, "'vip'", "'budget'", 1), "seqscan"},
+		{"index", nbQuery, "index"},
+		{"index_union", "SELECT id FROM customers WHERE income = 7 AND (age = 0 OR age = 9)", "index-union"},
+		{"constant", strings.Replace(nbQuery, "'vip'", "'martian'", 1), "constant"},
+	}
+	for _, tc := range cases {
+		for _, dop := range []int{1, 4} {
+			name := fmt.Sprintf("%s_dop%d", tc.name, dop)
+			t.Run(name, func(t *testing.T) {
+				res, err := e.Query(context.Background(), tc.sql, WithAnalyze(), WithDOP(dop))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.AccessPath != tc.wantPath {
+					t.Fatalf("access path = %s, want %s\n%s", res.AccessPath, tc.wantPath, res.Plan)
+				}
+				if res.Analyze == nil {
+					t.Fatal("no analyze report")
+				}
+				got := res.Analyze.Render(true)
+				path := filepath.Join("testdata", "analyze", name+".golden")
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (regenerate with -update)", err)
+				}
+				if got != string(want) {
+					t.Errorf("report drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestExplainAnalyzeGoldenStable runs each golden case twice and
+// demands identical output — the determinism property the goldens rely
+// on, checked directly so a flaky report fails here with a clear
+// message rather than as a mysterious golden diff.
+func TestExplainAnalyzeGoldenStable(t *testing.T) {
+	e := analyzeFixture(t)
+	sql := strings.Replace(nbQuery, "'vip'", "'budget'", 1)
+	for _, dop := range []int{1, 4} {
+		var first string
+		for i := 0; i < 2; i++ {
+			res, err := e.Query(context.Background(), sql, WithAnalyze(), WithDOP(dop))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Analyze.Render(true)
+			if i == 0 {
+				first = got
+			} else if got != first {
+				t.Errorf("dop %d: report not stable across runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", dop, first, got)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package minequery
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -341,7 +342,7 @@ func BenchmarkQueryEndToEnd(b *testing.B) {
 	}
 	b.Run("optimized", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Query(nbQuery); err != nil {
+			if _, err := eng.Query(context.Background(), nbQuery); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,338 @@
+// metricslint validates a Prometheus text-format exposition against the
+// format rules and a frozen list of required metric families. CI points
+// it at a live minequeryd /metrics endpoint, so the daemon's monitoring
+// contract — every series a dashboard or alert might depend on — is
+// checked on every push, and breaking it requires editing
+// required_series.txt in the same change.
+//
+// Usage:
+//
+//	metricslint -url http://127.0.0.1:7654/metrics -required cmd/metricslint/required_series.txt
+//	metricslint -file scrape.txt -required required_series.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+-?\d+)?$`)
+	labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+type family struct {
+	name    string
+	typ     string
+	hasHelp bool
+	samples int
+}
+
+func main() {
+	url := flag.String("url", "", "scrape this /metrics endpoint")
+	file := flag.String("file", "", "read exposition from this file instead of -url")
+	required := flag.String("required", "", "file listing required metric family names, one per line")
+	flag.Parse()
+
+	data, err := readInput(*url, *file)
+	if err != nil {
+		fatal("read exposition: %v", err)
+	}
+	fams, errs := lint(data)
+	if *required != "" {
+		errs = append(errs, checkRequired(fams, *required)...)
+	}
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "metricslint:", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("metricslint: OK (%d families)\n", len(fams))
+}
+
+func readInput(url, file string) (string, error) {
+	switch {
+	case url != "" && file != "":
+		return "", fmt.Errorf("pass exactly one of -url or -file")
+	case url != "":
+		resp, err := http.Get(url)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	case file != "":
+		b, err := os.ReadFile(file)
+		return string(b), err
+	}
+	return "", fmt.Errorf("pass -url or -file")
+}
+
+// lint validates the exposition line by line: well-formed HELP/TYPE
+// comments, TYPE declared before samples, valid sample syntax (name,
+// labels, float value), histogram suffix discipline, and cumulative
+// non-decreasing buckets ending in +Inf with a matching _count.
+func lint(data string) (map[string]*family, []string) {
+	fams := map[string]*family{}
+	var errs []string
+	addErr := func(ln int, format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("line %d: %s", ln, fmt.Sprintf(format, args...)))
+	}
+	// histogram bucket tracking: family -> ordered (le, count) plus sums.
+	type histState struct {
+		les      []float64
+		counts   []float64
+		count    float64
+		hasCount bool
+	}
+	hists := map[string]*histState{}
+
+	sc := bufio.NewScanner(strings.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				addErr(ln, "malformed comment %q (only # HELP and # TYPE are meaningful)", line)
+				continue
+			}
+			name := parts[2]
+			if !nameRe.MatchString(name) {
+				addErr(ln, "invalid metric name %q", name)
+				continue
+			}
+			f := fams[name]
+			if f == nil {
+				f = &family{name: name}
+				fams[name] = f
+			}
+			switch parts[1] {
+			case "HELP":
+				if f.hasHelp {
+					addErr(ln, "duplicate HELP for %s", name)
+				}
+				f.hasHelp = true
+			case "TYPE":
+				if len(parts) < 4 {
+					addErr(ln, "TYPE for %s missing type", name)
+					continue
+				}
+				typ := strings.TrimSpace(parts[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addErr(ln, "unknown type %q for %s", typ, name)
+					continue
+				}
+				if f.typ != "" {
+					addErr(ln, "duplicate TYPE for %s", name)
+				}
+				if f.samples > 0 {
+					addErr(ln, "TYPE for %s appears after its samples", name)
+				}
+				f.typ = typ
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			addErr(ln, "malformed sample %q", line)
+			continue
+		}
+		sample, labels, valStr := m[1], m[3], m[4]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			addErr(ln, "sample %s: bad value %q", sample, valStr)
+			continue
+		}
+		var le string
+		if labels != "" {
+			for _, lb := range splitLabels(labels) {
+				lm := labelRe.FindStringSubmatch(lb)
+				if lm == nil {
+					addErr(ln, "sample %s: malformed label %q", sample, lb)
+					continue
+				}
+				if lm[1] == "le" {
+					le = lm[2]
+				}
+			}
+		}
+		famName, suffix := familyOf(sample, fams)
+		f := fams[famName]
+		if f == nil || f.typ == "" {
+			addErr(ln, "sample %s has no preceding # TYPE", sample)
+			continue
+		}
+		f.samples++
+		if f.typ == "histogram" {
+			h := hists[famName]
+			if h == nil {
+				h = &histState{}
+				hists[famName] = h
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					addErr(ln, "%s: bucket without le label", sample)
+					continue
+				}
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					addErr(ln, "%s: bad le %q", sample, le)
+					continue
+				}
+				h.les = append(h.les, bound)
+				h.counts = append(h.counts, val)
+			case "_count":
+				h.count += val
+				h.hasCount = true
+			case "_sum":
+			default:
+				addErr(ln, "histogram %s has non-histogram sample %s", famName, sample)
+			}
+		} else if suffix != "" {
+			// counters/gauges carry no suffix; familyOf only strips
+			// suffixes for declared histograms, so this cannot happen.
+			addErr(ln, "unexpected suffixed sample %s", sample)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Sprintf("scan: %v", err))
+	}
+
+	for name, f := range fams {
+		if !f.hasHelp {
+			errs = append(errs, fmt.Sprintf("family %s: missing # HELP", name))
+		}
+		if f.typ == "" {
+			errs = append(errs, fmt.Sprintf("family %s: missing # TYPE", name))
+		}
+		if f.samples == 0 {
+			errs = append(errs, fmt.Sprintf("family %s: declared but has no samples", name))
+		}
+	}
+	for name, h := range hists {
+		// Buckets arrive per-child in order; within each child's run the
+		// le bounds increase and counts are cumulative. Validate runs:
+		// a new run starts when the bound decreases.
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] < h.les[i-1] {
+				continue // next labeled child's bucket run begins
+			}
+			if h.counts[i] < h.counts[i-1] {
+				errs = append(errs, fmt.Sprintf("histogram %s: bucket counts not cumulative (le=%g count %g < %g)",
+					name, h.les[i], h.counts[i], h.counts[i-1]))
+			}
+		}
+		if len(h.les) > 0 && !hasInf(h.les) {
+			errs = append(errs, fmt.Sprintf("histogram %s: no le=\"+Inf\" bucket", name))
+		}
+		if !h.hasCount {
+			errs = append(errs, fmt.Sprintf("histogram %s: missing _count", name))
+		}
+	}
+	return fams, errs
+}
+
+func hasInf(les []float64) bool {
+	for _, le := range les {
+		if le > 1e300 {
+			return true
+		}
+	}
+	return false
+}
+
+// familyOf resolves a sample name to its declared family, stripping
+// histogram suffixes when — and only when — the base family is a
+// declared histogram.
+func familyOf(sample string, fams map[string]*family) (string, string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suffix); ok {
+			if f := fams[base]; f != nil && f.typ == "histogram" {
+				return base, suffix
+			}
+		}
+	}
+	return sample, ""
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteRune(r)
+		case r == '\\' && inQuote:
+			escaped = true
+			cur.WriteRune(r)
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// checkRequired verifies every family named in path appears in the
+// scrape.
+func checkRequired(fams map[string]*family, path string) []string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("required list: %v", err)}
+	}
+	var missing []string
+	for _, line := range strings.Split(string(b), "\n") {
+		name := strings.TrimSpace(line)
+		if name == "" || strings.HasPrefix(name, "#") {
+			continue
+		}
+		if fams[name] == nil {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	var errs []string
+	for _, name := range missing {
+		errs = append(errs, fmt.Sprintf("required series %s absent from scrape", name))
+	}
+	return errs
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metricslint: "+format+"\n", args...)
+	os.Exit(1)
+}

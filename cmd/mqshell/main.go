@@ -16,6 +16,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -52,7 +53,7 @@ func main() {
 				fmt.Print(out)
 			}
 		default:
-			res, err := eng.Query(line)
+			res, err := eng.Query(context.Background(), line)
 			if err != nil {
 				fmt.Println("error:", err)
 				break

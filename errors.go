@@ -1,0 +1,18 @@
+package minequery
+
+import "minequery/internal/qerr"
+
+// Sentinel errors. Every error the engine returns for these conditions
+// wraps the corresponding sentinel, so callers branch with errors.Is
+// instead of matching message text. (ErrStalePlan, the fourth sentinel,
+// is declared alongside the prepared-statement API in prepared.go.)
+var (
+	// ErrParse marks a SQL lexing or parsing failure.
+	ErrParse = qerr.ErrParse
+	// ErrUnknownTable marks a reference to a table the engine does not
+	// hold.
+	ErrUnknownTable = qerr.ErrUnknownTable
+	// ErrUnknownModel marks a reference to a mining model the engine
+	// does not hold.
+	ErrUnknownModel = qerr.ErrUnknownModel
+)

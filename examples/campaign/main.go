@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -58,7 +59,7 @@ func main() {
 	const campaign = `SELECT visitor_id FROM visitors
 		PREDICTION JOIN fans AS m ON m.sports_pages = visitors.sports_pages AND m.night_visits = visitors.night_visits
 		WHERE m.fan_of IN ('baseball', 'football')`
-	res, err := eng.Query(campaign)
+	res, err := eng.Query(context.Background(), campaign)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func main() {
 	const cricket = `SELECT visitor_id FROM visitors
 		PREDICTION JOIN fans AS m ON m.sports_pages = visitors.sports_pages AND m.night_visits = visitors.night_visits
 		WHERE m.fan_of = 'cricket'`
-	empty, err := eng.Query(cricket)
+	empty, err := eng.Query(context.Background(), cricket)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -61,7 +62,7 @@ func main() {
 	const xval = `SELECT id FROM people
 		PREDICTION JOIN agemodel AS m ON m.purchases = people.purchases AND m.web_hours = people.web_hours
 		WHERE m.age_cat = age_cat`
-	res, err := eng.Query(xval)
+	res, err := eng.Query(context.Background(), xval)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func main() {
 	const restricted = `SELECT id FROM people
 		PREDICTION JOIN agemodel AS m ON m.purchases = people.purchases AND m.web_hours = people.web_hours
 		WHERE m.age_cat = age_cat AND age_cat IN ('senior', 'middle-aged')`
-	res2, err := eng.Query(restricted)
+	res2, err := eng.Query(context.Background(), restricted)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -64,7 +65,7 @@ func main() {
 		PREDICTION JOIN risk_model AS m ON m.age = customers.age AND m.income = customers.income
 		WHERE m.risk = 'high'`
 
-	optimized, err := eng.Query(q)
+	optimized, err := eng.Query(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -60,7 +61,7 @@ func main() {
 		PREDICTION JOIN sas_model AS m1 ON m1.repos = visitors.repos AND m1.docs_pages = visitors.docs_pages
 		PREDICTION JOIN spss_model AS m2 ON m2.repos = visitors.repos AND m2.docs_pages = visitors.docs_pages
 		WHERE m1.job = m2.job AND m1.job = 'webdev'`
-	res, err := eng.Query(concur)
+	res, err := eng.Query(context.Background(), concur)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func main() {
 		PREDICTION JOIN sas_model AS m1 ON m1.repos = visitors.repos AND m1.docs_pages = visitors.docs_pages
 		PREDICTION JOIN spss_model AS m2 ON m2.repos = visitors.repos AND m2.docs_pages = visitors.docs_pages
 		WHERE m1.job = m2.job`
-	res2, err := eng.Query(agree)
+	res2, err := eng.Query(context.Background(), agree)
 	if err != nil {
 		log.Fatal(err)
 	}

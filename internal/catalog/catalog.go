@@ -119,7 +119,13 @@ func (t *Table) Insert(row value.Tuple) (storage.RID, error) {
 
 // Fetch decodes the row at rid.
 func (t *Table) Fetch(rid storage.RID) (value.Tuple, bool, error) {
-	rec, ok := t.Heap.Get(rid)
+	return t.FetchInto(nil, rid)
+}
+
+// FetchInto is Fetch with per-query I/O accounting attributed to c
+// (when non-nil) alongside the heap's global counters.
+func (t *Table) FetchInto(c *storage.Counters, rid storage.RID) (value.Tuple, bool, error) {
+	rec, ok := t.Heap.GetInto(c, rid)
 	if !ok {
 		return nil, false, nil
 	}

@@ -7,6 +7,7 @@ import (
 
 	"minequery/internal/catalog"
 	"minequery/internal/expr"
+	"minequery/internal/qerr"
 	"minequery/internal/sqlparse"
 	"minequery/internal/value"
 )
@@ -65,7 +66,7 @@ func collectPredCols(q *sqlparse.Query, cat *catalog.Catalog) (predCols, error) 
 	for _, j := range q.Joins {
 		me, ok := cat.Model(j.Model)
 		if !ok {
-			return nil, fmt.Errorf("core: no model %q", j.Model)
+			return nil, fmt.Errorf("core: %w %q", qerr.ErrUnknownModel, j.Model)
 		}
 		col := strings.ToLower(j.Alias + "." + me.Model.PredictColumn())
 		pc[col] = me
@@ -80,7 +81,7 @@ func collectPredCols(q *sqlparse.Query, cat *catalog.Catalog) (predCols, error) 
 func validateColumns(q *sqlparse.Query, cat *catalog.Catalog, pc predCols) error {
 	t, ok := cat.Table(q.Table)
 	if !ok {
-		return fmt.Errorf("core: no table %q", q.Table)
+		return fmt.Errorf("core: %w %q", qerr.ErrUnknownTable, q.Table)
 	}
 	check := func(col string) error {
 		if t.Schema.Ordinal(col) >= 0 {

@@ -51,6 +51,10 @@ type Options struct {
 	// MorselPages is the heap pages per scan morsel (<=0:
 	// DefaultMorselPages).
 	MorselPages int
+	// Collector, when non-nil, gathers per-operator runtime statistics
+	// and attributes storage I/O to the query (see Collector). Nil runs
+	// the bare operators.
+	Collector *Collector
 }
 
 func (o Options) fill() Options {
@@ -94,6 +98,23 @@ func BuildBatchCtx(ctx context.Context, c *catalog.Catalog, n plan.Node, opts Op
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	return buildBatchNode(ctx, c, n, opts)
+}
+
+// buildBatchNode builds one plan node (recursing for children) and, when
+// a Collector is attached, wraps it with the per-node accounting shim.
+func buildBatchNode(ctx context.Context, c *catalog.Catalog, n plan.Node, opts Options) (BatchIterator, error) {
+	it, err := buildBareBatchNode(ctx, c, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	if col := opts.Collector; col != nil {
+		it = &instrumented{child: it, st: col.Op(n)}
+	}
+	return it, nil
+}
+
+func buildBareBatchNode(ctx context.Context, c *catalog.Catalog, n plan.Node, opts Options) (BatchIterator, error) {
 	switch x := n.(type) {
 	case *plan.SeqScan:
 		t, ok := c.Table(x.Table)
@@ -105,19 +126,25 @@ func BuildBatchCtx(ctx context.Context, c *catalog.Catalog, n plan.Node, opts Op
 		}
 		return newBatchSeqScan(ctx, t, opts), nil
 	case *plan.Filter:
-		child, err := BuildBatchCtx(ctx, c, x.Child, opts)
+		child, err := buildBatchNode(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &batchFilter{child: child, pred: x.Pred}, nil
+		f := &batchFilter{child: child, pred: x.Pred}
+		if col := opts.Collector; col != nil {
+			if base := col.envBaseline(n); base != nil {
+				f.st, f.base = col.Op(n), base
+			}
+		}
+		return f, nil
 	case *plan.Project:
-		child, err := BuildBatchCtx(ctx, c, x.Child, opts)
+		child, err := buildBatchNode(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
 		return newBatchProject(child, x.Cols)
 	case *plan.Predict:
-		child, err := BuildBatchCtx(ctx, c, x.Child, opts)
+		child, err := buildBatchNode(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +158,7 @@ func BuildBatchCtx(ctx context.Context, c *catalog.Catalog, n plan.Node, opts Op
 		}
 		return newBatchPredict(child, me, x.As)
 	case *plan.Limit:
-		child, err := BuildBatchCtx(ctx, c, x.Child, opts)
+		child, err := buildBatchNode(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +169,7 @@ func BuildBatchCtx(ctx context.Context, c *catalog.Catalog, n plan.Node, opts Op
 			// Build; don't start that work for a dead query.
 			return nil, err
 		}
-		it, err := Build(c, n)
+		it, err := buildNode(c, n, ioOf(opts.Collector))
 		if err != nil {
 			return nil, err
 		}
@@ -303,6 +330,7 @@ func (u *unbatcher) Close() { u.child.Close() }
 type batchSeqScan struct {
 	ctx       context.Context
 	table     *catalog.Table
+	io        *storage.Counters
 	batchSize int
 	nextPage  int
 	pageCount int
@@ -310,7 +338,8 @@ type batchSeqScan struct {
 }
 
 func newBatchSeqScan(ctx context.Context, t *catalog.Table, opts Options) *batchSeqScan {
-	return &batchSeqScan{ctx: ctx, table: t, batchSize: opts.BatchSize, pageCount: t.Heap.PageCount()}
+	return &batchSeqScan{ctx: ctx, table: t, io: ioOf(opts.Collector),
+		batchSize: opts.BatchSize, pageCount: t.Heap.PageCount()}
 }
 
 func (s *batchSeqScan) Schema() *value.Schema { return s.table.Schema }
@@ -324,7 +353,7 @@ func (s *batchSeqScan) NextBatch() (Batch, bool, error) {
 		if s.err = ctxErr(s.ctx); s.err != nil {
 			return nil, false, s.err
 		}
-		s.table.Heap.ScanPages(s.nextPage, s.nextPage+1, func(_ storage.RID, rec []byte) bool {
+		s.table.Heap.ScanPagesInto(s.io, s.nextPage, s.nextPage+1, func(_ storage.RID, rec []byte) bool {
 			tup, err := value.DecodeTuple(rec)
 			if err != nil {
 				s.err = fmt.Errorf("exec: scan %s: %w", s.table.Name, err)
@@ -351,9 +380,14 @@ func (s *batchSeqScan) Close() { s.nextPage = s.pageCount }
 
 // batchFilter drops tuples failing the predicate, in place: the batch's
 // backing array is reused for the survivors (ownership transferred).
+// When envelope attribution is on (EXPLAIN ANALYZE), each rejected row
+// is re-checked against the un-augmented baseline predicate to decide
+// whether the added envelope or the query's own predicate pruned it.
 type batchFilter struct {
 	child BatchIterator
 	pred  expr.Expr
+	st    *OpStats
+	base  expr.Expr
 }
 
 func (f *batchFilter) Schema() *value.Schema { return f.child.Schema() }
@@ -369,6 +403,12 @@ func (f *batchFilter) NextBatch() (Batch, bool, error) {
 		for _, t := range b {
 			if f.pred.Eval(s, t) {
 				kept = append(kept, t)
+			} else if f.base != nil {
+				if f.base.Eval(s, t) {
+					f.st.EnvRejected.Add(1)
+				} else {
+					f.st.ResidRejected.Add(1)
+				}
 			}
 		}
 		if len(kept) > 0 {

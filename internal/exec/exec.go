@@ -33,13 +33,19 @@ type Iterator interface {
 
 // Build compiles a physical plan into an iterator tree.
 func Build(c *catalog.Catalog, n plan.Node) (Iterator, error) {
+	return buildNode(c, n, nil)
+}
+
+// buildNode compiles one plan node, attributing leaf I/O to io when a
+// per-query counter sink is supplied.
+func buildNode(c *catalog.Catalog, n plan.Node, io *storage.Counters) (Iterator, error) {
 	switch x := n.(type) {
 	case *plan.SeqScan:
 		t, ok := c.Table(x.Table)
 		if !ok {
 			return nil, fmt.Errorf("exec: no table %q", x.Table)
 		}
-		return newSeqScan(t), nil
+		return newSeqScan(t, io), nil
 	case *plan.ConstScan:
 		t, ok := c.Table(x.Table)
 		if !ok {
@@ -55,7 +61,7 @@ func Build(c *catalog.Catalog, n plan.Node) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newRIDFetch(t, rids), nil
+		return newRIDFetch(t, rids, io), nil
 	case *plan.IndexUnion:
 		t, ok := c.Table(x.Table)
 		if !ok {
@@ -77,21 +83,21 @@ func Build(c *catalog.Catalog, n plan.Node) (Iterator, error) {
 		}
 		// Fetch in heap order to keep random I/O monotone.
 		sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
-		return newRIDFetch(t, rids), nil
+		return newRIDFetch(t, rids, io), nil
 	case *plan.Filter:
-		child, err := Build(c, x.Child)
+		child, err := buildNode(c, x.Child, io)
 		if err != nil {
 			return nil, err
 		}
 		return &filter{child: child, pred: x.Pred}, nil
 	case *plan.Project:
-		child, err := Build(c, x.Child)
+		child, err := buildNode(c, x.Child, io)
 		if err != nil {
 			return nil, err
 		}
 		return newProject(child, x.Cols)
 	case *plan.Predict:
-		child, err := Build(c, x.Child)
+		child, err := buildNode(c, x.Child, io)
 		if err != nil {
 			return nil, err
 		}
@@ -105,7 +111,7 @@ func Build(c *catalog.Catalog, n plan.Node) (Iterator, error) {
 		}
 		return newPredict(child, me, x.As)
 	case *plan.Limit:
-		child, err := Build(c, x.Child)
+		child, err := buildNode(c, x.Child, io)
 		if err != nil {
 			return nil, err
 		}
@@ -142,11 +148,11 @@ type seqScan struct {
 	err   error
 }
 
-func newSeqScan(t *catalog.Table) *seqScan {
+func newSeqScan(t *catalog.Table, io *storage.Counters) *seqScan {
 	// Materialize the scan: the heap callback API does not suspend, and
 	// decoded rows are small. Page-read accounting happens here.
 	s := &seqScan{table: t}
-	t.Heap.Scan(func(_ storage.RID, rec []byte) bool {
+	t.Heap.ScanPagesInto(io, 0, t.Heap.PageCount(), func(_ storage.RID, rec []byte) bool {
 		tup, err := value.DecodeTuple(rec)
 		if err != nil {
 			s.err = fmt.Errorf("exec: scan %s: %w", t.Name, err)
@@ -254,12 +260,13 @@ func equalFold(a, b string) bool {
 // ridFetch fetches rows for a RID list.
 type ridFetch struct {
 	table *catalog.Table
+	io    *storage.Counters
 	rids  []storage.RID
 	pos   int
 }
 
-func newRIDFetch(t *catalog.Table, rids []storage.RID) *ridFetch {
-	return &ridFetch{table: t, rids: rids}
+func newRIDFetch(t *catalog.Table, rids []storage.RID, io *storage.Counters) *ridFetch {
+	return &ridFetch{table: t, io: io, rids: rids}
 }
 
 func (r *ridFetch) Schema() *value.Schema { return r.table.Schema }
@@ -268,7 +275,7 @@ func (r *ridFetch) Next() (value.Tuple, bool, error) {
 	for r.pos < len(r.rids) {
 		rid := r.rids[r.pos]
 		r.pos++
-		tup, ok, err := r.table.Fetch(rid)
+		tup, ok, err := r.table.FetchInto(r.io, rid)
 		if err != nil {
 			return nil, false, err
 		}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"minequery/internal/catalog"
 	"minequery/internal/storage"
@@ -60,7 +61,11 @@ func newParallelScan(ctx context.Context, t *catalog.Table, opts Options) *paral
 		workers = nMorsels
 	}
 	for w := 0; w < workers; w++ {
-		go scanWorker(ctx, t, ps.results, ps.claim, ps.cancel, opts, pageCount)
+		var ws *WorkerStats
+		if opts.Collector != nil {
+			ws = opts.Collector.newWorker()
+		}
+		go scanWorker(ctx, t, ps.results, ps.claim, ps.cancel, opts, pageCount, ws)
 	}
 	return ps
 }
@@ -71,7 +76,8 @@ func newParallelScan(ctx context.Context, t *catalog.Table, opts Options) *paral
 // finish. Cancellation — the consumer's cancel flag or the query
 // context — is observed at each morsel claim and at each batch flush
 // inside a morsel, so a dead query stops decoding within one batch.
-func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResult, claim *atomic.Int64, cancel *atomic.Bool, opts Options, pageCount int) {
+func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResult, claim *atomic.Int64, cancel *atomic.Bool, opts Options, pageCount int, ws *WorkerStats) {
+	io := ioOf(opts.Collector)
 	done := ctx.Done()
 	stopped := func() bool {
 		if cancel.Load() {
@@ -98,15 +104,21 @@ func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResu
 		if hi > pageCount {
 			hi = pageCount
 		}
+		var start time.Time
+		if ws != nil {
+			start = time.Now()
+		}
 		res := morselResult{}
+		rows := int64(0)
 		batch := make(Batch, 0, opts.BatchSize)
-		t.Heap.ScanPages(lo, hi, func(_ storage.RID, rec []byte) bool {
+		t.Heap.ScanPagesInto(io, lo, hi, func(_ storage.RID, rec []byte) bool {
 			tup, err := value.DecodeTuple(rec)
 			if err != nil {
 				res.err = fmt.Errorf("exec: scan %s: %w", t.Name, err)
 				return false
 			}
 			batch = append(batch, tup)
+			rows++
 			if len(batch) >= opts.BatchSize {
 				res.batches = append(res.batches, batch)
 				batch = make(Batch, 0, opts.BatchSize)
@@ -119,6 +131,11 @@ func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResu
 		})
 		if len(batch) > 0 && res.err == nil {
 			res.batches = append(res.batches, batch)
+		}
+		if ws != nil {
+			ws.Morsels.Add(1)
+			ws.Rows.Add(rows)
+			ws.WallNanos.Add(time.Since(start).Nanoseconds())
 		}
 		results[m] <- res
 	}

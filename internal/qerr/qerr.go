@@ -1,0 +1,19 @@
+// Package qerr defines the sentinel errors shared by the query
+// pipeline's layers (sqlparse, core, the public engine, the server).
+// Each layer wraps these with %w and its own context, so callers can
+// branch with errors.Is without depending on message text, and the
+// server can map them to stable HTTP error codes.
+package qerr
+
+import "errors"
+
+var (
+	// ErrParse marks a SQL lexing or parsing failure.
+	ErrParse = errors.New("parse error")
+	// ErrUnknownTable marks a reference to a table the catalog does not
+	// hold.
+	ErrUnknownTable = errors.New("unknown table")
+	// ErrUnknownModel marks a reference to a mining model the catalog
+	// does not hold.
+	ErrUnknownModel = errors.New("unknown model")
+)

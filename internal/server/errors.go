@@ -19,6 +19,9 @@ const (
 	CodeTimeout      = "timeout"       // 504: per-query deadline exceeded
 	CodeCancelled    = "cancelled"     // 499: client went away mid-query
 	CodeStalePlan    = "stale_plan"    // 409: catalog churned faster than re-prepare retries
+	CodeParse        = "parse_error"   // 400: SQL failed to lex or parse
+	CodeUnknownTable = "unknown_table" // 404: query names a table the catalog lacks
+	CodeUnknownModel = "unknown_model" // 404: query names a model the catalog lacks
 )
 
 // statusClientClosedRequest is nginx's non-standard 499: the client
@@ -70,6 +73,12 @@ func classify(err error) (string, int) {
 		return CodeCancelled, statusClientClosedRequest
 	case errors.Is(err, minequery.ErrStalePlan):
 		return CodeStalePlan, http.StatusConflict
+	case errors.Is(err, minequery.ErrParse):
+		return CodeParse, http.StatusBadRequest
+	case errors.Is(err, minequery.ErrUnknownTable):
+		return CodeUnknownTable, http.StatusNotFound
+	case errors.Is(err, minequery.ErrUnknownModel):
+		return CodeUnknownModel, http.StatusNotFound
 	}
 	return CodeBadRequest, http.StatusBadRequest
 }

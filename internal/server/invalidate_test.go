@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"sync"
@@ -80,7 +81,7 @@ func TestInvalidationReprepares(t *testing.T) {
 					before.CatalogEpoch, mid.CatalogEpoch)
 			}
 
-			want, err := eng.Query(vipQuery)
+			want, err := eng.Query(context.Background(), vipQuery)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -215,7 +216,7 @@ func TestConcurrentPrepareExecuteInvalidate(t *testing.T) {
 	}
 
 	// Quiesced: one more execute must match a fresh query exactly.
-	want, err := eng.Query(vipQuery)
+	want, err := eng.Query(context.Background(), vipQuery)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,8 @@ type stmtEntry struct {
 	id    string
 	key   string
 	sql   string
-	force bool // ForceSeqScan hint baked into the plan
+	norm  string // normalized SQL, sans hint prefix (slowlog display)
+	force bool   // ForceSeqScan hint baked into the plan
 
 	mu       sync.Mutex
 	prepared *minequery.Prepared
@@ -59,24 +60,28 @@ func newRegistry(eng *minequery.Engine, max int) *registry {
 }
 
 // cacheKey normalizes sql and folds in plan hints, so the same text
-// prepared with different hints yields distinct plans.
-func cacheKey(sql string, force bool) (string, error) {
-	norm, err := sqlparse.Normalize(sql)
+// prepared with different hints yields distinct plans. The bare
+// normalized form is returned alongside for display surfaces (the
+// slow-query log) that must not leak the hint prefix.
+func cacheKey(sql string, force bool) (key, norm string, err error) {
+	norm, err = sqlparse.Normalize(sql)
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	if force {
-		return "force-seqscan|" + norm, nil
+		return "force-seqscan|" + norm, norm, nil
 	}
-	return norm, nil
+	return norm, norm, nil
 }
 
 // lookup finds or creates the entry for (sql, force) without preparing
 // it. The bool reports whether the entry already existed.
 func (r *registry) lookup(sql string, force bool) (*stmtEntry, bool, error) {
-	key, err := cacheKey(sql, force)
+	key, norm, err := cacheKey(sql, force)
 	if err != nil {
-		return nil, false, errBadRequest(err.Error())
+		// Pass the error through untouched: it wraps minequery.ErrParse,
+		// which classify maps to the typed parse_error code.
+		return nil, false, err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -93,7 +98,7 @@ func (r *registry) lookup(sql string, force bool) (*stmtEntry, bool, error) {
 		}
 	}
 	r.next++
-	ent := &stmtEntry{id: fmt.Sprintf("q%d", r.next), key: key, sql: sql, force: force}
+	ent := &stmtEntry{id: fmt.Sprintf("q%d", r.next), key: key, sql: sql, norm: norm, force: force}
 	r.byKey[key] = ent
 	r.byID[ent.id] = ent
 	r.order = append(r.order, key)
@@ -122,7 +127,7 @@ func (r *registry) prepare(sql string, force bool) (ent *stmtEntry, cached bool,
 		r.hits.Add(1)
 		return ent, true, nil
 	}
-	p, err := r.eng.PrepareOpts(ent.sql, minequery.PrepareOptions{ForceSeqScan: ent.force})
+	p, err := r.eng.Prepare(ent.sql, planHints(ent.force)...)
 	if err != nil {
 		return nil, false, err
 	}
@@ -146,12 +151,12 @@ const maxExecuteRetries = 5
 // missing or stale. planReused reports whether this call executed a
 // plan built by an earlier call — the signal that the prepared path
 // skipped parse, envelope derivation, and optimization entirely.
-func (r *registry) execute(ctx context.Context, ent *stmtEntry, eo minequery.ExecOptions) (res *minequery.Result, planReused bool, err error) {
+func (r *registry) execute(ctx context.Context, ent *stmtEntry, execOpts []minequery.QueryOption) (res *minequery.Result, planReused bool, err error) {
 	for attempt := 0; attempt <= maxExecuteRetries; attempt++ {
 		ent.mu.Lock()
 		p := ent.prepared
 		if p == nil || !p.Valid() {
-			np, perr := r.eng.PrepareOpts(ent.sql, minequery.PrepareOptions{ForceSeqScan: ent.force})
+			np, perr := r.eng.Prepare(ent.sql, planHints(ent.force)...)
 			if perr != nil {
 				ent.mu.Unlock()
 				return nil, false, perr
@@ -165,14 +170,14 @@ func (r *registry) execute(ctx context.Context, ent *stmtEntry, eo minequery.Exe
 			p = np
 			reused := false
 			ent.mu.Unlock()
-			res, err = p.ExecuteOpts(ctx, eo)
+			res, err = p.Execute(ctx, execOpts...)
 			if err == nil {
 				return res, reused, nil
 			}
 		} else {
 			r.hits.Add(1)
 			ent.mu.Unlock()
-			res, err = p.ExecuteOpts(ctx, eo)
+			res, err = p.Execute(ctx, execOpts...)
 			if err == nil {
 				return res, true, nil
 			}
@@ -184,6 +189,14 @@ func (r *registry) execute(ctx context.Context, ent *stmtEntry, eo minequery.Exe
 		// to rebuild against the new catalog state.
 	}
 	return nil, false, err
+}
+
+// planHints translates the registry's force flag to Prepare options.
+func planHints(force bool) []minequery.QueryOption {
+	if force {
+		return []minequery.QueryOption{minequery.WithForcedPath("seqscan")}
+	}
+	return nil
 }
 
 // registryStats is the /v1/stats view of the statement cache.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"minequery"
+	"minequery/internal/sqlparse"
 )
 
 // Config tunes a Server. Zero values take the documented defaults.
@@ -30,6 +31,13 @@ type Config struct {
 	// EnvelopeCacheSize bounds the shared envelope cache (default 1024
 	// entries, FIFO eviction).
 	EnvelopeCacheSize int
+	// SlowQueryThreshold is the duration at or above which a completed
+	// query is recorded in the slow-query log served at /v1/slowlog
+	// (default 250ms; negative disables recording).
+	SlowQueryThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring buffer (default 128
+	// entries; oldest overwritten first).
+	SlowLogSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +59,12 @@ func (c Config) withDefaults() Config {
 	if c.EnvelopeCacheSize <= 0 {
 		c.EnvelopeCacheSize = 1024
 	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = 250 * time.Millisecond
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 128
+	}
 	return c
 }
 
@@ -67,6 +81,8 @@ type Server struct {
 	reg      *registry
 	env      *envCache
 	sessions *sessionStore
+	slow     *slowLog
+	metrics  *minequery.MetricsRegistry
 	started  time.Time
 
 	mu      sync.Mutex
@@ -98,8 +114,10 @@ func New(eng *minequery.Engine, cfg Config) *Server {
 		reg:      newRegistry(eng, cfg.MaxStatements),
 		env:      newEnvCache(cfg.EnvelopeCacheSize),
 		sessions: newSessionStore(),
+		slow:     newSlowLog(cfg.SlowLogSize),
 		started:  time.Now(),
 	}
+	s.metrics = s.buildMetrics()
 	eng.SetEnvelopeCache(s.env)
 	eng.OnInvalidate(func(ev minequery.InvalidationEvent) {
 		s.invalidations.Add(1)
@@ -115,7 +133,10 @@ func New(eng *minequery.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/session/{id}/settings", s.handleSessionSettings)
 	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
 	s.mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	s.mux.HandleFunc("POST /v1/explain-analyze", s.handleExplainAnalyze)
+	s.mux.HandleFunc("GET /v1/slowlog", s.handleSlowlog)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -210,6 +231,28 @@ type executeResponse struct {
 	PlanChanged       bool          `json:"plan_changed"`
 	EstSelectivity    float64       `json:"est_selectivity"`
 	Stats             execStatsBody `json:"stats"`
+}
+
+type explainAnalyzeRequest struct {
+	SQL       string `json:"sql"`
+	SessionID string `json:"session_id"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+type explainAnalyzeResponse struct {
+	Plan           string        `json:"plan"`
+	AccessPath     string        `json:"access_path"`
+	RowCount       int           `json:"row_count"`
+	EstSelectivity float64       `json:"est_selectivity"`
+	RewriteNotes   []string      `json:"rewrite_notes"`
+	Analyze        string        `json:"analyze"`
+	Stats          execStatsBody `json:"stats"`
+}
+
+type slowlogResponse struct {
+	ThresholdMS int64          `json:"threshold_ms"`
+	Total       int64          `json:"total"`
+	Entries     []slowLogEntry `json:"entries"`
 }
 
 type statsResponse struct {
@@ -448,12 +491,13 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, reused, err := s.reg.execute(ctx, ent, minequery.ExecOptions{DOP: settings.DOP})
+	res, reused, err := s.reg.execute(ctx, ent, settingsExecOpts(settings))
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	s.queries.Add(1)
+	s.maybeRecordSlow(ent.norm, res)
 	writeJSON(w, http.StatusOK, executeResponse{
 		StatementID:       ent.id,
 		StatementCacheHit: reused,
@@ -471,6 +515,128 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			TupleReads:    res.Stats.TupleReads,
 			CostUnits:     res.Stats.CostUnits,
 		},
+	})
+}
+
+// settingsExecOpts translates session settings into per-execution
+// query options (plan-shaping settings are applied at prepare time).
+func settingsExecOpts(settings sessionSettings) []minequery.QueryOption {
+	var opts []minequery.QueryOption
+	if settings.DOP > 0 {
+		opts = append(opts, minequery.WithDOP(settings.DOP))
+	}
+	return opts
+}
+
+// maybeRecordSlow logs the completed query when it met the slow-query
+// threshold. normSQL is the normalized statement text.
+func (s *Server) maybeRecordSlow(normSQL string, res *minequery.Result) {
+	if s.cfg.SlowQueryThreshold < 0 || res.Stats.Duration < s.cfg.SlowQueryThreshold {
+		return
+	}
+	e := slowLogEntry{
+		Time:          time.Now(),
+		SQL:           normSQL,
+		AccessPath:    res.AccessPath,
+		DurationUS:    res.Stats.Duration.Microseconds(),
+		Rows:          len(res.Rows),
+		SeqPageReads:  res.Stats.SeqPageReads,
+		RandPageReads: res.Stats.RandPageReads,
+		TupleReads:    res.Stats.TupleReads,
+		CostUnits:     res.Stats.CostUnits,
+		Plan:          res.Plan,
+	}
+	if res.Analyze != nil {
+		e.Analyze = res.Analyze.Render(false)
+	}
+	s.slow.record(e)
+}
+
+// handleExplainAnalyze runs the statement once with per-operator
+// instrumentation and envelope attribution, returning the rendered
+// report instead of the result rows. It is a one-shot diagnostic: the
+// statement registry is bypassed so the profiled run never perturbs
+// cached plans, but session settings (DOP, force_path) and admission
+// control still apply — the query really executes.
+func (s *Server) handleExplainAnalyze(w http.ResponseWriter, r *http.Request) {
+	done, err := s.beginRequest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer done()
+	var req explainAnalyzeRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.SQL == "" {
+		s.writeError(w, errBadRequest("sql is required"))
+		return
+	}
+	settings, err := s.resolveSettings(req.SessionID)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if settings.Timeout > 0 {
+		timeout = settings.Timeout
+	}
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.adm.release()
+	if s.execHook != nil {
+		s.execHook()
+	}
+
+	opts := append(settingsExecOpts(settings), minequery.WithAnalyze())
+	if settings.ForcePath != "" {
+		opts = append(opts, minequery.WithForcedPath(settings.ForcePath))
+	}
+	res, err := s.eng.Query(ctx, req.SQL, opts...)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if res.Analyze == nil {
+		s.writeError(w, &apiError{code: CodeInternal, msg: "engine instrumentation is disabled"})
+		return
+	}
+	s.queries.Add(1)
+	if norm, nerr := sqlparse.Normalize(req.SQL); nerr == nil {
+		s.maybeRecordSlow(norm, res)
+	}
+	writeJSON(w, http.StatusOK, explainAnalyzeResponse{
+		Plan:           res.Plan,
+		AccessPath:     res.AccessPath,
+		RowCount:       len(res.Rows),
+		EstSelectivity: res.EstSelectivity,
+		RewriteNotes:   res.RewriteNotes,
+		Analyze:        res.Analyze.Render(false),
+		Stats: execStatsBody{
+			DurationUS:    res.Stats.Duration.Microseconds(),
+			SeqPageReads:  res.Stats.SeqPageReads,
+			RandPageReads: res.Stats.RandPageReads,
+			TupleReads:    res.Stats.TupleReads,
+			CostUnits:     res.Stats.CostUnits,
+		},
+	})
+}
+
+// handleSlowlog serves the slow-query ring buffer, newest first.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, slowlogResponse{
+		ThresholdMS: s.cfg.SlowQueryThreshold.Milliseconds(),
+		Total:       s.slow.total.Load(),
+		Entries:     s.slow.entries(),
 	})
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math/rand"
@@ -137,7 +138,7 @@ func TestPrepareExecuteRoundTrip(t *testing.T) {
 	// Engine-side reference result, computed before the server touches
 	// anything. rowsToJSON + Marshal is byte-for-byte what the server
 	// sends in "rows".
-	want, err := eng.Query(vipQuery)
+	want, err := eng.Query(context.Background(), vipQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,8 +353,8 @@ func TestBadRequests(t *testing.T) {
 		{"both sql and id", executeRequest{SQL: "SELECT id FROM customers", StatementID: "q1"}, CodeBadRequest},
 		{"unknown statement", executeRequest{StatementID: "q999"}, CodeNotFound},
 		{"unknown session", executeRequest{SQL: "SELECT id FROM customers", SessionID: "s999"}, CodeNotFound},
-		{"sql parse error", executeRequest{SQL: "SELEC id"}, CodeBadRequest},
-		{"unknown table", executeRequest{SQL: "SELECT id FROM nope"}, CodeBadRequest},
+		{"sql parse error", executeRequest{SQL: "SELEC id"}, CodeParse},
+		{"unknown table", executeRequest{SQL: "SELECT id FROM nope"}, CodeUnknownTable},
 	}
 	for _, tc := range cases {
 		st, raw := call(t, "POST", ts.URL+"/v1/execute", tc.body)

@@ -1,8 +1,11 @@
 package sqlparse
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
+
+	"minequery/internal/qerr"
 )
 
 // Normalize renders src as a canonical token stream, for use as a
@@ -18,7 +21,7 @@ import (
 func Normalize(src string) (string, error) {
 	toks, err := lex(src)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("%w: %v", qerr.ErrParse, err)
 	}
 	var b strings.Builder
 	for i, tk := range toks {

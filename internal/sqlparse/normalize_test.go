@@ -40,7 +40,7 @@ func TestNormalizeKeepsDistinctQueriesApart(t *testing.T) {
 		{"SELECT a FROM t", "SELECT b FROM t"},
 		{"SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 2"},
 		{"SELECT a FROM t WHERE s = 'A'", "SELECT a FROM t WHERE s = 'a'"}, // string literals are case-sensitive
-		{"SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = '1'"},  // number vs string
+		{"SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = '1'"},   // number vs string
 	}
 	for _, p := range pairs {
 		a, err := Normalize(p[0])

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"minequery/internal/expr"
+	"minequery/internal/qerr"
 	"minequery/internal/value"
 )
 
@@ -39,8 +40,18 @@ type Query struct {
 	Limit int64
 }
 
-// Parse parses one SELECT statement.
+// Parse parses one SELECT statement. Every error wraps qerr.ErrParse,
+// so callers can classify parse failures with errors.Is without
+// matching message text.
 func Parse(src string) (*Query, error) {
+	q, err := parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", qerr.ErrParse, err)
+	}
+	return q, nil
+}
+
+func parse(src string) (*Query, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err

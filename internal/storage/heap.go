@@ -77,6 +77,26 @@ func (c *ioCounters) snapshot() IOStats {
 	}
 }
 
+// Counters is a caller-owned I/O accounting sink. The counted accessor
+// variants (ScanPagesInto, GetInto) add to one alongside the heap's own
+// global counters, giving each query its own attribution even when many
+// queries overlap on the same heap. All fields are atomic: morsel-scan
+// workers of one query update a shared Counters concurrently.
+type Counters struct {
+	SeqPageReads  atomic.Int64
+	RandPageReads atomic.Int64
+	TupleReads    atomic.Int64
+}
+
+// Snapshot returns the current counter values as an IOStats.
+func (c *Counters) Snapshot() IOStats {
+	return IOStats{
+		SeqPageReads:  c.SeqPageReads.Load(),
+		RandPageReads: c.RandPageReads.Load(),
+		TupleReads:    c.TupleReads.Load(),
+	}
+}
+
 // page is one slotted page. Slots grow from the front after the header;
 // record bytes grow from the back.
 type page struct {
@@ -203,14 +223,26 @@ func (h *Heap) pageAt(pi int) *page {
 // Get fetches the record at rid as a random page access. The returned
 // slice aliases page memory and must not be retained across writes.
 func (h *Heap) Get(rid RID) ([]byte, bool) {
+	return h.GetInto(nil, rid)
+}
+
+// GetInto is Get with per-query accounting: the random page read and
+// tuple read are additionally attributed to c (when non-nil).
+func (h *Heap) GetInto(c *Counters, rid RID) ([]byte, bool) {
 	p := h.pageAt(int(rid.Page))
 	if p == nil {
 		return nil, false
 	}
 	h.stats.randPageReads.Add(1)
+	if c != nil {
+		c.RandPageReads.Add(1)
+	}
 	rec, ok := p.record(int(rid.Slot))
 	if ok {
 		h.stats.tupleReads.Add(1)
+		if c != nil {
+			c.TupleReads.Add(1)
+		}
 	}
 	return rec, ok
 }
@@ -244,6 +276,12 @@ func (h *Heap) Scan(fn func(RID, []byte) bool) {
 // callback stops this morsel early. ScanPages is safe to call from many
 // goroutines at once over disjoint (or even overlapping) ranges.
 func (h *Heap) ScanPages(lo, hi int, fn func(RID, []byte) bool) {
+	h.ScanPagesInto(nil, lo, hi, fn)
+}
+
+// ScanPagesInto is ScanPages with per-query accounting: page and tuple
+// reads are additionally attributed to c (when non-nil).
+func (h *Heap) ScanPagesInto(c *Counters, lo, hi int, fn func(RID, []byte) bool) {
 	if lo < 0 {
 		lo = 0
 	}
@@ -256,12 +294,18 @@ func (h *Heap) ScanPages(lo, hi int, fn func(RID, []byte) bool) {
 			return
 		}
 		h.stats.seqPageReads.Add(1)
+		if c != nil {
+			c.SeqPageReads.Add(1)
+		}
 		for s := 0; s < p.slotCount(); s++ {
 			rec, ok := p.record(s)
 			if !ok {
 				continue
 			}
 			h.stats.tupleReads.Add(1)
+			if c != nil {
+				c.TupleReads.Add(1)
+			}
 			if !fn(RID{Page: uint32(pi), Slot: uint16(s)}, rec) {
 				return
 			}

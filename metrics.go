@@ -1,0 +1,80 @@
+package minequery
+
+import (
+	"time"
+
+	"minequery/internal/metrics"
+	"minequery/internal/plan"
+)
+
+// MetricsRegistry is the engine's metrics registry type (re-exported so
+// downstream users never import internal packages). Register engine
+// series with Engine.RegisterMetrics, add your own alongside, and
+// expose everything with WritePrometheus.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// engineMetrics holds the engine-wide series. The struct is installed
+// atomically on the Engine so the query path reads one pointer; a nil
+// receiver disables every observation.
+type engineMetrics struct {
+	queriesByPath *metrics.CounterVec
+	stageSeconds  *metrics.HistogramVec
+	rowsScanned   *metrics.Counter
+	rowsReturned  *metrics.Counter
+}
+
+// queryStages are the pipeline stages timed per query.
+var queryStages = []string{"parse", "rewrite", "optimize", "execute"}
+
+// RegisterMetrics registers the engine-wide series on r and starts
+// feeding them from every subsequent query:
+//
+//	minequery_queries_total{path}        completed queries by access path
+//	minequery_query_stage_seconds{stage} per-stage latency histogram
+//	minequery_rows_scanned_total         tuples read from storage
+//	minequery_rows_returned_total        tuples returned to callers
+//
+// Call it once per registry; series names panic on double registration.
+func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
+	em := &engineMetrics{
+		queriesByPath: r.CounterVec("minequery_queries_total",
+			"Completed queries by base-table access path.", "path"),
+		stageSeconds: r.HistogramVec("minequery_query_stage_seconds",
+			"Per-stage query latency in seconds.", "stage", nil),
+		rowsScanned: r.Counter("minequery_rows_scanned_total",
+			"Tuples read from storage by query execution."),
+		rowsReturned: r.Counter("minequery_rows_returned_total",
+			"Tuples returned to callers by query execution."),
+	}
+	// Pre-create the label children so every series is visible from the
+	// first scrape (a frozen series list is lintable even on an idle
+	// engine).
+	for _, p := range []plan.AccessPath{plan.AccessSeqScan, plan.AccessIndex, plan.AccessIndexUnion, plan.AccessConstant} {
+		em.queriesByPath.With(p.String())
+	}
+	for _, s := range queryStages {
+		em.stageSeconds.With(s)
+	}
+	e.metrics.Store(em)
+}
+
+// stage records one pipeline stage's latency (nil-safe).
+func (em *engineMetrics) stage(name string, d time.Duration) {
+	if em == nil {
+		return
+	}
+	em.stageSeconds.With(name).Observe(d.Seconds())
+}
+
+// query records one completed query (nil-safe).
+func (em *engineMetrics) query(path string, scanned, returned int64) {
+	if em == nil {
+		return
+	}
+	em.queriesByPath.With(path).Inc()
+	em.rowsScanned.Add(scanned)
+	em.rowsReturned.Add(returned)
+}

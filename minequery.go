@@ -32,6 +32,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"minequery/internal/catalog"
@@ -45,6 +46,7 @@ import (
 	"minequery/internal/mining/rules"
 	"minequery/internal/opt"
 	"minequery/internal/plan"
+	"minequery/internal/qerr"
 	"minequery/internal/sqlparse"
 	"minequery/internal/storage"
 	"minequery/internal/value"
@@ -120,18 +122,26 @@ type (
 	EnvelopeOptions = core.Options
 )
 
-// Engine is an embedded minequery database. An Engine is intended for
-// use from one goroutine at a time: queries share storage-level I/O
-// accounting, so interleaved calls would attribute costs to the wrong
-// query. Wrap calls in external synchronization for concurrent use.
-// (A single query may still fan out internally: sequential scans are
-// morsel-driven and run on Exec.DOP workers.)
+// Engine is an embedded minequery database. Queries may run from many
+// goroutines at once: each execution carries its own I/O accounting
+// (see ExecStats), so concurrent queries never pollute each other's
+// statistics. Catalog mutations (CreateTable, training, CreateIndex)
+// should still be serialized with respect to queries that touch the
+// same objects. A single query may also fan out internally: sequential
+// scans are morsel-driven and run on Exec.DOP workers.
 type Engine struct {
 	cat      *catalog.Catalog
 	optCfg   opt.Config
 	envOpts  core.Options
 	execOpts exec.Options
 	envCache core.EnvelopeCache
+
+	// noInstrument inverts the default-on per-query runtime collection
+	// (zero value = instrumentation on); see SetInstrumentation.
+	noInstrument atomic.Bool
+	// metrics is the installed engine-metrics sink, nil until
+	// RegisterMetrics.
+	metrics atomic.Pointer[engineMetrics]
 }
 
 // Config tunes an Engine.
@@ -205,7 +215,7 @@ func (e *Engine) CreateTable(name string, schema *Schema) error {
 func (e *Engine) Insert(table string, row Tuple) error {
 	t, ok := e.cat.Table(table)
 	if !ok {
-		return fmt.Errorf("minequery: no table %q", table)
+		return fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, table)
 	}
 	_, err := t.Insert(row)
 	return err
@@ -215,7 +225,7 @@ func (e *Engine) Insert(table string, row Tuple) error {
 func (e *Engine) InsertBatch(table string, rows []Tuple) error {
 	t, ok := e.cat.Table(table)
 	if !ok {
-		return fmt.Errorf("minequery: no table %q", table)
+		return fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, table)
 	}
 	for i, r := range rows {
 		if _, err := t.Insert(r); err != nil {
@@ -249,7 +259,7 @@ func (e *Engine) DropModel(name string) error { return e.cat.DropModel(name) }
 func (e *Engine) RowCount(table string) (int64, error) {
 	t, ok := e.cat.Table(table)
 	if !ok {
-		return 0, fmt.Errorf("minequery: no table %q", table)
+		return 0, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, table)
 	}
 	return t.Heap.Len(), nil
 }
@@ -275,7 +285,7 @@ type ModelInfo struct {
 func (e *Engine) buildTrainSet(table string, inputCols []string, labelCol string) (*mining.TrainSet, error) {
 	t, ok := e.cat.Table(table)
 	if !ok {
-		return nil, fmt.Errorf("minequery: no table %q", table)
+		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, table)
 	}
 	ords := make([]int, len(inputCols))
 	cols := make([]Column, len(inputCols))
@@ -464,60 +474,135 @@ type Result struct {
 	RewriteNotes []string
 	// Stats is the measured execution cost.
 	Stats ExecStats
+	// Analyze is the per-operator runtime report (estimated vs actual
+	// rows, wall time, leaf I/O, envelope-pruning attribution). It is
+	// populated on every query while instrumentation is on (the
+	// default); nil after SetInstrumentation(false).
+	Analyze *AnalyzeReport
 }
 
 // Query parses, rewrites (adding upper envelopes), optimizes, and runs
-// a SELECT.
-func (e *Engine) Query(sql string) (*Result, error) {
-	return e.run(context.Background(), sql, true)
+// a SELECT. Options tune the one call:
+//
+//	WithBaseline()      evaluate mining predicates as black-box filters
+//	WithDOP(n)          override scan parallelism for this call
+//	WithForcedPath(p)   pin the access path ("seqscan")
+//	WithAnalyze()       attribute filter rejections to envelope vs residual
+//
+// Cancellation: when ctx is cancelled or its deadline passes, execution
+// stops between batches and the returned error matches context.Canceled
+// or context.DeadlineExceeded via errors.Is.
+func (e *Engine) Query(ctx context.Context, sql string, opts ...QueryOption) (*Result, error) {
+	qc, err := buildQueryConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.runQuery(ctx, sql, qc)
 }
 
-// QueryContext is Query with cancellation: when ctx is cancelled or its
-// deadline passes, execution stops between batches and the returned
-// error matches context.Canceled or context.DeadlineExceeded via
-// errors.Is.
+// QueryContext runs a SELECT with cancellation.
+//
+// Deprecated: Query now takes a context directly; call Query.
 func (e *Engine) QueryContext(ctx context.Context, sql string) (*Result, error) {
-	return e.run(ctx, sql, true)
+	return e.Query(ctx, sql)
 }
 
-// QueryBaseline runs a SELECT without envelope optimization: mining
-// predicates are evaluated as black-box filters after the prediction
-// join, the paper's unoptimized evaluation strategy.
+// QueryBaseline runs a SELECT without envelope optimization.
+//
+// Deprecated: call Query with WithBaseline().
 func (e *Engine) QueryBaseline(sql string) (*Result, error) {
-	return e.run(context.Background(), sql, false)
+	return e.Query(context.Background(), sql, WithBaseline())
 }
 
 // QueryBaselineContext is QueryBaseline with cancellation.
+//
+// Deprecated: call Query with WithBaseline().
 func (e *Engine) QueryBaselineContext(ctx context.Context, sql string) (*Result, error) {
-	return e.run(ctx, sql, false)
+	return e.Query(ctx, sql, WithBaseline())
 }
 
-func (e *Engine) run(ctx context.Context, sql string, optimize bool) (*Result, error) {
+// ExplainAnalyze runs the query with envelope attribution enabled and
+// returns the rendered per-operator report: estimated vs actual rows,
+// batches, wall time, leaf I/O, and — for filters — how many rejected
+// rows the added envelope pruned vs the query's own (residual)
+// predicate. The query's full Result (rows included) is returned
+// alongside; its Analyze field carries the structured report.
+func (e *Engine) ExplainAnalyze(ctx context.Context, sql string, opts ...QueryOption) (string, *Result, error) {
+	res, err := e.Query(ctx, sql, append(opts, WithAnalyze())...)
+	if err != nil {
+		return "", nil, err
+	}
+	return res.Analyze.Render(false), res, nil
+}
+
+// SetInstrumentation toggles per-query runtime collection (on by
+// default): operator actuals, per-query I/O attribution, and the
+// Analyze report on every Result. With instrumentation off the bare
+// operator tree runs and ExecStats falls back to heap-global counter
+// deltas, which concurrent queries pollute — off exists for measuring
+// instrumentation overhead, not for production use.
+func (e *Engine) SetInstrumentation(on bool) { e.noInstrument.Store(!on) }
+
+func (e *Engine) runQuery(ctx context.Context, sql string, qc queryConfig) (*Result, error) {
+	em := e.metrics.Load()
+	stageStart := time.Now()
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	em.stage("parse", time.Since(stageStart))
 	t, ok := e.cat.Table(q.Table)
 	if !ok {
-		return nil, fmt.Errorf("minequery: no table %q", q.Table)
+		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, q.Table)
 	}
+	stageStart = time.Now()
 	var rw *core.Rewrite
-	if optimize {
-		rw, err = core.RewriteQueryCached(q, e.cat, e.optCfg.MaxDisjuncts, e.envCache)
-	} else {
+	if qc.baseline {
 		rw, err = core.BaselineRewrite(q, e.cat, e.optCfg.MaxDisjuncts)
+	} else {
+		rw, err = core.RewriteQueryCached(q, e.cat, e.optCfg.MaxDisjuncts, e.envCache)
 	}
 	if err != nil {
 		return nil, err
 	}
-	root, res := e.buildPlan(q, t, rw, false)
-	return e.executePlan(ctx, t, root, res, rw, e.execOpts)
+	em.stage("rewrite", time.Since(stageStart))
+	stageStart = time.Now()
+	root, res := e.buildPlan(q, t, rw, qc.forcedPath == "seqscan")
+	em.stage("optimize", time.Since(stageStart))
+	execOpts := e.execOpts
+	if qc.dop > 0 {
+		execOpts.DOP = qc.dop
+	}
+	var analyzeBase expr.Expr
+	if qc.analyze {
+		// The attribution baseline is the query's own predicate projected
+		// to data columns — what the scan-level filter would have been
+		// without envelope augmentation.
+		baseRw, err := core.BaselineRewrite(q, e.cat, e.optCfg.MaxDisjuncts)
+		if err != nil {
+			return nil, err
+		}
+		analyzeBase = baseRw.DataPred
+	}
+	return e.executePlan(ctx, t, root, res, rw, execOpts, analyzeBase)
 }
 
 // executePlan runs an assembled physical plan and packages the Result.
 // It is shared by the one-shot query path and prepared statements, so
-// both produce identical output for identical plans.
-func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root plan.Node, res opt.Result, rw *core.Rewrite, execOpts exec.Options) (*Result, error) {
+// both produce identical output for identical plans. analyzeBase, when
+// non-nil, enables envelope-vs-residual rejection attribution on the
+// scan-level filter (the WithAnalyze path).
+func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root plan.Node, res opt.Result, rw *core.Rewrite, execOpts exec.Options, analyzeBase expr.Expr) (*Result, error) {
+	var col *exec.Collector
+	if !e.noInstrument.Load() {
+		col = exec.NewCollector()
+		execOpts.Collector = col
+		if analyzeBase != nil {
+			if lf := scanLevelFilter(root); lf != nil {
+				col.SetEnvelopeBaseline(lf, analyzeBase)
+			}
+		}
+	}
 	before := t.Heap.Stats()
 	start := time.Now()
 	rows, schema, err := exec.RunCtx(ctx, e.cat, root, execOpts)
@@ -525,12 +610,19 @@ func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root plan.No
 	if err != nil {
 		return nil, err
 	}
-	after := t.Heap.Stats()
-	st := ExecStats{
-		Duration:      elapsed,
-		SeqPageReads:  after.SeqPageReads - before.SeqPageReads,
-		RandPageReads: after.RandPageReads - before.RandPageReads,
-		TupleReads:    after.TupleReads - before.TupleReads,
+	st := ExecStats{Duration: elapsed}
+	if col != nil {
+		io := col.IO.Snapshot()
+		st.SeqPageReads = io.SeqPageReads
+		st.RandPageReads = io.RandPageReads
+		st.TupleReads = io.TupleReads
+	} else {
+		// Uninstrumented fallback: heap-global counter deltas, which
+		// overlapping queries pollute.
+		after := t.Heap.Stats()
+		st.SeqPageReads = after.SeqPageReads - before.SeqPageReads
+		st.RandPageReads = after.RandPageReads - before.RandPageReads
+		st.TupleReads = after.TupleReads - before.TupleReads
 	}
 	st.CostUnits = float64(st.SeqPageReads)*e.optCfg.SeqPageCost +
 		float64(st.RandPageReads)*e.optCfg.RandomPageCost +
@@ -539,7 +631,7 @@ func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root plan.No
 	for i := range cols {
 		cols[i] = schema.Col(i).Name
 	}
-	return &Result{
+	r := &Result{
 		Columns:        cols,
 		Rows:           rows,
 		Plan:           plan.Explain(root),
@@ -548,7 +640,33 @@ func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root plan.No
 		EstSelectivity: res.EstSelectivity,
 		RewriteNotes:   rw.Notes,
 		Stats:          st,
-	}, nil
+	}
+	if col != nil {
+		r.Analyze = buildAnalyzeReport(root, col, t, res.EstSelectivity, execOpts.DOP, st, analyzeBase != nil)
+	}
+	em := e.metrics.Load()
+	em.stage("execute", elapsed)
+	em.query(r.AccessPath, st.TupleReads, int64(len(rows)))
+	return r, nil
+}
+
+// scanLevelFilter finds the filter applied at the access path — the
+// lowest Filter, sitting directly on a scan leaf — which is where
+// envelope augmentation lands and therefore where rejection attribution
+// is meaningful.
+func scanLevelFilter(n plan.Node) *plan.Filter {
+	if f, ok := n.(*plan.Filter); ok {
+		switch f.Child.(type) {
+		case *plan.SeqScan, *plan.IndexSeek, *plan.IndexUnion, *plan.ConstScan:
+			return f
+		}
+	}
+	for _, c := range n.Children() {
+		if f := scanLevelFilter(c); f != nil {
+			return f
+		}
+	}
+	return nil
 }
 
 // buildPlan assembles the physical plan: access path for the data
@@ -607,7 +725,7 @@ func (e *Engine) Explain(sql string) (string, error) {
 	}
 	t, ok := e.cat.Table(q.Table)
 	if !ok {
-		return "", fmt.Errorf("minequery: no table %q", q.Table)
+		return "", fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, q.Table)
 	}
 	rw, err := core.RewriteQueryCached(q, e.cat, e.optCfg.MaxDisjuncts, e.envCache)
 	if err != nil {

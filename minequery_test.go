@@ -1,6 +1,7 @@
 package minequery
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -70,7 +71,7 @@ func TestQueryMatchesBaseline(t *testing.T) {
 	if err := e.CreateIndex("ix_income", "customers", "income"); err != nil {
 		t.Fatal(err)
 	}
-	optimized, err := e.Query(nbQuery)
+	optimized, err := e.Query(context.Background(), nbQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestOptimizedPlanUsesIndexAndIsCheaper(t *testing.T) {
 	if err := e.CreateIndex("ix_income", "customers", "income"); err != nil {
 		t.Fatal(err)
 	}
-	optimized, err := e.Query(nbQuery)
+	optimized, err := e.Query(context.Background(), nbQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestOptimizedPlanUsesIndexAndIsCheaper(t *testing.T) {
 func TestUnknownClassYieldsConstantScan(t *testing.T) {
 	e := seedEngine(t, 5000)
 	trainNB(t, e)
-	res, err := e.Query(strings.Replace(nbQuery, "'vip'", "'martian'", 1))
+	res, err := e.Query(context.Background(), strings.Replace(nbQuery, "'vip'", "'martian'", 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestDecisionTreeQueryEndToEnd(t *testing.T) {
 	sql := `SELECT id FROM customers
 		PREDICTION JOIN treemodel AS m ON m.age = customers.age AND m.income = customers.income
 		WHERE m.segment = 'vip'`
-	optimized, err := e.Query(sql)
+	optimized, err := e.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestKMeansQueryEndToEnd(t *testing.T) {
 	sql := `SELECT * FROM customers
 		PREDICTION JOIN clusters AS c ON c.age = customers.age AND c.income = customers.income
 		WHERE c.cluster = 0`
-	optimized, err := e.Query(sql)
+	optimized, err := e.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestINPredicate(t *testing.T) {
 	sql := `SELECT * FROM customers
 		PREDICTION JOIN segmodel AS m ON m.age = customers.age AND m.income = customers.income
 		WHERE m.segment IN ('vip', 'budget')`
-	optimized, err := e.Query(sql)
+	optimized, err := e.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestModelDataJoinQuery(t *testing.T) {
 	sql := `SELECT * FROM customers
 		PREDICTION JOIN segmodel AS m ON m.age = customers.age AND m.income = customers.income
 		WHERE m.segment = segment`
-	optimized, err := e.Query(sql)
+	optimized, err := e.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestTwoModelConcurrence(t *testing.T) {
 		PREDICTION JOIN segmodel AS m1 ON m1.age = customers.age AND m1.income = customers.income
 		PREDICTION JOIN treemodel AS m2 ON m2.age = customers.age AND m2.income = customers.income
 		WHERE m1.segment = m2.segment AND m1.segment = 'vip'`
-	optimized, err := e.Query(sql)
+	optimized, err := e.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestTwoModelConcurrence(t *testing.T) {
 
 func TestLimitAndProjection(t *testing.T) {
 	e := seedEngine(t, 1000)
-	res, err := e.Query("SELECT id, segment FROM customers WHERE income >= 0 LIMIT 5")
+	res, err := e.Query(context.Background(), "SELECT id, segment FROM customers WHERE income >= 0 LIMIT 5")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestModelRetrainInvalidatesNothingVisible(t *testing.T) {
 		t.Errorf("retrain should bump version: %d then %d", info1.Version, info2.Version)
 	}
 	// Queries after retraining use the fresh version.
-	if _, err := e.Query(nbQuery); err != nil {
+	if _, err := e.Query(context.Background(), nbQuery); err != nil {
 		t.Fatalf("query after retrain failed: %v", err)
 	}
 }
@@ -340,10 +341,10 @@ func TestErrors(t *testing.T) {
 	if _, err := e.RowCount("nope"); err == nil {
 		t.Error("rowcount of missing table should fail")
 	}
-	if _, err := e.Query("SELECT * FROM nope"); err == nil {
+	if _, err := e.Query(context.Background(), "SELECT * FROM nope"); err == nil {
 		t.Error("query of missing table should fail")
 	}
-	if _, err := e.Query("not sql"); err == nil {
+	if _, err := e.Query(context.Background(), "not sql"); err == nil {
 		t.Error("parse error should surface")
 	}
 	if _, err := e.Explain("SELECT * FROM nope"); err == nil {

@@ -5,11 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"minequery/internal/catalog"
 	"minequery/internal/core"
+	"minequery/internal/expr"
 	"minequery/internal/opt"
 	"minequery/internal/plan"
+	"minequery/internal/qerr"
 	"minequery/internal/sqlparse"
 )
 
@@ -21,6 +24,8 @@ import (
 var ErrStalePlan = errors.New("minequery: prepared plan is stale, re-prepare")
 
 // PrepareOptions tunes statement preparation.
+//
+// Deprecated: pass WithForcedPath("seqscan") to Prepare instead.
 type PrepareOptions struct {
 	// ForceSeqScan pins the access path to a filtered sequential scan,
 	// overriding the cost-based choice (a session-level plan hint).
@@ -28,6 +33,8 @@ type PrepareOptions struct {
 }
 
 // ExecOptions tunes one execution of a prepared statement.
+//
+// Deprecated: pass WithDOP to Prepared.Execute instead.
 type ExecOptions struct {
 	// DOP overrides the engine's degree of parallelism for this
 	// execution only (<=0: engine default). Results are identical at any
@@ -52,30 +59,45 @@ type Prepared struct {
 }
 
 // Prepare parses, rewrites, and optimizes a SELECT once, returning a
-// statement handle that executes the cached plan.
-func (e *Engine) Prepare(sql string) (*Prepared, error) {
-	return e.PrepareOpts(sql, PrepareOptions{})
+// statement handle that executes the cached plan. Plan-shaping options
+// (WithForcedPath) are honored here; execution options (WithDOP,
+// WithAnalyze) belong on Execute and are ignored at prepare time.
+func (e *Engine) Prepare(sql string, opts ...QueryOption) (*Prepared, error) {
+	qc, err := buildQueryConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.PrepareOpts(sql, PrepareOptions{ForceSeqScan: qc.forcedPath == "seqscan"})
 }
 
 // PrepareOpts is Prepare with plan hints.
+//
+// Deprecated: pass WithForcedPath to Prepare instead.
 func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 	// Snapshot the epoch before reading any catalog state: if the
 	// catalog changes while we plan, the statement is born stale rather
 	// than silently half-new.
 	epoch := e.cat.Epoch()
+	em := e.metrics.Load()
+	stageStart := time.Now()
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	em.stage("parse", time.Since(stageStart))
 	t, ok := e.cat.Table(q.Table)
 	if !ok {
-		return nil, fmt.Errorf("minequery: no table %q", q.Table)
+		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, q.Table)
 	}
+	stageStart = time.Now()
 	rw, err := core.RewriteQueryCached(q, e.cat, e.optCfg.MaxDisjuncts, e.envCache)
 	if err != nil {
 		return nil, err
 	}
+	em.stage("rewrite", time.Since(stageStart))
+	stageStart = time.Now()
 	root, res := e.buildPlan(q, t, rw, po.ForceSeqScan)
+	em.stage("optimize", time.Since(stageStart))
 	return &Prepared{
 		eng:      e,
 		sql:      sql,
@@ -119,21 +141,40 @@ func (p *Prepared) References() (table string, models []string) {
 // catalog has changed since Prepare — re-prepare and retry. Execution
 // (not planning) is also guarded by the plan's pinned model versions,
 // so a retrain racing past the epoch check still cannot mix plans
-// across model generations.
-func (p *Prepared) Execute(ctx context.Context) (*Result, error) {
-	return p.ExecuteOpts(ctx, ExecOptions{})
+// across model generations. Execution options (WithDOP, WithAnalyze)
+// are honored per call; plan-shaping options are fixed at Prepare.
+func (p *Prepared) Execute(ctx context.Context, opts ...QueryOption) (*Result, error) {
+	qc, err := buildQueryConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.execute(ctx, qc)
 }
 
 // ExecuteOpts is Execute with per-call overrides.
+//
+// Deprecated: pass WithDOP to Execute instead.
 func (p *Prepared) ExecuteOpts(ctx context.Context, eo ExecOptions) (*Result, error) {
+	return p.execute(ctx, queryConfig{dop: eo.DOP})
+}
+
+func (p *Prepared) execute(ctx context.Context, qc queryConfig) (*Result, error) {
 	if !p.Valid() {
 		return nil, ErrStalePlan
 	}
 	opts := p.eng.execOpts
-	if eo.DOP > 0 {
-		opts.DOP = eo.DOP
+	if qc.dop > 0 {
+		opts.DOP = qc.dop
 	}
-	res, err := p.eng.executePlan(ctx, p.table, p.root, p.optRes, p.rewrite, opts)
+	var analyzeBase expr.Expr
+	if qc.analyze {
+		baseRw, err := core.BaselineRewrite(p.query, p.eng.cat, p.eng.optCfg.MaxDisjuncts)
+		if err != nil {
+			return nil, err
+		}
+		analyzeBase = baseRw.DataPred
+	}
+	res, err := p.eng.executePlan(ctx, p.table, p.root, p.optRes, p.rewrite, opts, analyzeBase)
 	if err != nil && strings.Contains(err.Error(), "plan invalidated") {
 		// The exec-layer version guard fired: a model changed between the
 		// epoch check and plan build-out. Surface it as staleness.

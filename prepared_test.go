@@ -26,7 +26,7 @@ func TestPreparedMatchesQueryAtAnyDOP(t *testing.T) {
 	if err := e.CreateIndex("ix_age_income", "customers", "age", "income"); err != nil {
 		t.Fatal(err)
 	}
-	want, err := e.Query(nbQuery)
+	want, err := e.Query(context.Background(), nbQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestPreparedGoesStale(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fresh, err := e.Query(nbQuery)
+		fresh, err := e.Query(context.Background(), nbQuery)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,7 +190,7 @@ func TestEngineEnvelopeCacheSharedAcrossStatements(t *testing.T) {
 	trainNB(t, e)
 	cache := &countingCache{m: map[string]CachedEnvelope{}}
 	e.SetEnvelopeCache(cache)
-	if _, err := e.Query(nbQuery); err != nil {
+	if _, err := e.Query(context.Background(), nbQuery); err != nil {
 		t.Fatal(err)
 	}
 	misses := cache.misses
@@ -202,7 +202,7 @@ func TestEngineEnvelopeCacheSharedAcrossStatements(t *testing.T) {
 	other := `SELECT id FROM customers
 		PREDICTION JOIN segmodel AS m ON m.age = customers.age AND m.income = customers.income
 		WHERE m.segment = 'vip' LIMIT 5`
-	if _, err := e.Query(other); err != nil {
+	if _, err := e.Query(context.Background(), other); err != nil {
 		t.Fatal(err)
 	}
 	if cache.hits == 0 {

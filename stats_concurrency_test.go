@@ -1,0 +1,94 @@
+package minequery
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestExecStatsConcurrentIsolation is the regression test for per-query
+// I/O attribution: two tables of very different sizes are scanned
+// concurrently, and every result must report exactly its own table's
+// pages and tuples. Before the collector existed, ExecStats was derived
+// from engine-global heap counters, so overlapping queries bled page
+// reads into each other's stats.
+func TestExecStatsConcurrentIsolation(t *testing.T) {
+	e := New()
+	mk := func(name string, rows int) {
+		t.Helper()
+		if err := e.CreateTable(name, MustSchema(
+			Column{Name: "id", Kind: KindInt},
+			Column{Name: "age", Kind: KindInt},
+		)); err != nil {
+			t.Fatal(err)
+		}
+		batch := make([]Tuple, 0, rows)
+		for i := 0; i < rows; i++ {
+			batch = append(batch, Tuple{Int(int64(i)), Int(int64(i % 10))})
+		}
+		if err := e.InsertBatch(name, batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Analyze(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("small", 500)
+	mk("big", 8000)
+
+	want := map[string]struct {
+		pages  int64
+		tuples int64
+	}{}
+	for _, name := range []string{"small", "big"} {
+		tab, ok := e.cat.Table(name)
+		if !ok {
+			t.Fatalf("no table %s", name)
+		}
+		want[name] = struct {
+			pages  int64
+			tuples int64
+		}{int64(tab.Heap.PageCount()), tab.Heap.Len()}
+	}
+	if want["small"].pages == want["big"].pages {
+		t.Fatalf("fixture defect: tables have equal page counts (%d), cross-pollution would be invisible", want["small"].pages)
+	}
+
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		name := "small"
+		if g%2 == 1 {
+			name = "big"
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			w := want[name]
+			for i := 0; i < iters; i++ {
+				res, err := e.Query(context.Background(), "SELECT id FROM "+name+" WHERE age >= 0")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Stats.SeqPageReads != w.pages {
+					t.Errorf("%s: SeqPageReads = %d, want %d (stats polluted by concurrent query)",
+						name, res.Stats.SeqPageReads, w.pages)
+					return
+				}
+				if res.Stats.TupleReads != w.tuples {
+					t.Errorf("%s: TupleReads = %d, want %d (stats polluted by concurrent query)",
+						name, res.Stats.TupleReads, w.tuples)
+					return
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
