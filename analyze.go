@@ -67,6 +67,14 @@ type AnalyzeReport struct {
 	// Attribution reports whether envelope-vs-residual rejection
 	// attribution ran (WithAnalyze).
 	Attribution bool
+	// Fallback reports that this execution is the degraded re-run on
+	// the baseline sequential scan after the optimized index path
+	// failed transiently; FallbackReason is the triggering error.
+	Fallback       bool
+	FallbackReason string
+	// Retries counts transient failures absorbed by the retry layer
+	// during this execution.
+	Retries int64
 }
 
 // buildAnalyzeReport assembles the report from the executed plan and
@@ -198,6 +206,12 @@ func (r *AnalyzeReport) Render(elideTimings bool) string {
 	fmt.Fprintf(&b, "execution: path=%s seq_pages=%d rand_pages=%d tuples=%d cost_units=%.1f time=%s\n",
 		r.AccessPath, r.Stats.SeqPageReads, r.Stats.RandPageReads, r.Stats.TupleReads,
 		r.Stats.CostUnits, renderTime(r.Stats.Duration, elideTimings))
+	if r.Retries > 0 {
+		fmt.Fprintf(&b, "retries: %d transient failure(s) absorbed\n", r.Retries)
+	}
+	if r.Fallback {
+		fmt.Fprintf(&b, "fallback: index path failed transiently (%s); re-ran baseline sequential scan\n", r.FallbackReason)
+	}
 	return b.String()
 }
 

@@ -31,6 +31,8 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "max time to drain in-flight queries on shutdown")
 		demo     = flag.Bool("demo", false, "seed a demo database (customers table + risk_tree/seg_bayes models)")
 		demoRows = flag.Int("demo-rows", 30000, "row count for -demo")
+		brkThr   = flag.Int("breaker-threshold", 3, "consecutive index-path failures tripping a table's circuit breaker (-1: disable)")
+		brkCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
 	)
 	flag.Parse()
 
@@ -47,9 +49,11 @@ func main() {
 		q = 0
 	}
 	srv := server.New(eng, server.Config{
-		Workers:        *workers,
-		QueueDepth:     q,
-		DefaultTimeout: *timeout,
+		Workers:          *workers,
+		QueueDepth:       q,
+		DefaultTimeout:   *timeout,
+		BreakerThreshold: *brkThr,
+		BreakerCooldown:  *brkCool,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

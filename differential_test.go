@@ -1,0 +1,338 @@
+package minequery
+
+// Differential tester: a seeded random query generator produces
+// hundreds of SELECTs mixing mining predicates (over all five model
+// families) with data predicates under AND/OR, and every query is
+// executed three ways — forced sequential scan at DOP 1 (the oracle),
+// optimized at DOP 1, optimized at DOP 4 — asserting identical row
+// sets. A slice of the iterations runs with an injector killing index
+// seeks and retries disabled, so the engine's mid-query fallback path
+// is differentially tested too: a degraded execution must also match
+// the oracle exactly. Any divergence is a paper-soundness violation
+// (the envelope machinery returning wrong rows), never a flake: the
+// whole run is a pure function of the seed.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// diffModel is one trained model available to the query generator.
+type diffModel struct {
+	name    string
+	alias   string
+	predCol string
+	onCols  []string // join columns (model inputs)
+	classes []Value
+}
+
+// buildDiffEngine seeds a deterministic table and trains one model from
+// each of the five families on it.
+func buildDiffEngine(t *testing.T, seed int64, rows int) (*Engine, []diffModel) {
+	t.Helper()
+	eng := New()
+	if err := eng.CreateTable("t", MustSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "cat", Kind: KindString},
+		Column{Name: "num", Kind: KindInt},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	labelsCls := make([]string, rows)
+	batch := make([]Tuple, 0, rows)
+	for i := 0; i < rows; i++ {
+		cat := fmt.Sprintf("c%d", r.Intn(8))
+		num := r.Intn(100)
+		batch = append(batch, Tuple{Int(int64(i)), Str(cat), Int(int64(num))})
+		if num >= 85 {
+			labelsCls[i] = "high"
+		} else {
+			labelsCls[i] = "low"
+		}
+	}
+	if err := eng.InsertBatch("t", batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range [][]string{{"cat"}, {"num"}, {"cat", "num"}} {
+		if err := eng.CreateIndex("ix_"+strings.Join(ix, "_"), "t", ix...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trainers read labels from a table column, so stage them on a
+	// shadow table sharing the data columns.
+	if err := eng.CreateTable("t_lbl", MustSchema(
+		Column{Name: "cat", Kind: KindString},
+		Column{Name: "num", Kind: KindInt},
+		Column{Name: "cls", Kind: KindString},
+		Column{Name: "grp", Kind: KindString},
+		Column{Name: "seg", Kind: KindString},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	lb := make([]Tuple, 0, rows)
+	for i, row := range batch {
+		cat := row[1].AsString()
+		grp := "a"
+		if cat >= "c4" {
+			grp = "b"
+		}
+		seg := "x"
+		if row[2].AsInt() < 50 {
+			seg = "y"
+		}
+		lb = append(lb, Tuple{row[1], row[2], Str(labelsCls[i]), Str(grp), Str(seg)})
+	}
+	if err := eng.InsertBatch("t_lbl", lb); err != nil {
+		t.Fatal(err)
+	}
+
+	var models []diffModel
+	add := func(mi *ModelInfo, err error, alias, predCol string, onCols ...string) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("train %s: %v", alias, err)
+		}
+		models = append(models, diffModel{
+			name: mi.Name, alias: alias, predCol: predCol, onCols: onCols, classes: mi.Classes,
+		})
+	}
+	mi, err := eng.TrainDecisionTree("dt", "cls", "t_lbl", []string{"num"}, "cls", TreeOptions{})
+	add(mi, err, "m_dt", "cls", "num")
+	mi, err = eng.TrainNaiveBayes("nb", "grp", "t_lbl", []string{"cat"}, "grp", BayesOptions{})
+	add(mi, err, "m_nb", "grp", "cat")
+	mi, err = eng.TrainRules("rl", "seg", "t_lbl", []string{"cat", "num"}, "seg", RuleOptions{})
+	add(mi, err, "m_rl", "seg", "cat", "num")
+	mi, err = eng.TrainKMeans("km", "cluster", "t_lbl", []string{"num"}, ClusterOptions{K: 3, Seed: 7})
+	add(mi, err, "m_km", "cluster", "num")
+	mi, err = eng.TrainGMM("gm", "component", "t_lbl", []string{"num"}, ClusterOptions{K: 2, Seed: 7})
+	add(mi, err, "m_gm", "component", "num")
+	return eng, models
+}
+
+// sqlLiteral renders a class value as a SQL literal.
+func sqlLiteral(v Value) string {
+	switch v.Kind() {
+	case KindInt:
+		return fmt.Sprintf("%d", v.AsInt())
+	case KindFloat:
+		return fmt.Sprintf("%g", v.AsFloat())
+	default:
+		return "'" + strings.ReplaceAll(v.AsString(), "'", "''") + "'"
+	}
+}
+
+// genPredicate builds a random predicate tree over data columns and the
+// chosen models' predicted columns. Returns the WHERE text.
+func genPredicate(r *rand.Rand, models []diffModel, depth int) string {
+	if depth > 0 && r.Intn(3) > 0 {
+		op := " AND "
+		if r.Intn(2) == 0 {
+			op = " OR "
+		}
+		n := 2 + r.Intn(2)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = genPredicate(r, models, depth-1)
+		}
+		return "(" + strings.Join(parts, op) + ")"
+	}
+	// Leaf atom: mining predicate (when models are in scope) or data
+	// predicate, evenly split.
+	if len(models) > 0 && r.Intn(2) == 0 {
+		m := models[r.Intn(len(models))]
+		cls := m.classes[r.Intn(len(m.classes))]
+		col := m.alias + "." + m.predCol
+		if r.Intn(4) == 0 && len(m.classes) > 1 {
+			other := m.classes[r.Intn(len(m.classes))]
+			return fmt.Sprintf("%s IN (%s, %s)", col, sqlLiteral(cls), sqlLiteral(other))
+		}
+		return fmt.Sprintf("%s = %s", col, sqlLiteral(cls))
+	}
+	switch r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("cat = 'c%d'", r.Intn(8))
+	case 1:
+		return fmt.Sprintf("num >= %d", r.Intn(100))
+	case 2:
+		return fmt.Sprintf("num <= %d", r.Intn(100))
+	case 3:
+		lo := r.Intn(90)
+		return fmt.Sprintf("(num >= %d AND num <= %d)", lo, lo+r.Intn(15))
+	default:
+		return fmt.Sprintf("cat IN ('c%d', 'c%d')", r.Intn(8), r.Intn(8))
+	}
+}
+
+// genQuery builds one random SELECT: 0-2 prediction joins plus a random
+// predicate over the joined models and data columns.
+func genQuery(r *rand.Rand, all []diffModel) string {
+	n := r.Intn(3) // 0, 1, or 2 models
+	perm := r.Perm(len(all))
+	models := make([]diffModel, 0, n)
+	for _, i := range perm[:n] {
+		models = append(models, all[i])
+	}
+	var b strings.Builder
+	b.WriteString("SELECT * FROM t")
+	for _, m := range models {
+		fmt.Fprintf(&b, " PREDICTION JOIN %s AS %s ON", m.name, m.alias)
+		for i, c := range m.onCols {
+			if i > 0 {
+				b.WriteString(" AND")
+			}
+			fmt.Fprintf(&b, " %s.%s = t.%s", m.alias, c, c)
+		}
+	}
+	b.WriteString(" WHERE ")
+	b.WriteString(genPredicate(r, models, 2))
+	return b.String()
+}
+
+// rowKey canonicalizes one tuple for multiset comparison.
+func rowKey(row Tuple) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+func sortedKeys(rows []Tuple) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = rowKey(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameRowSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialRandomQueries is the differential layer's main run:
+// 500+ seeded random queries, each checked optimized-vs-oracle at DOP 1
+// and DOP 4, with every 5th iteration running under an index-seek
+// injector (retries off) so the fallback path is covered by the same
+// oracle. Zero tolerance: one divergent row set fails the run with the
+// reproducing seed and SQL in the message.
+func TestDifferentialRandomQueries(t *testing.T) {
+	const seed = 20250805
+	iterations := 500
+	if testing.Short() {
+		iterations = 120
+	}
+	eng, models := buildDiffEngine(t, seed, 900)
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(seed))
+
+	// The seek-killer: every index seek fails, retries are disabled, so
+	// any index-path query must degrade to the fallback scan.
+	seekKiller := NewFaultInjector(seed, FaultRule{Site: FaultSiteIndexSeek, EveryN: 1, Err: ErrInjected})
+	noRetry := RetryPolicy{MaxAttempts: 1}
+
+	fallbacks, indexPaths := 0, 0
+	for i := 0; i < iterations; i++ {
+		sql := genQuery(r, models)
+		faulty := i%5 == 4
+
+		base, err := eng.Query(ctx, sql, WithForcedPath("seqscan"), WithDOP(1))
+		if err != nil {
+			t.Fatalf("iter %d: oracle failed for %q: %v", i, sql, err)
+		}
+		want := sortedKeys(base.Rows)
+
+		if faulty {
+			eng.SetFaults(seekKiller)
+			eng.SetRetryPolicy(noRetry)
+		}
+		for _, dop := range []int{1, 4} {
+			res, err := eng.Query(ctx, sql, WithDOP(dop))
+			if err != nil {
+				t.Fatalf("iter %d (faulty=%v, dop=%d): optimized failed for %q: %v", i, faulty, dop, sql, err)
+			}
+			if got := sortedKeys(res.Rows); !sameRowSets(got, want) {
+				t.Fatalf("iter %d (faulty=%v, dop=%d, path=%s, fallback=%v): %q returned %d rows, oracle %d\nseed=%d",
+					i, faulty, dop, res.AccessPath, res.Fallback, sql, len(res.Rows), len(base.Rows), seed)
+			}
+			if res.Fallback {
+				fallbacks++
+				if !faulty {
+					t.Fatalf("iter %d: fallback without injected faults for %q", i, sql)
+				}
+			}
+			if strings.HasPrefix(res.AccessPath, "index") {
+				indexPaths++
+			}
+		}
+		if faulty {
+			eng.SetFaults(nil)
+			eng.SetRetryPolicy(DefaultRetryPolicy())
+		}
+	}
+	// The run is vacuous if the optimizer never chose an index or the
+	// injector never forced a degradation — guard against drift.
+	if indexPaths == 0 {
+		t.Fatal("no iteration chose an index path; generator or cost model drifted")
+	}
+	if fallbacks == 0 {
+		t.Fatal("no fault iteration triggered the fallback path; injector wiring drifted")
+	}
+	t.Logf("%d iterations: %d index-path executions, %d fallbacks, all row sets matched the oracle", iterations, indexPaths, fallbacks)
+}
+
+// TestDifferentialPreparedMatchesAdHoc reuses the generator to check
+// that the prepared-statement path returns the same rows as one-shot
+// queries, including under injected seek faults (prepared plans carry
+// their own cached fallback).
+func TestDifferentialPreparedMatchesAdHoc(t *testing.T) {
+	const seed = 424242
+	eng, models := buildDiffEngine(t, seed, 600)
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(seed))
+	seekKiller := NewFaultInjector(seed, FaultRule{Site: FaultSiteIndexSeek, EveryN: 1, Err: ErrInjected})
+
+	for i := 0; i < 60; i++ {
+		sql := genQuery(r, models)
+		base, err := eng.Query(ctx, sql, WithForcedPath("seqscan"))
+		if err != nil {
+			t.Fatalf("iter %d: oracle failed for %q: %v", i, sql, err)
+		}
+		want := sortedKeys(base.Rows)
+		p, err := eng.Prepare(sql)
+		if err != nil {
+			t.Fatalf("iter %d: prepare %q: %v", i, sql, err)
+		}
+		if i%3 == 2 {
+			eng.SetFaults(seekKiller)
+			eng.SetRetryPolicy(RetryPolicy{MaxAttempts: 1})
+		}
+		res, err := p.Execute(ctx)
+		if err != nil {
+			t.Fatalf("iter %d: execute %q: %v", i, sql, err)
+		}
+		if got := sortedKeys(res.Rows); !sameRowSets(got, want) {
+			t.Fatalf("iter %d: prepared %q returned %d rows, oracle %d (fallback=%v)",
+				i, sql, len(res.Rows), len(base.Rows), res.Fallback)
+		}
+		eng.SetFaults(nil)
+		eng.SetRetryPolicy(DefaultRetryPolicy())
+	}
+}

@@ -222,6 +222,19 @@ func (t *Tree) AscendRange(lo, hi []byte, loInc, hiInc bool, fn func(Entry) bool
 	return visited
 }
 
+// AscendRangeErr is AscendRange with an error-propagating callback: the
+// first non-nil error stops the scan and is returned. Seek paths use it
+// to surface context cancellation and injected faults from inside the
+// per-entry callback without sentinel booleans.
+func (t *Tree) AscendRangeErr(lo, hi []byte, loInc, hiInc bool, fn func(Entry) error) error {
+	var err error
+	t.AscendRange(lo, hi, loInc, hiInc, func(e Entry) bool {
+		err = fn(e)
+		return err == nil
+	})
+	return err
+}
+
 // AscendEqual visits all entries whose key equals key.
 func (t *Tree) AscendEqual(key []byte, fn func(Entry) bool) int {
 	return t.AscendRange(key, key, true, true, fn)

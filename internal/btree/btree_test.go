@@ -290,3 +290,35 @@ func TestLowDegreeClamped(t *testing.T) {
 		t.Errorf("clamped-degree tree lost entries: %d", got)
 	}
 }
+
+func TestAscendRangeErrStopsAndPropagates(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 100; i++ {
+		tr.Insert(key(fmt.Sprintf("k%03d", i)), rid(i))
+	}
+	boom := fmt.Errorf("boom")
+	visited := 0
+	err := tr.AscendRangeErr(nil, nil, true, true, func(Entry) error {
+		visited++
+		if visited == 7 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if visited != 7 {
+		t.Fatalf("visited %d entries after error, want 7", visited)
+	}
+	visited = 0
+	if err := tr.AscendRangeErr(key("k010"), key("k019"), true, true, func(Entry) error {
+		visited++
+		return nil
+	}); err != nil {
+		t.Fatalf("clean range returned %v", err)
+	}
+	if visited != 10 {
+		t.Fatalf("range visited %d, want 10", visited)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"minequery/internal/btree"
 	"minequery/internal/expr"
+	"minequery/internal/fault"
 	"minequery/internal/mining"
 	"minequery/internal/stats"
 	"minequery/internal/storage"
@@ -68,10 +69,13 @@ func (t *Table) Stats() *stats.TableStats {
 	return t.stats
 }
 
-// Analyze recomputes table statistics from the heap.
-func (t *Table) Analyze() *stats.TableStats {
+// Analyze recomputes table statistics from the heap. On a page-read
+// failure the partial statistics are discarded and the previous ones
+// kept, so the optimizer never costs plans from a truncated sample.
+func (t *Table) Analyze() (*stats.TableStats, error) {
+	var scanErr error
 	ts := stats.Build(t.Schema, func(emit func(value.Tuple)) {
-		t.Heap.Scan(func(_ storage.RID, rec []byte) bool {
+		scanErr = t.Heap.Scan(func(_ storage.RID, rec []byte) bool {
 			tup, err := value.DecodeTuple(rec)
 			if err == nil {
 				emit(tup)
@@ -79,10 +83,13 @@ func (t *Table) Analyze() *stats.TableStats {
 			return true
 		})
 	})
+	if scanErr != nil {
+		return nil, fmt.Errorf("catalog: analyze %s: %w", t.Name, scanErr)
+	}
 	t.mu.Lock()
 	t.stats = ts
 	t.mu.Unlock()
-	return ts
+	return ts, nil
 }
 
 // Insert appends a row, maintaining all indexes.
@@ -125,7 +132,10 @@ func (t *Table) Fetch(rid storage.RID) (value.Tuple, bool, error) {
 // FetchInto is Fetch with per-query I/O accounting attributed to c
 // (when non-nil) alongside the heap's global counters.
 func (t *Table) FetchInto(c *storage.Counters, rid storage.RID) (value.Tuple, bool, error) {
-	rec, ok := t.Heap.GetInto(c, rid)
+	rec, ok, err := t.Heap.GetInto(c, rid)
+	if err != nil {
+		return nil, false, fmt.Errorf("catalog: table %s: fetch %s: %w", t.Name, rid, err)
+	}
 	if !ok {
 		return nil, false, nil
 	}
@@ -221,6 +231,10 @@ type Catalog struct {
 	tables map[string]*Table
 	models map[string]*ModelEntry
 
+	// faults, when set, is installed on every table heap — existing and
+	// future — so one injector governs all storage-layer fault sites.
+	faults *fault.Injector
+
 	// epoch increments on every change that can invalidate a cached
 	// plan. Plan caches snapshot it at prepare time and compare before
 	// reuse.
@@ -275,8 +289,26 @@ func (c *Catalog) CreateTable(name string, schema *value.Schema) (*Table, error)
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
 	}
 	t := &Table{Name: name, Schema: schema, Heap: storage.NewHeap()}
+	if c.faults != nil {
+		t.Heap.SetFaults(c.faults)
+	}
 	c.tables[key(name)] = t
 	return t, nil
+}
+
+// SetFaults installs (or, with nil, removes) a fault injector on every
+// table heap in the catalog, including tables created later.
+func (c *Catalog) SetFaults(in *fault.Injector) {
+	c.mu.Lock()
+	c.faults = in
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.Unlock()
+	for _, t := range tables {
+		t.Heap.SetFaults(in)
+	}
 }
 
 // Table looks up a table by name.
@@ -325,7 +357,7 @@ func (c *Catalog) CreateIndex(name, table string, columns ...string) (*Index, er
 	t.mu.Unlock()
 	// Backfill outside the table lock.
 	var buildErr error
-	t.Heap.Scan(func(rid storage.RID, rec []byte) bool {
+	scanErr := t.Heap.Scan(func(rid storage.RID, rec []byte) bool {
 		tup, err := value.DecodeTuple(rec)
 		if err != nil {
 			buildErr = err
@@ -334,7 +366,20 @@ func (c *Catalog) CreateIndex(name, table string, columns ...string) (*Index, er
 		ix.Tree.Insert(ix.KeyFor(tup), rid)
 		return true
 	})
+	if buildErr == nil {
+		buildErr = scanErr
+	}
 	if buildErr != nil {
+		// Unregister the half-built index: leaving it visible would let
+		// the optimizer pick an access path that silently misses rows.
+		t.mu.Lock()
+		for i, reg := range t.indexes {
+			if reg == ix {
+				t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+				break
+			}
+		}
+		t.mu.Unlock()
 		return nil, fmt.Errorf("catalog: create index %q: %w", name, buildErr)
 	}
 	c.invalidate("index-created", t.Name, "")
@@ -363,7 +408,10 @@ func (c *Catalog) Analyze(table string) (*stats.TableStats, error) {
 	if !ok {
 		return nil, fmt.Errorf("catalog: analyze: no table %q", table)
 	}
-	ts := t.Analyze()
+	ts, err := t.Analyze()
+	if err != nil {
+		return nil, err
+	}
 	c.invalidate("stats-refreshed", t.Name, "")
 	return ts, nil
 }

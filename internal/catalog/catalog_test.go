@@ -148,7 +148,10 @@ func TestAnalyzeAndStats(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		tb.Insert(value.Tuple{value.Int(int64(i)), value.Str("x"), value.Float(0)})
 	}
-	ts := tb.Analyze()
+	ts, err := tb.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
 	if ts.RowCount != 50 {
 		t.Errorf("RowCount = %d", ts.RowCount)
 	}

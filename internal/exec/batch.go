@@ -12,6 +12,7 @@ import (
 
 	"minequery/internal/catalog"
 	"minequery/internal/expr"
+	"minequery/internal/fault"
 	"minequery/internal/mining"
 	"minequery/internal/plan"
 	"minequery/internal/storage"
@@ -55,6 +56,28 @@ type Options struct {
 	// and attributes storage I/O to the query (see Collector). Nil runs
 	// the bare operators.
 	Collector *Collector
+	// Faults, when non-nil, is consulted at the executor's injection
+	// sites (index seeks, morsel claims, batch boundaries); it does NOT
+	// govern the storage layer, whose sites live on the heap itself (see
+	// storage.Heap.SetFaults). Nil — the production state — reduces each
+	// site to a nil-pointer check.
+	Faults *fault.Injector
+	// Retry bounds retries of transient failures (injected or real) in
+	// page reads, RID lookups, and index seeks. The zero value disables
+	// retrying.
+	Retry fault.RetryPolicy
+	// Clock drives retry backoff sleeps. Nil means the wall clock; tests
+	// install a fault.FakeClock to assert backoff schedules exactly.
+	Clock fault.Clock
+}
+
+// onRetry returns the retry observer feeding the collector's retry
+// counter, or nil without a collector.
+func (o Options) onRetry() func(error) {
+	if o.Collector == nil {
+		return nil
+	}
+	return func(error) { o.Collector.Retries.Add(1) }
 }
 
 func (o Options) fill() Options {
@@ -169,7 +192,7 @@ func buildBareBatchNode(ctx context.Context, c *catalog.Catalog, n plan.Node, op
 			// Build; don't start that work for a dead query.
 			return nil, err
 		}
-		it, err := buildNode(c, n, ioOf(opts.Collector))
+		it, err := buildNode(ctx, c, n, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -331,6 +354,8 @@ type batchSeqScan struct {
 	ctx       context.Context
 	table     *catalog.Table
 	io        *storage.Counters
+	opts      Options
+	onRetry   func(error)
 	batchSize int
 	nextPage  int
 	pageCount int
@@ -338,8 +363,8 @@ type batchSeqScan struct {
 }
 
 func newBatchSeqScan(ctx context.Context, t *catalog.Table, opts Options) *batchSeqScan {
-	return &batchSeqScan{ctx: ctx, table: t, io: ioOf(opts.Collector),
-		batchSize: opts.BatchSize, pageCount: t.Heap.PageCount()}
+	return &batchSeqScan{ctx: ctx, table: t, io: ioOf(opts.Collector), opts: opts,
+		onRetry: opts.onRetry(), batchSize: opts.BatchSize, pageCount: t.Heap.PageCount()}
 }
 
 func (s *batchSeqScan) Schema() *value.Schema { return s.table.Schema }
@@ -348,25 +373,39 @@ func (s *batchSeqScan) NextBatch() (Batch, bool, error) {
 	if s.err != nil {
 		return nil, false, s.err
 	}
+	if ferr := s.opts.Faults.Hit(fault.SiteBatch); ferr != nil {
+		s.err = fmt.Errorf("exec: scan %s: %w", s.table.Name, ferr)
+		return nil, false, s.err
+	}
 	var batch Batch
 	for len(batch) < s.batchSize && s.nextPage < s.pageCount {
 		if s.err = ctxErr(s.ctx); s.err != nil {
 			return nil, false, s.err
 		}
-		s.table.Heap.ScanPagesInto(s.io, s.nextPage, s.nextPage+1, func(_ storage.RID, rec []byte) bool {
-			tup, err := value.DecodeTuple(rec)
-			if err != nil {
-				s.err = fmt.Errorf("exec: scan %s: %w", s.table.Name, err)
-				return false
-			}
-			if batch == nil {
-				batch = make(Batch, 0, s.batchSize)
-			}
-			batch = append(batch, tup)
-			return true
-		})
+		// One page per attempt: a page-read failure fires before any of
+		// the page's records are decoded, so retrying it cannot
+		// double-deliver rows into the batch.
+		page := s.nextPage
+		rerr := fault.Retry(s.ctx, s.opts.Clock, s.opts.Retry, func() error {
+			return s.table.Heap.ScanPagesInto(s.io, page, page+1, func(_ storage.RID, rec []byte) bool {
+				tup, err := value.DecodeTuple(rec)
+				if err != nil {
+					s.err = fmt.Errorf("exec: scan %s: %w", s.table.Name, err)
+					return false
+				}
+				if batch == nil {
+					batch = make(Batch, 0, s.batchSize)
+				}
+				batch = append(batch, tup)
+				return true
+			})
+		}, s.onRetry)
 		s.nextPage++
 		if s.err != nil {
+			return nil, false, s.err
+		}
+		if rerr != nil {
+			s.err = fmt.Errorf("exec: scan %s: %w", s.table.Name, rerr)
 			return nil, false, s.err
 		}
 	}

@@ -99,6 +99,84 @@ func TestDeadlineMidScan(t *testing.T) {
 	}
 }
 
+// indexedCancelFixture is cancelFixture plus an index on id, so index
+// access paths (seek, RID fetch, union) can be cancelled too.
+func indexedCancelFixture(t *testing.T, rows int) (*catalog.Catalog, *catalog.Table) {
+	t.Helper()
+	cat, tb := cancelFixture(t, rows)
+	if _, err := cat.CreateIndex("ix_id", "big", "id"); err != nil {
+		t.Fatal(err)
+	}
+	tb.Analyze()
+	return cat, tb
+}
+
+// fullSeek covers the whole index: enough RIDs that both the seek's
+// stride check and the RID fetch's stride check are guaranteed to run.
+func fullSeek() *plan.IndexSeek { return &plan.IndexSeek{Table: "big", Index: "ix_id"} }
+
+func TestPreCancelledIndexSeek(t *testing.T) {
+	cat, _ := indexedCancelFixture(t, 20000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := RunCtx(ctx, cat, fullSeek(), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCancelDuringRIDFetch(t *testing.T) {
+	cat, _ := indexedCancelFixture(t, 20000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	it, err := BuildBatchCtx(ctx, cat, fullSeek(), Options{BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	// The seeks succeed while the context is live; cancel once the RID
+	// fetch is underway and insist the iterator stops with the typed
+	// error instead of fetching the remaining 20k RIDs.
+	if _, done, err := it.NextBatch(); done || err != nil {
+		t.Fatalf("first batch: done=%v err=%v", done, err)
+	}
+	cancel()
+	var total int
+	for {
+		b, done, err := it.NextBatch()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			return
+		}
+		if done {
+			t.Fatal("RID fetch completed cleanly despite cancellation")
+		}
+		total += len(b)
+		if total > 25000 {
+			t.Fatal("runaway iterator")
+		}
+	}
+}
+
+func TestDeadlineMidIndexUnion(t *testing.T) {
+	cat, _ := indexedCancelFixture(t, 20000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond) // burn the deadline deterministically
+	// The union checks the context between arms and inside each seek's
+	// stride, so an expired deadline must surface before any fetching.
+	union := &plan.IndexUnion{Table: "big", Seeks: []*plan.IndexSeek{
+		{Table: "big", Index: "ix_id", Lo: &plan.Bound{Val: value.Int(0)}, Hi: &plan.Bound{Val: value.Int(5000)}},
+		{Table: "big", Index: "ix_id", Lo: &plan.Bound{Val: value.Int(10000)}, Hi: &plan.Bound{Val: value.Int(15000)}},
+	}}
+	_, _, err := RunCtx(ctx, cat, union, Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
 // TestCancelStopsWorkers asserts promptness: after cancellation the
 // morsel workers stop claiming work, so the heap's page-read counter
 // stops well short of a full scan.

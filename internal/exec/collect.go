@@ -56,6 +56,11 @@ type Collector struct {
 	// ExecStats.
 	IO storage.Counters
 
+	// Retries counts transient storage/seek failures absorbed by the
+	// retry layer during this execution — failures the query survived
+	// without surfacing an error or falling back.
+	Retries atomic.Int64
+
 	mu      sync.Mutex
 	ops     map[plan.Node]*OpStats
 	workers []*WorkerStats

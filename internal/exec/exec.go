@@ -7,12 +7,15 @@ package exec
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"minequery/internal/btree"
 	"minequery/internal/catalog"
 	"minequery/internal/expr"
+	"minequery/internal/fault"
 	"minequery/internal/mining"
 	"minequery/internal/plan"
 	"minequery/internal/storage"
@@ -33,19 +36,21 @@ type Iterator interface {
 
 // Build compiles a physical plan into an iterator tree.
 func Build(c *catalog.Catalog, n plan.Node) (Iterator, error) {
-	return buildNode(c, n, nil)
+	return buildNode(context.Background(), c, n, Options{})
 }
 
-// buildNode compiles one plan node, attributing leaf I/O to io when a
-// per-query counter sink is supplied.
-func buildNode(c *catalog.Catalog, n plan.Node, io *storage.Counters) (Iterator, error) {
+// buildNode compiles one plan node. The options carry the per-query
+// counter sink (via the Collector), the fault injector, and the retry
+// policy; ctx interrupts the RID-list materialization that index access
+// paths perform at build time.
+func buildNode(ctx context.Context, c *catalog.Catalog, n plan.Node, opts Options) (Iterator, error) {
 	switch x := n.(type) {
 	case *plan.SeqScan:
 		t, ok := c.Table(x.Table)
 		if !ok {
 			return nil, fmt.Errorf("exec: no table %q", x.Table)
 		}
-		return newSeqScan(t, io), nil
+		return newSeqScan(ctx, t, opts), nil
 	case *plan.ConstScan:
 		t, ok := c.Table(x.Table)
 		if !ok {
@@ -57,11 +62,11 @@ func buildNode(c *catalog.Catalog, n plan.Node, io *storage.Counters) (Iterator,
 		if !ok {
 			return nil, fmt.Errorf("exec: no table %q", x.Table)
 		}
-		rids, err := seekRIDs(t, x)
+		rids, err := seekRIDs(ctx, t, x, opts)
 		if err != nil {
 			return nil, err
 		}
-		return newRIDFetch(t, rids, io), nil
+		return newRIDFetch(ctx, t, rids, opts), nil
 	case *plan.IndexUnion:
 		t, ok := c.Table(x.Table)
 		if !ok {
@@ -70,7 +75,12 @@ func buildNode(c *catalog.Catalog, n plan.Node, io *storage.Counters) (Iterator,
 		seen := make(map[storage.RID]bool)
 		var rids []storage.RID
 		for _, s := range x.Seeks {
-			sub, err := seekRIDs(t, s)
+			// A deadline can expire mid-union: stop between arms rather
+			// than completing the remaining seeks for a dead query.
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+			sub, err := seekRIDs(ctx, t, s, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -83,21 +93,21 @@ func buildNode(c *catalog.Catalog, n plan.Node, io *storage.Counters) (Iterator,
 		}
 		// Fetch in heap order to keep random I/O monotone.
 		sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
-		return newRIDFetch(t, rids, io), nil
+		return newRIDFetch(ctx, t, rids, opts), nil
 	case *plan.Filter:
-		child, err := buildNode(c, x.Child, io)
+		child, err := buildNode(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &filter{child: child, pred: x.Pred}, nil
 	case *plan.Project:
-		child, err := buildNode(c, x.Child, io)
+		child, err := buildNode(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
 		return newProject(child, x.Cols)
 	case *plan.Predict:
-		child, err := buildNode(c, x.Child, io)
+		child, err := buildNode(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +121,7 @@ func buildNode(c *catalog.Catalog, n plan.Node, io *storage.Counters) (Iterator,
 		}
 		return newPredict(child, me, x.As)
 	case *plan.Limit:
-		child, err := buildNode(c, x.Child, io)
+		child, err := buildNode(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -148,20 +158,53 @@ type seqScan struct {
 	err   error
 }
 
-func newSeqScan(t *catalog.Table, io *storage.Counters) *seqScan {
+func newSeqScan(ctx context.Context, t *catalog.Table, opts Options) *seqScan {
 	// Materialize the scan: the heap callback API does not suspend, and
 	// decoded rows are small. Page-read accounting happens here.
 	s := &seqScan{table: t}
-	t.Heap.ScanPagesInto(io, 0, t.Heap.PageCount(), func(_ storage.RID, rec []byte) bool {
-		tup, err := value.DecodeTuple(rec)
-		if err != nil {
-			s.err = fmt.Errorf("exec: scan %s: %w", t.Name, err)
+	err := scanPagesRetry(ctx, t, opts, 0, t.Heap.PageCount(), func(_ storage.RID, rec []byte) bool {
+		tup, derr := value.DecodeTuple(rec)
+		if derr != nil {
+			s.err = fmt.Errorf("exec: scan %s: %w", t.Name, derr)
 			return false
 		}
 		s.rows = append(s.rows, tup)
 		return true
 	})
+	if s.err == nil && err != nil {
+		s.err = fmt.Errorf("exec: scan %s: %w", t.Name, err)
+	}
 	return s
+}
+
+// scanPagesRetry scans heap pages [lo, hi) of t one page at a time,
+// checking ctx between pages and retrying each page's read under the
+// options' retry policy. Storage errors fire at page granularity before
+// any record of the failing page is delivered, so a retried page never
+// double-delivers rows to fn. With retrying disabled and no injector the
+// whole range goes through a single ScanPagesInto call — the production
+// fast path is unchanged.
+func scanPagesRetry(ctx context.Context, t *catalog.Table, opts Options, lo, hi int, fn func(storage.RID, []byte) bool) error {
+	io := ioOf(opts.Collector)
+	if !opts.Retry.Enabled() && opts.Faults == nil {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		return t.Heap.ScanPagesInto(io, lo, hi, fn)
+	}
+	onRetry := opts.onRetry()
+	for pi := lo; pi < hi; pi++ {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		page := pi
+		if err := fault.Retry(ctx, opts.Clock, opts.Retry, func() error {
+			return t.Heap.ScanPagesInto(io, page, page+1, fn)
+		}, onRetry); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *seqScan) Schema() *value.Schema { return s.table.Schema }
@@ -187,8 +230,21 @@ func (c *constScan) Schema() *value.Schema            { return c.schema }
 func (c *constScan) Next() (value.Tuple, bool, error) { return nil, true, nil }
 func (c *constScan) Close()                           {}
 
-// seekRIDs evaluates one index seek, returning matching RIDs.
-func seekRIDs(t *catalog.Table, s *plan.IndexSeek) ([]storage.RID, error) {
+// errStopSeek stops an index range scan early when composite keys run
+// past the seek prefix; it never escapes seekRIDs.
+var errStopSeek = errors.New("seek prefix exhausted")
+
+// seekCtxStride is how many index entries a seek visits between context
+// checks: frequent enough that a deadline interrupts a large seek within
+// microseconds, rare enough to stay off the per-entry hot path.
+const seekCtxStride = 1024
+
+// seekRIDs evaluates one index seek, returning matching RIDs. The seek
+// is an idempotent read, so a transiently failing one (injected via
+// fault.SiteIndexSeek) is retried whole under the options' policy; ctx
+// is checked every seekCtxStride entries so deadlines interrupt seeks
+// over large key ranges mid-flight.
+func seekRIDs(ctx context.Context, t *catalog.Table, s *plan.IndexSeek, opts Options) ([]storage.RID, error) {
 	ix := findIndexByName(t, s.Index)
 	if ix == nil {
 		return nil, fmt.Errorf("exec: no index %q on %s", s.Index, s.Table)
@@ -219,13 +275,33 @@ func seekRIDs(t *catalog.Table, s *plan.IndexSeek) ([]storage.RID, error) {
 		hi = append(append([]byte(nil), prefix...), 0xFF)
 	}
 	var rids []storage.RID
-	ix.Tree.AscendRange(lo, hi, true, true, func(e btree.Entry) bool {
-		if len(prefix) > 0 && !bytes.HasPrefix(e.Key, prefix) {
-			return false
+	attempt := func() error {
+		if err := opts.Faults.Hit(fault.SiteIndexSeek); err != nil {
+			return fmt.Errorf("exec: seek %s.%s: %w", s.Table, s.Index, err)
 		}
-		rids = append(rids, e.RID)
-		return true
-	})
+		rids = rids[:0]
+		visited := 0
+		err := ix.Tree.AscendRangeErr(lo, hi, true, true, func(e btree.Entry) error {
+			if len(prefix) > 0 && !bytes.HasPrefix(e.Key, prefix) {
+				return errStopSeek
+			}
+			visited++
+			if visited%seekCtxStride == 0 {
+				if cerr := ctxErr(ctx); cerr != nil {
+					return cerr
+				}
+			}
+			rids = append(rids, e.RID)
+			return nil
+		})
+		if err == errStopSeek {
+			return nil
+		}
+		return err
+	}
+	if err := fault.Retry(ctx, opts.Clock, opts.Retry, attempt, opts.onRetry()); err != nil {
+		return nil, err
+	}
 	return rids, nil
 }
 
@@ -257,16 +333,29 @@ func equalFold(a, b string) bool {
 	return true
 }
 
-// ridFetch fetches rows for a RID list.
+// ridFetchCtxStride is how many RID lookups happen between context
+// checks: a cancelled query stops fetching within this many random
+// reads.
+const ridFetchCtxStride = 64
+
+// ridFetch fetches rows for a RID list. Each lookup is retried under
+// the options' policy when the random page read fails transiently, and
+// ctx is checked every ridFetchCtxStride lookups so per-query deadlines
+// interrupt long RID lists between (not just after) fetches.
 type ridFetch struct {
-	table *catalog.Table
-	io    *storage.Counters
-	rids  []storage.RID
-	pos   int
+	ctx     context.Context
+	table   *catalog.Table
+	io      *storage.Counters
+	rids    []storage.RID
+	pos     int
+	retry   fault.RetryPolicy
+	clock   fault.Clock
+	onRetry func(error)
 }
 
-func newRIDFetch(t *catalog.Table, rids []storage.RID, io *storage.Counters) *ridFetch {
-	return &ridFetch{table: t, io: io, rids: rids}
+func newRIDFetch(ctx context.Context, t *catalog.Table, rids []storage.RID, opts Options) *ridFetch {
+	return &ridFetch{ctx: ctx, table: t, io: ioOf(opts.Collector), rids: rids,
+		retry: opts.Retry, clock: opts.Clock, onRetry: opts.onRetry()}
 }
 
 func (r *ridFetch) Schema() *value.Schema { return r.table.Schema }
@@ -275,7 +364,18 @@ func (r *ridFetch) Next() (value.Tuple, bool, error) {
 	for r.pos < len(r.rids) {
 		rid := r.rids[r.pos]
 		r.pos++
-		tup, ok, err := r.table.FetchInto(r.io, rid)
+		if r.pos%ridFetchCtxStride == 0 {
+			if err := ctxErr(r.ctx); err != nil {
+				return nil, false, err
+			}
+		}
+		var tup value.Tuple
+		var ok bool
+		err := fault.Retry(r.ctx, r.clock, r.retry, func() error {
+			var ferr error
+			tup, ok, ferr = r.table.FetchInto(r.io, rid)
+			return ferr
+		}, r.onRetry)
 		if err != nil {
 			return nil, false, err
 		}

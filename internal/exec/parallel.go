@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"minequery/internal/catalog"
+	"minequery/internal/fault"
 	"minequery/internal/storage"
 	"minequery/internal/value"
 )
@@ -76,8 +77,15 @@ func newParallelScan(ctx context.Context, t *catalog.Table, opts Options) *paral
 // finish. Cancellation — the consumer's cancel flag or the query
 // context — is observed at each morsel claim and at each batch flush
 // inside a morsel, so a dead query stops decoding within one batch.
+//
+// Two fault sites live here: SiteMorselClaim fires right after a morsel
+// is claimed (a delay-only rule stalls this worker while the others
+// drain the remaining morsels; an error rule fails the morsel), and the
+// storage layer's sequential-read site fires per page, absorbed by the
+// per-page retry below when a policy is configured.
 func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResult, claim *atomic.Int64, cancel *atomic.Bool, opts Options, pageCount int, ws *WorkerStats) {
 	io := ioOf(opts.Collector)
+	onRetry := opts.onRetry()
 	done := ctx.Done()
 	stopped := func() bool {
 		if cancel.Load() {
@@ -99,6 +107,10 @@ func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResu
 			results[m] <- morselResult{err: ctx.Err()}
 			continue
 		}
+		if ferr := opts.Faults.Hit(fault.SiteMorselClaim); ferr != nil {
+			results[m] <- morselResult{err: fmt.Errorf("exec: scan %s morsel %d: %w", t.Name, m, ferr)}
+			continue
+		}
 		lo := m * opts.MorselPages
 		hi := lo + opts.MorselPages
 		if hi > pageCount {
@@ -111,7 +123,7 @@ func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResu
 		res := morselResult{}
 		rows := int64(0)
 		batch := make(Batch, 0, opts.BatchSize)
-		t.Heap.ScanPagesInto(io, lo, hi, func(_ storage.RID, rec []byte) bool {
+		decode := func(_ storage.RID, rec []byte) bool {
 			tup, err := value.DecodeTuple(rec)
 			if err != nil {
 				res.err = fmt.Errorf("exec: scan %s: %w", t.Name, err)
@@ -128,7 +140,18 @@ func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResu
 				}
 			}
 			return true
-		})
+		}
+		// Page at a time so a transient page-read failure retries just
+		// that page; the fault fires before any of the page's records
+		// reach decode, so the retry cannot duplicate rows.
+		for pi := lo; pi < hi && res.err == nil; pi++ {
+			page := pi
+			if err := fault.Retry(ctx, opts.Clock, opts.Retry, func() error {
+				return t.Heap.ScanPagesInto(io, page, page+1, decode)
+			}, onRetry); err != nil && res.err == nil {
+				res.err = fmt.Errorf("exec: scan %s: %w", t.Name, err)
+			}
+		}
 		if len(batch) > 0 && res.err == nil {
 			res.batches = append(res.batches, batch)
 		}

@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"minequery/internal/qerr"
+)
+
+func TestInjectorNilIsFree(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(SitePageReadSeq); err != nil {
+		t.Fatalf("nil injector returned %v", err)
+	}
+	if in.Hits("x") != 0 || in.Fired("x") != 0 {
+		t.Fatal("nil injector reported state")
+	}
+}
+
+func TestInjectorOnHit(t *testing.T) {
+	in := NewInjector(1, Rule{Site: "s", OnHit: 3, Err: ErrInjected})
+	for i := 1; i <= 5; i++ {
+		err := in.Hit("s")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v", i, err)
+		}
+		if err != nil && !errors.Is(err, qerr.ErrTransient) {
+			t.Fatalf("injected error %v does not match ErrTransient", err)
+		}
+	}
+	if in.Hits("s") != 5 || in.Fired("s") != 1 {
+		t.Fatalf("hits=%d fired=%d", in.Hits("s"), in.Fired("s"))
+	}
+}
+
+func TestInjectorEveryNWithLimit(t *testing.T) {
+	in := NewInjector(1, Rule{Site: "s", EveryN: 2, Limit: 2, Err: ErrInjected})
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if in.Hit("s") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("fired on hits %v, want [2 4]", fired)
+	}
+}
+
+func TestInjectorProbDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		in := NewInjector(seed, Rule{Site: "s", Prob: 0.3, Err: ErrInjected})
+		var fired []int
+		for i := 1; i <= 200; i++ {
+			if in.Hit("s") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fire %d: hit %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Sanity: a 30% rule over 200 hits fires a plausible number of times.
+	if len(a) < 30 || len(a) > 90 {
+		t.Fatalf("prob 0.3 fired %d/200 times", len(a))
+	}
+	if c := run(8); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical schedules")
+		}
+	}
+}
+
+func TestInjectorConcurrentHitsAreCounted(t *testing.T) {
+	in := NewInjector(1, Rule{Site: "s", EveryN: 10, Err: ErrInjected})
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if in.Hit("s") != nil {
+					fired.Store(i, true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Hits("s") != 8000 {
+		t.Fatalf("hits=%d, want 8000", in.Hits("s"))
+	}
+	if in.Fired("s") != 800 {
+		t.Fatalf("fired=%d, want 800 (every 10th of 8000)", in.Fired("s"))
+	}
+}
+
+func TestInjectorLatencyUsesClock(t *testing.T) {
+	fc := NewFakeClock()
+	in := NewInjector(1, Rule{Site: "s", OnHit: 1, Delay: 5 * time.Millisecond}).WithClock(fc)
+	done := make(chan error, 1)
+	go func() { done <- in.Hit("s") }()
+	waitFor(t, func() bool { return fc.Sleepers() == 1 })
+	fc.Advance(5 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatalf("latency-only rule returned error %v", err)
+	}
+	slept := fc.Slept()
+	if len(slept) != 1 || slept[0] != 5*time.Millisecond {
+		t.Fatalf("slept %v, want [5ms]", slept)
+	}
+}
+
+func TestFakeClockAdvanceWakesInOrder(t *testing.T) {
+	fc := NewFakeClock()
+	got := make(chan int, 2)
+	go func() { fc.Sleep(10 * time.Millisecond); got <- 10 }()
+	go func() { fc.Sleep(30 * time.Millisecond); got <- 30 }()
+	waitFor(t, func() bool { return fc.Sleepers() == 2 })
+	fc.Advance(10 * time.Millisecond)
+	if v := <-got; v != 10 {
+		t.Fatalf("first wake was %dms sleeper", v)
+	}
+	if fc.Sleepers() != 1 {
+		t.Fatalf("sleepers=%d after partial advance", fc.Sleepers())
+	}
+	fc.Advance(20 * time.Millisecond)
+	if v := <-got; v != 30 {
+		t.Fatalf("second wake was %dms sleeper", v)
+	}
+}
+
+// waitFor polls cond with a real-time bound; used only to wait for a
+// goroutine to park on the fake clock, never to assert timing.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

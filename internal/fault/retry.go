@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"minequery/internal/qerr"
+)
+
+// RetryPolicy bounds the retry loop around transient storage failures:
+// up to MaxAttempts tries, sleeping an exponentially growing, jittered
+// backoff between them. The zero value disables retrying (one attempt,
+// no sleeps) so un-configured paths keep today's fail-fast behaviour.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (<=1: no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each subsequent
+	// retry doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the per-retry backoff (0: uncapped).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each backoff randomized away, in [0,1]:
+	// the actual sleep is delay * (1 - Jitter*draw) with a deterministic
+	// per-attempt draw. 0 sleeps the full delay every time.
+	Jitter float64
+	// Seed drives the jitter draws; two policies with equal seeds
+	// produce identical schedules.
+	Seed int64
+}
+
+// DefaultRetryPolicy is the stack's standard posture for transient
+// storage errors: three tries with 1ms → 2ms backoff, half jittered.
+// Small enough that an unrecoverable fault still fails fast; enough to
+// absorb one-shot flakes without surfacing them to callers at all.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond, Jitter: 0.5}
+}
+
+// Enabled reports whether the policy performs any retries.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// backoff returns the jittered sleep before retry attempt i (0-based:
+// backoff(0) precedes the second try).
+func (p RetryPolicy) backoff(i int) time.Duration {
+	d := p.BaseDelay << uint(i)
+	if d < 0 || (p.MaxDelay > 0 && d > p.MaxDelay) {
+		d = p.MaxDelay
+	}
+	if d <= 0 {
+		return 0
+	}
+	if p.Jitter > 0 {
+		draw := hitDraw(p.Seed, "retry", int64(i+1))
+		d = time.Duration(float64(d) * (1 - p.Jitter*draw))
+	}
+	return d
+}
+
+// Retry runs attempt until it succeeds, returns a non-transient error,
+// exhausts the policy, or ctx dies during a backoff sleep. Only errors
+// matching qerr.ErrTransient are retried; everything else returns
+// immediately. onRetry (optional) observes each retry before its
+// backoff sleep — the hook the executor uses to count retries into the
+// query's collector. The returned error still matches qerr.ErrTransient
+// via errors.Is when retries were exhausted, so callers can layer
+// fallback on top.
+func Retry(ctx context.Context, clock Clock, p RetryPolicy, attempt func() error, onRetry func(err error)) error {
+	if clock == nil {
+		clock = RealClock()
+	}
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = attempt(); err == nil {
+			return nil
+		}
+		if !errors.Is(err, qerr.ErrTransient) {
+			return err
+		}
+		if i == attempts-1 {
+			break
+		}
+		if onRetry != nil {
+			onRetry(err)
+		}
+		if d := p.backoff(i); d > 0 {
+			if serr := clock.SleepCtx(ctx, d); serr != nil {
+				return fmt.Errorf("retry interrupted: %w", serr)
+			}
+		} else if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("retry interrupted: %w", cerr)
+		}
+	}
+	if attempts > 1 {
+		return fmt.Errorf("retries exhausted after %d attempts: %w", attempts, err)
+	}
+	return err
+}

@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"minequery/internal/qerr"
+)
+
+// All retry/backoff timing assertions in this file run against the
+// FakeClock: the schedule is read from Slept(), never measured with
+// wall-clock sleeps.
+
+func transientErr() error { return fmt.Errorf("flaky page: %w", qerr.ErrTransient) }
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	fc := NewFakeClock()
+	pol := RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	calls, retries := 0, 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(context.Background(), fc, pol, func() error {
+			calls++
+			if calls < 3 {
+				return transientErr()
+			}
+			return nil
+		}, func(error) { retries++ })
+	}()
+	// Two failures → two backoff sleeps: 1ms then 2ms (no jitter).
+	waitFor(t, func() bool { return fc.Sleepers() == 1 })
+	fc.Advance(time.Millisecond)
+	waitFor(t, func() bool { return fc.Sleepers() == 1 })
+	fc.Advance(2 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3/2", calls, retries)
+	}
+	slept := fc.Slept()
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("backoff schedule %v, want [1ms 2ms]", slept)
+	}
+}
+
+func TestRetryExhaustionKeepsTransientType(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 3} // zero delays: no sleeps to drive
+	calls := 0
+	err := Retry(context.Background(), NewFakeClock(), pol, func() error {
+		calls++
+		return transientErr()
+	}, nil)
+	if calls != 3 {
+		t.Fatalf("calls=%d, want 3", calls)
+	}
+	if !errors.Is(err, qerr.ErrTransient) {
+		t.Fatalf("exhausted error %v lost ErrTransient", err)
+	}
+}
+
+func TestRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	perm := errors.New("corrupt row")
+	calls := 0
+	err := Retry(context.Background(), NewFakeClock(), RetryPolicy{MaxAttempts: 5}, func() error {
+		calls++
+		return perm
+	}, nil)
+	if calls != 1 {
+		t.Fatalf("permanent error was retried %d times", calls)
+	}
+	if !errors.Is(err, perm) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestRetryBackoffCapAndExponent(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 35 * time.Millisecond, 35 * time.Millisecond, 35 * time.Millisecond}
+	for i, w := range want {
+		if got := pol.backoff(i); got != w {
+			t.Fatalf("backoff(%d)=%v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRetryJitterDeterministicAndBounded(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 8, BaseDelay: 8 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5, Seed: 42}
+	other := pol
+	other.Seed = 43
+	var sawDifferent bool
+	for i := 0; i < 6; i++ {
+		full := pol.backoff(i)
+		same := pol.backoff(i)
+		if full != same {
+			t.Fatalf("backoff(%d) nondeterministic: %v vs %v", i, full, same)
+		}
+		raw := 8 * time.Millisecond << uint(i)
+		if full > raw || full < raw/2 {
+			t.Fatalf("backoff(%d)=%v outside [%v, %v]", i, full, raw/2, raw)
+		}
+		if other.backoff(i) != full {
+			sawDifferent = true
+		}
+	}
+	if !sawDifferent {
+		t.Fatal("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestRetryCtxCancelDuringBackoff(t *testing.T) {
+	fc := NewFakeClock()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, fc, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour}, func() error {
+			return transientErr()
+		}, nil)
+	}()
+	waitFor(t, func() bool { return fc.Sleepers() == 1 })
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+func TestRetryZeroPolicyIsSingleAttempt(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), nil, RetryPolicy{}, func() error {
+		calls++
+		return transientErr()
+	}, nil)
+	if calls != 1 {
+		t.Fatalf("zero policy made %d attempts", calls)
+	}
+	if !errors.Is(err, qerr.ErrTransient) {
+		t.Fatalf("err=%v", err)
+	}
+}

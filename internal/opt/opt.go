@@ -63,6 +63,12 @@ type Result struct {
 	Plan plan.Node
 	// Path classifies the chosen access path.
 	Path plan.AccessPath
+	// ScanPlan is the always-sound alternative: a sequential scan with
+	// the full predicate as its filter. It returns exactly the rows Plan
+	// returns (index paths only ever overscan and re-filter), so the
+	// engine can re-run a query on ScanPlan when the optimized path
+	// fails mid-flight without changing the answer.
+	ScanPlan plan.Node
 	// EstSelectivity is the estimated fraction of rows satisfying the
 	// predicate.
 	EstSelectivity float64
@@ -92,6 +98,7 @@ func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 		return Result{
 			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, pred),
 			Path:           plan.AccessSeqScan,
+			ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, pred),
 			EstSelectivity: ts.Selectivity(pred),
 			ScanCost:       scanCost,
 			IndexCost:      inf,
@@ -103,6 +110,7 @@ func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 		return Result{
 			Plan:           &plan.ConstScan{Table: t.Name},
 			Path:           plan.AccessConstant,
+			ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, simplified),
 			EstSelectivity: 0,
 			ScanCost:       scanCost,
 			IndexCost:      0,
@@ -112,6 +120,7 @@ func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 		return Result{
 			Plan:           &plan.SeqScan{Table: t.Name},
 			Path:           plan.AccessSeqScan,
+			ScanPlan:       &plan.SeqScan{Table: t.Name},
 			EstSelectivity: 1,
 			ScanCost:       scanCost,
 			IndexCost:      inf,
@@ -123,6 +132,7 @@ func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 		return Result{
 			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, simplified),
 			Path:           plan.AccessSeqScan,
+			ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, simplified),
 			EstSelectivity: sel,
 			ScanCost:       scanCost,
 			IndexCost:      inf,
@@ -148,6 +158,7 @@ func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 		return Result{
 			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, simplified),
 			Path:           plan.AccessSeqScan,
+			ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, simplified),
 			EstSelectivity: sel,
 			ScanCost:       scanCost,
 			IndexCost:      inf,
@@ -164,6 +175,7 @@ func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 		return Result{
 			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, simplified),
 			Path:           plan.AccessSeqScan,
+			ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, simplified),
 			EstSelectivity: sel,
 			ScanCost:       scanCost,
 			IndexCost:      indexCost,
@@ -181,6 +193,7 @@ func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 		// sargability), so the full predicate is re-applied.
 		Plan:           withFilter(access, simplified),
 		Path:           path,
+		ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, simplified),
 		EstSelectivity: sel,
 		ScanCost:       scanCost,
 		IndexCost:      indexCost,

@@ -16,4 +16,13 @@ var (
 	// ErrUnknownModel marks a reference to a mining model the catalog
 	// does not hold.
 	ErrUnknownModel = errors.New("unknown model")
+	// ErrTransient marks a failure that may succeed on retry: a flaky
+	// page read, a stalled I/O completing late. The executor retries
+	// these with bounded backoff, and — when retries are exhausted on an
+	// index access path — the engine falls back to the baseline
+	// sequential scan, which is always semantically equivalent (the
+	// envelope rewrite is an optimization the engine may abandon without
+	// changing answers). Layers wrap it with %w so errors.Is matches
+	// through retry and fallback wrapping.
+	ErrTransient = errors.New("transient failure")
 )

@@ -22,6 +22,7 @@ const (
 	CodeParse        = "parse_error"   // 400: SQL failed to lex or parse
 	CodeUnknownTable = "unknown_table" // 404: query names a table the catalog lacks
 	CodeUnknownModel = "unknown_model" // 404: query names a model the catalog lacks
+	CodeTransient    = "transient"     // 503: transient failure survived retries and fallback; safe to retry
 )
 
 // statusClientClosedRequest is nginx's non-standard 499: the client
@@ -79,6 +80,8 @@ func classify(err error) (string, int) {
 		return CodeUnknownTable, http.StatusNotFound
 	case errors.Is(err, minequery.ErrUnknownModel):
 		return CodeUnknownModel, http.StatusNotFound
+	case errors.Is(err, minequery.ErrTransient):
+		return CodeTransient, http.StatusServiceUnavailable
 	}
 	return CodeBadRequest, http.StatusBadRequest
 }

@@ -26,6 +26,18 @@ type stmtEntry struct {
 	prepared *minequery.Prepared
 }
 
+// tableName reports the base table of the entry's plan, or "" before
+// the first preparation (the breaker then skips this execution).
+func (e *stmtEntry) tableName() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.prepared == nil {
+		return ""
+	}
+	t, _ := e.prepared.References()
+	return t
+}
+
 // registry caches prepared statements keyed by normalized SQL: two
 // spellings of the same query share one plan. Entries go stale via the
 // catalog epoch and are re-prepared lazily on next use — invalidation

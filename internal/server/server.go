@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -38,6 +39,19 @@ type Config struct {
 	// SlowLogSize bounds the slow-query ring buffer (default 128
 	// entries; oldest overwritten first).
 	SlowLogSize int
+	// BreakerThreshold is the consecutive index-path failure count that
+	// trips a table's circuit breaker, shedding its queries to the
+	// degraded force-seqscan plan (default 3; negative disables the
+	// breaker). Degraded plans return identical rows — shedding trades
+	// latency, never correctness.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped circuit stays open before a
+	// single probe query retries the optimized plan (default 5s).
+	BreakerCooldown time.Duration
+	// Faults, when non-nil, is consulted at the server's admission
+	// injection site (chaos tests). Nil — the production state —
+	// reduces the site to a pointer check.
+	Faults *minequery.FaultInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +79,12 @@ func (c Config) withDefaults() Config {
 	if c.SlowLogSize <= 0 {
 		c.SlowLogSize = 128
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0 // disabled
+	}
 	return c
 }
 
@@ -82,6 +102,7 @@ type Server struct {
 	env      *envCache
 	sessions *sessionStore
 	slow     *slowLog
+	breaker  *breakerSet
 	metrics  *minequery.MetricsRegistry
 	started  time.Time
 
@@ -115,6 +136,7 @@ func New(eng *minequery.Engine, cfg Config) *Server {
 		env:      newEnvCache(cfg.EnvelopeCacheSize),
 		sessions: newSessionStore(),
 		slow:     newSlowLog(cfg.SlowLogSize),
+		breaker:  newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		started:  time.Now(),
 	}
 	s.metrics = s.buildMetrics()
@@ -230,7 +252,14 @@ type executeResponse struct {
 	AccessPath        string        `json:"access_path"`
 	PlanChanged       bool          `json:"plan_changed"`
 	EstSelectivity    float64       `json:"est_selectivity"`
-	Stats             execStatsBody `json:"stats"`
+	// Degraded: the table's circuit breaker shed this query to the
+	// force-seqscan plan. Fallback: the engine itself re-ran the query
+	// on the baseline scan after a transient index-path failure. Both
+	// return exactly the rows the optimized plan would have.
+	Degraded bool          `json:"degraded"`
+	Fallback bool          `json:"fallback"`
+	Retries  int64         `json:"retries"`
+	Stats    execStatsBody `json:"stats"`
 }
 
 type explainAnalyzeRequest struct {
@@ -266,6 +295,7 @@ type statsResponse struct {
 	Admission          admissionStats `json:"admission"`
 	Prepared           registryStats  `json:"prepared"`
 	EnvelopeCache      envCacheStats  `json:"envelope_cache"`
+	Breaker            breakerStats   `json:"breaker"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -477,6 +507,10 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if s.execHook != nil {
 		s.execHook()
 	}
+	if err := s.cfg.Faults.Hit(minequery.FaultSiteAdmission); err != nil {
+		s.writeError(w, err)
+		return
+	}
 
 	var ent *stmtEntry
 	if req.StatementID != "" {
@@ -491,7 +525,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, reused, err := s.reg.execute(ctx, ent, settingsExecOpts(settings))
+	res, reused, degraded, err := s.executeGuarded(ctx, ent, settingsExecOpts(settings))
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -508,6 +542,9 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		AccessPath:        res.AccessPath,
 		PlanChanged:       res.PlanChanged,
 		EstSelectivity:    res.EstSelectivity,
+		Degraded:          degraded,
+		Fallback:          res.Fallback,
+		Retries:           res.Retries,
 		Stats: execStatsBody{
 			DurationUS:    res.Stats.Duration.Microseconds(),
 			SeqPageReads:  res.Stats.SeqPageReads,
@@ -516,6 +553,53 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			CostUnits:     res.Stats.CostUnits,
 		},
 	})
+}
+
+// executeGuarded runs the entry's plan behind the per-table circuit
+// breaker. When the table's circuit is open, the query is shed to the
+// degraded force-seqscan statement variant (identical rows, no index
+// exposure); when half-open, one probe runs the optimized plan and its
+// outcome closes or re-opens the circuit. Outcomes feeding the breaker:
+// an engine-level fallback or a surfaced transient error counts as an
+// index-path failure; clean completions count as success; anything else
+// (timeouts, parse errors) carries no signal about the index path.
+func (s *Server) executeGuarded(ctx context.Context, ent *stmtEntry, opts []minequery.QueryOption) (res *minequery.Result, planReused, degraded bool, err error) {
+	table := ent.tableName()
+	probe := false
+	if !ent.force {
+		degraded, probe = s.breaker.allow(table)
+	}
+	if degraded {
+		dent, _, derr := s.reg.lookup(ent.sql, true)
+		if derr == nil {
+			res, planReused, err = s.reg.execute(ctx, dent, opts)
+			if err == nil {
+				s.breaker.degraded.Add(1)
+				return res, planReused, true, nil
+			}
+			return nil, false, true, err
+		}
+		degraded = false // degraded lookup failed; run the optimized plan
+	}
+	res, planReused, err = s.reg.execute(ctx, ent, opts)
+	if table == "" {
+		// First execution of this entry prepared the plan just now; the
+		// breaker can attribute the outcome from here on.
+		table = ent.tableName()
+	}
+	if !ent.force {
+		failed := (err != nil && errors.Is(err, minequery.ErrTransient) && ctx.Err() == nil) ||
+			(err == nil && res.Fallback)
+		switch {
+		case failed:
+			s.breaker.report(table, probe, true)
+		case err == nil:
+			s.breaker.report(table, probe, false)
+		case probe:
+			s.breaker.probeInconclusive(table)
+		}
+	}
+	return res, planReused, false, err
 }
 
 // settingsExecOpts translates session settings into per-execution
@@ -596,6 +680,10 @@ func (s *Server) handleExplainAnalyze(w http.ResponseWriter, r *http.Request) {
 	if s.execHook != nil {
 		s.execHook()
 	}
+	if err := s.cfg.Faults.Hit(minequery.FaultSiteAdmission); err != nil {
+		s.writeError(w, err)
+		return
+	}
 
 	opts := append(settingsExecOpts(settings), minequery.WithAnalyze())
 	if settings.ForcePath != "" {
@@ -652,6 +740,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Admission:          s.adm.stats(),
 		Prepared:           s.reg.stats(),
 		EnvelopeCache:      s.env.stats(),
+		Breaker:            s.breaker.stats(),
 	})
 }
 

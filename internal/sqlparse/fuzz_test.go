@@ -20,6 +20,14 @@ var seedQueries = []string{
 	"SELECT * FROM sales PREDICTION JOIN risk ON sales.amt = risk.amt WHERE risk.label <> 'low' LIMIT 5",
 	"SELECT * FROM t WHERE m.cls IN ('a','b') AND num >= 10",
 	"select lower, keywords from t where mixed_Case <> 0",
+	// Fallback-exercising shapes: selective ranges, OR unions, and
+	// mining predicates that pick index paths — the plans the engine
+	// re-runs on the baseline scan when a seek fails transiently.
+	"SELECT * FROM t WHERE num >= 97",
+	"SELECT * FROM t WHERE num <= 1 OR num >= 98",
+	"SELECT * FROM t WHERE cat IN ('a','b') OR num >= 95 LIMIT 7",
+	"SELECT * FROM t PREDICTION JOIN dt AS m ON m.num = t.num WHERE m.cls = 'hot' AND t.num >= 90",
+	"SELECT id FROM t PREDICTION JOIN nb AS p ON p.cat = t.cat WHERE p.grp <> 'b' AND (t.num >= 80 OR t.num <= 5)",
 	"",
 	"SELECT",
 	"SELECT * FROM",

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"minequery/internal/fault"
 )
 
 // PageSize is the fixed size of a heap page in bytes.
@@ -174,7 +176,17 @@ type Heap struct {
 	pages []*page
 	live  atomic.Int64
 	stats ioCounters
+
+	// faults, when set, is consulted once per page read (sequential and
+	// random sites separately) and may inject latency or a typed error.
+	// Nil — the production state — costs one atomic pointer load per
+	// page, amortized over every tuple on it.
+	faults atomic.Pointer[fault.Injector]
 }
+
+// SetFaults installs (or, with nil, removes) a fault injector on the
+// heap's page-read paths. Safe to call concurrently with reads.
+func (h *Heap) SetFaults(in *fault.Injector) { h.faults.Store(in) }
 
 // NewHeap returns an empty heap.
 func NewHeap() *Heap { return &Heap{} }
@@ -221,17 +233,22 @@ func (h *Heap) pageAt(pi int) *page {
 }
 
 // Get fetches the record at rid as a random page access. The returned
-// slice aliases page memory and must not be retained across writes.
-func (h *Heap) Get(rid RID) ([]byte, bool) {
+// slice aliases page memory and must not be retained across writes. A
+// non-nil error is an injected (or, in a future disk-backed heap, real)
+// page-read failure; the record result is meaningless when err != nil.
+func (h *Heap) Get(rid RID) ([]byte, bool, error) {
 	return h.GetInto(nil, rid)
 }
 
 // GetInto is Get with per-query accounting: the random page read and
 // tuple read are additionally attributed to c (when non-nil).
-func (h *Heap) GetInto(c *Counters, rid RID) ([]byte, bool) {
+func (h *Heap) GetInto(c *Counters, rid RID) ([]byte, bool, error) {
+	if err := h.faults.Load().Hit(fault.SitePageReadRand); err != nil {
+		return nil, false, fmt.Errorf("storage: random read page %d: %w", rid.Page, err)
+	}
 	p := h.pageAt(int(rid.Page))
 	if p == nil {
-		return nil, false
+		return nil, false, nil
 	}
 	h.stats.randPageReads.Add(1)
 	if c != nil {
@@ -244,7 +261,7 @@ func (h *Heap) GetInto(c *Counters, rid RID) ([]byte, bool) {
 			c.TupleReads.Add(1)
 		}
 	}
-	return rec, ok
+	return rec, ok, nil
 }
 
 // Delete marks the record at rid deleted. It reports whether a live
@@ -265,9 +282,10 @@ func (h *Heap) Delete(rid RID) bool {
 
 // Scan visits every live record in heap order as a sequential read. The
 // callback receives the RID and record bytes; returning false stops the
-// scan early.
-func (h *Heap) Scan(fn func(RID, []byte) bool) {
-	h.ScanPages(0, h.PageCount(), fn)
+// scan early. A non-nil error is a page-read failure surfaced mid-scan;
+// records visited before it were delivered normally.
+func (h *Heap) Scan(fn func(RID, []byte) bool) error {
+	return h.ScanPages(0, h.PageCount(), fn)
 }
 
 // ScanPages visits the live records of pages [lo, hi) in heap order as
@@ -275,13 +293,15 @@ func (h *Heap) Scan(fn func(RID, []byte) bool) {
 // are clamped to the allocated page range; returning false from the
 // callback stops this morsel early. ScanPages is safe to call from many
 // goroutines at once over disjoint (or even overlapping) ranges.
-func (h *Heap) ScanPages(lo, hi int, fn func(RID, []byte) bool) {
-	h.ScanPagesInto(nil, lo, hi, fn)
+func (h *Heap) ScanPages(lo, hi int, fn func(RID, []byte) bool) error {
+	return h.ScanPagesInto(nil, lo, hi, fn)
 }
 
 // ScanPagesInto is ScanPages with per-query accounting: page and tuple
-// reads are additionally attributed to c (when non-nil).
-func (h *Heap) ScanPagesInto(c *Counters, lo, hi int, fn func(RID, []byte) bool) {
+// reads are additionally attributed to c (when non-nil). Errors fire at
+// page granularity, before any record on the failing page is delivered,
+// so a caller that retries the page never double-delivers rows.
+func (h *Heap) ScanPagesInto(c *Counters, lo, hi int, fn func(RID, []byte) bool) error {
 	if lo < 0 {
 		lo = 0
 	}
@@ -289,9 +309,12 @@ func (h *Heap) ScanPagesInto(c *Counters, lo, hi int, fn func(RID, []byte) bool)
 		hi = n
 	}
 	for pi := lo; pi < hi; pi++ {
+		if err := h.faults.Load().Hit(fault.SitePageReadSeq); err != nil {
+			return fmt.Errorf("storage: sequential read page %d: %w", pi, err)
+		}
 		p := h.pageAt(pi)
 		if p == nil {
-			return
+			return nil
 		}
 		h.stats.seqPageReads.Add(1)
 		if c != nil {
@@ -307,10 +330,11 @@ func (h *Heap) ScanPagesInto(c *Counters, lo, hi int, fn func(RID, []byte) bool)
 				c.TupleReads.Add(1)
 			}
 			if !fn(RID{Page: uint32(pi), Slot: uint16(s)}, rec) {
-				return
+				return nil
 			}
 		}
 	}
+	return nil
 }
 
 // Len returns the number of live records.

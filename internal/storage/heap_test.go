@@ -22,7 +22,7 @@ func TestInsertGetRoundTrip(t *testing.T) {
 		t.Fatalf("Len = %d, want 5000", h.Len())
 	}
 	for rid, want := range recs {
-		got, ok := h.Get(rid)
+		got, ok, _ := h.Get(rid)
 		if !ok || !bytes.Equal(got, want) {
 			t.Fatalf("Get(%v) = %q, %v; want %q", rid, got, ok, want)
 		}
@@ -31,11 +31,11 @@ func TestInsertGetRoundTrip(t *testing.T) {
 
 func TestGetMissing(t *testing.T) {
 	h := NewHeap()
-	if _, ok := h.Get(RID{Page: 5, Slot: 0}); ok {
+	if _, ok, _ := h.Get(RID{Page: 5, Slot: 0}); ok {
 		t.Error("Get on empty heap should fail")
 	}
 	rid, _ := h.Insert([]byte("x"))
-	if _, ok := h.Get(RID{Page: rid.Page, Slot: rid.Slot + 10}); ok {
+	if _, ok, _ := h.Get(RID{Page: rid.Page, Slot: rid.Slot + 10}); ok {
 		t.Error("Get of out-of-range slot should fail")
 	}
 }
@@ -100,7 +100,7 @@ func TestDelete(t *testing.T) {
 	if h.Len() != 1 {
 		t.Errorf("Len after delete = %d, want 1", h.Len())
 	}
-	if _, ok := h.Get(r1); ok {
+	if _, ok, _ := h.Get(r1); ok {
 		t.Error("deleted record should not be fetchable")
 	}
 	var n int
@@ -165,7 +165,7 @@ func TestRandomizedHeapAgainstModel(t *testing.T) {
 		} else {
 			rid := order[r.Intn(len(order))]
 			want := model[rid]
-			got, ok := h.Get(rid)
+			got, ok, _ := h.Get(rid)
 			if want == nil {
 				if ok {
 					t.Fatalf("deleted record %v still readable", rid)

@@ -24,6 +24,8 @@ type engineMetrics struct {
 	stageSeconds  *metrics.HistogramVec
 	rowsScanned   *metrics.Counter
 	rowsReturned  *metrics.Counter
+	fallbacks     *metrics.Counter
+	retriesTotal  *metrics.Counter
 }
 
 // queryStages are the pipeline stages timed per query.
@@ -36,6 +38,8 @@ var queryStages = []string{"parse", "rewrite", "optimize", "execute"}
 //	minequery_query_stage_seconds{stage} per-stage latency histogram
 //	minequery_rows_scanned_total         tuples read from storage
 //	minequery_rows_returned_total        tuples returned to callers
+//	minequery_fallbacks_total            index-path queries degraded to seqscan
+//	minequery_retries_total              transient failures absorbed by retry
 //
 // Call it once per registry; series names panic on double registration.
 func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
@@ -48,6 +52,10 @@ func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
 			"Tuples read from storage by query execution."),
 		rowsReturned: r.Counter("minequery_rows_returned_total",
 			"Tuples returned to callers by query execution."),
+		fallbacks: r.Counter("minequery_fallbacks_total",
+			"Queries whose index path failed transiently and re-ran on the baseline sequential scan."),
+		retriesTotal: r.Counter("minequery_retries_total",
+			"Transient storage/seek failures absorbed by the retry layer."),
 	}
 	// Pre-create the label children so every series is visible from the
 	// first scrape (a frozen series list is lintable even on an idle
@@ -77,4 +85,21 @@ func (em *engineMetrics) query(path string, scanned, returned int64) {
 	em.queriesByPath.With(path).Inc()
 	em.rowsScanned.Add(scanned)
 	em.rowsReturned.Add(returned)
+}
+
+// fallback records one degraded execution (nil-safe).
+func (em *engineMetrics) fallback() {
+	if em == nil {
+		return
+	}
+	em.fallbacks.Inc()
+}
+
+// retries records transient failures absorbed during one execution
+// (nil-safe).
+func (em *engineMetrics) retries(n int64) {
+	if em == nil || n == 0 {
+		return
+	}
+	em.retriesTotal.Add(n)
 }

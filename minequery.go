@@ -30,6 +30,7 @@ package minequery
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -155,6 +156,13 @@ type Config struct {
 	// Parallel scans reassemble morsels in heap order, so results are
 	// identical at any DOP.
 	Exec exec.Options
+	// Retry bounds retries of transient storage/seek failures. Zero
+	// value: DefaultRetryPolicy() (3 attempts). Set MaxAttempts to 1
+	// for explicit no-retry.
+	Retry RetryPolicy
+	// Faults, when non-nil, installs a fault injector at construction
+	// (equivalent to calling SetFaults immediately after).
+	Faults *FaultInjector
 }
 
 // New returns an empty engine with default configuration.
@@ -172,7 +180,21 @@ func NewWithConfig(cfg Config) *Engine {
 	if cfg.Exec == (exec.Options{}) {
 		cfg.Exec = exec.DefaultOptions()
 	}
-	return &Engine{cat: catalog.New(), optCfg: cfg.Optimizer, envOpts: cfg.Envelopes, execOpts: cfg.Exec}
+	// Retry is on by default: the engine absorbs transient storage/seek
+	// failures up to the default budget. Config.Retry overrides; a
+	// policy with MaxAttempts 1 means explicit no-retry.
+	if cfg.Exec.Retry.MaxAttempts == 0 {
+		if cfg.Retry.MaxAttempts != 0 {
+			cfg.Exec.Retry = cfg.Retry
+		} else {
+			cfg.Exec.Retry = DefaultRetryPolicy()
+		}
+	}
+	e := &Engine{cat: catalog.New(), optCfg: cfg.Optimizer, envOpts: cfg.Envelopes, execOpts: cfg.Exec}
+	if cfg.Faults != nil {
+		e.SetFaults(cfg.Faults)
+	}
+	return e
 }
 
 // SetDOP sets the degree of parallelism used by subsequent query
@@ -310,7 +332,7 @@ func (e *Engine) buildTrainSet(table string, inputCols []string, labelCol string
 	}
 	ts := &mining.TrainSet{Schema: schema}
 	var scanErr error
-	t.Heap.Scan(func(_ storage.RID, rec []byte) bool {
+	readErr := t.Heap.Scan(func(_ storage.RID, rec []byte) bool {
 		row, err := value.DecodeTuple(rec)
 		if err != nil {
 			scanErr = err
@@ -330,6 +352,9 @@ func (e *Engine) buildTrainSet(table string, inputCols []string, labelCol string
 	})
 	if scanErr != nil {
 		return nil, scanErr
+	}
+	if readErr != nil {
+		return nil, fmt.Errorf("minequery: train scan of %s: %w", table, readErr)
 	}
 	return ts, nil
 }
@@ -479,6 +504,18 @@ type Result struct {
 	// populated on every query while instrumentation is on (the
 	// default); nil after SetInstrumentation(false).
 	Analyze *AnalyzeReport
+	// Fallback reports that the optimized index path failed with a
+	// transient error and the query was re-run on the always-sound
+	// filtered sequential scan. The rows are identical to what the
+	// index path would have returned; only the access cost changed.
+	Fallback bool
+	// FallbackReason is the transient error that triggered the
+	// fallback ("" when Fallback is false).
+	FallbackReason string
+	// Retries counts transient storage/seek failures absorbed by the
+	// retry layer during this execution (zero when instrumentation is
+	// off).
+	Retries int64
 }
 
 // Query parses, rewrites (adding upper envelopes), optimizes, and runs
@@ -567,8 +604,11 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qc queryConfig) (*Res
 	}
 	em.stage("rewrite", time.Since(stageStart))
 	stageStart = time.Now()
-	root, res := e.buildPlan(q, t, rw, qc.forcedPath == "seqscan")
+	root, fallback, res := e.buildPlan(q, t, rw, qc.forcedPath == "seqscan")
 	em.stage("optimize", time.Since(stageStart))
+	if qc.noFallback {
+		fallback = nil
+	}
 	execOpts := e.execOpts
 	if qc.dop > 0 {
 		execOpts.DOP = qc.dop
@@ -584,7 +624,7 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qc queryConfig) (*Res
 		}
 		analyzeBase = baseRw.DataPred
 	}
-	return e.executePlan(ctx, t, root, res, rw, execOpts, analyzeBase)
+	return e.executePlan(ctx, t, root, fallback, res, rw, execOpts, analyzeBase)
 }
 
 // executePlan runs an assembled physical plan and packages the Result.
@@ -592,7 +632,43 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qc queryConfig) (*Res
 // both produce identical output for identical plans. analyzeBase, when
 // non-nil, enables envelope-vs-residual rejection attribution on the
 // scan-level filter (the WithAnalyze path).
-func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root plan.Node, res opt.Result, rw *core.Rewrite, execOpts exec.Options, analyzeBase expr.Expr) (*Result, error) {
+//
+// Graceful degradation: when the optimized (index-path) plan fails with
+// a transient error that survived the retry layer, and fallbackRoot is
+// non-nil, the query is re-run once on the fallback — the always-sound
+// filtered sequential scan pipeline. The fallback returns exactly the
+// rows the optimized plan would have (index paths only overscan and
+// re-filter), so degradation can never change an answer; the switch is
+// recorded on the Result (Fallback, FallbackReason, a rewrite note) and
+// in the minequery_fallbacks_total metric. A dead context is never
+// retried: cancellation/deadline errors surface as-is.
+func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root, fallbackRoot plan.Node, res opt.Result, rw *core.Rewrite, execOpts exec.Options, analyzeBase expr.Expr) (*Result, error) {
+	r, err := e.runPlanOnce(ctx, t, root, res, rw, execOpts, analyzeBase)
+	if err == nil || fallbackRoot == nil || !errors.Is(err, qerr.ErrTransient) || ctx.Err() != nil {
+		return r, err
+	}
+	reason := err.Error()
+	fr, ferr := e.runPlanOnce(ctx, t, fallbackRoot, res, rw, execOpts, analyzeBase)
+	if ferr != nil {
+		// The degraded path failed too; surface the original failure,
+		// which names the index path the query actually chose.
+		return nil, fmt.Errorf("minequery: fallback scan also failed (%v) after: %w", ferr, err)
+	}
+	fr.Fallback = true
+	fr.FallbackReason = reason
+	fr.RewriteNotes = append(fr.RewriteNotes[:len(fr.RewriteNotes):len(fr.RewriteNotes)],
+		"fallback: index path failed transiently; re-ran baseline sequential scan")
+	if fr.Analyze != nil {
+		fr.Analyze.Fallback = true
+		fr.Analyze.FallbackReason = reason
+	}
+	e.metrics.Load().fallback()
+	return fr, nil
+}
+
+// runPlanOnce executes one plan tree and packages the Result; it is the
+// single-attempt core under executePlan's degradation wrapper.
+func (e *Engine) runPlanOnce(ctx context.Context, t *catalog.Table, root plan.Node, res opt.Result, rw *core.Rewrite, execOpts exec.Options, analyzeBase expr.Expr) (*Result, error) {
 	var col *exec.Collector
 	if !e.noInstrument.Load() {
 		col = exec.NewCollector()
@@ -607,6 +683,13 @@ func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root plan.No
 	start := time.Now()
 	rows, schema, err := exec.RunCtx(ctx, e.cat, root, execOpts)
 	elapsed := time.Since(start)
+	var retries int64
+	if col != nil {
+		// Count retries even when the attempt ultimately failed: the
+		// metric tracks transient-failure pressure, not just survivals.
+		retries = col.Retries.Load()
+		e.metrics.Load().retries(retries)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -640,9 +723,13 @@ func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root plan.No
 		EstSelectivity: res.EstSelectivity,
 		RewriteNotes:   rw.Notes,
 		Stats:          st,
+		Retries:        retries,
 	}
 	if col != nil {
 		r.Analyze = buildAnalyzeReport(root, col, t, res.EstSelectivity, execOpts.DOP, st, analyzeBase != nil)
+		if r.Analyze != nil {
+			r.Analyze.Retries = retries
+		}
 	}
 	em := e.metrics.Load()
 	em.stage("execute", elapsed)
@@ -673,16 +760,37 @@ func scanLevelFilter(n plan.Node) *plan.Filter {
 // predicate, prediction joins, post-prediction filter, projection,
 // limit. forceSeq pins the access path to a filtered sequential scan
 // (the optimizer still runs, for its selectivity estimate).
-func (e *Engine) buildPlan(q *sqlparse.Query, t *catalog.Table, rw *core.Rewrite, forceSeq bool) (plan.Node, opt.Result) {
-	res := opt.ChooseAccessPath(t, rw.DataPred, e.optCfg)
-	root := res.Plan
+//
+// When the optimizer picks an index path, a second, independent plan
+// tree — the same pipeline over the always-sound filtered sequential
+// scan — is returned as the fallback. The fallback returns exactly the
+// rows the optimized plan returns (index paths only ever overscan and
+// re-filter), so the engine can re-run a query on it after a transient
+// index-path failure without ever changing the answer. It is nil when
+// the chosen path is already a scan (nothing cheaper to fall back to).
+func (e *Engine) buildPlan(q *sqlparse.Query, t *catalog.Table, rw *core.Rewrite, forceSeq bool) (root, fallback plan.Node, res opt.Result) {
+	res = opt.ChooseAccessPath(t, rw.DataPred, e.optCfg)
+	access := res.Plan
 	if forceSeq {
 		var seq plan.Node = &plan.SeqScan{Table: t.Name}
 		if _, isTrue := rw.DataPred.(expr.TrueExpr); !isTrue {
 			seq = &plan.Filter{Child: seq, Pred: rw.DataPred}
 		}
-		root = seq
+		access = seq
 	}
+	root = e.finishPlan(q, rw, access)
+	if !forceSeq && res.ScanPlan != nil &&
+		(res.Path == plan.AccessIndex || res.Path == plan.AccessIndexUnion) {
+		fallback = e.finishPlan(q, rw, res.ScanPlan)
+	}
+	return root, fallback, res
+}
+
+// finishPlan wraps an access-path subtree with the query's prediction
+// joins, post-prediction filter, projection, and limit. Each call
+// builds fresh operator nodes, so the optimized root and its fallback
+// never share nodes (per-node runtime stats stay separable).
+func (e *Engine) finishPlan(q *sqlparse.Query, rw *core.Rewrite, root plan.Node) plan.Node {
 	for _, j := range q.Joins {
 		me, ok := e.cat.Model(j.Model)
 		if !ok {
@@ -704,7 +812,7 @@ func (e *Engine) buildPlan(q *sqlparse.Query, t *catalog.Table, rw *core.Rewrite
 	if q.Limit >= 0 {
 		root = &plan.Limit{Child: root, N: q.Limit}
 	}
-	return root, res
+	return root
 }
 
 // needsPostFilter reports whether FullPred adds constraints beyond
@@ -731,7 +839,7 @@ func (e *Engine) Explain(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	root, _ := e.buildPlan(q, t, rw, false)
+	root, _, _ := e.buildPlan(q, t, rw, false)
 	var b strings.Builder
 	b.WriteString(plan.Explain(root))
 	if len(rw.Notes) > 0 {

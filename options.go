@@ -15,6 +15,7 @@ type queryConfig struct {
 	dop        int
 	forcedPath string
 	analyze    bool
+	noFallback bool
 }
 
 func buildQueryConfig(opts []QueryOption) (queryConfig, error) {
@@ -59,6 +60,19 @@ func WithForcedPath(path string) QueryOption {
 		default:
 			return fmt.Errorf("minequery: unsupported forced path %q (want \"seqscan\" or \"\")", path)
 		}
+	}
+}
+
+// WithNoFallback disables graceful degradation for this call: if the
+// optimized index path fails with a transient error that survives the
+// retry layer, the error is returned instead of re-running the query on
+// the baseline sequential scan. Useful in tests that must observe the
+// raw failure, and for callers that prefer fail-fast over a possibly
+// much slower degraded execution.
+func WithNoFallback() QueryOption {
+	return func(qc *queryConfig) error {
+		qc.noFallback = true
+		return nil
 	}
 }
 

@@ -47,12 +47,16 @@ type ExecOptions struct {
 // the optimizer. It is immutable after Prepare and safe for concurrent
 // Execute calls (subject to the Engine's own concurrency caveats).
 type Prepared struct {
-	eng      *Engine
-	sql      string
-	query    *sqlparse.Query
-	rewrite  *core.Rewrite
-	table    *catalog.Table
-	root     plan.Node
+	eng     *Engine
+	sql     string
+	query   *sqlparse.Query
+	rewrite *core.Rewrite
+	table   *catalog.Table
+	root    plan.Node
+	// fallback is the always-sound filtered-seqscan variant of root,
+	// cached at prepare time so degraded executions skip re-planning;
+	// nil when root is already a scan path.
+	fallback plan.Node
 	optRes   opt.Result
 	epoch    int64
 	forceSeq bool
@@ -96,7 +100,7 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 	}
 	em.stage("rewrite", time.Since(stageStart))
 	stageStart = time.Now()
-	root, res := e.buildPlan(q, t, rw, po.ForceSeqScan)
+	root, fallback, res := e.buildPlan(q, t, rw, po.ForceSeqScan)
 	em.stage("optimize", time.Since(stageStart))
 	return &Prepared{
 		eng:      e,
@@ -105,6 +109,7 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 		rewrite:  rw,
 		table:    t,
 		root:     root,
+		fallback: fallback,
 		optRes:   res,
 		epoch:    epoch,
 		forceSeq: po.ForceSeqScan,
@@ -174,7 +179,11 @@ func (p *Prepared) execute(ctx context.Context, qc queryConfig) (*Result, error)
 		}
 		analyzeBase = baseRw.DataPred
 	}
-	res, err := p.eng.executePlan(ctx, p.table, p.root, p.optRes, p.rewrite, opts, analyzeBase)
+	fallback := p.fallback
+	if qc.noFallback {
+		fallback = nil
+	}
+	res, err := p.eng.executePlan(ctx, p.table, p.root, fallback, p.optRes, p.rewrite, opts, analyzeBase)
 	if err != nil && strings.Contains(err.Error(), "plan invalidated") {
 		// The exec-layer version guard fired: a model changed between the
 		// epoch check and plan build-out. Surface it as staleness.
