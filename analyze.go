@@ -75,6 +75,11 @@ type AnalyzeReport struct {
 	// Retries counts transient failures absorbed by the retry layer
 	// during this execution.
 	Retries int64
+	// PartitionsTotal/PartitionsPruned mirror the Result fields: how
+	// many partitions the table has (0 when unpartitioned) and how many
+	// the optimizer proved disjoint from the predicate.
+	PartitionsTotal  int
+	PartitionsPruned int
 }
 
 // buildAnalyzeReport assembles the report from the executed plan and
@@ -202,6 +207,9 @@ func (r *AnalyzeReport) Render(elideTimings bool) string {
 					i, w.Morsels, w.Rows, renderTime(w.Time, false))
 			}
 		}
+	}
+	if r.PartitionsTotal > 0 {
+		fmt.Fprintf(&b, "partitions: %d/%d pruned\n", r.PartitionsPruned, r.PartitionsTotal)
 	}
 	fmt.Fprintf(&b, "execution: path=%s seq_pages=%d rand_pages=%d tuples=%d cost_units=%.1f time=%s\n",
 		r.AccessPath, r.Stats.SeqPageReads, r.Stats.RandPageReads, r.Stats.TupleReads,

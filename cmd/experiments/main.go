@@ -10,7 +10,8 @@
 //	overhead   — envelope precompute time vs training time; optimize vs lookup
 //	scan       — morsel-driven parallel scan sweep: wall time at DOP 1..N
 //	server     — minequeryd end-to-end latency: prepared vs ad-hoc (BENCH_server.json)
-//	all        — everything above (except scan and server, which are standalone)
+//	partition  — partition pruning: pages read with vs without pruning per predicate width
+//	all        — everything above (except scan, server, and partition, which are standalone)
 //
 // Shapes, not absolute numbers, are the comparison target: the engine is
 // a simulator, not the paper's SQL Server testbed. See EXPERIMENTS.md.
@@ -30,13 +31,14 @@ import (
 	"minequery/internal/dataset"
 	"minequery/internal/exec"
 	"minequery/internal/expr"
+	"minequery/internal/opt"
 	"minequery/internal/plan"
 	"minequery/internal/value"
 	"minequery/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|runtime|planchange|fig3|fig4|fig5|fig6|fig7|overhead|scan|server|all")
+	exp := flag.String("exp", "all", "experiment: table2|runtime|planchange|fig3|fig4|fig5|fig6|fig7|overhead|scan|server|partition|all")
 	rows := flag.Int("rows", 40000, "test-table rows per data set (paper: >1M; selectivities are scale-invariant)")
 	only := flag.String("dataset", "", "restrict to one data set (by name)")
 	dop := flag.Int("dop", 1, "scan degree of parallelism for execution and costing (rerun any experiment at DOP 1 vs N)")
@@ -51,6 +53,10 @@ func main() {
 	}
 	if *exp == "server" {
 		serverBench(*rows, *benchN, *benchConc, *benchOut)
+		return
+	}
+	if *exp == "partition" {
+		partitionBench(*rows)
 		return
 	}
 
@@ -162,6 +168,88 @@ func scanSweep(rows int) {
 		}
 		after := table.Heap.Stats()
 		fmt.Printf("%6d %12d %12d %10v\n", dop, len(out), after.SeqPageReads-before.SeqPageReads, elapsed.Round(time.Microsecond))
+	}
+	fmt.Println()
+}
+
+// partitionBench measures envelope-driven partition pruning: one
+// 16-partition table, range predicates of shrinking width (the shapes
+// upper envelopes produce), each executed twice — through the
+// optimizer's pruned plan and through a forced unpruned full scan —
+// recording sequential pages read for both. The pages-read ratio should
+// track the fraction of partitions surviving pruning, which is the
+// entire point of the feature: I/O eliminated before any page is read.
+func partitionBench(rows int) {
+	fmt.Printf("== Partition pruning: pages read with vs without pruning (%d rows, 16 partitions) ==\n", rows)
+	cat := catalog.New()
+	bounds := make([]value.Value, 0, 15)
+	for b := int64(64); b < 1024; b += 64 {
+		bounds = append(bounds, value.Int(b))
+	}
+	table, err := cat.CreatePartitionedTable("pt", value.MustSchema(
+		value.Column{Name: "num", Kind: value.KindInt},
+		value.Column{Name: "aux", Kind: value.KindFloat},
+		value.Column{Name: "tag", Kind: value.KindString},
+	), "num", bounds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < rows; i++ {
+		_, err := table.Insert(value.Tuple{
+			value.Int(int64(r.Intn(1024))),
+			value.Float(r.Float64()),
+			value.Str(fmt.Sprintf("tag-%03d", r.Intn(500))),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if _, err := cat.Analyze("pt"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	preds := []struct {
+		label string
+		pred  expr.Expr
+	}{
+		{"num >= 0 (all)", expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(0)}},
+		{"num < 512 (half)", expr.Cmp{Col: "num", Op: expr.OpLt, Val: value.Int(512)}},
+		{"num in [256,384)", expr.NewAnd(
+			expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(256)},
+			expr.Cmp{Col: "num", Op: expr.OpLt, Val: value.Int(384)})},
+		{"num in [0,64) or [960,∞)", expr.NewOr(
+			expr.Cmp{Col: "num", Op: expr.OpLt, Val: value.Int(64)},
+			expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(960)})},
+		{"num = 100 (point)", expr.Cmp{Col: "num", Op: expr.OpEq, Val: value.Int(100)}},
+	}
+	pages := func(root plan.Node) (int64, int) {
+		before := table.Heap.Stats()
+		out, _, err := exec.RunOpts(cat, root, exec.Options{DOP: 1})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return table.Heap.Stats().SeqPageReads - before.SeqPageReads, len(out)
+	}
+	fmt.Printf("%-26s %10s %14s %16s %10s\n", "predicate", "parts", "pages(pruned)", "pages(unpruned)", "saved")
+	cfg := opt.DefaultConfig()
+	for _, p := range preds {
+		res := opt.ChooseAccessPath(table, p.pred, cfg)
+		prunedPages, prunedRows := pages(res.Plan)
+		fullPages, fullRows := pages(&plan.Filter{Child: &plan.SeqScan{Table: "pt"}, Pred: p.pred})
+		if prunedRows != fullRows {
+			fmt.Fprintf(os.Stderr, "ROW MISMATCH for %s: pruned %d vs full %d\n", p.label, prunedRows, fullRows)
+			os.Exit(1)
+		}
+		saved := 0.0
+		if fullPages > 0 {
+			saved = 100 * float64(fullPages-prunedPages) / float64(fullPages)
+		}
+		fmt.Printf("%-26s %7d/%-2d %14d %16d %9.1f%%\n",
+			p.label, res.PartsTotal-res.PartsPruned, res.PartsTotal, prunedPages, fullPages, saved)
 	}
 	fmt.Println()
 }

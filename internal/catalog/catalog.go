@@ -47,11 +47,16 @@ func (ix *Index) KeyFor(t value.Tuple) []byte {
 type Table struct {
 	Name   string
 	Schema *value.Schema
-	Heap   *storage.Heap
+	Heap   storage.Store
+	// Part describes the table's range partitioning; nil for ordinary
+	// tables. When non-nil, Heap is a *storage.PartitionedHeap with
+	// Part.NumPartitions() partitions. Immutable after creation.
+	Part *PartitionSpec
 
-	mu      sync.RWMutex
-	indexes []*Index
-	stats   *stats.TableStats
+	mu        sync.RWMutex
+	indexes   []*Index
+	stats     *stats.TableStats
+	partStats []*stats.TableStats
 }
 
 // Indexes returns a snapshot of the table's secondary indexes.
@@ -72,19 +77,45 @@ func (t *Table) Stats() *stats.TableStats {
 // Analyze recomputes table statistics from the heap. On a page-read
 // failure the partial statistics are discarded and the previous ones
 // kept, so the optimizer never costs plans from a truncated sample.
+// Partitioned tables are analyzed partition by partition: the
+// per-partition statistics are retained (see PartitionStats) and their
+// merge becomes the table-level statistics.
 func (t *Table) Analyze() (*stats.TableStats, error) {
-	var scanErr error
-	ts := stats.Build(t.Schema, func(emit func(value.Tuple)) {
-		scanErr = t.Heap.Scan(func(_ storage.RID, rec []byte) bool {
-			tup, err := value.DecodeTuple(rec)
-			if err == nil {
-				emit(tup)
-			}
-			return true
+	buildOver := func(h storage.Store) (*stats.TableStats, error) {
+		var scanErr error
+		ts := stats.Build(t.Schema, func(emit func(value.Tuple)) {
+			scanErr = h.Scan(func(_ storage.RID, rec []byte) bool {
+				tup, err := value.DecodeTuple(rec)
+				if err == nil {
+					emit(tup)
+				}
+				return true
+			})
 		})
-	})
-	if scanErr != nil {
-		return nil, fmt.Errorf("catalog: analyze %s: %w", t.Name, scanErr)
+		if scanErr != nil {
+			return nil, fmt.Errorf("catalog: analyze %s: %w", t.Name, scanErr)
+		}
+		return ts, nil
+	}
+	if ph := t.partHeap(); ph != nil {
+		per := make([]*stats.TableStats, ph.NumPartitions())
+		for p := range per {
+			ts, err := buildOver(ph.Partition(p))
+			if err != nil {
+				return nil, err
+			}
+			per[p] = ts
+		}
+		merged := stats.Merge(per)
+		t.mu.Lock()
+		t.stats = merged
+		t.partStats = per
+		t.mu.Unlock()
+		return merged, nil
+	}
+	ts, err := buildOver(t.Heap)
+	if err != nil {
+		return nil, err
 	}
 	t.mu.Lock()
 	t.stats = ts
@@ -114,7 +145,7 @@ func (t *Table) Insert(row value.Tuple) (storage.RID, error) {
 				t.Name, t.Schema.Col(i).Name, got, want)
 		}
 	}
-	rid, err := t.Heap.Insert(value.EncodeTuple(nil, row))
+	rid, err := t.insertRecord(row)
 	if err != nil {
 		return storage.RID{}, err
 	}

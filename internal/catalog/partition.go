@@ -1,0 +1,202 @@
+package catalog
+
+import (
+	"fmt"
+
+	"minequery/internal/stats"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// PartitionSpec describes the range partitioning of a table: one
+// partition column and a strictly increasing list of split points.
+// n bounds define n+1 partitions; partition i holds rows with
+// Bounds[i-1] <= v < Bounds[i] (the first and last partitions are
+// unbounded below and above respectively), and NULL partition-column
+// values route to partition 0. The spec is immutable after creation —
+// that immutability is what lets the optimizer prune partitions from
+// cached plans without revalidating boundaries per execution.
+type PartitionSpec struct {
+	Column  string
+	Ordinal int
+	Bounds  []value.Value
+}
+
+// NumPartitions returns the partition count implied by the bounds.
+func (ps *PartitionSpec) NumPartitions() int { return len(ps.Bounds) + 1 }
+
+// PartitionFor returns the partition index holding column value v.
+func (ps *PartitionSpec) PartitionFor(v value.Value) int {
+	if v.IsNull() {
+		return 0
+	}
+	lo, hi := 0, len(ps.Bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if value.Compare(v, ps.Bounds[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Interval returns partition p's covering interval as [lo, hi) bounds;
+// a nil bound is unbounded on that side. The lower bound is inclusive,
+// the upper exclusive — matching PartitionFor's routing.
+func (ps *PartitionSpec) Interval(p int) (lo, hi *value.Value) {
+	if p > 0 {
+		lo = &ps.Bounds[p-1]
+	}
+	if p < len(ps.Bounds) {
+		hi = &ps.Bounds[p]
+	}
+	return lo, hi
+}
+
+// CreatePartitionedTable registers a new empty range-partitioned table.
+// Bounds must be non-null, strictly increasing, and of a kind
+// comparable to the partition column (numeric bounds for numeric
+// columns, string bounds for text columns).
+func (c *Catalog) CreatePartitionedTable(name string, schema *value.Schema, partCol string, bounds []value.Value) (*Table, error) {
+	ord := schema.Ordinal(partCol)
+	if ord < 0 {
+		return nil, fmt.Errorf("catalog: create table %q: no partition column %q", name, partCol)
+	}
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("catalog: create table %q: partitioning needs at least one bound", name)
+	}
+	if len(bounds)+1 > storage.MaxPartitions {
+		return nil, fmt.Errorf("catalog: create table %q: %d partitions exceeds the maximum of %d",
+			name, len(bounds)+1, storage.MaxPartitions)
+	}
+	colKind := schema.Col(ord).Kind
+	colNumeric := colKind == value.KindInt || colKind == value.KindFloat
+	for i, b := range bounds {
+		if b.IsNull() {
+			return nil, fmt.Errorf("catalog: create table %q: partition bound %d is NULL", name, i)
+		}
+		bNumeric := b.Kind() == value.KindInt || b.Kind() == value.KindFloat
+		if bNumeric != colNumeric {
+			return nil, fmt.Errorf("catalog: create table %q: partition bound %d kind %s does not match column %s kind %s",
+				name, i, b.Kind(), partCol, colKind)
+		}
+		if i > 0 && value.Compare(bounds[i-1], b) >= 0 {
+			return nil, fmt.Errorf("catalog: create table %q: partition bounds must be strictly increasing (bound %d)", name, i)
+		}
+	}
+	ph, err := storage.NewPartitionedHeap(len(bounds) + 1)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: create table %q: %w", name, err)
+	}
+	spec := &PartitionSpec{
+		Column:  schema.Col(ord).Name,
+		Ordinal: ord,
+		Bounds:  append([]value.Value(nil), bounds...),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[key(name)]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := &Table{Name: name, Schema: schema, Heap: ph, Part: spec}
+	if c.faults != nil {
+		t.Heap.SetFaults(c.faults)
+	}
+	c.tables[key(name)] = t
+	return t, nil
+}
+
+// partHeap returns the table's partitioned heap, or nil for ordinary
+// tables.
+func (t *Table) partHeap() *storage.PartitionedHeap {
+	if t.Part == nil {
+		return nil
+	}
+	ph, _ := t.Heap.(*storage.PartitionedHeap)
+	return ph
+}
+
+// insertRecord appends an (already type-checked) row's encoding to the
+// table's store, routing by partition bound for partitioned tables.
+func (t *Table) insertRecord(row value.Tuple) (storage.RID, error) {
+	rec := value.EncodeTuple(nil, row)
+	if ph := t.partHeap(); ph != nil {
+		return ph.InsertPart(t.Part.PartitionFor(row[t.Part.Ordinal]), rec)
+	}
+	h, ok := t.Heap.(*storage.Heap)
+	if !ok {
+		return storage.RID{}, fmt.Errorf("catalog: table %s: unsupported store %T", t.Name, t.Heap)
+	}
+	return h.Insert(rec)
+}
+
+// NumPartitions returns the table's partition count (1 for ordinary
+// tables).
+func (t *Table) NumPartitions() int {
+	if t.Part == nil {
+		return 1
+	}
+	return t.Part.NumPartitions()
+}
+
+// PartitionStats returns the per-partition statistics from the most
+// recent Analyze (nil for ordinary tables or before the first Analyze).
+// Index i corresponds to partition i.
+func (t *Table) PartitionStats() []*stats.TableStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.partStats
+}
+
+// PartitionSizes returns the allocated pages and live rows across the
+// given partitions (nil = all; for ordinary tables, the whole heap).
+// The optimizer costs a pruned scan from these instead of whole-table
+// totals.
+func (t *Table) PartitionSizes(parts []int) (pages int, rows int64) {
+	ph := t.partHeap()
+	if ph == nil {
+		return t.Heap.PageCount(), t.Heap.Len()
+	}
+	if parts == nil {
+		return ph.PageCount(), ph.Len()
+	}
+	for _, p := range parts {
+		if h := ph.Partition(p); h != nil {
+			pages += h.PageCount()
+			rows += h.Len()
+		}
+	}
+	return pages, rows
+}
+
+// PartitionPageRanges returns the global page range [lo, hi) of each of
+// the requested partitions, in partition order, dropping empty ranges.
+// parts == nil means all partitions. For an ordinary table it returns
+// the single range covering the whole heap. The ranges are a
+// point-in-time snapshot of the page directory — the executor lays out
+// morsels from them, so morsels never straddle a partition boundary.
+func (t *Table) PartitionPageRanges(parts []int) [][2]int {
+	ph := t.partHeap()
+	if ph == nil {
+		if n := t.Heap.PageCount(); n > 0 {
+			return [][2]int{{0, n}}
+		}
+		return nil
+	}
+	if parts == nil {
+		parts = make([]int, ph.NumPartitions())
+		for i := range parts {
+			parts[i] = i
+		}
+	}
+	var out [][2]int
+	for _, p := range parts {
+		lo, hi := ph.PartitionPageRange(p)
+		if hi > lo {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}

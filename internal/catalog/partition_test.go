@@ -1,0 +1,242 @@
+package catalog
+
+import (
+	"testing"
+
+	"minequery/internal/btree"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+func partSchema(t *testing.T) *value.Schema {
+	t.Helper()
+	return value.MustSchema(
+		value.Column{Name: "id", Kind: value.KindInt},
+		value.Column{Name: "num", Kind: value.KindInt},
+		value.Column{Name: "name", Kind: value.KindString},
+	)
+}
+
+func intVals(xs ...int64) []value.Value {
+	out := make([]value.Value, len(xs))
+	for i, x := range xs {
+		out[i] = value.Int(x)
+	}
+	return out
+}
+
+func TestCreatePartitionedTableValidation(t *testing.T) {
+	s := partSchema(t)
+	cases := []struct {
+		name   string
+		col    string
+		bounds []value.Value
+	}{
+		{"no-such-column", "nope", intVals(10)},
+		{"no-bounds", "num", nil},
+		{"null-bound", "num", []value.Value{value.Null()}},
+		{"kind-mismatch", "num", []value.Value{value.Str("x")}},
+		{"not-increasing", "num", intVals(10, 10)},
+		{"decreasing", "num", intVals(10, 5)},
+		{"too-many", "num", intVals(make([]int64, storage.MaxPartitions)...)},
+	}
+	for _, tc := range cases {
+		c := New()
+		if _, err := c.CreatePartitionedTable("t", s, tc.col, tc.bounds); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	c := New()
+	if _, err := c.CreatePartitionedTable("t", s, "num", intVals(10, 20)); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if _, err := c.CreatePartitionedTable("t", s, "num", intVals(10)); err == nil {
+		t.Error("duplicate table name should be rejected")
+	}
+	// FLOAT bounds on an INT column are fine (numeric comparability).
+	if _, err := c.CreatePartitionedTable("t2", s, "num", []value.Value{value.Float(9.5)}); err != nil {
+		t.Errorf("float bound on int column rejected: %v", err)
+	}
+}
+
+func TestPartitionForAndInterval(t *testing.T) {
+	ps := &PartitionSpec{Column: "num", Ordinal: 1, Bounds: intVals(10, 20, 30)}
+	if ps.NumPartitions() != 4 {
+		t.Fatalf("NumPartitions = %d", ps.NumPartitions())
+	}
+	cases := []struct {
+		v    value.Value
+		want int
+	}{
+		{value.Null(), 0},
+		{value.Int(-5), 0},
+		{value.Int(9), 0},
+		{value.Int(10), 1}, // lower bound is inclusive
+		{value.Int(19), 1},
+		{value.Int(20), 2},
+		{value.Int(30), 3},
+		{value.Int(999), 3},
+		{value.Float(9.5), 0},
+		{value.Float(10.0), 1},
+	}
+	for _, tc := range cases {
+		if got := ps.PartitionFor(tc.v); got != tc.want {
+			t.Errorf("PartitionFor(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	for p := 0; p < ps.NumPartitions(); p++ {
+		lo, hi := ps.Interval(p)
+		if p == 0 && lo != nil {
+			t.Error("partition 0 must be unbounded below")
+		}
+		if p == ps.NumPartitions()-1 && hi != nil {
+			t.Error("last partition must be unbounded above")
+		}
+		if lo != nil && ps.PartitionFor(*lo) != p {
+			t.Errorf("partition %d lower bound %v routes to %d", p, *lo, ps.PartitionFor(*lo))
+		}
+	}
+}
+
+func TestPartitionedInsertRoutingAndAnalyze(t *testing.T) {
+	c := New()
+	tbl, err := c.CreatePartitionedTable("t", partSchema(t), "num", intVals(10, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumPartitions() != 3 {
+		t.Fatalf("NumPartitions = %d", tbl.NumPartitions())
+	}
+	rows := []struct {
+		num      value.Value
+		wantPart int
+	}{
+		{value.Int(5), 0},
+		{value.Null(), 0},
+		{value.Int(10), 1},
+		{value.Int(15), 1},
+		{value.Int(25), 2},
+		{value.Int(100), 2},
+	}
+	for i, r := range rows {
+		rid, err := tbl.Insert(value.Tuple{value.Int(int64(i)), r.num, value.Str("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part, _ := storage.SplitRID(rid); part != r.wantPart {
+			t.Errorf("row %d (num=%v) routed to partition %d, want %d", i, r.num, part, r.wantPart)
+		}
+		// Round-trip through the RID as an index fetch would.
+		got, ok, err := tbl.Fetch(rid)
+		if err != nil || !ok || !value.Equal(got[0], value.Int(int64(i))) {
+			t.Fatalf("Fetch(%v) = %v, %v, %v", rid, got, ok, err)
+		}
+	}
+	if tbl.Heap.Len() != int64(len(rows)) {
+		t.Fatalf("Len = %d", tbl.Heap.Len())
+	}
+
+	ts, err := tbl.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.RowCount != int64(len(rows)) {
+		t.Errorf("merged RowCount = %d, want %d", ts.RowCount, len(rows))
+	}
+	per := tbl.PartitionStats()
+	if len(per) != 3 {
+		t.Fatalf("PartitionStats len = %d", len(per))
+	}
+	wantPerPart := []int64{2, 2, 2}
+	for p, ps := range per {
+		if ps.RowCount != wantPerPart[p] {
+			t.Errorf("partition %d RowCount = %d, want %d", p, ps.RowCount, wantPerPart[p])
+		}
+	}
+
+	// Indexes backfill over partitioned heaps and carry partition-encoded
+	// RIDs.
+	ix, err := c.CreateIndex("ix_num", "t", "num")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ix.Tree.AscendRange(nil, nil, true, true, func(e btree.Entry) bool {
+		if _, ok, err := tbl.Fetch(e.RID); !ok || err != nil {
+			t.Fatalf("index RID %v not fetchable: %v", e.RID, err)
+		}
+		return true
+	})
+	if n != len(rows) {
+		t.Errorf("index holds %d entries, want %d", n, len(rows))
+	}
+}
+
+func TestPartitionPageRanges(t *testing.T) {
+	c := New()
+	tbl, err := c.CreatePartitionedTable("t", partSchema(t), "num", intVals(10, 20, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skew: partition 1 empty, partition 3 largest.
+	fill := func(num int64, n int) {
+		for i := 0; i < n; i++ {
+			if _, err := tbl.Insert(value.Tuple{value.Int(int64(i)), value.Int(num), value.Str("padpadpadpadpadpad")}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fill(0, 300)
+	fill(25, 200)
+	fill(99, 900)
+
+	all := tbl.PartitionPageRanges(nil)
+	if len(all) != 3 { // partition 1 is empty, dropped
+		t.Fatalf("ranges = %v, want 3 non-empty", all)
+	}
+	total := 0
+	prevHi := 0
+	for _, r := range all {
+		if r[0] != prevHi {
+			t.Errorf("ranges not contiguous from 0: %v", all)
+		}
+		prevHi = r[1]
+		total += r[1] - r[0]
+	}
+	if total != tbl.Heap.PageCount() {
+		t.Errorf("ranges cover %d pages, heap has %d", total, tbl.Heap.PageCount())
+	}
+
+	some := tbl.PartitionPageRanges([]int{0, 1, 3})
+	if len(some) != 2 {
+		t.Fatalf("subset ranges = %v, want 2 non-empty", some)
+	}
+	// Scanning the subset ranges yields exactly the rows of those
+	// partitions.
+	n := 0
+	for _, r := range some {
+		tbl.Heap.ScanPages(r[0], r[1], func(rid storage.RID, _ []byte) bool {
+			p, _ := storage.SplitRID(rid)
+			if p != 0 && p != 3 {
+				t.Fatalf("subset scan delivered partition %d", p)
+			}
+			n++
+			return true
+		})
+	}
+	if n != 300+900 {
+		t.Errorf("subset scan saw %d rows, want %d", n, 1200)
+	}
+
+	// Ordinary table: one range covering the whole heap.
+	plain, err := c.CreateTable("u", partSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.PartitionPageRanges(nil); got != nil {
+		t.Errorf("empty plain table ranges = %v, want nil", got)
+	}
+	plain.Insert(value.Tuple{value.Int(1), value.Int(1), value.Str("x")})
+	if got := plain.PartitionPageRanges(nil); len(got) != 1 || got[0] != [2]int{0, plain.Heap.PageCount()} {
+		t.Errorf("plain table ranges = %v", got)
+	}
+}

@@ -145,9 +145,9 @@ func buildBareBatchNode(ctx context.Context, c *catalog.Catalog, n plan.Node, op
 			return nil, fmt.Errorf("exec: no table %q", x.Table)
 		}
 		if opts.DOP > 1 {
-			return newParallelScan(ctx, t, opts), nil
+			return newParallelScan(ctx, t, x, opts), nil
 		}
-		return newBatchSeqScan(ctx, t, opts), nil
+		return newBatchSeqScan(ctx, t, x, opts), nil
 	case *plan.Filter:
 		child, err := buildBatchNode(ctx, c, x.Child, opts)
 		if err != nil {
@@ -349,7 +349,9 @@ func (u *unbatcher) Next() (value.Tuple, bool, error) {
 func (u *unbatcher) Close() { u.child.Close() }
 
 // batchSeqScan streams a table heap page by page, decoding rows into
-// batches on demand (no up-front materialization).
+// batches on demand (no up-front materialization). The pages come from
+// a list of page ranges — the whole heap for ordinary tables, the
+// surviving partitions' global ranges for pruned partitioned scans.
 type batchSeqScan struct {
 	ctx       context.Context
 	table     *catalog.Table
@@ -357,14 +359,19 @@ type batchSeqScan struct {
 	opts      Options
 	onRetry   func(error)
 	batchSize int
-	nextPage  int
-	pageCount int
+	ranges    [][2]int
+	ri        int // current range
+	nextPage  int // next page within ranges[ri]
 	err       error
 }
 
-func newBatchSeqScan(ctx context.Context, t *catalog.Table, opts Options) *batchSeqScan {
-	return &batchSeqScan{ctx: ctx, table: t, io: ioOf(opts.Collector), opts: opts,
-		onRetry: opts.onRetry(), batchSize: opts.BatchSize, pageCount: t.Heap.PageCount()}
+func newBatchSeqScan(ctx context.Context, t *catalog.Table, x *plan.SeqScan, opts Options) *batchSeqScan {
+	s := &batchSeqScan{ctx: ctx, table: t, io: ioOf(opts.Collector), opts: opts,
+		onRetry: opts.onRetry(), batchSize: opts.BatchSize, ranges: t.PartitionPageRanges(x.Partitions)}
+	if len(s.ranges) > 0 {
+		s.nextPage = s.ranges[0][0]
+	}
+	return s
 }
 
 func (s *batchSeqScan) Schema() *value.Schema { return s.table.Schema }
@@ -378,7 +385,14 @@ func (s *batchSeqScan) NextBatch() (Batch, bool, error) {
 		return nil, false, s.err
 	}
 	var batch Batch
-	for len(batch) < s.batchSize && s.nextPage < s.pageCount {
+	for len(batch) < s.batchSize && s.ri < len(s.ranges) {
+		if s.nextPage >= s.ranges[s.ri][1] {
+			s.ri++
+			if s.ri < len(s.ranges) {
+				s.nextPage = s.ranges[s.ri][0]
+			}
+			continue
+		}
 		if s.err = ctxErr(s.ctx); s.err != nil {
 			return nil, false, s.err
 		}
@@ -415,7 +429,7 @@ func (s *batchSeqScan) NextBatch() (Batch, bool, error) {
 	return batch, false, nil
 }
 
-func (s *batchSeqScan) Close() { s.nextPage = s.pageCount }
+func (s *batchSeqScan) Close() { s.ri = len(s.ranges) }
 
 // batchFilter drops tuples failing the predicate, in place: the batch's
 // backing array is reused for the survivors (ownership transferred).

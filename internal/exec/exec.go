@@ -50,7 +50,7 @@ func buildNode(ctx context.Context, c *catalog.Catalog, n plan.Node, opts Option
 		if !ok {
 			return nil, fmt.Errorf("exec: no table %q", x.Table)
 		}
-		return newSeqScan(ctx, t, opts), nil
+		return newSeqScan(ctx, t, x, opts), nil
 	case *plan.ConstScan:
 		t, ok := c.Table(x.Table)
 		if !ok {
@@ -158,11 +158,11 @@ type seqScan struct {
 	err   error
 }
 
-func newSeqScan(ctx context.Context, t *catalog.Table, opts Options) *seqScan {
+func newSeqScan(ctx context.Context, t *catalog.Table, x *plan.SeqScan, opts Options) *seqScan {
 	// Materialize the scan: the heap callback API does not suspend, and
 	// decoded rows are small. Page-read accounting happens here.
 	s := &seqScan{table: t}
-	err := scanPagesRetry(ctx, t, opts, 0, t.Heap.PageCount(), func(_ storage.RID, rec []byte) bool {
+	decode := func(_ storage.RID, rec []byte) bool {
 		tup, derr := value.DecodeTuple(rec)
 		if derr != nil {
 			s.err = fmt.Errorf("exec: scan %s: %w", t.Name, derr)
@@ -170,9 +170,14 @@ func newSeqScan(ctx context.Context, t *catalog.Table, opts Options) *seqScan {
 		}
 		s.rows = append(s.rows, tup)
 		return true
-	})
-	if s.err == nil && err != nil {
-		s.err = fmt.Errorf("exec: scan %s: %w", t.Name, err)
+	}
+	for _, r := range t.PartitionPageRanges(x.Partitions) {
+		if s.err != nil {
+			break
+		}
+		if err := scanPagesRetry(ctx, t, opts, r[0], r[1], decode); err != nil && s.err == nil {
+			s.err = fmt.Errorf("exec: scan %s: %w", t.Name, err)
+		}
 	}
 	return s
 }

@@ -14,6 +14,7 @@ import (
 
 	"minequery/internal/catalog"
 	"minequery/internal/fault"
+	"minequery/internal/plan"
 	"minequery/internal/storage"
 	"minequery/internal/value"
 )
@@ -44,13 +45,31 @@ type parallelScan struct {
 	err        error
 }
 
-func newParallelScan(ctx context.Context, t *catalog.Table, opts Options) *parallelScan {
-	pageCount := t.Heap.PageCount()
-	nMorsels := (pageCount + opts.MorselPages - 1) / opts.MorselPages
+// morselRanges chunks each page range into morsels of at most
+// morselPages pages. Morsels never straddle a range boundary, so on
+// partitioned tables each morsel reads from exactly one partition and
+// heap-order reassembly yields partition-major row order — the same
+// order the serial scan produces.
+func morselRanges(ranges [][2]int, morselPages int) [][2]int {
+	var out [][2]int
+	for _, r := range ranges {
+		for lo := r[0]; lo < r[1]; lo += morselPages {
+			hi := lo + morselPages
+			if hi > r[1] {
+				hi = r[1]
+			}
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+func newParallelScan(ctx context.Context, t *catalog.Table, x *plan.SeqScan, opts Options) *parallelScan {
+	morsels := morselRanges(t.PartitionPageRanges(x.Partitions), opts.MorselPages)
 	ps := &parallelScan{
 		ctx:     ctx,
 		table:   t,
-		results: make([]chan morselResult, nMorsels),
+		results: make([]chan morselResult, len(morsels)),
 		claim:   new(atomic.Int64),
 		cancel:  new(atomic.Bool),
 	}
@@ -58,15 +77,15 @@ func newParallelScan(ctx context.Context, t *catalog.Table, opts Options) *paral
 		ps.results[i] = make(chan morselResult, 1)
 	}
 	workers := opts.DOP
-	if workers > nMorsels {
-		workers = nMorsels
+	if workers > len(morsels) {
+		workers = len(morsels)
 	}
 	for w := 0; w < workers; w++ {
 		var ws *WorkerStats
 		if opts.Collector != nil {
 			ws = opts.Collector.newWorker()
 		}
-		go scanWorker(ctx, t, ps.results, ps.claim, ps.cancel, opts, pageCount, ws)
+		go scanWorker(ctx, t, ps.results, ps.claim, ps.cancel, opts, morsels, ws)
 	}
 	return ps
 }
@@ -83,7 +102,7 @@ func newParallelScan(ctx context.Context, t *catalog.Table, opts Options) *paral
 // drain the remaining morsels; an error rule fails the morsel), and the
 // storage layer's sequential-read site fires per page, absorbed by the
 // per-page retry below when a policy is configured.
-func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResult, claim *atomic.Int64, cancel *atomic.Bool, opts Options, pageCount int, ws *WorkerStats) {
+func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResult, claim *atomic.Int64, cancel *atomic.Bool, opts Options, morsels [][2]int, ws *WorkerStats) {
 	io := ioOf(opts.Collector)
 	onRetry := opts.onRetry()
 	done := ctx.Done()
@@ -111,11 +130,7 @@ func scanWorker(ctx context.Context, t *catalog.Table, results []chan morselResu
 			results[m] <- morselResult{err: fmt.Errorf("exec: scan %s morsel %d: %w", t.Name, m, ferr)}
 			continue
 		}
-		lo := m * opts.MorselPages
-		hi := lo + opts.MorselPages
-		if hi > pageCount {
-			hi = pageCount
-		}
+		lo, hi := morsels[m][0], morsels[m][1]
 		var start time.Time
 		if ws != nil {
 			start = time.Now()

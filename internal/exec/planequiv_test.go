@@ -88,6 +88,71 @@ func TestPlanEquivalenceAccessPaths(t *testing.T) {
 	}
 }
 
+// TestPlanEquivalencePartitioned replays the access-path equivalence
+// check over a range-partitioned table with skewed partitions (one is
+// empty): whatever the optimizer prunes, the surviving-partition plan
+// must return exactly the rows of a forced unpruned scan at DOP 1 and 4.
+func TestPlanEquivalencePartitioned(t *testing.T) {
+	cc := catalog.New()
+	// Bounds leave partition [10,12) empty and make partition 3 hold
+	// most of the data.
+	tb, err := cc.CreatePartitionedTable("pt", value.MustSchema(
+		value.Column{Name: "id", Kind: value.KindInt},
+		value.Column{Name: "cat", Kind: value.KindString},
+		value.Column{Name: "num", Kind: value.KindInt},
+	), "num", []value.Value{value.Int(10), value.Int(12), value.Int(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		num := int64(i % 100)
+		if num >= 10 && num < 12 {
+			num = 9 // keep partition [10,12) empty
+		}
+		if _, err := tb.Insert(value.Tuple{
+			value.Int(int64(i)), value.Str(fmt.Sprintf("c%d", i%8)), value.Int(num),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cc.CreateIndex("ix_pt_num", "pt", "num"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	db := &catalogAndTable{cat: cc, tb: tb}
+	preds := []expr.Expr{
+		expr.Cmp{Col: "num", Op: expr.OpLt, Val: value.Int(10)},
+		expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(20)},
+		expr.Cmp{Col: "num", Op: expr.OpEq, Val: value.Int(11)}, // only the empty partition
+		expr.NewAnd(
+			expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(5)},
+			expr.Cmp{Col: "num", Op: expr.OpLt, Val: value.Int(15)},
+		),
+		expr.NewOr(
+			expr.Cmp{Col: "num", Op: expr.OpLt, Val: value.Int(5)},
+			expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(90)},
+		),
+		expr.In{Col: "num", Vals: []value.Value{value.Int(3), value.Int(50), value.Int(50)}},
+		expr.Cmp{Col: "cat", Op: expr.OpEq, Val: value.Str("c1")}, // non-partition column
+		expr.TrueExpr{},
+	}
+	sawPruning := false
+	for i, pred := range preds {
+		pred := pred
+		t.Run(fmt.Sprintf("pred%d", i), func(t *testing.T) {
+			equivCheck(t, db, pred, opt.DefaultConfig())
+			if r := opt.ChooseAccessPath(tb, pred, opt.DefaultConfig()); r.PartsPruned > 0 {
+				sawPruning = true
+			}
+		})
+	}
+	if !sawPruning {
+		t.Fatal("no predicate pruned any partition; harness is vacuous")
+	}
+}
+
 // TestPlanEquivalenceDOPInvariantChoice pins that raising the DOP makes
 // scans relatively cheaper: whatever the optimizer chooses, both the
 // DOP-1 and DOP-N choices stay row-equivalent to a forced scan.

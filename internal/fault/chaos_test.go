@@ -262,6 +262,101 @@ func TestChaosScenarios(t *testing.T) {
 	}
 }
 
+// TestChaosPrunedPartitionScan injects faults into a partition-pruned
+// sequential scan: a range-partitioned table with no indexes forces the
+// optimizer onto the pruned scan path, and page-read / morsel-claim
+// faults land inside the surviving partitions' page ranges. The
+// invariant is unchanged — absorbed faults yield the exact oracle rows
+// (with pruning still in effect), surfaced faults carry a typed
+// transient error — at DOP 1 and 4.
+func TestChaosPrunedPartitionScan(t *testing.T) {
+	eng := minequery.NewWithConfig(minequery.Config{Exec: exec.Options{MorselPages: 2}})
+	bounds := make([]minequery.Value, 0, 7)
+	for b := int64(20); b <= 140; b += 20 {
+		bounds = append(bounds, minequery.Int(b)) // 8 partitions; [140,∞) empty
+	}
+	if err := eng.CreatePartitionedTable("t", minequery.MustSchema(
+		minequery.Column{Name: "id", Kind: minequery.KindInt},
+		minequery.Column{Name: "num", Kind: minequery.KindInt},
+	), "num", bounds); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	batch := make([]minequery.Tuple, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		batch = append(batch, minequery.Tuple{
+			minequery.Int(int64(i)), minequery.Int(int64(r.Intn(140))),
+		})
+	}
+	if err := eng.InsertBatch("t", batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	const sql = "SELECT * FROM t WHERE num >= 100 AND num <= 119"
+	ctx := context.Background()
+	base, err := eng.Query(ctx, sql, minequery.WithForcedPath("seqscan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rowSet(base)
+	if len(want) == 0 {
+		t.Fatal("oracle matched no rows; fixture is degenerate")
+	}
+
+	scenarios := []struct {
+		name    string
+		rule    minequery.FaultRule
+		noRetry bool
+		dop     int
+		surface bool
+	}{
+		{"page_read_absorbed_serial",
+			minequery.FaultRule{Site: minequery.FaultSitePageReadSeq, OnHit: 2, Err: minequery.ErrInjected}, false, 1, false},
+		{"page_read_absorbed_parallel",
+			minequery.FaultRule{Site: minequery.FaultSitePageReadSeq, OnHit: 2, Err: minequery.ErrInjected}, false, 4, false},
+		{"page_read_surfaced_no_retry",
+			minequery.FaultRule{Site: minequery.FaultSitePageReadSeq, EveryN: 1, Err: minequery.ErrInjected}, true, 1, true},
+		{"morsel_claim_surfaced_parallel",
+			minequery.FaultRule{Site: minequery.FaultSiteMorselClaim, OnHit: 1, Err: minequery.ErrInjected, Limit: 1}, true, 4, true},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			eng.SetFaults(minequery.NewFaultInjector(1, sc.rule))
+			if sc.noRetry {
+				eng.SetRetryPolicy(minequery.RetryPolicy{MaxAttempts: 1})
+			}
+			defer func() {
+				eng.SetFaults(nil)
+				eng.SetRetryPolicy(minequery.DefaultRetryPolicy())
+			}()
+			res, err := eng.Query(ctx, sql, minequery.WithDOP(sc.dop), minequery.WithNoFallback())
+			if sc.surface {
+				if err == nil {
+					t.Fatalf("expected a surfaced transient error, got %d rows", len(res.Rows))
+				}
+				if !errors.Is(err, minequery.ErrTransient) {
+					t.Fatalf("error is not typed transient: %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.PartitionsPruned == 0 || res.PartitionsTotal != 8 {
+				t.Fatalf("faulted query lost pruning: %d/%d", res.PartitionsPruned, res.PartitionsTotal)
+			}
+			if got := rowSet(res); !equalStrings(got, want) {
+				t.Fatalf("WRONG ANSWER under faults on pruned scan: %d rows, oracle %d", len(res.Rows), len(want))
+			}
+			if res.Retries == 0 {
+				t.Error("expected the absorbed fault to be counted in Retries")
+			}
+		})
+	}
+}
+
 // TestChaosDeadlineDuringInjectedStall pins deadline enforcement: an
 // injected stall longer than the query deadline must surface
 // context.DeadlineExceeded (typed), not hang and not return rows.

@@ -76,67 +76,116 @@ type Result struct {
 	// alternatives (IndexCost is +Inf when no index applies).
 	ScanCost  float64
 	IndexCost float64
+	// PartsTotal and PartsPruned report partition pruning: of PartsTotal
+	// partitions (0 for unpartitioned tables), PartsPruned were proven
+	// disjoint from the predicate and will not be read by a scan plan.
+	PartsTotal  int
+	PartsPruned int
+	// Partitions lists the surviving partitions (nil for unpartitioned
+	// tables; empty when every partition was pruned).
+	Partitions []int
 }
 
 // ChooseAccessPath plans a selection over one table.
 func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 	ts := t.Stats()
 	rowCount := float64(t.Heap.Len())
-	pages := float64(t.Heap.PageCount())
 	dop := float64(cfg.DOP)
 	if dop < 1 {
 		dop = 1
 	}
+
+	simplified, simplifyOK := expr.Simplify(pred, cfg.MaxDisjuncts)
+	if !simplifyOK {
+		// Too complex to normalize within budget: the scan keeps the
+		// original predicate as its filter.
+		simplified = pred
+	}
+	// Partition pruning runs before costing: a scan plan only reads the
+	// surviving partitions, so their sizes — not the whole table's —
+	// are what a sequential scan pays for. The pruning walk is
+	// conservative, so this never affects which rows are returned.
+	parts, total := PrunePartitions(t, simplified)
+	pruned := 0
+	if total > 0 {
+		pruned = total - len(parts)
+	}
+	scanPages, scanRows := t.PartitionSizes(parts)
 	// Page reads and per-row evaluation of a scan parallelize across the
 	// morsel workers; index seeks (below) remain serial.
-	scanCost := (pages*cfg.SeqPageCost + rowCount*cfg.RowCPUCost) / dop
+	scanCost := (float64(scanPages)*cfg.SeqPageCost + float64(scanRows)*cfg.RowCPUCost) / dop
 
-	simplified, ok := expr.Simplify(pred, cfg.MaxDisjuncts)
-	if !ok {
-		// Too complex to normalize within budget: fall back to a scan
-		// with the original predicate as the filter.
-		return Result{
-			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, pred),
+	// seqScan is the (possibly pruned) scan leaf for the chosen plan;
+	// fullScan is the always-sound unpruned fallback used for ScanPlan,
+	// which deliberately ignores pruning so a mid-flight failure never
+	// re-runs through any optimizer reasoning.
+	seqScan := func() *plan.SeqScan {
+		return &plan.SeqScan{Table: t.Name, Partitions: parts, PartsTotal: total}
+	}
+	fullScan := func(filter expr.Expr) plan.Node {
+		return withFilter(&plan.SeqScan{Table: t.Name}, filter)
+	}
+	res := func(r Result) Result {
+		r.PartsTotal, r.PartsPruned, r.Partitions = total, pruned, parts
+		return r
+	}
+
+	if !simplifyOK {
+		return res(Result{
+			Plan:           withFilter(seqScan(), pred),
 			Path:           plan.AccessSeqScan,
-			ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, pred),
+			ScanPlan:       fullScan(pred),
 			EstSelectivity: ts.Selectivity(pred),
 			ScanCost:       scanCost,
 			IndexCost:      inf,
-		}
+		})
 	}
 	sel := ts.Selectivity(simplified)
 
 	if _, isFalse := simplified.(expr.FalseExpr); isFalse {
-		return Result{
+		return res(Result{
 			Plan:           &plan.ConstScan{Table: t.Name},
 			Path:           plan.AccessConstant,
-			ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, simplified),
+			ScanPlan:       fullScan(simplified),
 			EstSelectivity: 0,
 			ScanCost:       scanCost,
 			IndexCost:      0,
-		}
+		})
+	}
+	if total > 0 && len(parts) == 0 {
+		// Every partition's boundary interval contradicts the predicate:
+		// no partition can hold a qualifying row, so the data need not
+		// be referenced at all, exactly as for a FALSE predicate.
+		return res(Result{
+			Plan:           &plan.ConstScan{Table: t.Name},
+			Path:           plan.AccessConstant,
+			ScanPlan:       fullScan(simplified),
+			EstSelectivity: sel,
+			ScanCost:       scanCost,
+			IndexCost:      0,
+		})
 	}
 	if _, isTrue := simplified.(expr.TrueExpr); isTrue {
-		return Result{
-			Plan:           &plan.SeqScan{Table: t.Name},
+		return res(Result{
+			Plan:           seqScan(),
 			Path:           plan.AccessSeqScan,
 			ScanPlan:       &plan.SeqScan{Table: t.Name},
 			EstSelectivity: 1,
 			ScanCost:       scanCost,
 			IndexCost:      inf,
-		}
+		})
 	}
 
 	d, ok := expr.ToDNF(simplified, cfg.MaxDisjuncts)
 	if !ok || len(d.Disjuncts) == 0 {
-		return Result{
-			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, simplified),
+		return res(Result{
+			Plan:           withFilter(seqScan(), simplified),
 			Path:           plan.AccessSeqScan,
-			ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, simplified),
+			ScanPlan:       fullScan(simplified),
 			EstSelectivity: sel,
 			ScanCost:       scanCost,
 			IndexCost:      inf,
-		}
+		})
 	}
 
 	// Find the best seek set per disjunct; all disjuncts must be
@@ -155,31 +204,33 @@ func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 		indexRows += cand.estRows
 	}
 	if !covered || len(seeks) == 0 {
-		return Result{
-			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, simplified),
+		return res(Result{
+			Plan:           withFilter(seqScan(), simplified),
 			Path:           plan.AccessSeqScan,
-			ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, simplified),
+			ScanPlan:       fullScan(simplified),
 			EstSelectivity: sel,
 			ScanCost:       scanCost,
 			IndexCost:      inf,
-		}
+		})
 	}
 	if indexRows > rowCount {
 		indexRows = rowCount
 	}
 	// Each fetched row is a potential random page read; seeks add a
-	// small per-probe cost (tree descent).
+	// small per-probe cost (tree descent). Indexes are global (RIDs
+	// carry their partition), so pruning does not discount index cost —
+	// it only makes the competing scan cheaper.
 	indexCost := indexRows*cfg.RandomPageCost + float64(len(seeks))*seekProbeCost + indexRows*cfg.RowCPUCost
 
 	if indexCost >= scanCost {
-		return Result{
-			Plan:           withFilter(&plan.SeqScan{Table: t.Name}, simplified),
+		return res(Result{
+			Plan:           withFilter(seqScan(), simplified),
 			Path:           plan.AccessSeqScan,
-			ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, simplified),
+			ScanPlan:       fullScan(simplified),
 			EstSelectivity: sel,
 			ScanCost:       scanCost,
 			IndexCost:      indexCost,
-		}
+		})
 	}
 	var access plan.Node
 	var path plan.AccessPath
@@ -188,16 +239,16 @@ func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 	} else {
 		access, path = &plan.IndexUnion{Table: t.Name, Seeks: seeks}, plan.AccessIndexUnion
 	}
-	return Result{
+	return res(Result{
 		// Index access can overscan (inclusive range bounds, partial
 		// sargability), so the full predicate is re-applied.
 		Plan:           withFilter(access, simplified),
 		Path:           path,
-		ScanPlan:       withFilter(&plan.SeqScan{Table: t.Name}, simplified),
+		ScanPlan:       fullScan(simplified),
 		EstSelectivity: sel,
 		ScanCost:       scanCost,
 		IndexCost:      indexCost,
-	}
+	})
 }
 
 var inf = 1e308

@@ -1,0 +1,149 @@
+// Partition pruning: a range partition whose boundary interval cannot
+// intersect the rewritten predicate (upper envelope ∧ data predicate)
+// holds no qualifying rows and need not be read at all. This extends the
+// paper's envelope exploitation from access-path choice to I/O
+// elimination — `predict(x) = c` implies `U_c(x)`, so a partition
+// disjoint from U_c's region is skippable without consulting the model.
+//
+// The walk is conservative: every construct it cannot reason about
+// keeps all partitions, so pruning never changes query results, only
+// how many pages are touched. OR-of-regions envelopes (clustering,
+// k-anonymous regions) prune via the per-disjunct union — no DNF
+// normalization is required.
+package opt
+
+import (
+	"minequery/internal/catalog"
+	"minequery/internal/expr"
+	"minequery/internal/stats"
+	"minequery/internal/value"
+)
+
+// PrunePartitions returns the partitions of t that may hold rows
+// satisfying pred, in ascending order, plus the table's partition
+// count. For unpartitioned tables it returns (nil, 0).
+func PrunePartitions(t *catalog.Table, pred expr.Expr) (parts []int, total int) {
+	if t.Part == nil {
+		return nil, 0
+	}
+	keep := pruneWalk(t.Part, pred)
+	out := make([]int, 0, len(keep))
+	for p, ok := range keep {
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out, t.Part.NumPartitions()
+}
+
+// pruneWalk returns, per partition, whether it may hold a satisfying
+// row. And intersects, Or unions; leaves constrain only when they test
+// the partition column.
+func pruneWalk(spec *catalog.PartitionSpec, e expr.Expr) []bool {
+	n := spec.NumPartitions()
+	switch x := e.(type) {
+	case expr.FalseExpr:
+		return make([]bool, n)
+	case expr.And:
+		keep := allParts(n)
+		for _, k := range x.Kids {
+			kk := pruneWalk(spec, k)
+			for i := range keep {
+				keep[i] = keep[i] && kk[i]
+			}
+		}
+		return keep
+	case expr.Or:
+		keep := make([]bool, n)
+		for _, k := range x.Kids {
+			kk := pruneWalk(spec, k)
+			for i := range keep {
+				keep[i] = keep[i] || kk[i]
+			}
+		}
+		return keep
+	case expr.Cmp:
+		if x.Val.IsNull() {
+			// Any comparison against a NULL literal is false for every
+			// row (see expr.Cmp.Eval), so nothing qualifies anywhere.
+			return make([]bool, n)
+		}
+		if norm(x.Col) != norm(spec.Column) {
+			return allParts(n)
+		}
+		switch x.Op {
+		case expr.OpEq:
+			keep := make([]bool, n)
+			keep[spec.PartitionFor(x.Val)] = true
+			return keep
+		case expr.OpLt:
+			return overlapParts(spec, nil, false, &x.Val, false)
+		case expr.OpLe:
+			return overlapParts(spec, nil, false, &x.Val, true)
+		case expr.OpGt:
+			return overlapParts(spec, &x.Val, false, nil, false)
+		case expr.OpGe:
+			return overlapParts(spec, &x.Val, true, nil, false)
+		}
+		// OpNe constrains almost nothing at partition granularity.
+		return allParts(n)
+	case expr.In:
+		if norm(x.Col) != norm(spec.Column) {
+			return allParts(n)
+		}
+		keep := make([]bool, n)
+		// Dedupe first (mirrors TableStats.Selectivity's IN handling);
+		// NULL literals never match any row.
+		for _, v := range stats.DedupeValues(x.Vals) {
+			if v.IsNull() {
+				continue
+			}
+			keep[spec.PartitionFor(v)] = true
+		}
+		return keep
+	}
+	// TrueExpr, Not (NULL semantics make negation non-invertible at
+	// interval granularity), ColCmp, and anything unknown: keep all.
+	return allParts(n)
+}
+
+func allParts(n int) []bool {
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = true
+	}
+	return keep
+}
+
+// overlapParts marks the partitions whose boundary interval [plo, phi)
+// intersects the predicate interval (ilo, ihi) with the given bound
+// inclusivities (nil bound = unbounded).
+func overlapParts(spec *catalog.PartitionSpec, ilo *value.Value, iloInc bool, ihi *value.Value, ihiInc bool) []bool {
+	n := spec.NumPartitions()
+	keep := make([]bool, n)
+	for p := 0; p < n; p++ {
+		plo, phi := spec.Interval(p)
+		keep[p] = intervalOverlaps(ilo, iloInc, ihi, ihiInc, plo, phi)
+	}
+	return keep
+}
+
+// intervalOverlaps reports whether the predicate interval and a
+// partition interval [plo, phi) — lower inclusive, upper exclusive —
+// can share a point. value.Compare handles cross-kind numerics, so
+// float envelope cut points test correctly against integer bounds.
+func intervalOverlaps(ilo *value.Value, iloInc bool, ihi *value.Value, ihiInc bool, plo, phi *value.Value) bool {
+	if ihi != nil && plo != nil {
+		c := value.Compare(*ihi, *plo)
+		if c < 0 || (c == 0 && !ihiInc) {
+			return false
+		}
+	}
+	if ilo != nil && phi != nil {
+		// phi is exclusive: a predicate starting at or beyond it misses.
+		if value.Compare(*ilo, *phi) >= 0 {
+			return false
+		}
+	}
+	return true
+}

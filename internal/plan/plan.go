@@ -20,9 +20,17 @@ type Node interface {
 	Describe() string
 }
 
-// SeqScan reads every row of a table.
+// SeqScan reads every row of a table — or, for a partitioned table with
+// a pruned partition list, every row of the surviving partitions.
 type SeqScan struct {
 	Table string
+	// Partitions lists the surviving partitions to scan, in ascending
+	// order. Nil means all (the only form for unpartitioned tables).
+	Partitions []int
+	// PartsTotal is the table's partition count at plan time; 0 for
+	// unpartitioned tables. It exists so EXPLAIN can report how many
+	// partitions the optimizer pruned.
+	PartsTotal int
 }
 
 // Bound is one end of an index key range.
@@ -99,7 +107,13 @@ func (p *Predict) Children() []Node  { return []Node{p.Child} }
 func (l *Limit) Children() []Node    { return []Node{l.Child} }
 
 // Describe implements Node.
-func (s *SeqScan) Describe() string { return "SeqScan(" + s.Table + ")" }
+func (s *SeqScan) Describe() string {
+	if s.PartsTotal > 0 && s.Partitions != nil {
+		return fmt.Sprintf("SeqScan(%s partitions: %d/%d pruned)",
+			s.Table, s.PartsTotal-len(s.Partitions), s.PartsTotal)
+	}
+	return "SeqScan(" + s.Table + ")"
+}
 
 // Describe implements Node.
 func (s *IndexSeek) Describe() string {

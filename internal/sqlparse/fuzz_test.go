@@ -28,6 +28,15 @@ var seedQueries = []string{
 	"SELECT * FROM t WHERE cat IN ('a','b') OR num >= 95 LIMIT 7",
 	"SELECT * FROM t PREDICTION JOIN dt AS m ON m.num = t.num WHERE m.cls = 'hot' AND t.num >= 90",
 	"SELECT id FROM t PREDICTION JOIN nb AS p ON p.cat = t.cat WHERE p.grp <> 'b' AND (t.num >= 80 OR t.num <= 5)",
+	// Partition-pruning shapes: boundary-aligned ranges, OR-of-regions,
+	// and IN lists on a partition column — the predicates the pruner
+	// intersects with partition bound intervals. (The dialect has no
+	// DDL; CREATE-style text lands on the error path deliberately.)
+	"SELECT * FROM pt WHERE num >= 25 AND num < 50",
+	"SELECT * FROM pt WHERE (num >= 0 AND num < 10) OR (num >= 80 AND num < 90)",
+	"SELECT * FROM pt WHERE num IN (5, 5, 90) OR num = NULL",
+	"SELECT * FROM pt PREDICTION JOIN km AS c ON c.num = pt.num WHERE c.cluster = 2 AND pt.num < 24.5",
+	"CREATE TABLE pt (num INT) PARTITION BY RANGE (num) VALUES (25, 50, 75)",
 	"",
 	"SELECT",
 	"SELECT * FROM",

@@ -266,7 +266,15 @@ func interp(l, h value.Value, bk Bucket) float64 {
 	}
 	span := bk.Hi.AsFloat() - bk.Lo.AsFloat()
 	if span <= 0 {
-		return 1
+		// Singleton bucket: it contributes fully iff its single value
+		// lies within [l, h]. Returning 1 unconditionally here would
+		// count the whole bucket even for a disjoint (or inverted, e.g.
+		// x > 10 AND x < 5) range.
+		v := bk.Lo.AsFloat()
+		if l.AsFloat() <= v && v <= h.AsFloat() {
+			return 1
+		}
+		return 0
 	}
 	f := (h.AsFloat() - l.AsFloat()) / span
 	if f < 0 {
@@ -316,7 +324,7 @@ func (ts *TableStats) Selectivity(e expr.Expr) float64 {
 			return defaultSel
 		}
 		var s float64
-		for _, v := range x.Vals {
+		for _, v := range DedupeValues(x.Vals) {
 			s += cs.eqFraction(v, ts.RowCount)
 		}
 		return clamp(s)

@@ -314,7 +314,12 @@ func (h *Heap) ScanPagesInto(c *Counters, lo, hi int, fn func(RID, []byte) bool)
 		}
 		p := h.pageAt(pi)
 		if p == nil {
-			return nil
+			// Pages are never deallocated, so a nil page mid-range is a
+			// clamp artifact (the range was computed against a different
+			// directory snapshot), not end-of-heap: skip it and keep
+			// visiting the rest of the morsel rather than silently
+			// truncating [pi+1, hi).
+			continue
 		}
 		h.stats.seqPageReads.Add(1)
 		if c != nil {

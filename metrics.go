@@ -26,6 +26,8 @@ type engineMetrics struct {
 	rowsReturned  *metrics.Counter
 	fallbacks     *metrics.Counter
 	retriesTotal  *metrics.Counter
+	partsPruned   *metrics.Counter
+	partsScanned  *metrics.Counter
 }
 
 // queryStages are the pipeline stages timed per query.
@@ -40,6 +42,8 @@ var queryStages = []string{"parse", "rewrite", "optimize", "execute"}
 //	minequery_rows_returned_total        tuples returned to callers
 //	minequery_fallbacks_total            index-path queries degraded to seqscan
 //	minequery_retries_total              transient failures absorbed by retry
+//	minequery_partitions_pruned_total    partitions proven disjoint and skipped
+//	minequery_partitions_scanned_total   partitions surviving pruning
 //
 // Call it once per registry; series names panic on double registration.
 func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
@@ -56,6 +60,10 @@ func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
 			"Queries whose index path failed transiently and re-ran on the baseline sequential scan."),
 		retriesTotal: r.Counter("minequery_retries_total",
 			"Transient storage/seek failures absorbed by the retry layer."),
+		partsPruned: r.Counter("minequery_partitions_pruned_total",
+			"Partitions the optimizer proved disjoint from the predicate and skipped."),
+		partsScanned: r.Counter("minequery_partitions_scanned_total",
+			"Partitions that survived pruning on queries over partitioned tables."),
 	}
 	// Pre-create the label children so every series is visible from the
 	// first scrape (a frozen series list is lintable even on an idle
@@ -102,4 +110,14 @@ func (em *engineMetrics) retries(n int64) {
 		return
 	}
 	em.retriesTotal.Add(n)
+}
+
+// partitions records one query's partition-pruning outcome (nil-safe;
+// no-op for unpartitioned tables, where total is 0).
+func (em *engineMetrics) partitions(total, pruned int) {
+	if em == nil || total == 0 {
+		return
+	}
+	em.partsPruned.Add(int64(pruned))
+	em.partsScanned.Add(int64(total - pruned))
 }

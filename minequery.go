@@ -233,6 +233,19 @@ func (e *Engine) CreateTable(name string, schema *Schema) error {
 	return err
 }
 
+// CreatePartitionedTable registers an empty range-partitioned table.
+// bounds are the ascending split points on partCol: n bounds make n+1
+// partitions, partition i covering [bounds[i-1], bounds[i]) — lower
+// bound inclusive, upper exclusive; NULLs route to partition 0. Inserts
+// are routed automatically and queries run unchanged; the optimizer
+// skips partitions whose bound interval cannot intersect the rewritten
+// predicate (envelope ∧ data predicate), reported on Result as
+// PartitionsTotal/PartitionsPruned and in EXPLAIN output.
+func (e *Engine) CreatePartitionedTable(name string, schema *Schema, partCol string, bounds []Value) error {
+	_, err := e.cat.CreatePartitionedTable(name, schema, partCol, bounds)
+	return err
+}
+
 // Insert appends one row.
 func (e *Engine) Insert(table string, row Tuple) error {
 	t, ok := e.cat.Table(table)
@@ -516,6 +529,12 @@ type Result struct {
 	// retry layer during this execution (zero when instrumentation is
 	// off).
 	Retries int64
+	// PartitionsTotal is the queried table's partition count (0 for
+	// unpartitioned tables); PartitionsPruned is how many of them the
+	// optimizer proved disjoint from the rewritten predicate and
+	// skipped.
+	PartitionsTotal  int
+	PartitionsPruned int
 }
 
 // Query parses, rewrites (adding upper envelopes), optimizes, and runs
@@ -715,25 +734,30 @@ func (e *Engine) runPlanOnce(ctx context.Context, t *catalog.Table, root plan.No
 		cols[i] = schema.Col(i).Name
 	}
 	r := &Result{
-		Columns:        cols,
-		Rows:           rows,
-		Plan:           plan.Explain(root),
-		AccessPath:     plan.PathOf(root).String(),
-		PlanChanged:    plan.Changed(root),
-		EstSelectivity: res.EstSelectivity,
-		RewriteNotes:   rw.Notes,
-		Stats:          st,
-		Retries:        retries,
+		Columns:          cols,
+		Rows:             rows,
+		Plan:             plan.Explain(root),
+		AccessPath:       plan.PathOf(root).String(),
+		PlanChanged:      plan.Changed(root),
+		EstSelectivity:   res.EstSelectivity,
+		RewriteNotes:     rw.Notes,
+		Stats:            st,
+		Retries:          retries,
+		PartitionsTotal:  res.PartsTotal,
+		PartitionsPruned: res.PartsPruned,
 	}
 	if col != nil {
 		r.Analyze = buildAnalyzeReport(root, col, t, res.EstSelectivity, execOpts.DOP, st, analyzeBase != nil)
 		if r.Analyze != nil {
 			r.Analyze.Retries = retries
+			r.Analyze.PartitionsTotal = res.PartsTotal
+			r.Analyze.PartitionsPruned = res.PartsPruned
 		}
 	}
 	em := e.metrics.Load()
 	em.stage("execute", elapsed)
 	em.query(r.AccessPath, st.TupleReads, int64(len(rows)))
+	em.partitions(res.PartsTotal, res.PartsPruned)
 	return r, nil
 }
 
@@ -777,6 +801,10 @@ func (e *Engine) buildPlan(q *sqlparse.Query, t *catalog.Table, rw *core.Rewrite
 			seq = &plan.Filter{Child: seq, Pred: rw.DataPred}
 		}
 		access = seq
+		// The forced scan reads every partition, so the Result (and the
+		// pruning metrics) must not claim the optimizer's skips.
+		res.PartsPruned = 0
+		res.Partitions = nil
 	}
 	root = e.finishPlan(q, rw, access)
 	if !forceSeq && res.ScanPlan != nil &&
