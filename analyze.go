@@ -80,6 +80,31 @@ type AnalyzeReport struct {
 	// the optimizer proved disjoint from the predicate.
 	PartitionsTotal  int
 	PartitionsPruned int
+	// StorageFormat is "columnar" when the scan leaf ran on the
+	// column-group sidecar ("" for row-path executions — the row format
+	// is not reported so row-path output is unchanged). ColumnGroups is
+	// the number of column groups the scan processed.
+	StorageFormat string
+	ColumnGroups  int64
+	// TermCombiner ("AND"/"OR"), TermOrder, and Terms report the
+	// adaptive predicate-term ordering of a fused columnar scan-filter:
+	// the frozen evaluation order (original term indices) and each
+	// term's measured evaluation/rejection counters. All deterministic
+	// at any DOP (the warmup runs serially, then the order freezes).
+	TermCombiner string
+	TermOrder    []int
+	Terms        []TermActuals
+}
+
+// TermActuals is one predicate term's measured counters in a columnar
+// scan-filter: how many candidate rows reached it and how many it
+// rejected. Terms later in the frozen order see fewer candidates
+// (short-circuiting), which is exactly the effect the ordering buys.
+type TermActuals struct {
+	Index     int
+	Term      string
+	Evaluated int64
+	Rejected  int64
 }
 
 // buildAnalyzeReport assembles the report from the executed plan and
@@ -125,6 +150,20 @@ func buildAnalyzeReport(root plan.Node, col *exec.Collector, t *catalog.Table, s
 			oa.SeqPageReads = io.SeqPageReads
 			oa.RandPageReads = io.RandPageReads
 			oa.TupleReads = io.TupleReads
+			if info := col.VecInfo(n); info != nil {
+				rep.StorageFormat = "columnar"
+				rep.ColumnGroups = info.Groups
+				rep.TermCombiner = info.Combiner
+				rep.TermOrder = append([]int(nil), info.Order...)
+				for _, tm := range info.Terms {
+					rep.Terms = append(rep.Terms, TermActuals{
+						Index:     tm.Index,
+						Term:      tm.Term,
+						Evaluated: tm.Evaluated,
+						Rejected:  tm.Evaluated - tm.Passed,
+					})
+				}
+			}
 		case *plan.Filter:
 			oa.IsFilter = true
 			oa.Rejected = col.Op(x.Child).Rows.Load() - oa.Rows
@@ -196,6 +235,18 @@ func (r *AnalyzeReport) Render(elideTimings bool) string {
 				op.SeqPageReads, op.RandPageReads, op.TupleReads)
 		}
 		b.WriteString(")\n")
+	}
+	if r.StorageFormat != "" {
+		// Printed only for columnar executions, so row-path output (and
+		// its golden files) is unchanged.
+		fmt.Fprintf(&b, "storage: %s groups=%d\n", r.StorageFormat, r.ColumnGroups)
+		if r.TermCombiner != "" {
+			fmt.Fprintf(&b, "term order (%s): %v\n", r.TermCombiner, r.TermOrder)
+			for _, t := range r.Terms {
+				fmt.Fprintf(&b, "  term %d: %s evaluated=%d rejected=%d\n",
+					t.Index, t.Term, t.Evaluated, t.Rejected)
+			}
+		}
 	}
 	if r.DOP > 1 && len(r.Workers) > 0 {
 		fmt.Fprintf(&b, "workers: %d\n", len(r.Workers))

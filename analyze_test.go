@@ -87,6 +87,69 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 	}
 }
 
+// TestExplainAnalyzeColumnarGolden locks the rendered EXPLAIN ANALYZE
+// output for columnar executions: the storage-format line, the frozen
+// term order of the fused scan-filter, and every term's evaluated and
+// rejected counters. The counters are deterministic at any DOP because
+// the adaptive-ordering warmup runs serially and the frozen evaluation
+// is schedule-independent; timings are elided as usual. Regenerate
+// with: go test -run Golden -update .
+func TestExplainAnalyzeColumnarGolden(t *testing.T) {
+	e := analyzeFixture(t)
+	if err := e.EnableColumnar("customers"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		// Envelope-carrying mining query whose class region is wide
+		// enough that the optimizer scans: the envelope filter fuses into
+		// the columnar scan.
+		{"col_seqscan", strings.Replace(nbQuery, "'vip'", "'budget'", 1)},
+		// Wide data disjunction: exercises the adaptive OR ordering with
+		// four terms of very different selectivity.
+		{"col_disjuncts", `SELECT id FROM customers WHERE age >= 8 OR income <= 1 OR visits >= 90 OR age = 5`},
+		// Conjunction: adaptive AND ordering, most-rejecting term first.
+		{"col_conjuncts", `SELECT id FROM customers WHERE age >= 2 AND income <= 6 AND visits >= 10`},
+	}
+	for _, tc := range cases {
+		for _, dop := range []int{1, 4} {
+			name := fmt.Sprintf("%s_dop%d", tc.name, dop)
+			t.Run(name, func(t *testing.T) {
+				res, err := e.Query(context.Background(), tc.sql, WithAnalyze(), WithDOP(dop))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.StorageFormat != "columnar" {
+					t.Fatalf("storage format = %q, want columnar\n%s", res.StorageFormat, res.Plan)
+				}
+				if res.Analyze == nil {
+					t.Fatal("no analyze report")
+				}
+				got := res.Analyze.Render(true)
+				path := filepath.Join("testdata", "analyze", name+".golden")
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (regenerate with -update)", err)
+				}
+				if got != string(want) {
+					t.Errorf("report drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+				}
+			})
+		}
+	}
+}
+
 // TestExplainAnalyzeGoldenStable runs each golden case twice and
 // demands identical output — the determinism property the goldens rely
 // on, checked directly so a flaky report fails here with a clear

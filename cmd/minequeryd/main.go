@@ -126,5 +126,10 @@ func seedDemo(eng *minequery.Engine, n int) error {
 	if err := eng.CreateIndex("ix_income", "customers", "income"); err != nil {
 		return err
 	}
+	// Opt the demo table into the column-group sidecar so sequential
+	// scans exercise the vectorized path (and its metrics) out of the box.
+	if err := eng.EnableColumnar("customers"); err != nil {
+		return err
+	}
 	return eng.Analyze("customers")
 }

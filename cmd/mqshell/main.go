@@ -122,5 +122,10 @@ func demoEngine() (*minequery.Engine, error) {
 	if err := eng.CreateIndex("ix_income", "customers", "income"); err != nil {
 		return nil, err
 	}
+	// Match the daemon's demo: columnar sidecar on, so .explain shows
+	// the vectorized scan path.
+	if err := eng.EnableColumnar("customers"); err != nil {
+		return nil, err
+	}
 	return eng, eng.Analyze("customers")
 }

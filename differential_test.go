@@ -298,6 +298,73 @@ func TestDifferentialRandomQueries(t *testing.T) {
 	t.Logf("%d iterations: %d index-path executions, %d fallbacks, all row sets matched the oracle", iterations, indexPaths, fallbacks)
 }
 
+// TestDifferentialColumnarSweep replays the differential run on a
+// columnar-enabled table: the oracle stays the forced row-heap scan at
+// DOP 1 (forced plans never carry the columnar flag), while the
+// optimized executions — now eligible for the vectorized column-group
+// path with adaptive term ordering — must still match it exactly at
+// DOP 1 and DOP 4. Every 5th iteration runs under the seek-killing
+// injector with retries off, so columnar executions are also crossed
+// with the fault/fallback machinery.
+func TestDifferentialColumnarSweep(t *testing.T) {
+	const seed = 20260807
+	iterations := 300
+	if testing.Short() {
+		iterations = 80
+	}
+	eng, models := buildDiffEngine(t, seed, 900)
+	if err := eng.EnableColumnar("t"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(seed))
+
+	seekKiller := NewFaultInjector(seed, FaultRule{Site: FaultSiteIndexSeek, EveryN: 1, Err: ErrInjected})
+	noRetry := RetryPolicy{MaxAttempts: 1}
+
+	columnarRuns := 0
+	for i := 0; i < iterations; i++ {
+		sql := genQuery(r, models)
+		faulty := i%5 == 4
+
+		base, err := eng.Query(ctx, sql, WithForcedPath("seqscan"), WithDOP(1))
+		if err != nil {
+			t.Fatalf("iter %d: oracle failed for %q: %v", i, sql, err)
+		}
+		if base.StorageFormat == "columnar" {
+			t.Fatalf("iter %d: forced-scan oracle ran columnar; it must stay on the row heap", i)
+		}
+		want := sortedKeys(base.Rows)
+
+		if faulty {
+			eng.SetFaults(seekKiller)
+			eng.SetRetryPolicy(noRetry)
+		}
+		for _, dop := range []int{1, 4} {
+			res, err := eng.Query(ctx, sql, WithDOP(dop))
+			if err != nil {
+				t.Fatalf("iter %d (faulty=%v, dop=%d): optimized failed for %q: %v", i, faulty, dop, sql, err)
+			}
+			if got := sortedKeys(res.Rows); !sameRowSets(got, want) {
+				t.Fatalf("iter %d (faulty=%v, dop=%d, path=%s, storage=%s): %q returned %d rows, oracle %d\nseed=%d",
+					i, faulty, dop, res.AccessPath, res.StorageFormat, sql, len(res.Rows), len(base.Rows), seed)
+			}
+			if res.StorageFormat == "columnar" {
+				columnarRuns++
+			}
+		}
+		if faulty {
+			eng.SetFaults(nil)
+			eng.SetRetryPolicy(DefaultRetryPolicy())
+		}
+	}
+	// The sweep is vacuous unless the columnar path actually executed.
+	if columnarRuns == 0 {
+		t.Fatal("no optimized execution ran on the columnar path; sweep is vacuous")
+	}
+	t.Logf("%d iterations: %d columnar executions, all row sets matched the row-path oracle", iterations, columnarRuns)
+}
+
 // TestDifferentialPreparedMatchesAdHoc reuses the generator to check
 // that the prepared-statement path returns the same rows as one-shot
 // queries, including under injected seek faults (prepared plans carry

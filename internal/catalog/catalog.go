@@ -53,10 +53,21 @@ type Table struct {
 	// Part.NumPartitions() partitions. Immutable after creation.
 	Part *PartitionSpec
 
+	// writeVer counts row inserts; the columnar sidecar pins it at
+	// build time and is bypassed once they diverge (see ColumnStore).
+	writeVer atomic.Int64
+
 	mu        sync.RWMutex
 	indexes   []*Index
 	stats     *stats.TableStats
 	partStats []*stats.TableStats
+
+	// Columnar sidecar state (see colstore.go): colEnabled is the
+	// opt-in flag, colStore the derived column groups, colVer the
+	// writeVer the store was built at.
+	colEnabled bool
+	colStore   *storage.ColumnStore
+	colVer     int64
 }
 
 // Indexes returns a snapshot of the table's secondary indexes.
@@ -111,6 +122,11 @@ func (t *Table) Analyze() (*stats.TableStats, error) {
 		t.stats = merged
 		t.partStats = per
 		t.mu.Unlock()
+		if t.ColumnarEnabled() {
+			if err := t.rebuildColumnStore(); err != nil {
+				return nil, err
+			}
+		}
 		return merged, nil
 	}
 	ts, err := buildOver(t.Heap)
@@ -120,6 +136,11 @@ func (t *Table) Analyze() (*stats.TableStats, error) {
 	t.mu.Lock()
 	t.stats = ts
 	t.mu.Unlock()
+	if t.ColumnarEnabled() {
+		if err := t.rebuildColumnStore(); err != nil {
+			return nil, err
+		}
+	}
 	return ts, nil
 }
 
@@ -246,7 +267,8 @@ func (me *ModelEntry) Classes() []value.Value { return me.Model.Classes() }
 // the catalog epoch after the change.
 type InvalidationEvent struct {
 	// Reason is one of "model-registered", "model-dropped",
-	// "index-created", "index-dropped", "stats-refreshed".
+	// "index-created", "index-dropped", "stats-refreshed",
+	// "columnar-enabled".
 	Reason string
 	// Table names the affected table ("" for model events).
 	Table string

@@ -121,6 +121,8 @@ func (t *Table) partHeap() *storage.PartitionedHeap {
 // insertRecord appends an (already type-checked) row's encoding to the
 // table's store, routing by partition bound for partitioned tables.
 func (t *Table) insertRecord(row value.Tuple) (storage.RID, error) {
+	// Any insert stales the columnar sidecar until the next rebuild.
+	t.writeVer.Add(1)
 	rec := value.EncodeTuple(nil, row)
 	if ph := t.partHeap(); ph != nil {
 		return ph.InsertPart(t.Part.PartitionFor(row[t.Part.Ordinal]), rec)

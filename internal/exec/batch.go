@@ -144,11 +144,29 @@ func buildBareBatchNode(ctx context.Context, c *catalog.Catalog, n plan.Node, op
 		if !ok {
 			return nil, fmt.Errorf("exec: no table %q", x.Table)
 		}
+		if x.Columnar {
+			if vs := newVecScan(ctx, t, x, nil, nil, opts); vs != nil {
+				return vs, nil
+			}
+			// Sidecar stale or missing: the flag is only a hint, run the
+			// row path with identical results.
+		}
 		if opts.DOP > 1 {
 			return newParallelScan(ctx, t, x, opts), nil
 		}
 		return newBatchSeqScan(ctx, t, x, opts), nil
 	case *plan.Filter:
+		if scan, isScan := x.Child.(*plan.SeqScan); isScan && scan.Columnar {
+			if t, ok := c.Table(scan.Table); ok {
+				// Fuse filter and scan into one vectorized operator so the
+				// predicate runs over selection vectors, not tuples. Falls
+				// through to the row operators when the sidecar is stale or
+				// the predicate shape is unsupported.
+				if vs := newVecScan(ctx, t, scan, n, x.Pred, opts); vs != nil {
+					return vs, nil
+				}
+			}
+		}
 		child, err := buildBatchNode(ctx, c, x.Child, opts)
 		if err != nil {
 			return nil, err

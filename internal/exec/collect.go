@@ -65,6 +65,32 @@ type Collector struct {
 	ops     map[plan.Node]*OpStats
 	workers []*WorkerStats
 	envBase map[plan.Node]expr.Expr
+	vecInfo map[plan.Node]*VecScanInfo
+}
+
+// VecTermActual is one top-level predicate term's measured counters from
+// a columnar scan: candidate rows it was evaluated on and rows that
+// passed (Evaluated - Passed were rejected by this term).
+type VecTermActual struct {
+	Index     int
+	Term      string
+	Evaluated int64
+	Passed    int64
+}
+
+// VecScanInfo reports a columnar scan leaf's actuals: how many column
+// groups it processed and, for a fused filter, the adaptive term
+// ordering outcome. Its presence for a scan node is what marks the
+// execution as having actually run columnar (the plan flag alone is only
+// a hint).
+type VecScanInfo struct {
+	Groups int64
+	// Combiner is "AND" or "OR" for a multi-term predicate, "" otherwise.
+	Combiner string
+	// Order is the frozen evaluation order as original term indices.
+	Order []int
+	// Terms lists per-term counters in original index order.
+	Terms []VecTermActual
 }
 
 // NewCollector returns an empty collector.
@@ -102,6 +128,24 @@ func (c *Collector) envBaseline(n plan.Node) expr.Expr {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.envBase[n]
+}
+
+// setVecInfo records a columnar scan leaf's actuals.
+func (c *Collector) setVecInfo(n plan.Node, info *VecScanInfo) {
+	c.mu.Lock()
+	if c.vecInfo == nil {
+		c.vecInfo = map[plan.Node]*VecScanInfo{}
+	}
+	c.vecInfo[n] = info
+	c.mu.Unlock()
+}
+
+// VecInfo returns the columnar actuals for a scan node, or nil when the
+// node executed on the row path.
+func (c *Collector) VecInfo(n plan.Node) *VecScanInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vecInfo[n]
 }
 
 // newWorker registers one morsel-scan worker.

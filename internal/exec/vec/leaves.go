@@ -1,0 +1,515 @@
+package vec
+
+import (
+	"math"
+
+	"minequery/internal/expr"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// leaf supplies the no-op freeze and static cost shared by all leaf
+// operators. Costs are relative per-row weights used only to break
+// near-ties in the adaptive ordering.
+type leaf struct{ c float64 }
+
+func (leaf) freeze()         {}
+func (l leaf) cost() float64 { return l.c }
+
+// opHolds reports whether a three-way comparison result satisfies op —
+// the same switch expr.Cmp.Eval runs on value.Compare's result.
+func opHolds(op expr.CmpOp, cmp int) bool {
+	switch op {
+	case expr.OpEq:
+		return cmp == 0
+	case expr.OpNe:
+		return cmp != 0
+	case expr.OpLt:
+		return cmp < 0
+	case expr.OpLe:
+		return cmp <= 0
+	case expr.OpGt:
+		return cmp > 0
+	case expr.OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// compileCmp lowers `col op literal` to a kind-specialized leaf. Every
+// case of value.Compare's kind matrix is covered statically, so no
+// per-row interface dispatch remains.
+func compileCmp(x expr.Cmp, s *value.Schema) node {
+	ord := s.Ordinal(x.Col)
+	if ord < 0 || x.Val.IsNull() {
+		return falseNode{}
+	}
+	colKind := s.Col(ord).Kind
+	valKind := x.Val.Kind()
+	colNum := colKind == value.KindInt || colKind == value.KindFloat
+	valNum := valKind == value.KindInt || valKind == value.KindFloat
+	switch {
+	case colKind == value.KindNull:
+		// Every stored value is NULL; comparisons are uniformly false.
+		return falseNode{}
+	case colKind == value.KindInt && valKind == value.KindInt:
+		return &intCmpNode{leaf: leaf{1}, ord: ord, op: x.Op, v: x.Val.AsInt()}
+	case colNum && valNum:
+		// Mixed numeric kinds compare as float64, exactly like
+		// value.Compare (including its NaN-compares-equal behaviour,
+		// which the float loops reproduce by deriving the result from
+		// (a<b, a>b) rather than ==).
+		if colKind == value.KindInt {
+			return &intAsFloatCmpNode{leaf: leaf{1}, ord: ord, op: x.Op, v: x.Val.AsFloat()}
+		}
+		return &floatCmpNode{leaf: leaf{1}, ord: ord, op: x.Op, v: x.Val.AsFloat()}
+	case colKind == value.KindString && valKind == value.KindString:
+		return &strCmpNode{leaf: leaf{1.2}, ord: ord, op: x.Op, v: x.Val.AsString()}
+	case colKind == value.KindBool && valKind == value.KindBool:
+		return &boolCmpNode{leaf: leaf{1}, ord: ord, op: x.Op, v: x.Val.AsBool()}
+	default:
+		// Cross-kind, not both numeric: value.Compare orders by kind
+		// tag, so the result is the same for every non-NULL row.
+		cmp := -1
+		if colKind > valKind {
+			cmp = 1
+		}
+		if opHolds(x.Op, cmp) {
+			return &notNullNode{leaf: leaf{0.5}, ord: ord}
+		}
+		return falseNode{}
+	}
+}
+
+// compileIn lowers `col IN (...)` to a set-membership leaf. List
+// elements that can never equal a value of the column's kind are
+// dropped at compile time.
+func compileIn(x expr.In, s *value.Schema) node {
+	ord := s.Ordinal(x.Col)
+	if ord < 0 {
+		return falseNode{}
+	}
+	colKind := s.Col(ord).Kind
+	switch colKind {
+	case value.KindInt, value.KindFloat:
+		// Exact-int matches stay in an int64 set (value.Compare compares
+		// INT/INT exactly); everything else numeric goes through the
+		// float64 set, matching Compare's widening. A NaN list element
+		// compares equal to every number under Compare, making the
+		// predicate "IS NOT NULL".
+		ints := make(map[int64]struct{})
+		floats := make(map[float64]struct{})
+		for _, w := range x.Vals {
+			switch {
+			case w.Kind() == value.KindInt && colKind == value.KindInt:
+				ints[w.AsInt()] = struct{}{}
+			case w.Kind() == value.KindInt || w.Kind() == value.KindFloat:
+				f := w.AsFloat()
+				if math.IsNaN(f) {
+					return &notNullNode{leaf: leaf{0.5}, ord: ord}
+				}
+				floats[f] = struct{}{}
+			}
+		}
+		if len(ints) == 0 && len(floats) == 0 {
+			return falseNode{}
+		}
+		if colKind == value.KindInt {
+			return &intInNode{leaf: leaf{1.3}, ord: ord, ints: ints, floats: floats}
+		}
+		return &floatInNode{leaf: leaf{1.3}, ord: ord, floats: floats}
+	case value.KindString:
+		set := make(map[string]struct{})
+		for _, w := range x.Vals {
+			if w.Kind() == value.KindString {
+				set[w.AsString()] = struct{}{}
+			}
+		}
+		if len(set) == 0 {
+			return falseNode{}
+		}
+		return &strInNode{leaf: leaf{1.3}, ord: ord, set: set}
+	case value.KindBool:
+		var hasTrue, hasFalse bool
+		for _, w := range x.Vals {
+			if w.Kind() == value.KindBool {
+				if w.AsBool() {
+					hasTrue = true
+				} else {
+					hasFalse = true
+				}
+			}
+		}
+		if !hasTrue && !hasFalse {
+			return falseNode{}
+		}
+		return &boolInNode{leaf: leaf{1}, ord: ord, hasTrue: hasTrue, hasFalse: hasFalse}
+	default: // KindNull column: every value NULL, IN is false.
+		return falseNode{}
+	}
+}
+
+// compileColCmp lowers a column-to-column comparison. Kept generic —
+// these appear in transitivity-derived predicates, not hot scan loops.
+func compileColCmp(x expr.ColCmp, s *value.Schema) node {
+	a, b := s.Ordinal(x.ColA), s.Ordinal(x.ColB)
+	if a < 0 || b < 0 {
+		return falseNode{}
+	}
+	return &colCmpNode{leaf: leaf{2}, a: a, b: b, op: x.Op}
+}
+
+// notNullNode passes rows whose column value is non-NULL; the lowering
+// of comparisons whose outcome is constant for any non-NULL value.
+type notNullNode struct {
+	leaf
+	ord int
+}
+
+func (n *notNullNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	out := sc.get(len(sel))
+	nulls := g.Cols[n.ord].Nulls
+	for _, i := range sel {
+		if !nulls[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+type intCmpNode struct {
+	leaf
+	ord int
+	op  expr.CmpOp
+	v   int64
+}
+
+func (n *intCmpNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	out := sc.get(len(sel))
+	col := &g.Cols[n.ord]
+	xs, nulls, v := col.Ints, col.Nulls, n.v
+	switch n.op {
+	case expr.OpEq:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] == v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpNe:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] != v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpLt:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] < v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpLe:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] <= v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpGt:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] > v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpGe:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] >= v {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// floatOpLoop runs one comparison loop over float64 payloads. The
+// operators are expressed through (a<v, a>v) so NaN operands produce
+// cmp==0 exactly as value.Compare does.
+func floatOpLoop(out []int32, sel []int32, nulls []bool, at func(int32) float64, op expr.CmpOp, v float64) []int32 {
+	switch op {
+	case expr.OpEq:
+		for _, i := range sel {
+			if !nulls[i] {
+				a := at(i)
+				if !(a < v) && !(a > v) {
+					out = append(out, i)
+				}
+			}
+		}
+	case expr.OpNe:
+		for _, i := range sel {
+			if !nulls[i] {
+				a := at(i)
+				if a < v || a > v {
+					out = append(out, i)
+				}
+			}
+		}
+	case expr.OpLt:
+		for _, i := range sel {
+			if !nulls[i] && at(i) < v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpLe:
+		for _, i := range sel {
+			if !nulls[i] && !(at(i) > v) {
+				out = append(out, i)
+			}
+		}
+	case expr.OpGt:
+		for _, i := range sel {
+			if !nulls[i] && at(i) > v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpGe:
+		for _, i := range sel {
+			if !nulls[i] && !(at(i) < v) {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+type floatCmpNode struct {
+	leaf
+	ord int
+	op  expr.CmpOp
+	v   float64
+}
+
+func (n *floatCmpNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	col := &g.Cols[n.ord]
+	xs := col.Floats
+	return floatOpLoop(sc.get(len(sel)), sel, col.Nulls, func(i int32) float64 { return xs[i] }, n.op, n.v)
+}
+
+// intAsFloatCmpNode compares an INT column against a FLOAT literal the
+// way value.Compare does: both widened to float64.
+type intAsFloatCmpNode struct {
+	leaf
+	ord int
+	op  expr.CmpOp
+	v   float64
+}
+
+func (n *intAsFloatCmpNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	col := &g.Cols[n.ord]
+	xs := col.Ints
+	return floatOpLoop(sc.get(len(sel)), sel, col.Nulls, func(i int32) float64 { return float64(xs[i]) }, n.op, n.v)
+}
+
+type strCmpNode struct {
+	leaf
+	ord int
+	op  expr.CmpOp
+	v   string
+}
+
+func (n *strCmpNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	out := sc.get(len(sel))
+	col := &g.Cols[n.ord]
+	xs, nulls, v := col.Strs, col.Nulls, n.v
+	switch n.op {
+	case expr.OpEq:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] == v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpNe:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] != v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpLt:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] < v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpLe:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] <= v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpGt:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] > v {
+				out = append(out, i)
+			}
+		}
+	case expr.OpGe:
+		for _, i := range sel {
+			if !nulls[i] && xs[i] >= v {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+type boolCmpNode struct {
+	leaf
+	ord int
+	op  expr.CmpOp
+	v   bool
+}
+
+func (n *boolCmpNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	out := sc.get(len(sel))
+	col := &g.Cols[n.ord]
+	xs, nulls, v := col.Bools, col.Nulls, n.v
+	// value.Compare orders false < true; each operator reduces to a
+	// boolean formula over (x, v).
+	for _, i := range sel {
+		if nulls[i] {
+			continue
+		}
+		x := xs[i]
+		var keep bool
+		switch n.op {
+		case expr.OpEq:
+			keep = x == v
+		case expr.OpNe:
+			keep = x != v
+		case expr.OpLt:
+			keep = !x && v
+		case expr.OpLe:
+			keep = !x || v
+		case expr.OpGt:
+			keep = x && !v
+		case expr.OpGe:
+			keep = x || !v
+		}
+		if keep {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+type intInNode struct {
+	leaf
+	ord    int
+	ints   map[int64]struct{}
+	floats map[float64]struct{}
+}
+
+func (n *intInNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	out := sc.get(len(sel))
+	col := &g.Cols[n.ord]
+	xs, nulls := col.Ints, col.Nulls
+	for _, i := range sel {
+		if nulls[i] {
+			continue
+		}
+		if _, ok := n.ints[xs[i]]; ok {
+			out = append(out, i)
+			continue
+		}
+		if len(n.floats) > 0 {
+			if _, ok := n.floats[float64(xs[i])]; ok {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+type floatInNode struct {
+	leaf
+	ord    int
+	floats map[float64]struct{}
+}
+
+func (n *floatInNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	out := sc.get(len(sel))
+	col := &g.Cols[n.ord]
+	xs, nulls := col.Floats, col.Nulls
+	for _, i := range sel {
+		if nulls[i] {
+			continue
+		}
+		x := xs[i]
+		// A stored NaN compares equal to every number under
+		// value.Compare, so it matches any non-empty list.
+		if _, ok := n.floats[x]; ok || x != x {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+type strInNode struct {
+	leaf
+	ord int
+	set map[string]struct{}
+}
+
+func (n *strInNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	out := sc.get(len(sel))
+	col := &g.Cols[n.ord]
+	xs, nulls := col.Strs, col.Nulls
+	for _, i := range sel {
+		if nulls[i] {
+			continue
+		}
+		if _, ok := n.set[xs[i]]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+type boolInNode struct {
+	leaf
+	ord               int
+	hasTrue, hasFalse bool
+}
+
+func (n *boolInNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	out := sc.get(len(sel))
+	col := &g.Cols[n.ord]
+	xs, nulls := col.Bools, col.Nulls
+	for _, i := range sel {
+		if nulls[i] {
+			continue
+		}
+		if (xs[i] && n.hasTrue) || (!xs[i] && n.hasFalse) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+type colCmpNode struct {
+	leaf
+	a, b int
+	op   expr.CmpOp
+}
+
+func (n *colCmpNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	out := sc.get(len(sel))
+	ca, cb := &g.Cols[n.a], &g.Cols[n.b]
+	for _, i := range sel {
+		if ca.Nulls[i] || cb.Nulls[i] {
+			continue
+		}
+		if opHolds(n.op, value.Compare(ca.Value(int(i)), cb.Value(int(i)))) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

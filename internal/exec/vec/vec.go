@@ -1,0 +1,556 @@
+// Package vec evaluates predicate expressions over column groups with
+// selection vectors: each operator consumes an ascending list of
+// candidate row indices and returns the sublist that satisfies it,
+// using tight typed loops per column kind instead of per-tuple decode
+// and interface dispatch (the MonetDB/X100 execution style).
+//
+// On top of the vectorized evaluators sits BestD-style adaptive term
+// ordering: every AND/OR node measures its children's observed pass
+// rates online during a warmup phase (all terms evaluated, no
+// short-circuiting, counters fed), then Freeze picks an evaluation
+// order — conjuncts by descending rejection-per-cost, disjuncts by
+// descending acceptance-per-cost — and evaluation switches to
+// short-circuiting under the frozen order. The warmup is driven
+// single-threaded by the scan operator before it fans out workers, so
+// the chosen order and all per-term counters are deterministic at any
+// degree of parallelism.
+//
+// Semantics contract: for every expression the compiler accepts,
+// filtering a selection is EXACTLY row-wise expr.Eval — including SQL
+// NULL-comparison behaviour (NULL operands make comparisons false),
+// cross-kind comparisons, and NOT over NULL (which Eval defines as
+// plain negation). The property tests in this package enforce the
+// contract against the row-at-a-time oracle.
+package vec
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"minequery/internal/expr"
+	"minequery/internal/stats"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// node is one compiled predicate operator. filter returns the subset of
+// sel (ascending row indices into g) satisfying the node; the returned
+// slice is always a scratch-owned buffer distinct from sel, and sel is
+// never modified.
+type node interface {
+	filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32
+	freeze()
+	cost() float64
+}
+
+// Scratch is the per-evaluator buffer pool. Each concurrent consumer of
+// a Pred (each scan worker) must use its own Scratch; the Pred itself is
+// shared.
+type Scratch struct {
+	free [][]int32
+	iota []int32
+	last []int32
+}
+
+// NewScratch returns an empty scratch pool.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func (sc *Scratch) get(n int) []int32 {
+	if len(sc.free) > 0 {
+		b := sc.free[len(sc.free)-1]
+		sc.free = sc.free[:len(sc.free)-1]
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]int32, 0, n)
+}
+
+func (sc *Scratch) put(b []int32) {
+	if b == nil {
+		return
+	}
+	sc.free = append(sc.free, b)
+}
+
+// identity returns the full selection [0, n): every row of the group.
+func (sc *Scratch) identity(n int) []int32 {
+	for len(sc.iota) < n {
+		sc.iota = append(sc.iota, int32(len(sc.iota)))
+	}
+	return sc.iota[:n]
+}
+
+// TermStat is one top-level term's measured counters: how many
+// candidate rows it was evaluated on and how many passed. Rejected is
+// Evaluated - Passed. Counters cover both the warmup and frozen phases
+// and are deterministic at any DOP.
+type TermStat struct {
+	Index     int
+	Term      string
+	Evaluated int64
+	Passed    int64
+}
+
+// Report describes a predicate's adaptive-ordering outcome.
+type Report struct {
+	// Combiner is "AND" or "OR" for a top-level conjunction or
+	// disjunction, "" for a single-term predicate.
+	Combiner string
+	// Order is the frozen evaluation order as original term indices.
+	Order []int
+	// Terms lists per-term counters in original index order.
+	Terms []TermStat
+}
+
+// Pred is a compiled, adaptively-ordered predicate over column groups.
+// The lifecycle is: Compile → FilterGroup over the warmup groups
+// (single-threaded) → Freeze → FilterGroup from any number of
+// goroutines, each with its own Scratch.
+type Pred struct {
+	root     node
+	terms    []string // top-level term renderings for Report
+	combiner string
+}
+
+// FilterGroup returns the row indices of g satisfying the predicate, in
+// ascending order. The returned slice is owned by sc and valid only
+// until the next FilterGroup call with the same Scratch.
+func (p *Pred) FilterGroup(g *storage.ColGroup, sc *Scratch) []int32 {
+	sc.put(sc.last)
+	sc.last = nil
+	out := p.root.filter(g, sc.identity(g.N), sc)
+	sc.last = out
+	return out
+}
+
+// Freeze ends the warmup phase: every AND/OR node ranks its terms from
+// the measured counters (falling back to the histogram-seeded estimates
+// for terms warmup never reached) and switches to short-circuiting
+// evaluation under the frozen order. Must be called before FilterGroup
+// is used concurrently.
+func (p *Pred) Freeze() { p.root.freeze() }
+
+// Report returns the chosen term order and per-term counters for the
+// top-level combiner.
+func (p *Pred) Report() Report {
+	r := Report{Combiner: p.combiner}
+	switch x := p.root.(type) {
+	case *andNode:
+		r.Order = append([]int(nil), x.order...)
+		for i := range x.kids {
+			r.Terms = append(r.Terms, TermStat{
+				Index: i, Term: p.terms[i],
+				Evaluated: x.stats[i].eval.Load(), Passed: x.stats[i].pass.Load(),
+			})
+		}
+	case *orNode:
+		r.Order = append([]int(nil), x.order...)
+		for i := range x.kids {
+			r.Terms = append(r.Terms, TermStat{
+				Index: i, Term: p.terms[i],
+				Evaluated: x.stats[i].eval.Load(), Passed: x.stats[i].pass.Load(),
+			})
+		}
+	default:
+		// Single-term predicate: no ordering decision to report.
+	}
+	return r
+}
+
+// termStats is one child's online counters plus its static seed.
+type termStats struct {
+	eval atomic.Int64
+	pass atomic.Int64
+	// seedSel is the histogram-estimated selectivity used when warmup
+	// produced no measurements for this term.
+	seedSel float64
+}
+
+// passRate returns the observed pass fraction, or the seed estimate
+// when the term was never evaluated.
+func (ts *termStats) passRate() float64 {
+	e := ts.eval.Load()
+	if e == 0 {
+		return ts.seedSel
+	}
+	return float64(ts.pass.Load()) / float64(e)
+}
+
+// rankOrder sorts term indices by score descending (stable; ties keep
+// original order), the shared ranking for AND and OR nodes.
+func rankOrder(n int, score func(i int) float64) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return score(order[a]) > score(order[b])
+	})
+	return order
+}
+
+// andNode is an adaptively-ordered conjunction: successive refinement
+// of the selection, cheapest-most-rejecting terms first once frozen.
+type andNode struct {
+	kids   []node
+	stats  []termStats
+	order  []int
+	frozen bool
+}
+
+func (n *andNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	if n.frozen {
+		cur := sel
+		owned := false
+		for _, k := range n.order {
+			if len(cur) == 0 {
+				break
+			}
+			n.stats[k].eval.Add(int64(len(cur)))
+			next := n.kids[k].filter(g, cur, sc)
+			n.stats[k].pass.Add(int64(len(next)))
+			if owned {
+				sc.put(cur)
+			}
+			cur, owned = next, true
+		}
+		if !owned {
+			// Zero terms executed (empty input): return an owned copy to
+			// keep the ownership invariant.
+			return append(sc.get(len(cur)), cur...)
+		}
+		return cur
+	}
+	// Warmup: evaluate EVERY term over the full incoming selection so
+	// each term's pass rate is measured on identical input, then
+	// intersect. Output is identical to the frozen mode (intersection
+	// is order-insensitive); only the work done differs.
+	cur := append(sc.get(len(sel)), sel...)
+	for i, kid := range n.kids {
+		n.stats[i].eval.Add(int64(len(sel)))
+		out := kid.filter(g, sel, sc)
+		n.stats[i].pass.Add(int64(len(out)))
+		inter := intersect(sc, cur, out)
+		sc.put(cur)
+		sc.put(out)
+		cur = inter
+	}
+	return cur
+}
+
+func (n *andNode) freeze() {
+	// Highest rejection-per-cost first: score = (1 - passRate) / cost.
+	n.order = rankOrder(len(n.kids), func(i int) float64 {
+		return (1 - n.stats[i].passRate()) / n.kids[i].cost()
+	})
+	for _, k := range n.kids {
+		k.freeze()
+	}
+	n.frozen = true
+}
+
+func (n *andNode) cost() float64 {
+	c := 0.0
+	for _, k := range n.kids {
+		c += k.cost()
+	}
+	return c
+}
+
+// orNode is an adaptively-ordered disjunction: once frozen, terms run
+// highest acceptance-per-cost first, each over only the rows no earlier
+// term accepted (per-batch short-circuiting).
+type orNode struct {
+	kids   []node
+	stats  []termStats
+	order  []int
+	frozen bool
+}
+
+func (n *orNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	outs := make([][]int32, 0, len(n.kids))
+	if n.frozen {
+		rem := sel
+		remOwned := false
+		for _, k := range n.order {
+			if len(rem) == 0 {
+				break
+			}
+			n.stats[k].eval.Add(int64(len(rem)))
+			out := n.kids[k].filter(g, rem, sc)
+			n.stats[k].pass.Add(int64(len(out)))
+			outs = append(outs, out)
+			next := diff(sc, rem, out)
+			if remOwned {
+				sc.put(rem)
+			}
+			rem, remOwned = next, true
+		}
+		if remOwned {
+			sc.put(rem)
+		}
+	} else {
+		// Warmup: every term over the full selection (measured on
+		// identical input); the union dedups overlaps.
+		for i, kid := range n.kids {
+			n.stats[i].eval.Add(int64(len(sel)))
+			out := kid.filter(g, sel, sc)
+			n.stats[i].pass.Add(int64(len(out)))
+			outs = append(outs, out)
+		}
+	}
+	res := mergeUnion(sc, outs, len(sel))
+	for _, o := range outs {
+		sc.put(o)
+	}
+	return res
+}
+
+func (n *orNode) freeze() {
+	// Highest acceptance-per-cost first: score = passRate / cost.
+	n.order = rankOrder(len(n.kids), func(i int) float64 {
+		return n.stats[i].passRate() / n.kids[i].cost()
+	})
+	for _, k := range n.kids {
+		k.freeze()
+	}
+	n.frozen = true
+}
+
+func (n *orNode) cost() float64 {
+	c := 0.0
+	for _, k := range n.kids {
+		c += k.cost()
+	}
+	return c
+}
+
+// notNode inverts its child by ordered set difference, which matches
+// expr.Not's plain-negation semantics exactly (a NULL comparison is
+// false, so its negation is true).
+type notNode struct{ kid node }
+
+func (n *notNode) filter(g *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	out := n.kid.filter(g, sel, sc)
+	res := diff(sc, sel, out)
+	sc.put(out)
+	return res
+}
+
+func (n *notNode) freeze()       { n.kid.freeze() }
+func (n *notNode) cost() float64 { return n.kid.cost() + 0.1 }
+
+// trueNode passes every candidate row.
+type trueNode struct{}
+
+func (trueNode) filter(_ *storage.ColGroup, sel []int32, sc *Scratch) []int32 {
+	return append(sc.get(len(sel)), sel...)
+}
+func (trueNode) freeze()       {}
+func (trueNode) cost() float64 { return 0.1 }
+
+// falseNode rejects every candidate row.
+type falseNode struct{}
+
+func (falseNode) filter(_ *storage.ColGroup, _ []int32, sc *Scratch) []int32 {
+	return sc.get(0)
+}
+func (falseNode) freeze()       {}
+func (falseNode) cost() float64 { return 0.1 }
+
+// intersect returns a ∩ b for ascending slices, in a fresh buffer.
+func intersect(sc *Scratch, a, b []int32) []int32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := sc.get(n)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// diff returns a \ b for ascending slices, in a fresh buffer.
+func diff(sc *Scratch, a, b []int32) []int32 {
+	out := sc.get(len(a))
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// mergeUnion k-way merges ascending (possibly overlapping) slices into
+// one deduplicated ascending result.
+func mergeUnion(sc *Scratch, outs [][]int32, capHint int) []int32 {
+	res := sc.get(capHint)
+	switch len(outs) {
+	case 0:
+		return res
+	case 1:
+		return append(res, outs[0]...)
+	}
+	idx := make([]int, len(outs))
+	for {
+		best := int32(math.MaxInt32)
+		found := false
+		for k, o := range outs {
+			if idx[k] < len(o) && o[idx[k]] < best {
+				best = o[idx[k]]
+				found = true
+			}
+		}
+		if !found {
+			return res
+		}
+		res = append(res, best)
+		for k, o := range outs {
+			if idx[k] < len(o) && o[idx[k]] == best {
+				idx[k]++
+			}
+		}
+	}
+}
+
+// seedSelectivity estimates a term's selectivity from table statistics
+// (0.5 when unavailable), used only for terms warmup never measured.
+func seedSelectivity(ts *stats.TableStats, e expr.Expr) float64 {
+	if ts == nil {
+		return 0.5
+	}
+	return ts.Selectivity(e)
+}
+
+// Compile builds a vectorized predicate for e against schema s. ts,
+// when non-nil, seeds the initial term-selectivity estimates from the
+// table's histograms. ok is false when e contains a construct the
+// vectorized evaluator does not support; callers then run the row path.
+func Compile(e expr.Expr, s *value.Schema, ts *stats.TableStats) (*Pred, bool) {
+	root, ok := compileNode(e, s, ts)
+	if !ok {
+		return nil, false
+	}
+	p := &Pred{root: root}
+	// compileNode collapses single-kid combiners into their child, so the
+	// report's term list must be read from the same unwrapped expression
+	// the root node was actually built from.
+	e = unwrapSingle(e)
+	switch x := e.(type) {
+	case expr.And:
+		if _, isAnd := root.(*andNode); isAnd {
+			p.combiner = "AND"
+			for _, k := range x.Kids {
+				p.terms = append(p.terms, k.String())
+			}
+			return p, true
+		}
+	case expr.Or:
+		if _, isOr := root.(*orNode); isOr {
+			p.combiner = "OR"
+			for _, k := range x.Kids {
+				p.terms = append(p.terms, k.String())
+			}
+			return p, true
+		}
+	}
+	p.terms = []string{e.String()}
+	return p, true
+}
+
+// unwrapSingle strips single-kid And/Or wrappers, mirroring the
+// collapse compileNode performs.
+func unwrapSingle(e expr.Expr) expr.Expr {
+	for {
+		switch x := e.(type) {
+		case expr.And:
+			if len(x.Kids) == 1 {
+				e = x.Kids[0]
+				continue
+			}
+		case expr.Or:
+			if len(x.Kids) == 1 {
+				e = x.Kids[0]
+				continue
+			}
+		}
+		return e
+	}
+}
+
+func compileNode(e expr.Expr, s *value.Schema, ts *stats.TableStats) (node, bool) {
+	switch x := e.(type) {
+	case expr.TrueExpr:
+		return trueNode{}, true
+	case expr.FalseExpr:
+		return falseNode{}, true
+	case expr.Cmp:
+		return compileCmp(x, s), true
+	case expr.In:
+		return compileIn(x, s), true
+	case expr.ColCmp:
+		return compileColCmp(x, s), true
+	case expr.And:
+		if len(x.Kids) == 0 {
+			return trueNode{}, true
+		}
+		if len(x.Kids) == 1 {
+			return compileNode(x.Kids[0], s, ts)
+		}
+		n := &andNode{stats: make([]termStats, len(x.Kids))}
+		for i, k := range x.Kids {
+			kid, ok := compileNode(k, s, ts)
+			if !ok {
+				return nil, false
+			}
+			n.kids = append(n.kids, kid)
+			n.stats[i].seedSel = seedSelectivity(ts, k)
+		}
+		return n, true
+	case expr.Or:
+		if len(x.Kids) == 0 {
+			return falseNode{}, true
+		}
+		if len(x.Kids) == 1 {
+			return compileNode(x.Kids[0], s, ts)
+		}
+		n := &orNode{stats: make([]termStats, len(x.Kids))}
+		for i, k := range x.Kids {
+			kid, ok := compileNode(k, s, ts)
+			if !ok {
+				return nil, false
+			}
+			n.kids = append(n.kids, kid)
+			n.stats[i].seedSel = seedSelectivity(ts, k)
+		}
+		return n, true
+	case expr.Not:
+		kid, ok := compileNode(x.Kid, s, ts)
+		if !ok {
+			return nil, false
+		}
+		return &notNode{kid: kid}, true
+	default:
+		// Unknown expression implementation: refuse, the caller falls
+		// back to the row-at-a-time path.
+		return nil, false
+	}
+}

@@ -1,0 +1,329 @@
+// Property tests pinning the vectorized evaluator to the row-at-a-time
+// oracle: for randomized predicates — including upper envelopes derived
+// from all five model families — filtering a column group through
+// vec.Pred must select EXACTLY the rows expr.Eval accepts, including
+// SQL NULL semantics, cross-kind comparisons, IN lists with mixed
+// kinds, and NOT over NULL-comparisons. Both evaluation phases
+// (warmup/measure and frozen/short-circuit) are held to the contract.
+package vec_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"minequery/internal/catalog"
+	"minequery/internal/core"
+	"minequery/internal/exec/vec"
+	"minequery/internal/expr"
+	"minequery/internal/mining"
+	"minequery/internal/mining/cluster"
+	"minequery/internal/mining/dtree"
+	"minequery/internal/mining/nbayes"
+	"minequery/internal/mining/rules"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// fixture is a columnar table plus envelope predicates from all five
+// model families trained on its data.
+type fixture struct {
+	table     *catalog.Table
+	cs        *storage.ColumnStore
+	envelopes []expr.Expr
+}
+
+func buildFixture(t *testing.T, seed int64, rows int) *fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	schema := value.MustSchema(
+		value.Column{Name: "age", Kind: value.KindInt},
+		value.Column{Name: "income", Kind: value.KindInt},
+		value.Column{Name: "score", Kind: value.KindFloat},
+		value.Column{Name: "city", Kind: value.KindString},
+		value.Column{Name: "flag", Kind: value.KindBool},
+		value.Column{Name: "seg", Kind: value.KindString},
+	)
+	c := catalog.New()
+	tb, err := c.CreateTable("t", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maybeNull := func(v value.Value) value.Value {
+		if rng.Intn(12) == 0 {
+			return value.Null()
+		}
+		return v
+	}
+	ts := &mining.TrainSet{Schema: value.MustSchema(
+		value.Column{Name: "age", Kind: value.KindInt},
+		value.Column{Name: "income", Kind: value.KindInt},
+	)}
+	for i := 0; i < rows; i++ {
+		age := int64(rng.Intn(10))
+		income := int64(rng.Intn(8))
+		seg := "regular"
+		switch {
+		case age <= 1 && income >= 6:
+			seg = "vip"
+		case income <= 1:
+			seg = "budget"
+		}
+		row := value.Tuple{
+			maybeNull(value.Int(age)),
+			maybeNull(value.Int(income)),
+			maybeNull(value.Float(float64(rng.Intn(200)) / 4)),
+			maybeNull(value.Str(fmt.Sprintf("c%d", rng.Intn(6)))),
+			maybeNull(value.Bool(rng.Intn(2) == 0)),
+			value.Str(seg),
+		}
+		if _, err := tb.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+		// Models train on the non-null feature space; the predicates they
+		// yield are still evaluated against the full (nullable) table.
+		ts.Rows = append(ts.Rows, value.Tuple{value.Int(age), value.Int(income)})
+		ts.Labels = append(ts.Labels, value.Str(seg))
+	}
+	if err := tb.EnableColumnar(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	cs := tb.ColumnStore()
+	if cs == nil {
+		t.Fatal("column store not fresh after EnableColumnar")
+	}
+
+	fx := &fixture{table: tb, cs: cs}
+	var models []mining.Model
+	if m, err := dtree.Train("dt", "seg", ts, dtree.Options{}); err == nil {
+		models = append(models, m)
+	} else {
+		t.Fatalf("dtree: %v", err)
+	}
+	if m, err := nbayes.Train("nb", "seg", ts, nbayes.Options{}); err == nil {
+		models = append(models, m)
+	} else {
+		t.Fatalf("nbayes: %v", err)
+	}
+	if m, err := rules.Train("rl", "seg", ts, rules.Options{}); err == nil {
+		models = append(models, m)
+	} else {
+		t.Fatalf("rules: %v", err)
+	}
+	if m, err := cluster.TrainKMeans("km", "cluster", ts, cluster.Options{K: 3, Seed: seed}); err == nil {
+		models = append(models, m)
+	} else {
+		t.Fatalf("kmeans: %v", err)
+	}
+	if m, err := cluster.TrainGMM("gm", "component", ts, cluster.Options{K: 2, Seed: seed}); err == nil {
+		models = append(models, m)
+	} else {
+		t.Fatalf("gmm: %v", err)
+	}
+	for _, m := range models {
+		der, err := core.UpperEnvelopes(m, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("envelopes for %s: %v", m.Name(), err)
+		}
+		for _, cl := range m.Classes() {
+			if env, ok := der.Envelopes[cl.String()]; ok {
+				fx.envelopes = append(fx.envelopes, env)
+			}
+		}
+	}
+	if len(fx.envelopes) < 5 {
+		t.Fatalf("expected envelopes from all 5 families, got %d", len(fx.envelopes))
+	}
+	return fx
+}
+
+// randValue draws a literal of a random kind — deliberately including
+// kinds that mismatch any column, plus NULL.
+func randValue(rng *rand.Rand) value.Value {
+	switch rng.Intn(6) {
+	case 0:
+		return value.Int(int64(rng.Intn(12) - 1))
+	case 1:
+		return value.Float(float64(rng.Intn(220))/4 - 1)
+	case 2:
+		return value.Str(fmt.Sprintf("c%d", rng.Intn(8)))
+	case 3:
+		return value.Bool(rng.Intn(2) == 0)
+	case 4:
+		return value.Null()
+	default:
+		return value.Int(int64(rng.Intn(10)))
+	}
+}
+
+var predCols = []string{"age", "income", "score", "city", "flag", "seg", "nosuchcol"}
+
+func randCol(rng *rand.Rand) string { return predCols[rng.Intn(len(predCols))] }
+
+var cmpOps = []expr.CmpOp{expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe}
+
+// randPred generates a random predicate tree exercising every
+// expression form the compiler handles: comparisons (including
+// cross-kind and NULL literals), IN with mixed-kind/duplicate/empty
+// lists, column-column comparisons, TRUE/FALSE constants, NOT, and
+// AND/OR with empty, single, and duplicate children.
+func randPred(rng *rand.Rand, fx *fixture, depth int) expr.Expr {
+	if depth > 0 && rng.Intn(3) > 0 {
+		switch rng.Intn(4) {
+		case 0: // AND
+			kids := randKids(rng, fx, depth)
+			return expr.And{Kids: kids}
+		case 1: // OR
+			kids := randKids(rng, fx, depth)
+			return expr.Or{Kids: kids}
+		case 2:
+			return expr.Not{Kid: randPred(rng, fx, depth-1)}
+		default: // a model-family envelope, possibly nested further
+			return fx.envelopes[rng.Intn(len(fx.envelopes))]
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return expr.TrueExpr{}
+	case 1:
+		return expr.FalseExpr{}
+	case 2:
+		vals := make([]value.Value, rng.Intn(5))
+		for i := range vals {
+			vals[i] = randValue(rng)
+		}
+		if len(vals) > 1 && rng.Intn(2) == 0 {
+			vals = append(vals, vals[0]) // duplicate element
+		}
+		return expr.In{Col: randCol(rng), Vals: vals}
+	case 3:
+		return expr.ColCmp{ColA: randCol(rng), Op: cmpOps[rng.Intn(len(cmpOps))], ColB: randCol(rng)}
+	default:
+		return expr.Cmp{Col: randCol(rng), Op: cmpOps[rng.Intn(len(cmpOps))], Val: randValue(rng)}
+	}
+}
+
+// randKids draws 0-4 children (empty and single-child combiners are
+// legal expr values) with a chance of a duplicated term.
+func randKids(rng *rand.Rand, fx *fixture, depth int) []expr.Expr {
+	n := rng.Intn(5)
+	kids := make([]expr.Expr, 0, n+1)
+	for i := 0; i < n; i++ {
+		kids = append(kids, randPred(rng, fx, depth-1))
+	}
+	if len(kids) > 0 && rng.Intn(3) == 0 {
+		kids = append(kids, kids[0]) // duplicate term
+	}
+	return kids
+}
+
+// oracleSel returns the selection the row-at-a-time evaluator produces
+// for one group.
+func oracleSel(fx *fixture, g *storage.ColGroup, pred expr.Expr) []int32 {
+	var out []int32
+	for i := 0; i < g.N; i++ {
+		if pred.Eval(fx.table.Schema, g.TupleAt(i)) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func selEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestVecMatchesRowOracle is the core equivalence property: vectorized
+// == row-at-a-time, exactly, for both the warmup and frozen phases.
+func TestVecMatchesRowOracle(t *testing.T) {
+	fx := buildFixture(t, 20250807, 5000)
+	rng := rand.New(rand.NewSource(99))
+	iters := 400
+	if testing.Short() {
+		iters = 120
+	}
+	stats := fx.table.Stats()
+	for it := 0; it < iters; it++ {
+		var pred expr.Expr
+		if it%7 == 3 {
+			// A bare envelope from one of the model families.
+			pred = fx.envelopes[it%len(fx.envelopes)]
+		} else {
+			pred = randPred(rng, fx, 4)
+		}
+		ts := stats
+		if it%2 == 1 {
+			ts = nil // half the runs without histogram seeding
+		}
+		p, ok := vec.Compile(pred, fx.table.Schema, ts)
+		if !ok {
+			t.Fatalf("iter %d: compile refused supported predicate %s", it, pred)
+		}
+		sc := vec.NewScratch()
+		for gi, g := range fx.cs.Groups {
+			want := oracleSel(fx, g, pred)
+			got := p.FilterGroup(g, sc)
+			if !selEqual(got, want) {
+				t.Fatalf("iter %d group %d (warmup phase): pred %s\n got %d rows, want %d rows",
+					it, gi, pred, len(got), len(want))
+			}
+			if gi == 1 {
+				// Freeze mid-stream: remaining groups run the
+				// short-circuiting frozen order and must agree too.
+				p.Freeze()
+			}
+		}
+		rep := p.Report()
+		for _, term := range rep.Terms {
+			if term.Passed > term.Evaluated {
+				t.Fatalf("iter %d: term %d passed %d > evaluated %d", it, term.Index, term.Passed, term.Evaluated)
+			}
+		}
+		if len(rep.Order) != len(rep.Terms) {
+			t.Fatalf("iter %d: order has %d entries for %d terms", it, len(rep.Order), len(rep.Terms))
+		}
+	}
+}
+
+// TestVecScratchReuse pins the buffer-recycling contract: re-filtering
+// the same group with the same scratch yields identical selections.
+func TestVecScratchReuse(t *testing.T) {
+	fx := buildFixture(t, 7, 3000)
+	pred := expr.Or{Kids: []expr.Expr{
+		expr.Cmp{Col: "age", Op: expr.OpLe, Val: value.Int(2)},
+		expr.And{Kids: []expr.Expr{
+			expr.Cmp{Col: "income", Op: expr.OpGe, Val: value.Int(6)},
+			expr.Not{Kid: expr.Cmp{Col: "city", Op: expr.OpEq, Val: value.Str("c1")}},
+		}},
+		expr.In{Col: "seg", Vals: []value.Value{value.Str("vip"), value.Str("budget")}},
+	}}
+	p, ok := vec.Compile(pred, fx.table.Schema, nil)
+	if !ok {
+		t.Fatal("compile refused predicate")
+	}
+	sc := vec.NewScratch()
+	g := fx.cs.Groups[0]
+	first := append([]int32(nil), p.FilterGroup(g, sc)...)
+	p.Freeze()
+	for i := 0; i < 10; i++ {
+		got := p.FilterGroup(g, sc)
+		if !selEqual(got, first) {
+			t.Fatalf("round %d: selection changed under scratch reuse", i)
+		}
+	}
+	want := oracleSel(fx, g, pred)
+	if !selEqual(first, want) {
+		t.Fatalf("selection disagrees with oracle: got %d want %d rows", len(first), len(want))
+	}
+}

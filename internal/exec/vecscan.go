@@ -1,0 +1,376 @@
+// Fused vectorized scan-filter over the column-group sidecar. The
+// operator pulls whole column groups, evaluates the (adaptively
+// ordered) predicate over selection vectors in internal/exec/vec, and
+// reconstructs only the surviving rows as tuples — the Predict and
+// residual-filter operators above it therefore run on envelope
+// survivors only.
+//
+// Execution proceeds in two phases. The first warmupGroups groups are
+// processed serially by the consumer with term ordering in measurement
+// mode (every term evaluated, pass rates recorded). The predicate is
+// then frozen — orders picked, short-circuiting enabled — and the
+// remaining groups either continue serially (DOP 1) or fan out to a
+// morsel-style worker pool with one group per claim. Because the warmup
+// is serial and the frozen per-group evaluation is independent of
+// scheduling, output AND per-term counters are deterministic at any
+// DOP, and the output row order matches the row-path scan exactly
+// (groups are built in heap order and reassembled in group order).
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"minequery/internal/catalog"
+	"minequery/internal/exec/vec"
+	"minequery/internal/expr"
+	"minequery/internal/fault"
+	"minequery/internal/plan"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// warmupGroups is the number of column groups evaluated in measurement
+// mode before the term order freezes.
+const warmupGroups = 2
+
+// vecCore is the scheduling-independent part of a columnar scan: shared
+// by the serial consumer and the worker pool, which deliberately get no
+// reference to the consumer state.
+type vecCore struct {
+	table *catalog.Table
+	pred  *vec.Pred // nil for an unfiltered scan
+	opts  Options
+	io    *storage.Counters
+	// scanSt is the scan leaf's stats slot when the operator also plays
+	// the Filter role (the instrumented wrapper then only sees
+	// post-filter output); nil for a bare scan, whose wrapper already
+	// counts everything.
+	scanSt *OpStats
+	// filtSt/base drive envelope-vs-residual attribution of rejected
+	// rows, mirroring batchFilter.
+	filtSt *OpStats
+	base   expr.Expr
+
+	processed atomic.Int64
+}
+
+// processGroup filters one column group and materializes the surviving
+// rows into output batches. Safe for concurrent use with per-caller
+// scratch.
+func (c *vecCore) processGroup(g *storage.ColGroup, sc *vec.Scratch) []Batch {
+	if c.io != nil {
+		// One sidecar group read counts as one sequential page; every row
+		// of the group is touched column-wise.
+		c.io.SeqPageReads.Add(1)
+		c.io.TupleReads.Add(int64(g.N))
+	}
+	if c.scanSt != nil {
+		c.scanSt.Rows.Add(int64(g.N))
+		c.scanSt.Batches.Add(1)
+	}
+	var sel []int32
+	n := g.N
+	if c.pred != nil {
+		sel = c.pred.FilterGroup(g, sc)
+		n = len(sel)
+	}
+	c.processed.Add(1)
+	if c.pred != nil && c.base != nil && c.filtSt != nil {
+		// Re-check each rejected row against the un-augmented baseline to
+		// attribute the rejection to the envelope or the residual.
+		j := 0
+		for i := 0; i < g.N; i++ {
+			if j < len(sel) && int(sel[j]) == i {
+				j++
+				continue
+			}
+			if c.base.Eval(c.table.Schema, g.TupleAt(i)) {
+				c.filtSt.EnvRejected.Add(1)
+			} else {
+				c.filtSt.ResidRejected.Add(1)
+			}
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	width := len(g.Cols)
+	backing := make(value.Tuple, n*width)
+	var batches []Batch
+	size := c.opts.BatchSize
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		batch := make(Batch, 0, end-start)
+		for k := start; k < end; k++ {
+			ri := k
+			if sel != nil {
+				ri = int(sel[k])
+			}
+			row := backing[k*width : (k+1)*width : (k+1)*width]
+			for ci := 0; ci < width; ci++ {
+				row[ci] = g.Cols[ci].Value(ri)
+			}
+			batch = append(batch, row)
+		}
+		batches = append(batches, batch)
+	}
+	return batches
+}
+
+// vecScan is the consumer end. NextBatch runs on a single goroutine;
+// after the warmup it may fan out a worker pool feeding per-group
+// result channels, reassembled in group order like parallelScan.
+type vecScan struct {
+	*vecCore
+	ctx      context.Context
+	scanNode plan.Node
+	col      *Collector
+	groups   []*storage.ColGroup
+
+	sc       *vec.Scratch
+	gi       int
+	warmLeft int
+	frozen   bool
+
+	// Worker-pool state; nil while (and if never) running parallel.
+	results []chan morselResult
+	claim   *atomic.Int64
+	cancelF *atomic.Bool
+	nextRes int
+
+	pending  []Batch
+	err      error
+	reported bool
+}
+
+// newVecScan builds the fused operator for a columnar-flagged scan (and
+// optional filter directly above it). It returns nil — routing the
+// caller to the row path — when the table's sidecar is stale or missing,
+// or when the predicate has a shape the vectorized evaluator refuses.
+func newVecScan(ctx context.Context, t *catalog.Table, x *plan.SeqScan, filterNode plan.Node, pred expr.Expr, opts Options) *vecScan {
+	cs := t.ColumnStore()
+	if cs == nil {
+		return nil
+	}
+	var vp *vec.Pred
+	if pred != nil {
+		p, ok := vec.Compile(pred, t.Schema, t.Stats())
+		if !ok {
+			return nil
+		}
+		vp = p
+	}
+	groups := cs.Groups
+	if x.Partitions != nil {
+		keep := make(map[int]bool, len(x.Partitions))
+		for _, p := range x.Partitions {
+			keep[p] = true
+		}
+		groups = nil
+		for _, g := range cs.Groups {
+			if keep[g.Part] {
+				groups = append(groups, g)
+			}
+		}
+	}
+	core := &vecCore{table: t, pred: vp, opts: opts, io: ioOf(opts.Collector)}
+	if col := opts.Collector; col != nil && filterNode != nil {
+		core.scanSt = col.Op(x)
+		if base := col.envBaseline(filterNode); base != nil {
+			core.filtSt, core.base = col.Op(filterNode), base
+		}
+	}
+	warm := 0
+	if vp != nil {
+		warm = warmupGroups
+	}
+	return &vecScan{
+		vecCore:  core,
+		ctx:      ctx,
+		scanNode: x,
+		col:      opts.Collector,
+		groups:   groups,
+		sc:       vec.NewScratch(),
+		warmLeft: warm,
+	}
+}
+
+func (s *vecScan) Schema() *value.Schema { return s.table.Schema }
+
+func (s *vecScan) NextBatch() (Batch, bool, error) {
+	if s.err != nil {
+		return nil, false, s.err
+	}
+	if ferr := s.opts.Faults.Hit(fault.SiteBatch); ferr != nil {
+		s.err = fmt.Errorf("exec: columnar scan %s: %w", s.table.Name, ferr)
+		return nil, false, s.err
+	}
+	for {
+		if err := ctxErr(s.ctx); err != nil {
+			s.fail(err)
+			return nil, false, s.err
+		}
+		if len(s.pending) > 0 {
+			b := s.pending[0]
+			s.pending = s.pending[1:]
+			return b, false, nil
+		}
+		if s.results != nil {
+			if s.nextRes >= len(s.results) {
+				s.reportInfo()
+				return nil, true, nil
+			}
+			r := <-s.results[s.nextRes]
+			s.nextRes++
+			if r.err != nil {
+				s.fail(r.err)
+				return nil, false, s.err
+			}
+			s.pending = r.batches
+			continue
+		}
+		if !s.frozen && (s.warmLeft == 0 || s.gi >= len(s.groups)) {
+			if s.pred != nil {
+				s.pred.Freeze()
+			}
+			s.frozen = true
+			if rem := len(s.groups) - s.gi; s.opts.DOP > 1 && rem > 1 {
+				s.startWorkers()
+				continue
+			}
+		}
+		if s.gi >= len(s.groups) {
+			s.reportInfo()
+			return nil, true, nil
+		}
+		g := s.groups[s.gi]
+		s.gi++
+		if s.warmLeft > 0 {
+			s.warmLeft--
+		}
+		s.pending = s.processGroup(g, s.sc)
+	}
+}
+
+// startWorkers fans the remaining groups out to a claim-based pool, one
+// group per claim, results reassembled in group order.
+func (s *vecScan) startWorkers() {
+	rem := s.groups[s.gi:]
+	s.gi = len(s.groups)
+	s.results = make([]chan morselResult, len(rem))
+	for i := range s.results {
+		s.results[i] = make(chan morselResult, 1)
+	}
+	s.claim = new(atomic.Int64)
+	s.cancelF = new(atomic.Bool)
+	workers := s.opts.DOP
+	if workers > len(rem) {
+		workers = len(rem)
+	}
+	for w := 0; w < workers; w++ {
+		var ws *WorkerStats
+		if s.col != nil {
+			ws = s.col.newWorker()
+		}
+		go vecScanWorker(s.ctx, s.vecCore, rem, s.results, s.claim, s.cancelF, ws)
+	}
+}
+
+// vecScanWorker claims groups until the cursor runs off the end. Like
+// scanWorker it holds no consumer reference, observes SiteMorselClaim
+// per claim, and stops within one group of cancellation.
+func vecScanWorker(ctx context.Context, core *vecCore, groups []*storage.ColGroup, results []chan morselResult, claim *atomic.Int64, cancel *atomic.Bool, ws *WorkerStats) {
+	sc := vec.NewScratch()
+	done := ctx.Done()
+	stopped := func() bool {
+		if cancel.Load() {
+			return true
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	for {
+		m := int(claim.Add(1) - 1)
+		if m >= len(results) {
+			return
+		}
+		if stopped() {
+			results[m] <- morselResult{err: ctx.Err()}
+			continue
+		}
+		if ferr := core.opts.Faults.Hit(fault.SiteMorselClaim); ferr != nil {
+			results[m] <- morselResult{err: fmt.Errorf("exec: columnar scan %s group %d: %w", core.table.Name, m, ferr)}
+			continue
+		}
+		var start time.Time
+		if ws != nil {
+			start = time.Now()
+		}
+		batches := core.processGroup(groups[m], sc)
+		if ws != nil {
+			ws.Morsels.Add(1)
+			ws.Rows.Add(int64(groups[m].N))
+			ws.WallNanos.Add(time.Since(start).Nanoseconds())
+		}
+		results[m] <- morselResult{batches: batches}
+	}
+}
+
+func (s *vecScan) fail(err error) {
+	if cause := s.ctx.Err(); cause != nil && err == cause {
+		err = fmt.Errorf("exec: query interrupted: %w", err)
+	}
+	s.err = err
+	if s.cancelF != nil {
+		s.cancelF.Store(true)
+	}
+}
+
+// reportInfo publishes the columnar-scan actuals (groups processed,
+// frozen term order, per-term counters) to the collector, once.
+func (s *vecScan) reportInfo() {
+	if s.reported {
+		return
+	}
+	s.reported = true
+	if s.col == nil {
+		return
+	}
+	info := &VecScanInfo{Groups: s.processed.Load()}
+	if s.pred != nil {
+		r := s.pred.Report()
+		info.Combiner = r.Combiner
+		info.Order = append([]int(nil), r.Order...)
+		for _, t := range r.Terms {
+			info.Terms = append(info.Terms, VecTermActual{
+				Index: t.Index, Term: t.Term, Evaluated: t.Evaluated, Passed: t.Passed,
+			})
+		}
+	}
+	s.col.setVecInfo(s.scanNode, info)
+}
+
+// Close stops the workers (none ever block: per-group channels are
+// buffered for their single send) and publishes the scan info so a
+// truncated query (LIMIT) still reports its columnar actuals.
+func (s *vecScan) Close() {
+	if s.cancelF != nil {
+		s.cancelF.Store(true)
+	}
+	s.pending = nil
+	s.gi = len(s.groups)
+	if s.results != nil {
+		s.nextRes = len(s.results)
+	}
+	s.reportInfo()
+}

@@ -112,15 +112,23 @@ func ChooseAccessPath(t *catalog.Table, pred expr.Expr, cfg Config) Result {
 	}
 	scanPages, scanRows := t.PartitionSizes(parts)
 	// Page reads and per-row evaluation of a scan parallelize across the
-	// morsel workers; index seeks (below) remain serial.
-	scanCost := (float64(scanPages)*cfg.SeqPageCost + float64(scanRows)*cfg.RowCPUCost) / dop
+	// morsel workers; index seeks (below) remain serial. A fresh columnar
+	// sidecar discounts the per-row CPU cost: vectorized selection skips
+	// per-tuple decode and interface dispatch, shifting the scan/index
+	// crossover toward scans.
+	columnar := t.ColumnarReady()
+	rowCPU := cfg.RowCPUCost
+	if columnar {
+		rowCPU *= columnarCPUFactor
+	}
+	scanCost := (float64(scanPages)*cfg.SeqPageCost + float64(scanRows)*rowCPU) / dop
 
 	// seqScan is the (possibly pruned) scan leaf for the chosen plan;
 	// fullScan is the always-sound unpruned fallback used for ScanPlan,
-	// which deliberately ignores pruning so a mid-flight failure never
-	// re-runs through any optimizer reasoning.
+	// which deliberately ignores pruning AND the columnar sidecar so a
+	// mid-flight failure never re-runs through any optimizer reasoning.
 	seqScan := func() *plan.SeqScan {
-		return &plan.SeqScan{Table: t.Name, Partitions: parts, PartsTotal: total}
+		return &plan.SeqScan{Table: t.Name, Partitions: parts, PartsTotal: total, Columnar: columnar}
 	}
 	fullScan := func(filter expr.Expr) plan.Node {
 		return withFilter(&plan.SeqScan{Table: t.Name}, filter)
@@ -257,6 +265,11 @@ var inf = 1e308
 // in memory, so a probe is far cheaper than a page read; wide IN
 // expansions (many probes) stay attractive when they pinpoint few rows.
 const seekProbeCost = 0.25
+
+// columnarCPUFactor discounts RowCPUCost when a scan can run against a
+// fresh column-group sidecar: vectorized selection over typed vectors
+// costs a fraction of tuple decode + tree-walking Eval per row.
+const columnarCPUFactor = 0.25
 
 func withFilter(n plan.Node, pred expr.Expr) plan.Node {
 	if _, isTrue := pred.(expr.TrueExpr); isTrue {

@@ -31,6 +31,11 @@ type SeqScan struct {
 	// unpartitioned tables. It exists so EXPLAIN can report how many
 	// partitions the optimizer pruned.
 	PartsTotal int
+	// Columnar marks the scan as eligible for the column-group
+	// vectorized path. It is a hint, not a contract: if the table's
+	// columnar sidecar is stale or missing at execution time, the scan
+	// silently runs against the row heap with identical results.
+	Columnar bool
 }
 
 // Bound is one end of an index key range.
@@ -108,11 +113,15 @@ func (l *Limit) Children() []Node    { return []Node{l.Child} }
 
 // Describe implements Node.
 func (s *SeqScan) Describe() string {
+	name := s.Table
+	if s.Columnar {
+		name += " columnar"
+	}
 	if s.PartsTotal > 0 && s.Partitions != nil {
 		return fmt.Sprintf("SeqScan(%s partitions: %d/%d pruned)",
-			s.Table, s.PartsTotal-len(s.Partitions), s.PartsTotal)
+			name, s.PartsTotal-len(s.Partitions), s.PartsTotal)
 	}
-	return "SeqScan(" + s.Table + ")"
+	return "SeqScan(" + name + ")"
 }
 
 // Describe implements Node.

@@ -37,6 +37,15 @@ var seedQueries = []string{
 	"SELECT * FROM pt WHERE num IN (5, 5, 90) OR num = NULL",
 	"SELECT * FROM pt PREDICTION JOIN km AS c ON c.num = pt.num WHERE c.cluster = 2 AND pt.num < 24.5",
 	"CREATE TABLE pt (num INT) PARTITION BY RANGE (num) VALUES (25, 50, 75)",
+	// Columnar-path shapes: deeply nested OR/AND trees with duplicate
+	// terms, all-true/all-false branches, and wide disjunctions — the
+	// predicate forms the vectorized scan-filter reorders and
+	// short-circuits, so the parser must keep their nesting exact.
+	"SELECT * FROM t WHERE ((a = 1 OR a = 1) OR (b = 2 AND b = 2)) OR (c = 3 AND (d = 4 OR d = 5))",
+	"SELECT * FROM t WHERE (a = 1 AND NOT (a = 1)) OR (num >= 0 OR num < 0)",
+	"SELECT id FROM t WHERE a = 1 OR b = 2 OR c = 3 OR d = 4 OR e = 5 OR f = 6 OR g = 7 OR h = 8",
+	"SELECT * FROM t WHERE NOT (NOT (NOT (a IN (1, 1, 2))))",
+	"SELECT * FROM t WHERE ((((a = 1)))) AND (b IN ('x','x') OR (c <> NULL AND d = TRUE))",
 	"",
 	"SELECT",
 	"SELECT * FROM",

@@ -1,0 +1,202 @@
+// Column-group storage: a columnar sidecar to the row heap. Rows are
+// decoded once, at build time, into fixed-size groups of per-column
+// typed vectors (the MonetDB/X100 layout), so scan-filter pipelines can
+// evaluate predicates with tight typed loops over selection vectors
+// instead of per-tuple decode + interface dispatch. The row heap stays
+// the source of truth — the column store is derived, rebuilt on demand,
+// and silently bypassed when stale (see catalog.Table.ColumnStore).
+package storage
+
+import (
+	"fmt"
+
+	"minequery/internal/value"
+)
+
+// ColGroupRows is the default number of rows per column group. Groups
+// are the unit of vectorized evaluation and of parallel-scan work
+// distribution; boundaries are fixed at build time, so group-wise
+// results are deterministic at any DOP.
+const ColGroupRows = 2048
+
+// ColVec is one column's values within a group: a typed payload slice
+// plus a parallel null bitmap. Exactly one payload slice is populated,
+// chosen by Kind; NULL rows hold the zero payload value and are marked
+// in Nulls.
+type ColVec struct {
+	Kind  value.Kind
+	Nulls []bool
+	// Payload slices, one active per Kind (KindNull columns carry only
+	// the null bitmap).
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+}
+
+// appendVal adds one value to the vector. The value must be NULL or
+// match the vector's kind (the catalog's insert path enforces this for
+// every stored row, widening INT into FLOAT columns).
+func (v *ColVec) appendVal(val value.Value) error {
+	isNull := val.IsNull()
+	v.Nulls = append(v.Nulls, isNull)
+	switch v.Kind {
+	case value.KindInt:
+		var p int64
+		if !isNull {
+			if val.Kind() != value.KindInt {
+				return fmt.Errorf("storage: column store: %s value in INT column", val.Kind())
+			}
+			p = val.AsInt()
+		}
+		v.Ints = append(v.Ints, p)
+	case value.KindFloat:
+		var p float64
+		if !isNull {
+			if val.Kind() != value.KindFloat && val.Kind() != value.KindInt {
+				return fmt.Errorf("storage: column store: %s value in FLOAT column", val.Kind())
+			}
+			p = val.AsFloat()
+		}
+		v.Floats = append(v.Floats, p)
+	case value.KindString:
+		var p string
+		if !isNull {
+			if val.Kind() != value.KindString {
+				return fmt.Errorf("storage: column store: %s value in TEXT column", val.Kind())
+			}
+			p = val.AsString()
+		}
+		v.Strs = append(v.Strs, p)
+	case value.KindBool:
+		var p bool
+		if !isNull {
+			if val.Kind() != value.KindBool {
+				return fmt.Errorf("storage: column store: %s value in BOOL column", val.Kind())
+			}
+			p = val.AsBool()
+		}
+		v.Bools = append(v.Bools, p)
+	case value.KindNull:
+		if !isNull {
+			return fmt.Errorf("storage: column store: %s value in NULL column", val.Kind())
+		}
+	default:
+		return fmt.Errorf("storage: column store: unsupported column kind %s", v.Kind)
+	}
+	return nil
+}
+
+// Value reconstructs row i's value, exactly equal to what decoding the
+// heap record would produce.
+func (v *ColVec) Value(i int) value.Value {
+	if v.Nulls[i] {
+		return value.Null()
+	}
+	switch v.Kind {
+	case value.KindInt:
+		return value.Int(v.Ints[i])
+	case value.KindFloat:
+		return value.Float(v.Floats[i])
+	case value.KindString:
+		return value.Str(v.Strs[i])
+	case value.KindBool:
+		return value.Bool(v.Bools[i])
+	}
+	return value.Null()
+}
+
+// ColGroup is one page group: up to ColGroupRows rows of one partition,
+// stored column-wise. Groups never straddle a partition boundary, so a
+// pruned scan skips whole groups.
+type ColGroup struct {
+	// Part is the owning partition (0 for unpartitioned tables).
+	Part int
+	// N is the row count.
+	N int
+	// Cols holds one vector per schema column.
+	Cols []ColVec
+}
+
+// TupleAt reconstructs row i as a full tuple.
+func (g *ColGroup) TupleAt(i int) value.Tuple {
+	out := make(value.Tuple, len(g.Cols))
+	for c := range g.Cols {
+		out[c] = g.Cols[c].Value(i)
+	}
+	return out
+}
+
+// ColumnStore is a table's columnar sidecar: all groups in heap-scan
+// order (partition-major for partitioned heaps — the same row order the
+// row-path sequential scan produces). Immutable after build.
+type ColumnStore struct {
+	Groups []*ColGroup
+	// NumRows is the total row count across groups.
+	NumRows int64
+}
+
+// BuildColumnStore decodes every live row of s into column groups of at
+// most groupRows rows (<=0 means ColGroupRows). kinds gives the schema
+// column kinds. Partitioned heaps are built partition by partition so
+// groups carry their partition tag. Build reads through the heap's
+// ordinary Scan path, so it is accounted as sequential page reads on
+// the heap's global counters.
+func BuildColumnStore(s Store, kinds []value.Kind, groupRows int) (*ColumnStore, error) {
+	if groupRows <= 0 {
+		groupRows = ColGroupRows
+	}
+	cs := &ColumnStore{}
+	appendFrom := func(h Store, part int) error {
+		var cur *ColGroup
+		var buildErr error
+		scanErr := h.Scan(func(_ RID, rec []byte) bool {
+			tup, err := value.DecodeTuple(rec)
+			if err != nil {
+				buildErr = err
+				return false
+			}
+			if len(tup) != len(kinds) {
+				buildErr = fmt.Errorf("storage: column store: row arity %d, schema arity %d", len(tup), len(kinds))
+				return false
+			}
+			if cur == nil || cur.N >= groupRows {
+				cur = newColGroup(part, kinds)
+				cs.Groups = append(cs.Groups, cur)
+			}
+			for c, v := range tup {
+				if err := cur.Cols[c].appendVal(v); err != nil {
+					buildErr = err
+					return false
+				}
+			}
+			cur.N++
+			cs.NumRows++
+			return true
+		})
+		if buildErr != nil {
+			return buildErr
+		}
+		return scanErr
+	}
+	if ph, ok := s.(*PartitionedHeap); ok {
+		for p := 0; p < ph.NumPartitions(); p++ {
+			if err := appendFrom(ph.Partition(p), p); err != nil {
+				return nil, err
+			}
+		}
+		return cs, nil
+	}
+	if err := appendFrom(s, 0); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+func newColGroup(part int, kinds []value.Kind) *ColGroup {
+	g := &ColGroup{Part: part, Cols: make([]ColVec, len(kinds))}
+	for i, k := range kinds {
+		g.Cols[i].Kind = k
+	}
+	return g
+}

@@ -1,8 +1,10 @@
 package minequery
 
 import (
+	"strconv"
 	"time"
 
+	"minequery/internal/exec"
 	"minequery/internal/metrics"
 	"minequery/internal/plan"
 )
@@ -28,7 +30,14 @@ type engineMetrics struct {
 	retriesTotal  *metrics.Counter
 	partsPruned   *metrics.Counter
 	partsScanned  *metrics.Counter
+	columnarScans *metrics.Counter
+	termRejected  *metrics.CounterVec
 }
+
+// columnarTermLabels pre-creates per-term rejection children for the
+// first few term positions so the frozen series list is visible on an
+// idle engine; wider predicates add children on first use.
+var columnarTermLabels = []string{"0", "1", "2", "3"}
 
 // queryStages are the pipeline stages timed per query.
 var queryStages = []string{"parse", "rewrite", "optimize", "execute"}
@@ -44,6 +53,8 @@ var queryStages = []string{"parse", "rewrite", "optimize", "execute"}
 //	minequery_retries_total              transient failures absorbed by retry
 //	minequery_partitions_pruned_total    partitions proven disjoint and skipped
 //	minequery_partitions_scanned_total   partitions surviving pruning
+//	minequery_columnar_scans_total       scans executed on the column-group path
+//	minequery_columnar_term_rejected_total{term} rows rejected per predicate term position
 //
 // Call it once per registry; series names panic on double registration.
 func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
@@ -64,6 +75,10 @@ func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
 			"Partitions the optimizer proved disjoint from the predicate and skipped."),
 		partsScanned: r.Counter("minequery_partitions_scanned_total",
 			"Partitions that survived pruning on queries over partitioned tables."),
+		columnarScans: r.Counter("minequery_columnar_scans_total",
+			"Sequential scans executed on the vectorized column-group path."),
+		termRejected: r.CounterVec("minequery_columnar_term_rejected_total",
+			"Rows rejected by each predicate term (by original term position) on columnar scans.", "term"),
 	}
 	// Pre-create the label children so every series is visible from the
 	// first scrape (a frozen series list is lintable even on an idle
@@ -73,6 +88,9 @@ func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
 	}
 	for _, s := range queryStages {
 		em.stageSeconds.With(s)
+	}
+	for _, l := range columnarTermLabels {
+		em.termRejected.With(l)
 	}
 	e.metrics.Store(em)
 }
@@ -110,6 +128,18 @@ func (em *engineMetrics) retries(n int64) {
 		return
 	}
 	em.retriesTotal.Add(n)
+}
+
+// columnar records one columnar-scan execution and its per-term
+// rejection counts (nil-safe).
+func (em *engineMetrics) columnar(info *exec.VecScanInfo) {
+	if em == nil || info == nil {
+		return
+	}
+	em.columnarScans.Inc()
+	for _, t := range info.Terms {
+		em.termRejected.With(strconv.Itoa(t.Index)).Add(t.Evaluated - t.Passed)
+	}
 }
 
 // partitions records one query's partition-pruning outcome (nil-safe;

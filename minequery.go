@@ -279,10 +279,26 @@ func (e *Engine) CreateIndex(name, table string, columns ...string) error {
 // DropIndexes removes all indexes from a table.
 func (e *Engine) DropIndexes(table string) error { return e.cat.DropIndexes(table) }
 
-// Analyze refreshes a table's optimizer statistics.
+// Analyze refreshes a table's optimizer statistics (and, for tables
+// that opted in via EnableColumnar, rebuilds the columnar sidecar).
 func (e *Engine) Analyze(table string) error {
 	_, err := e.cat.Analyze(table)
 	return err
+}
+
+// EnableColumnar opts a table into the column-group storage sidecar:
+// rows are additionally kept as per-column typed vectors in fixed-size
+// groups, and eligible sequential scans run the vectorized
+// selection-vector pipeline with adaptive predicate-term ordering.
+// Results are byte-identical to the row path at any DOP. The row heap
+// remains the source of truth — inserts after the build make the
+// sidecar stale and scans silently revert to the row path until the
+// next Analyze (or EnableColumnar) rebuilds it.
+func (e *Engine) EnableColumnar(table string) error {
+	if err := e.cat.EnableColumnar(table); err != nil {
+		return fmt.Errorf("minequery: %w", err)
+	}
+	return nil
 }
 
 // DropModel removes a model from the catalog. Prepared statements that
@@ -535,6 +551,12 @@ type Result struct {
 	// skipped.
 	PartitionsTotal  int
 	PartitionsPruned int
+	// StorageFormat reports how the base table was actually read:
+	// "columnar" when the scan ran on the column-group sidecar, "row"
+	// for the heap path. Empty when instrumentation is off (the executed
+	// format is then unknown — a columnar-flagged plan silently falls
+	// back to the row path whenever the sidecar is stale).
+	StorageFormat string
 }
 
 // Query parses, rewrites (adding upper envelopes), optimizes, and runs
@@ -747,6 +769,11 @@ func (e *Engine) runPlanOnce(ctx context.Context, t *catalog.Table, root plan.No
 		PartitionsPruned: res.PartsPruned,
 	}
 	if col != nil {
+		r.StorageFormat = "row"
+		if info := columnarScanInfo(root, col); info != nil {
+			r.StorageFormat = "columnar"
+			e.metrics.Load().columnar(info)
+		}
 		r.Analyze = buildAnalyzeReport(root, col, t, res.EstSelectivity, execOpts.DOP, st, analyzeBase != nil)
 		if r.Analyze != nil {
 			r.Analyze.Retries = retries
@@ -759,6 +786,20 @@ func (e *Engine) runPlanOnce(ctx context.Context, t *catalog.Table, root plan.No
 	em.query(r.AccessPath, st.TupleReads, int64(len(rows)))
 	em.partitions(res.PartsTotal, res.PartsPruned)
 	return r, nil
+}
+
+// columnarScanInfo returns the columnar actuals of the plan's scan leaf,
+// or nil when the scan executed on the row path.
+func columnarScanInfo(n plan.Node, col *exec.Collector) *exec.VecScanInfo {
+	if s, ok := n.(*plan.SeqScan); ok {
+		return col.VecInfo(s)
+	}
+	for _, c := range n.Children() {
+		if info := columnarScanInfo(c, col); info != nil {
+			return info
+		}
+	}
+	return nil
 }
 
 // scanLevelFilter finds the filter applied at the access path — the
