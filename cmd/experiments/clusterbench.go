@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+
+	"minequery"
+	"minequery/internal/cluster"
+	"minequery/internal/server"
+)
+
+// clusterBench measures the distributed coordinator end to end at 1, 2,
+// and 4 shards: an in-process fleet (each shard a real minequeryd HTTP
+// server holding its slice of the rows) fronted by a coordinator, timed
+// from the client across two workloads over the same data. "unpruned"
+// is a predicate spanning every shard's key range, so each request pays
+// the full scatter-gather; "pruned" is a mining predicate whose upper
+// envelope pins the shard column, so the coordinator skips every shard
+// whose range is disjoint — the per-query payoff being round-trips that
+// never happen. The artifact lands in -cluster-out for CI trending.
+func clusterBench(rows, n, conc int, out string) {
+	const (
+		unprunedQ = `SELECT id, age, income FROM customers WHERE income >= 0 AND id < 500`
+		prunedQ   = `SELECT id, age, income FROM customers
+			PREDICTION JOIN segmodel AS m ON m.age = customers.age AND m.income = customers.income
+			WHERE m.segment = 'vip'`
+	)
+
+	type workloadReport struct {
+		latencySummary
+		ShardsPlanned int64 `json:"shard_slots_planned"`
+		ShardsPruned  int64 `json:"shard_slots_pruned"`
+	}
+	type configReport struct {
+		Shards   int            `json:"shards"`
+		Pruned   workloadReport `json:"pruned"`
+		Unpruned workloadReport `json:"unpruned"`
+	}
+
+	fmt.Println("== Coordinator scatter-gather benchmark ==")
+	fmt.Printf("rows=%d requests=%d concurrency=%d\n", rows, n, conc)
+	fmt.Printf("%-7s %-9s %10s %10s %9s %14s\n", "shards", "workload", "p50_us", "p99_us", "qps", "pruned/planned")
+
+	var configs []configReport
+	for _, nShards := range []int{1, 2, 4} {
+		co, url, closers := clusterFleet(rows, nShards)
+		run := func(sql string) workloadReport {
+			warmBody := map[string]any{"sql": sql}
+			for i := 0; i < conc; i++ {
+				postJSON(url+"/v1/execute", warmBody, nil)
+			}
+			before := co.Counters()
+			lat := benchRun(n, conc, func(int) map[string]any {
+				return map[string]any{"sql": sql}
+			}, url)
+			after := co.Counters()
+			return workloadReport{
+				latencySummary: lat,
+				ShardsPlanned:  after.Planned - before.Planned,
+				ShardsPruned:   after.Pruned - before.Pruned,
+			}
+		}
+		cr := configReport{Shards: nShards, Unpruned: run(unprunedQ), Pruned: run(prunedQ)}
+		for _, w := range []struct {
+			name string
+			r    workloadReport
+		}{{"unpruned", cr.Unpruned}, {"pruned", cr.Pruned}} {
+			fmt.Printf("%-7d %-9s %10d %10d %9.0f %11d/%d\n",
+				nShards, w.name, w.r.P50US, w.r.P99US, w.r.QPS, w.r.ShardsPruned, w.r.ShardsPlanned)
+		}
+		configs = append(configs, cr)
+		for _, c := range closers {
+			c()
+		}
+	}
+
+	report := map[string]any{
+		"rows":        rows,
+		"requests":    n,
+		"concurrency": conc,
+		"configs":     configs,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cluster bench: %v\n", err)
+		os.Exit(1)
+	}
+	if out != "" {
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster bench: write %s: %v\n", out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+// clusterFleet boots an in-process fleet: nShards shard servers each
+// holding the rows the range map routes to it (income split evenly),
+// a row-free planning engine, and the coordinator HTTP surface. Every
+// engine trains segmodel from an identical staging table so envelope
+// fingerprints match fleet-wide and envelope-driven pruning validates.
+func clusterFleet(rows, nShards int) (*cluster.Coordinator, string, []func()) {
+	var closers []func()
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster bench: fixture: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	schema := func() *minequery.Schema {
+		return minequery.MustSchema(
+			minequery.Column{Name: "id", Kind: minequery.KindInt},
+			minequery.Column{Name: "age", Kind: minequery.KindInt},
+			minequery.Column{Name: "income", Kind: minequery.KindInt},
+			minequery.Column{Name: "segment", Kind: minequery.KindString},
+		)
+	}
+	all := benchEngineRows(rows)
+	train := func(eng *minequery.Engine) {
+		die(eng.CreateTable("training", minequery.MustSchema(
+			minequery.Column{Name: "age", Kind: minequery.KindInt},
+			minequery.Column{Name: "income", Kind: minequery.KindInt},
+			minequery.Column{Name: "segment", Kind: minequery.KindString},
+		)))
+		stage := make([]minequery.Tuple, len(all))
+		for i, row := range all {
+			stage[i] = minequery.Tuple{row[1], row[2], row[3]}
+		}
+		die(eng.InsertBatch("training", stage))
+		_, err := eng.TrainDecisionTree("segmodel", "segment", "training",
+			[]string{"age", "income"}, "segment", minequery.TreeOptions{})
+		die(err)
+	}
+
+	// Split income's 0..7 domain evenly into nShards ranges.
+	var bounds []minequery.Value
+	for i := 1; i < nShards; i++ {
+		bounds = append(bounds, minequery.Int(int64(8*i/nShards)))
+	}
+	addrs := make([]string, nShards)
+	probe, err := cluster.NewRangeMap("customers", "income", bounds,
+		func() []string {
+			dummy := make([]string, nShards)
+			for i := range dummy {
+				dummy[i] = fmt.Sprintf("http://shard-%d.invalid", i)
+			}
+			return dummy
+		}())
+	die(err)
+	for i := 0; i < nShards; i++ {
+		eng := minequery.New()
+		die(eng.CreateTable("customers", schema()))
+		var mine []minequery.Tuple
+		for _, row := range all {
+			if probe.ShardFor(row[2]) == i {
+				mine = append(mine, row)
+			}
+		}
+		die(eng.InsertBatch("customers", mine))
+		train(eng)
+		die(eng.Analyze("customers"))
+		ts := httptest.NewServer(server.New(eng, server.Config{}).Handler())
+		addrs[i] = ts.URL
+		closers = append(closers, ts.Close)
+	}
+
+	planner := minequery.New()
+	die(planner.CreateTable("customers", schema()))
+	train(planner)
+	m, err := cluster.NewRangeMap("customers", "income", bounds, addrs)
+	die(err)
+	co := cluster.New(planner, m, cluster.Config{})
+	cts := httptest.NewServer(server.NewCoord(co, 0).Handler())
+	closers = append(closers, cts.Close)
+	return co, cts.URL, closers
+}
+
+// benchEngineRows is benchEngine's row stream (same seed and segment
+// rule), shared so shard slices union to the single-node fixture.
+func benchEngineRows(rows int) []minequery.Tuple {
+	r := rand.New(rand.NewSource(11))
+	batch := make([]minequery.Tuple, 0, rows)
+	for i := 0; i < rows; i++ {
+		age := int64(r.Intn(10))
+		income := int64(r.Intn(8))
+		seg := "regular"
+		switch {
+		case age == 0 && income == 7:
+			seg = "vip"
+		case income <= 1:
+			seg = "budget"
+		}
+		batch = append(batch, minequery.Tuple{
+			minequery.Int(int64(i)), minequery.Int(age), minequery.Int(income), minequery.Str(seg),
+		})
+	}
+	return batch
+}

@@ -11,7 +11,8 @@
 //	scan       — morsel-driven parallel scan sweep: wall time at DOP 1..N
 //	server     — minequeryd end-to-end latency: prepared vs ad-hoc (BENCH_server.json)
 //	partition  — partition pruning: pages read with vs without pruning per predicate width
-//	all        — everything above (except scan, server, and partition, which are standalone)
+//	cluster    — coordinator scatter-gather at 1/2/4 shards, pruned vs unpruned (BENCH_cluster.json)
+//	all        — everything above (except scan, server, partition, and cluster, which are standalone)
 //
 // Shapes, not absolute numbers, are the comparison target: the engine is
 // a simulator, not the paper's SQL Server testbed. See EXPERIMENTS.md.
@@ -38,13 +39,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|runtime|planchange|fig3|fig4|fig5|fig6|fig7|overhead|scan|server|partition|all")
+	exp := flag.String("exp", "all", "experiment: table2|runtime|planchange|fig3|fig4|fig5|fig6|fig7|overhead|scan|server|partition|cluster|all")
 	rows := flag.Int("rows", 40000, "test-table rows per data set (paper: >1M; selectivities are scale-invariant)")
 	only := flag.String("dataset", "", "restrict to one data set (by name)")
 	dop := flag.Int("dop", 1, "scan degree of parallelism for execution and costing (rerun any experiment at DOP 1 vs N)")
 	benchN := flag.Int("bench-n", 400, "server bench: requests per workload")
 	benchConc := flag.Int("bench-conc", 8, "server bench: concurrent clients")
 	benchOut := flag.String("bench-out", "BENCH_server.json", "server bench: output JSON path (empty: stdout only)")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "cluster bench: output JSON path (empty: stdout only)")
 	flag.Parse()
 
 	if *exp == "scan" {
@@ -57,6 +59,10 @@ func main() {
 	}
 	if *exp == "partition" {
 		partitionBench(*rows)
+		return
+	}
+	if *exp == "cluster" {
+		clusterBench(*rows, *benchN, *benchConc, *clusterOut)
 		return
 	}
 

@@ -1,0 +1,152 @@
+package main
+
+// Cluster modes for minequeryd: `-coord` turns the process into a
+// coordinator fanning out over `-shard-addrs`, and `-demo-shard i/n`
+// seeds a shard daemon holding slice i of the demo rows. The demo
+// models are always trained on the full demo row stream (staged on a
+// training table) regardless of which slice a node stores, so every
+// node in a demo fleet carries identical model fingerprints — the
+// invariant the coordinator's envelope-driven shard pruning validates
+// at runtime.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"minequery"
+	"minequery/internal/cluster"
+)
+
+// parseBounds parses "3,6" into range-split values.
+func parseBounds(s string) ([]minequery.Value, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]minequery.Value, len(parts))
+	for i, p := range parts {
+		n, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bound %q: %w", p, err)
+		}
+		out[i] = minequery.Int(n)
+	}
+	return out, nil
+}
+
+// parseAddrs splits a comma-separated address list.
+func parseAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// buildShardMap assembles the shard map from the cluster flags.
+func buildShardMap(table, column, mode, boundsCSV string, addrs []string) (*cluster.Map, error) {
+	switch mode {
+	case "range":
+		bounds, err := parseBounds(boundsCSV)
+		if err != nil {
+			return nil, err
+		}
+		return cluster.NewRangeMap(table, column, bounds, addrs)
+	case "hash":
+		return cluster.NewHashMap(table, column, addrs)
+	}
+	return nil, fmt.Errorf("unknown -shard-mode %q (range or hash)", mode)
+}
+
+// parseShardSlice parses "-demo-shard i/n" into (i, n).
+func parseShardSlice(s string) (int, int, error) {
+	var i, n int
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("-demo-shard wants i/n (e.g. 0/3): %w", err)
+	}
+	if n <= 0 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("-demo-shard %d/%d out of range", i, n)
+	}
+	return i, n, nil
+}
+
+// demoSchema is the demo customers table shape.
+func demoSchema() *minequery.Schema {
+	return minequery.MustSchema(
+		minequery.Column{Name: "id", Kind: minequery.KindInt},
+		minequery.Column{Name: "age", Kind: minequery.KindInt},
+		minequery.Column{Name: "income", Kind: minequery.KindInt},
+		minequery.Column{Name: "visits", Kind: minequery.KindInt},
+		minequery.Column{Name: "segment", Kind: minequery.KindString},
+	)
+}
+
+// trainDemoModels stages the full demo rows on a training table and
+// trains the demo models from it, so every node — shard or planner —
+// derives identical models and envelope fingerprints.
+func trainDemoModels(eng *minequery.Engine, all []minequery.Tuple) error {
+	if err := eng.CreateTable("training", minequery.MustSchema(
+		minequery.Column{Name: "age", Kind: minequery.KindInt},
+		minequery.Column{Name: "income", Kind: minequery.KindInt},
+		minequery.Column{Name: "segment", Kind: minequery.KindString},
+	)); err != nil {
+		return err
+	}
+	stage := make([]minequery.Tuple, len(all))
+	for i, row := range all {
+		stage[i] = minequery.Tuple{row[1], row[2], row[4]}
+	}
+	if err := eng.InsertBatch("training", stage); err != nil {
+		return err
+	}
+	if _, err := eng.TrainDecisionTree("risk_tree", "risk", "training",
+		[]string{"age", "income"}, "segment", minequery.TreeOptions{}); err != nil {
+		return err
+	}
+	if _, err := eng.TrainNaiveBayes("seg_bayes", "segment", "training",
+		[]string{"age", "income"}, "segment", minequery.BayesOptions{}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// seedDemoShard seeds slice i of an n-way demo fleet: the rows the
+// shard map routes to shard i, plus fleet-identical models.
+func seedDemoShard(eng *minequery.Engine, m *cluster.Map, shard, rows int) error {
+	all := demoRowStream(rows)
+	if err := eng.CreateTable("customers", demoSchema()); err != nil {
+		return err
+	}
+	mine := make([]minequery.Tuple, 0, rows/m.NumShards()+1)
+	for _, row := range all {
+		if m.ShardFor(row[2]) == shard {
+			mine = append(mine, row)
+		}
+	}
+	if err := eng.InsertBatch("customers", mine); err != nil {
+		return err
+	}
+	if err := trainDemoModels(eng, all); err != nil {
+		return err
+	}
+	if err := eng.CreateIndex("ix_income", "customers", "income"); err != nil {
+		return err
+	}
+	return eng.Analyze("customers")
+}
+
+// buildCoordPlanner builds the coordinator's planning engine for the
+// demo fleet: schema and models, no rows.
+func buildCoordPlanner(rows int) (*minequery.Engine, error) {
+	eng := minequery.New()
+	if err := eng.CreateTable("customers", demoSchema()); err != nil {
+		return nil, err
+	}
+	if err := trainDemoModels(eng, demoRowStream(rows)); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"minequery"
+	"minequery/internal/cluster"
 	"minequery/internal/server"
 )
 
@@ -33,11 +35,45 @@ func main() {
 		demoRows = flag.Int("demo-rows", 30000, "row count for -demo")
 		brkThr   = flag.Int("breaker-threshold", 3, "consecutive index-path failures tripping a table's circuit breaker (-1: disable)")
 		brkCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
+
+		coord       = flag.Bool("coord", false, "run as a cluster coordinator over -shard-addrs instead of serving local data")
+		shardAddrs  = flag.String("shard-addrs", "", "comma-separated shard base URLs (coordinator mode)")
+		shardTable  = flag.String("shard-table", "customers", "sharded table name")
+		shardColumn = flag.String("shard-column", "income", "shard key column")
+		shardMode   = flag.String("shard-mode", "range", "row distribution: range or hash")
+		shardBounds = flag.String("shard-bounds", "", "comma-separated ascending range split points (range mode; N shards need N-1)")
+		demoShard   = flag.String("demo-shard", "", "seed this node as demo shard i/n (e.g. 0/3); rows are routed by the shard map, models trained on the full demo data")
+		partial     = flag.Bool("allow-partial", false, "coordinator: answer with an explicitly degraded subset when a shard is down instead of failing")
 	)
 	flag.Parse()
 
+	if *coord {
+		runCoordinator(*addr, *shardTable, *shardColumn, *shardMode, *shardBounds,
+			parseAddrs(*shardAddrs), *demoRows, *timeout, *drain, *brkThr, *brkCool, *partial)
+		return
+	}
+
 	eng := minequery.New()
-	if *demo {
+	switch {
+	case *demoShard != "":
+		i, n, err := parseShardSlice(*demoShard)
+		if err != nil {
+			log.Fatalf("minequeryd: %v", err)
+		}
+		// The map only routes rows here; addresses are placeholders.
+		dummy := make([]string, n)
+		for j := range dummy {
+			dummy[j] = fmt.Sprintf("http://shard-%d.invalid", j)
+		}
+		m, err := buildShardMap(*shardTable, *shardColumn, *shardMode, *shardBounds, dummy)
+		if err != nil {
+			log.Fatalf("minequeryd: shard map: %v", err)
+		}
+		if err := seedDemoShard(eng, m, i, *demoRows); err != nil {
+			log.Fatalf("minequeryd: seed demo shard: %v", err)
+		}
+		log.Printf("minequeryd: demo shard %d/%d ready (%s sharding on %s)", i, n, *shardMode, *shardColumn)
+	case *demo:
 		if err := seedDemo(eng, *demoRows); err != nil {
 			log.Fatalf("minequeryd: seed demo: %v", err)
 		}
@@ -77,18 +113,61 @@ func main() {
 	log.Printf("minequeryd: stopped")
 }
 
-// seedDemo loads the same demo database as mqshell: a customers table
-// with a rare "vip" segment, two trained models, and two indexes.
-func seedDemo(eng *minequery.Engine, n int) error {
-	if err := eng.CreateTable("customers", minequery.MustSchema(
-		minequery.Column{Name: "id", Kind: minequery.KindInt},
-		minequery.Column{Name: "age", Kind: minequery.KindInt},
-		minequery.Column{Name: "income", Kind: minequery.KindInt},
-		minequery.Column{Name: "visits", Kind: minequery.KindInt},
-		minequery.Column{Name: "segment", Kind: minequery.KindString},
-	)); err != nil {
-		return err
+// runCoordinator serves coordinator mode: a planning engine with the
+// demo schema and models (no rows), a shard map over the fleet, and
+// the coordinator HTTP surface.
+func runCoordinator(addr, table, column, mode, boundsCSV string, addrs []string,
+	demoRows int, timeout, drain time.Duration, brkThr int, brkCool time.Duration, partial bool) {
+	if len(addrs) == 0 {
+		log.Fatal("minequeryd: -coord needs -shard-addrs")
 	}
+	m, err := buildShardMap(table, column, mode, boundsCSV, addrs)
+	if err != nil {
+		log.Fatalf("minequeryd: shard map: %v", err)
+	}
+	planner, err := buildCoordPlanner(demoRows)
+	if err != nil {
+		log.Fatalf("minequeryd: coordinator planner: %v", err)
+	}
+	co := cluster.New(planner, m, cluster.Config{
+		ShardTimeout:     timeout,
+		BreakerThreshold: brkThr,
+		BreakerCooldown:  brkCool,
+		AllowPartial:     partial,
+	})
+	sctx, scancel := context.WithTimeout(context.Background(), timeout)
+	if err := co.Sync(sctx); err != nil {
+		log.Printf("minequeryd: initial shard sync: %v (will retry lazily)", err)
+	}
+	scancel()
+	cs := server.NewCoord(co, timeout)
+	httpSrv := &http.Server{Addr: addr, Handler: cs.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("minequeryd: coordinator shutting down, draining for up to %s", drain)
+		dctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := cs.Shutdown(dctx); err != nil {
+			log.Printf("minequeryd: drain: %v", err)
+		}
+		_ = httpSrv.Shutdown(dctx)
+	}()
+
+	log.Printf("minequeryd: coordinator over %d shards (%s on %s) listening on %s",
+		m.NumShards(), mode, column, addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("minequeryd: %v", err)
+	}
+	log.Printf("minequeryd: stopped")
+}
+
+// demoRowStream generates the deterministic demo row stream; shard
+// mode slices it with the shard map, so the union of all shards is
+// exactly the single-node demo database.
+func demoRowStream(n int) []minequery.Tuple {
 	r := rand.New(rand.NewSource(7))
 	rows := make([]minequery.Tuple, 0, n)
 	for i := 0; i < n; i++ {
@@ -106,7 +185,22 @@ func seedDemo(eng *minequery.Engine, n int) error {
 			minequery.Int(int64(r.Intn(50))), minequery.Str(seg),
 		})
 	}
-	if err := eng.InsertBatch("customers", rows); err != nil {
+	return rows
+}
+
+// seedDemo loads the same demo database as mqshell: a customers table
+// with a rare "vip" segment, two trained models, and two indexes.
+func seedDemo(eng *minequery.Engine, n int) error {
+	if err := eng.CreateTable("customers", minequery.MustSchema(
+		minequery.Column{Name: "id", Kind: minequery.KindInt},
+		minequery.Column{Name: "age", Kind: minequery.KindInt},
+		minequery.Column{Name: "income", Kind: minequery.KindInt},
+		minequery.Column{Name: "visits", Kind: minequery.KindInt},
+		minequery.Column{Name: "segment", Kind: minequery.KindString},
+	)); err != nil {
+		return err
+	}
+	if err := eng.InsertBatch("customers", demoRowStream(n)); err != nil {
 		return err
 	}
 	if err := eng.Analyze("customers"); err != nil {

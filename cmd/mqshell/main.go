@@ -4,19 +4,22 @@
 //
 // Usage:
 //
-//	mqshell            # starts with the demo database
+//	mqshell                              # starts with the demo database
+//	mqshell -cluster http://host:7654    # attach to a live coordinator
 //
 // Commands:
 //
 //	SELECT ...         # run a query (the dialect of internal/sqlparse)
 //	.explain SELECT .. # show the plan and envelope rewrites
 //	.schema            # list tables and models
+//	\shards            # (-cluster) shard map, breaker state, last epoch
 //	.quit
 package main
 
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"math/rand"
 	"os"
@@ -26,6 +29,30 @@ import (
 )
 
 func main() {
+	clusterURL := flag.String("cluster", "", "coordinator base URL; run against a live cluster instead of the embedded demo engine")
+	flag.Parse()
+
+	if *clusterURL != "" {
+		cc := newClusterClient(*clusterURL)
+		ci, err := cc.info()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cluster:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("minequery shell — attached to coordinator %s (%d shards, %s on %s)\n",
+			*clusterURL, len(ci.Shards), ci.Mode, ci.Column)
+		fmt.Println(`try: \shards, or a SELECT over the sharded table`)
+		sc := bufio.NewScanner(os.Stdin)
+		cc.repl(func() (string, bool) {
+			fmt.Print("mq> ")
+			if !sc.Scan() {
+				return "", false
+			}
+			return strings.TrimSpace(sc.Text()), true
+		})
+		return
+	}
+
 	eng, err := demoEngine()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "setup:", err)

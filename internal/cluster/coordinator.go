@@ -1,0 +1,846 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minequery"
+	"minequery/internal/exec"
+	"minequery/internal/fault"
+	"minequery/internal/qerr"
+	"minequery/internal/sqlparse"
+)
+
+// Config tunes a Coordinator. Zero values take the documented defaults.
+type Config struct {
+	// ShardTimeout is the per-shard request deadline (default 10s).
+	ShardTimeout time.Duration
+	// Retry bounds retries of transient per-shard failures (zero value:
+	// fault.DefaultRetryPolicy with network-scale backoff).
+	Retry fault.RetryPolicy
+	// BreakerThreshold trips a remote's circuit after that many
+	// consecutive availability failures (default 3; negative disables).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped remote stays open before a
+	// probe (default 5s).
+	BreakerCooldown time.Duration
+	// AllowPartial, when true, turns a shard availability failure into
+	// a degraded partial result (Degraded set, MissingShards listed,
+	// never silent) instead of a typed error. Default false: strict —
+	// any unavailable shard fails the query with ErrShardUnavailable.
+	AllowPartial bool
+	// HTTP overrides the transport (tests inject httptest clients).
+	HTTP *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 10 * time.Second
+	}
+	if c.Retry == (fault.RetryPolicy{}) {
+		c.Retry = fault.RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 200 * time.Millisecond, Jitter: 0.5}
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	return c
+}
+
+// maxReplans bounds how many epoch-mismatch/stale-plan rounds one
+// shard execution absorbs before the coordinator stops chasing catalog
+// churn and either runs unguarded or surfaces the error.
+const maxReplans = 3
+
+// shardState is the coordinator's last-observed view of one node.
+type shardState struct {
+	// epoch is the shard's last seen catalog epoch (-1: never synced).
+	epoch int64
+	// models maps lowercased model name to the shard's registration
+	// info; nil when unknown or invalidated by an epoch change.
+	models map[string]ModelInfo
+}
+
+// coordStmt is one coordinator-prepared statement: the SQL plus the
+// per-shard statement ids it propagated to.
+type coordStmt struct {
+	id   string
+	sql  string
+	norm string
+	// shardIDs maps shard index -> remote statement id ("" until that
+	// shard has been prepared). Guarded by the coordinator mu.
+	shardIDs map[int]string
+}
+
+// outlineEntry caches a planner outline against the planner epoch.
+type outlineEntry struct {
+	outline *minequery.PlanOutline
+	epoch   int64
+}
+
+// Counters is a snapshot of the coordinator's lifetime counters; they
+// back the minequery_shard_* metric series.
+type Counters struct {
+	// Queries counts coordinator executions (fan-outs, not per-shard).
+	Queries int64 `json:"queries"`
+	// Planned/Pruned/Queried/Degraded count shard slots across all
+	// queries: every query contributes NumShards to Planned.
+	Planned  int64 `json:"shards_planned"`
+	Pruned   int64 `json:"shards_pruned"`
+	Queried  int64 `json:"shards_queried"`
+	Degraded int64 `json:"shards_degraded"`
+	// Errors counts per-shard availability failures surfaced or
+	// absorbed; Retries counts transient per-shard retries; Replans
+	// counts epoch-mismatch/stale-plan recovery rounds.
+	Errors  int64 `json:"shard_errors"`
+	Retries int64 `json:"shard_retries"`
+	Replans int64 `json:"replans"`
+}
+
+// ShardStatus is the \shards / GET /v1/cluster view of one node.
+type ShardStatus struct {
+	ID        int    `json:"id"`
+	Addr      string `json:"addr"`
+	Breaker   string `json:"breaker"`
+	LastEpoch int64  `json:"last_epoch"`
+	Models    int    `json:"models"`
+	Range     string `json:"range,omitempty"`
+}
+
+// ShardStats summarizes one query's fan-out for EXPLAIN ANALYZE and
+// the executeResponse shards line.
+type ShardStats struct {
+	Planned  int `json:"planned"`
+	Pruned   int `json:"pruned"`
+	Queried  int `json:"queried"`
+	Degraded int `json:"degraded"`
+}
+
+func (s ShardStats) String() string {
+	return fmt.Sprintf("shards: planned=%d pruned=%d queried=%d degraded=%d",
+		s.Planned, s.Pruned, s.Queried, s.Degraded)
+}
+
+// Request is one coordinator execution: exactly one of SQL or
+// StatementID, plus per-call knobs.
+type Request struct {
+	SQL         string
+	StatementID string
+	// DOP overrides each shard's scan parallelism (<=0: shard default).
+	DOP int
+}
+
+// Result is a merged coordinator answer.
+type Result struct {
+	StatementID string
+	Columns     []string
+	// Rows preserve each shard's literal JSON numbers (json.Number), so
+	// re-encoding is byte-identical to a single node over the union.
+	Rows       [][]any
+	ShardStats ShardStats
+	// Degraded is set when AllowPartial accepted missing shards; the
+	// rows are a sound subset, MissingShards lists what's absent, and
+	// Notes explains — never silently short.
+	Degraded      bool
+	MissingShards []int
+	Notes         []string
+	// Retries totals per-shard transient retries for this query.
+	Retries int64
+	// Epoch is the planner's catalog epoch the outline was derived at.
+	Epoch int64
+}
+
+// Coordinator fans one logical minequery database out over a shard
+// map: it plans each query once on a local planner engine (schema +
+// models, no rows), prunes shards whose key range is provably disjoint
+// from the envelope-rewritten predicate, and scatter-gathers the
+// survivors with per-shard deadlines, bounded retries, and a circuit
+// breaker per remote.
+type Coordinator struct {
+	planner *minequery.Engine
+	shards  *Map
+	client  *Client
+	breaker *fault.BreakerSet
+	cfg     Config
+
+	mu       sync.Mutex
+	states   []shardState
+	outlines map[string]*outlineEntry
+	stmts    map[string]*coordStmt
+	byNorm   map[string]*coordStmt
+	nextStmt int
+
+	queries, planned, pruned, queried atomic.Int64
+	degraded, errorsN, retries        atomic.Int64
+	replans                           atomic.Int64
+}
+
+// New builds a coordinator over a shard map. planner must hold the
+// sharded table's schema and every model the fleet serves — it plans
+// and prunes; it needs no rows.
+func New(planner *minequery.Engine, m *Map, cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	states := make([]shardState, m.NumShards())
+	for i := range states {
+		states[i].epoch = -1
+	}
+	return &Coordinator{
+		planner:  planner,
+		shards:   m,
+		client:   NewClient(cfg.HTTP),
+		breaker:  fault.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		cfg:      cfg,
+		states:   states,
+		outlines: map[string]*outlineEntry{},
+		stmts:    map[string]*coordStmt{},
+		byNorm:   map[string]*coordStmt{},
+	}
+}
+
+// Map returns the coordinator's shard map.
+func (c *Coordinator) Map() *Map { return c.shards }
+
+// Counters snapshots the lifetime counters.
+func (c *Coordinator) Counters() Counters {
+	return Counters{
+		Queries:  c.queries.Load(),
+		Planned:  c.planned.Load(),
+		Pruned:   c.pruned.Load(),
+		Queried:  c.queried.Load(),
+		Degraded: c.degraded.Load(),
+		Errors:   c.errorsN.Load(),
+		Retries:  c.retries.Load(),
+		Replans:  c.replans.Load(),
+	}
+}
+
+// BreakerOpen returns how many remotes have a non-closed circuit.
+func (c *Coordinator) BreakerOpen() int { return c.breaker.OpenCount() }
+
+// BreakerTrips returns the cumulative remote circuit trips.
+func (c *Coordinator) BreakerTrips() int64 { return c.breaker.Trips() }
+
+// ShardStatuses reports per-node status for \shards and /v1/cluster.
+func (c *Coordinator) ShardStatuses() []ShardStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ShardStatus, c.shards.NumShards())
+	for i, sh := range c.shards.Shards {
+		out[i] = ShardStatus{
+			ID:        sh.ID,
+			Addr:      sh.Addr,
+			Breaker:   c.breaker.StateOf(sh.Addr),
+			LastEpoch: c.states[i].epoch,
+			Models:    len(c.states[i].models),
+			Range:     c.rangeOf(i),
+		}
+	}
+	return out
+}
+
+// rangeOf renders shard i's key range ("[lo, hi)"); "" for hash maps.
+func (c *Coordinator) rangeOf(i int) string {
+	if c.shards.Mode != ModeRange {
+		return ""
+	}
+	lo, hi := "-inf", "+inf"
+	if i > 0 {
+		lo = c.shards.Bounds[i-1].String()
+	}
+	if i < len(c.shards.Bounds) {
+		hi = c.shards.Bounds[i].String()
+	}
+	return fmt.Sprintf("[%s, %s)", lo, hi)
+}
+
+// SyncShard refreshes the coordinator's view of shard i's catalog.
+func (c *Coordinator) SyncShard(ctx context.Context, i int) error {
+	sctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	defer cancel()
+	info, err := c.client.Info(sctx, c.shards.Shards[i].Addr)
+	if err != nil {
+		return &ShardError{Shard: i, Addr: c.shards.Shards[i].Addr, Err: err}
+	}
+	models := make(map[string]ModelInfo, len(info.Models))
+	for _, m := range info.Models {
+		models[strings.ToLower(m.Name)] = m
+	}
+	c.mu.Lock()
+	c.states[i] = shardState{epoch: info.Epoch, models: models}
+	c.mu.Unlock()
+	return nil
+}
+
+// Sync refreshes every shard concurrently, returning the first error
+// (by shard index) if any node is unreachable.
+func (c *Coordinator) Sync(ctx context.Context) error {
+	errs := make([]error, c.shards.NumShards())
+	var wg sync.WaitGroup
+	for i := range c.shards.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.SyncShard(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// outline plans sql once against the planner, caching by normalized
+// text until the planner's catalog epoch moves.
+func (c *Coordinator) outline(sql string) (*minequery.PlanOutline, error) {
+	norm, err := sqlparse.Normalize(sql)
+	if err != nil {
+		return nil, err
+	}
+	epoch := c.planner.CatalogEpoch()
+	c.mu.Lock()
+	if ent, ok := c.outlines[norm]; ok && ent.epoch == epoch {
+		c.mu.Unlock()
+		return ent.outline, nil
+	}
+	c.mu.Unlock()
+	o, err := c.planner.Outline(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.outlines[norm] = &outlineEntry{outline: o, epoch: o.Epoch}
+	c.mu.Unlock()
+	return o, nil
+}
+
+// pruneDecision classifies every shard for one query.
+type pruneDecision struct {
+	// query[i]: scatter to shard i. envPruned[i]: skipped, but the skip
+	// leaned on envelope terms and needs runtime validation when models
+	// are referenced. dataPruned[i]: skipped on the query's own data
+	// predicate alone — unconditionally sound.
+	query, envPruned, dataPruned []bool
+}
+
+// decide computes the prune decision for an outline. Envelope-driven
+// skips require the shard's referenced-model fingerprints to match the
+// planner's; a shard whose models are unknown or divergent is queried
+// instead (always locally sound), never pruned.
+func (c *Coordinator) decide(ctx context.Context, o *minequery.PlanOutline) pruneDecision {
+	n := c.shards.NumShards()
+	full := c.shards.PruneShards(o.DataPred)
+	base := c.shards.PruneShards(o.BaselinePred)
+	d := pruneDecision{
+		query:      make([]bool, n),
+		envPruned:  make([]bool, n),
+		dataPruned: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case !base[i]:
+			// The user's own predicate misses this shard's range: no
+			// model semantics involved, prune unconditionally.
+			d.dataPruned[i] = true
+		case !full[i]:
+			// Only the envelope-augmented predicate misses it: sound iff
+			// this shard's models match the planner's envelopes.
+			if len(o.Models) == 0 || c.fingerprintsMatch(ctx, i, o) {
+				d.envPruned[i] = true
+			} else {
+				d.query[i] = true
+			}
+		default:
+			d.query[i] = true
+		}
+	}
+	return d
+}
+
+// fingerprintsMatch reports whether shard i's registrations of every
+// model the outline references carry the planner's fingerprints,
+// syncing the shard's info first when it has never been observed. Any
+// doubt — unknown state, failed sync, missing model, divergent hash —
+// answers false, which demotes a prune to a query.
+func (c *Coordinator) fingerprintsMatch(ctx context.Context, i int, o *minequery.PlanOutline) bool {
+	c.mu.Lock()
+	models := c.states[i].models
+	c.mu.Unlock()
+	if models == nil {
+		if err := c.SyncShard(ctx, i); err != nil {
+			return false
+		}
+		c.mu.Lock()
+		models = c.states[i].models
+		c.mu.Unlock()
+	}
+	for _, ref := range o.Models {
+		mi, ok := models[ref.Name]
+		if !ok || mi.Fingerprint != ref.Fingerprint {
+			return false
+		}
+	}
+	return true
+}
+
+// shardOutcome is one shard's terminal result for a query.
+type shardOutcome struct {
+	resp *ExecResponse
+	err  error
+}
+
+// Execute runs one statement across the fleet and merges the answer.
+func (c *Coordinator) Execute(ctx context.Context, req Request) (*Result, error) {
+	if (req.SQL == "") == (req.StatementID == "") {
+		return nil, errors.New("cluster: exactly one of SQL or StatementID is required")
+	}
+	var stmt *coordStmt
+	sql := req.SQL
+	if req.StatementID != "" {
+		c.mu.Lock()
+		stmt = c.stmts[req.StatementID]
+		c.mu.Unlock()
+		if stmt == nil {
+			return nil, &RemoteError{Status: http.StatusNotFound, Code: "not_found", Message: "no statement " + req.StatementID}
+		}
+		sql = stmt.sql
+	}
+	o, err := c.outline(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.queries.Add(1)
+	n := c.shards.NumShards()
+	c.planned.Add(int64(n))
+
+	d := c.decide(ctx, o)
+	outcomes := make([]shardOutcome, n)
+	validated := make([]bool, n) // envPruned shards whose prune survived validation
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		switch {
+		case d.query[i]:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outcomes[i] = c.execOnShard(ctx, i, o, stmt, req)
+			}(i)
+		case d.envPruned[i] && len(o.Models) > 0:
+			// Validate the envelope-driven skip in parallel with the
+			// scatter: cheap info fetch, and only a fingerprint change
+			// demotes the prune to a second-wave query.
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if err := c.SyncShard(ctx, i); err != nil {
+					outcomes[i] = shardOutcome{err: err}
+					return
+				}
+				if c.fingerprintsMatch(ctx, i, o) {
+					validated[i] = true
+					return
+				}
+				// The shard retrained since the outline: its model may
+				// predict rows the planner's envelope excluded. Query it;
+				// its local plan is sound against its local model.
+				c.replans.Add(1)
+				outcomes[i] = c.execOnShard(ctx, i, o, stmt, req)
+				d.query[i], d.envPruned[i] = true, false
+			}(i)
+		default:
+			validated[i] = d.envPruned[i] || d.dataPruned[i]
+		}
+	}
+	wg.Wait()
+
+	return c.merge(o, d, outcomes, stmt)
+}
+
+// merge assembles the final Result from per-shard outcomes, enforcing
+// the failure policy.
+func (c *Coordinator) merge(o *minequery.PlanOutline, d pruneDecision, outcomes []shardOutcome, stmt *coordStmt) (*Result, error) {
+	n := c.shards.NumShards()
+	res := &Result{Epoch: o.Epoch}
+	if stmt != nil {
+		res.StatementID = stmt.id
+	}
+	res.ShardStats.Planned = n
+
+	parts := make([][][]any, 0, n)
+	var missing []int
+	var firstShardErr, firstRemoteErr error
+	for i := 0; i < n; i++ {
+		out := outcomes[i]
+		switch {
+		case d.query[i] && out.err == nil && out.resp != nil:
+			res.ShardStats.Queried++
+			parts = append(parts, out.resp.Rows)
+			if res.Columns == nil {
+				res.Columns = out.resp.Columns
+			}
+			res.Retries += out.resp.Retries
+			if out.resp.Degraded || out.resp.Fallback {
+				res.Notes = append(res.Notes, fmt.Sprintf("shard %d ran degraded/fallback (rows identical)", i))
+			}
+		case d.query[i]:
+			var re *RemoteError
+			if errors.As(out.err, &re) {
+				if firstRemoteErr == nil {
+					firstRemoteErr = out.err
+				}
+				continue
+			}
+			c.errorsN.Add(1)
+			missing = append(missing, i)
+			if firstShardErr == nil {
+				firstShardErr = out.err
+			}
+		case out.err != nil:
+			// A pruned shard whose validation fetch failed: the skip can
+			// no longer be proven sound, and the shard cannot be queried.
+			c.errorsN.Add(1)
+			missing = append(missing, i)
+			if firstShardErr == nil {
+				firstShardErr = out.err
+			}
+		default:
+			res.ShardStats.Pruned++
+		}
+	}
+	if firstRemoteErr != nil {
+		// The fleet is reachable; the query itself failed remotely.
+		// Surface the shard's typed error exactly as a single node would.
+		return nil, firstRemoteErr
+	}
+	if firstShardErr != nil {
+		if !c.cfg.AllowPartial {
+			return nil, firstShardErr
+		}
+		res.Degraded = true
+		res.MissingShards = missing
+		c.degraded.Add(int64(len(missing)))
+		res.ShardStats.Degraded = len(missing)
+		res.Notes = append(res.Notes, fmt.Sprintf("partial result: shards %v unavailable (%v)", missing, firstShardErr))
+		if res.ShardStats.Queried == 0 {
+			// Nothing answered: a "partial" result with zero sound rows
+			// is indistinguishable from wrong rows — fail instead.
+			return nil, firstShardErr
+		}
+	}
+	c.pruned.Add(int64(res.ShardStats.Pruned))
+	c.queried.Add(int64(res.ShardStats.Queried))
+
+	if res.Columns == nil {
+		// Every shard pruned: the predicate is unsatisfiable across the
+		// whole domain. Run locally on the (empty) planner for the
+		// column shape a single node's constant scan would produce.
+		local, err := c.planner.Query(context.Background(), o.Norm)
+		if err != nil {
+			return nil, err
+		}
+		res.Columns = local.Columns
+	}
+	res.Rows = exec.MergeOrdered(parts, o.Limit)
+	if res.Rows == nil {
+		res.Rows = [][]any{}
+	}
+	return res, nil
+}
+
+// execOnShard runs one statement on shard i to a terminal outcome:
+// breaker admission, bounded transient retries, and bounded
+// epoch-mismatch / stale-plan recovery rounds.
+func (c *Coordinator) execOnShard(ctx context.Context, i int, o *minequery.PlanOutline, stmt *coordStmt, req Request) shardOutcome {
+	addr := c.shards.Shards[i].Addr
+	shed, probe := c.breaker.Allow(addr)
+	if shed {
+		c.errorsN.Add(1)
+		return shardOutcome{err: &ShardError{Shard: i, Addr: addr,
+			Err: errors.New("circuit breaker open")}}
+	}
+
+	guarded := len(o.Models) > 0
+	var resp *ExecResponse
+	var lastErr error
+	for round := 0; round <= maxReplans; round++ {
+		ereq := ExecRequest{TimeoutMS: c.cfg.ShardTimeout.Milliseconds(), DOP: req.DOP}
+		if stmt != nil {
+			ereq.StatementID = c.shardStmtID(ctx, i, stmt)
+			if ereq.StatementID == "" {
+				// The shard was unreachable at prepare time and still is.
+				lastErr = fmt.Errorf("%w: statement not preparable on shard", qerr.ErrTransient)
+				break
+			}
+		} else {
+			ereq.SQL = o.Norm
+		}
+		if guarded && round < maxReplans {
+			c.mu.Lock()
+			ep := c.states[i].epoch
+			c.mu.Unlock()
+			if ep >= 0 {
+				ereq.ExpectedEpoch = &ep
+			}
+			// Final round runs unguarded: the shard plans locally against
+			// whatever catalog it has, which is always locally sound —
+			// liveness wins once churn outruns the replan budget.
+		}
+
+		attempt := func() error {
+			sctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+			defer cancel()
+			r, err := c.client.Exec(sctx, addr, ereq)
+			if err != nil {
+				return err
+			}
+			resp = r
+			return nil
+		}
+		lastErr = fault.Retry(ctx, nil, c.cfg.Retry, attempt, func(error) { c.retries.Add(1) })
+		if lastErr == nil {
+			break
+		}
+		var re *RemoteError
+		if errors.As(lastErr, &re) {
+			switch re.Code {
+			case "epoch_mismatch":
+				// The shard's catalog moved: refresh our view (new epoch +
+				// fingerprints) and replan the guard.
+				c.replans.Add(1)
+				if err := c.SyncShard(ctx, i); err != nil {
+					lastErr = err
+					break
+				}
+				continue
+			case "stale_plan":
+				// The shard's own lazy re-prepare lost a churn race; one
+				// more round gives it a fresh epoch to plan at.
+				c.replans.Add(1)
+				continue
+			case "not_found":
+				if stmt != nil {
+					// The remote statement id vanished (shard restarted or
+					// evicted it): re-propagate the statement and retry.
+					c.replans.Add(1)
+					c.forgetShardStmt(i, stmt)
+					continue
+				}
+			}
+		}
+		break
+	}
+
+	if lastErr == nil {
+		c.breaker.Report(addr, probe, false)
+		c.observeEpoch(i, resp.Epoch)
+		return shardOutcome{resp: resp}
+	}
+	var re *RemoteError
+	if errors.As(lastErr, &re) {
+		// The shard answered; the query failed there. That is signal the
+		// node is alive, not an availability failure.
+		c.breaker.Report(addr, probe, false)
+		return shardOutcome{err: lastErr}
+	}
+	if ctx.Err() != nil && probe {
+		// The coordinator's own deadline died mid-probe: proves nothing
+		// about the remote.
+		c.breaker.ProbeInconclusive(addr)
+	} else {
+		c.breaker.Report(addr, probe, true)
+	}
+	return shardOutcome{err: &ShardError{Shard: i, Addr: addr, Err: lastErr}}
+}
+
+// observeEpoch folds a shard's reported epoch into the coordinator's
+// state; an epoch move invalidates the cached model fingerprints so
+// the next prune decision resyncs before trusting them.
+func (c *Coordinator) observeEpoch(i int, epoch int64) {
+	c.mu.Lock()
+	if c.states[i].epoch != epoch {
+		c.states[i] = shardState{epoch: epoch}
+	}
+	c.mu.Unlock()
+}
+
+// shardStmtID returns the remote statement id for stmt on shard i,
+// propagating the statement there first if needed ("" when the shard
+// cannot be reached).
+func (c *Coordinator) shardStmtID(ctx context.Context, i int, stmt *coordStmt) string {
+	c.mu.Lock()
+	id := stmt.shardIDs[i]
+	c.mu.Unlock()
+	if id != "" {
+		return id
+	}
+	sctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	defer cancel()
+	pr, err := c.client.Prepare(sctx, c.shards.Shards[i].Addr, stmt.sql)
+	if err != nil {
+		return ""
+	}
+	c.mu.Lock()
+	stmt.shardIDs[i] = pr.StatementID
+	c.mu.Unlock()
+	return pr.StatementID
+}
+
+// forgetShardStmt drops shard i's cached statement id so the next
+// round re-propagates it.
+func (c *Coordinator) forgetShardStmt(i int, stmt *coordStmt) {
+	c.mu.Lock()
+	delete(stmt.shardIDs, i)
+	c.mu.Unlock()
+}
+
+// PreparedInfo describes a coordinator-prepared statement.
+type PreparedInfo struct {
+	StatementID string `json:"statement_id"`
+	Cached      bool   `json:"cached"`
+	Norm        string `json:"norm"`
+	// ShardsPrepared counts nodes holding the plan after this call;
+	// unreachable nodes are propagated to lazily at execute time.
+	ShardsPrepared int `json:"shards_prepared"`
+}
+
+// Prepare plans a statement once on the coordinator and propagates it
+// to every reachable shard. The fleet shares plans by normalized
+// statement text: each shard's registry dedupes on it, so N
+// coordinators preparing the same query converge on one plan per node.
+func (c *Coordinator) Prepare(ctx context.Context, sql string) (*PreparedInfo, error) {
+	o, err := c.outline(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if st, ok := c.byNorm[o.Norm]; ok {
+		c.mu.Unlock()
+		return &PreparedInfo{StatementID: st.id, Cached: true, Norm: o.Norm, ShardsPrepared: c.countPrepared(st)}, nil
+	}
+	c.nextStmt++
+	st := &coordStmt{id: fmt.Sprintf("cq%d", c.nextStmt), sql: sql, norm: o.Norm, shardIDs: map[int]string{}}
+	c.stmts[st.id] = st
+	c.byNorm[o.Norm] = st
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for i := range c.shards.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.shardStmtID(ctx, i, st)
+		}(i)
+	}
+	wg.Wait()
+	return &PreparedInfo{StatementID: st.id, Norm: o.Norm, ShardsPrepared: c.countPrepared(st)}, nil
+}
+
+func (c *Coordinator) countPrepared(st *coordStmt) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, id := range st.shardIDs {
+		if id != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// ExplainAnalyze profiles the statement across the fleet: the prune
+// decision, the shards line, and each queried shard's own per-operator
+// report stitched in shard order.
+func (c *Coordinator) ExplainAnalyze(ctx context.Context, sql string) (string, error) {
+	o, err := c.outline(sql)
+	if err != nil {
+		return "", err
+	}
+	d := c.decide(ctx, o)
+	n := c.shards.NumShards()
+	stats := ShardStats{Planned: n}
+	reports := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if !d.query[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+			defer cancel()
+			rep, err := c.client.ExplainAnalyze(sctx, c.shards.Shards[i].Addr, o.Norm, c.cfg.ShardTimeout)
+			if err != nil {
+				reports[i] = fmt.Sprintf("  error: %v", err)
+				return
+			}
+			reports[i] = indent(rep.Analyze)
+		}(i)
+	}
+	wg.Wait()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: table=%s mode=%s column=%s\n", c.shards.Table, c.shards.Mode, c.shards.Column)
+	for i := 0; i < n; i++ {
+		switch {
+		case d.query[i]:
+			stats.Queried++
+		default:
+			stats.Pruned++
+		}
+	}
+	fmt.Fprintln(&b, stats.String())
+	for _, note := range o.Notes {
+		fmt.Fprintf(&b, "rewrite: %s\n", note)
+	}
+	for i := 0; i < n; i++ {
+		sh := c.shards.Shards[i]
+		switch {
+		case d.dataPruned[i]:
+			fmt.Fprintf(&b, "shard %d %s %s: pruned (data predicate disjoint from range)\n", i, sh.Addr, c.rangeOf(i))
+		case d.envPruned[i]:
+			fmt.Fprintf(&b, "shard %d %s %s: pruned (envelope disjoint from range)\n", i, sh.Addr, c.rangeOf(i))
+		default:
+			fmt.Fprintf(&b, "shard %d %s %s:\n%s\n", i, sh.Addr, c.rangeOf(i), reports[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// Statements lists the coordinator's prepared statements sorted by id.
+func (c *Coordinator) Statements() []PreparedInfo {
+	c.mu.Lock()
+	stmts := make([]*coordStmt, 0, len(c.stmts))
+	for _, st := range c.stmts {
+		stmts = append(stmts, st)
+	}
+	c.mu.Unlock()
+	sort.Slice(stmts, func(a, b int) bool { return stmts[a].id < stmts[b].id })
+	out := make([]PreparedInfo, len(stmts))
+	for i, st := range stmts {
+		out[i] = PreparedInfo{StatementID: st.id, Norm: st.norm, ShardsPrepared: c.countPrepared(st)}
+	}
+	return out
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,269 @@
+package cluster_test
+
+// In-process cluster harness: N shard daemons (real server.Server
+// instances over httptest listeners), one union single-node engine
+// holding every row in a range-partitioned table with the same bounds,
+// and a coordinator whose planner engine has the schema and models but
+// no rows. Rows are routed to shards with Map.ShardFor in the global
+// insertion sequence, so shard-order concatenation reproduces the union
+// node's partition-major scan order exactly — the basis of the
+// byte-identity checks.
+//
+// The harness trains every engine's model from an identical staging
+// table holding the full labeled data (deterministic trainer, identical
+// rows => identical fingerprints fleet-wide), matching how a real
+// deployment ships one trained model to every node. Engines get no
+// secondary indexes: scan plans have a deterministic row order at any
+// DOP (partition-major heap order), which makes byte-identity a sound
+// assertion; index-order differences are a single-node planner freedom,
+// not a distribution concern.
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"minequery"
+	"minequery/internal/cluster"
+	"minequery/internal/server"
+	"minequery/internal/value"
+)
+
+// chaosGate wraps one shard's handler: mode 0 passes through, mode 1
+// kills the TCP connection of shard-exec/execute requests (a crash mid
+// query), mode 2 kills every request (node fully down).
+type chaosGate struct {
+	mode atomic.Int32
+	next http.Handler
+}
+
+const (
+	gateHealthy  = 0
+	gateKillExec = 1
+	gateKillAll  = 2
+)
+
+func (g *chaosGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	mode := g.mode.Load()
+	kill := mode == gateKillAll ||
+		(mode == gateKillExec && (r.URL.Path == "/v1/shard-exec" || r.URL.Path == "/v1/execute"))
+	if kill {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test listener does not support hijacking")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			panic(err)
+		}
+		_ = conn.Close()
+		return
+	}
+	g.next.ServeHTTP(w, r)
+}
+
+type testCluster struct {
+	t       *testing.T
+	engines []*minequery.Engine
+	servers []*server.Server
+	gates   []*chaosGate
+	https   []*httptest.Server
+
+	union     *minequery.Engine
+	unionSrv  *server.Server
+	unionHTTP *httptest.Server
+
+	planner *minequery.Engine
+	shards  *cluster.Map
+	coord   *cluster.Coordinator
+}
+
+var custSchema = minequery.MustSchema(
+	minequery.Column{Name: "id", Kind: minequery.KindInt},
+	minequery.Column{Name: "age", Kind: minequery.KindInt},
+	minequery.Column{Name: "income", Kind: minequery.KindInt},
+	minequery.Column{Name: "visits", Kind: minequery.KindInt},
+	minequery.Column{Name: "segment", Kind: minequery.KindString},
+)
+
+// segmentFor labels a row; vip needs income = 7, budget income <= 1, so
+// the model's class envelopes carry income constraints the range map
+// can prune on.
+func segmentFor(age, income int64) string {
+	switch {
+	case age <= 1 && income == 7:
+		return "vip"
+	case income <= 1:
+		return "budget"
+	default:
+		return "regular"
+	}
+}
+
+// genRows builds the deterministic row stream (income in [0, 8)).
+func genRows(seed int64, n int) []minequery.Tuple {
+	r := rand.New(rand.NewSource(seed))
+	rows := make([]minequery.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		age := int64(r.Intn(10))
+		income := int64(r.Intn(8))
+		rows = append(rows, minequery.Tuple{
+			minequery.Int(int64(i)), minequery.Int(age), minequery.Int(income),
+			minequery.Int(int64(r.Intn(50))), minequery.Str(segmentFor(age, income)),
+		})
+	}
+	return rows
+}
+
+// trainShared trains the fleet-wide model from the full labeled data on
+// a staging table, giving every engine an identical model fingerprint.
+func trainShared(t *testing.T, eng *minequery.Engine, all []minequery.Tuple) {
+	t.Helper()
+	if err := eng.CreateTable("training", minequery.MustSchema(
+		minequery.Column{Name: "age", Kind: minequery.KindInt},
+		minequery.Column{Name: "income", Kind: minequery.KindInt},
+		minequery.Column{Name: "segment", Kind: minequery.KindString},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	stage := make([]minequery.Tuple, len(all))
+	for i, row := range all {
+		stage[i] = minequery.Tuple{row[1], row[2], row[4]}
+	}
+	if err := eng.InsertBatch("training", stage); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.TrainDecisionTree("seg_tree", "seg", "training",
+		[]string{"age", "income"}, "segment", minequery.TreeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestCluster boots nShards shard daemons split at bounds, a union
+// single-node server, and a coordinator over the shard fleet.
+func newTestCluster(t *testing.T, nShards int, bounds []int64, rows int, cfg cluster.Config) *testCluster {
+	t.Helper()
+	if len(bounds) != nShards-1 {
+		t.Fatalf("harness: %d shards need %d bounds", nShards, nShards-1)
+	}
+	all := genRows(20260808, rows)
+	bs := make([]value.Value, len(bounds))
+	for i, b := range bounds {
+		bs[i] = value.Int(b)
+	}
+
+	tc := &testCluster{t: t}
+
+	// Union node: every row in a range-partitioned table with the same
+	// bounds — the oracle the coordinator must be byte-identical to.
+	tc.union = minequery.New()
+	if err := tc.union.CreatePartitionedTable("customers", custSchema, "income", bs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.union.InsertBatch("customers", all); err != nil {
+		t.Fatal(err)
+	}
+	trainShared(t, tc.union, all)
+	if err := tc.union.Analyze("customers"); err != nil {
+		t.Fatal(err)
+	}
+	tc.unionSrv = server.New(tc.union, server.Config{})
+	tc.unionHTTP = httptest.NewServer(tc.unionSrv.Handler())
+	t.Cleanup(tc.unionHTTP.Close)
+
+	// Planner: schema + model, no customer rows.
+	tc.planner = minequery.New()
+	if err := tc.planner.CreateTable("customers", custSchema); err != nil {
+		t.Fatal(err)
+	}
+	trainShared(t, tc.planner, all)
+
+	// Route rows to shards in the global insertion sequence.
+	addrs := make([]string, nShards)
+	byShard := make([][]minequery.Tuple, nShards)
+	probe, err := cluster.NewRangeMap("customers", "income", bs, dummyAddrs(nShards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range all {
+		s := probe.ShardFor(row[2])
+		byShard[s] = append(byShard[s], row)
+	}
+	for i := 0; i < nShards; i++ {
+		eng := minequery.New()
+		if err := eng.CreateTable("customers", custSchema); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.InsertBatch("customers", byShard[i]); err != nil {
+			t.Fatal(err)
+		}
+		trainShared(t, eng, all)
+		if err := eng.Analyze("customers"); err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(eng, server.Config{})
+		gate := &chaosGate{next: srv.Handler()}
+		hs := httptest.NewServer(gate)
+		t.Cleanup(hs.Close)
+		tc.engines = append(tc.engines, eng)
+		tc.servers = append(tc.servers, srv)
+		tc.gates = append(tc.gates, gate)
+		tc.https = append(tc.https, hs)
+		addrs[i] = hs.URL
+	}
+
+	tc.shards, err = cluster.NewRangeMap("customers", "income", bs, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ShardTimeout == 0 {
+		cfg.ShardTimeout = 5 * time.Second
+	}
+	tc.coord = cluster.New(tc.planner, tc.shards, cfg)
+	return tc
+}
+
+func dummyAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "http://placeholder.invalid/" + string(rune('a'+i))
+	}
+	return out
+}
+
+// unionRows runs sql on the union engine directly (the embedded
+// oracle) and returns the result.
+func (tc *testCluster) unionRows(sql string, dop int) *minequery.Result {
+	tc.t.Helper()
+	var opts []minequery.QueryOption
+	if dop > 0 {
+		opts = append(opts, minequery.WithDOP(dop))
+	}
+	res, err := tc.union.Query(context.Background(), sql, opts...)
+	if err != nil {
+		tc.t.Fatalf("union query %q: %v", sql, err)
+	}
+	return res
+}
+
+// rowStrings canonicalizes engine tuples for comparison with the
+// coordinator's decoded JSON rows.
+func rowStrings(rows []minequery.Tuple) [][]string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		cells := make([]string, len(r))
+		for j, v := range r {
+			if v.Kind() == minequery.KindString {
+				cells[j] = v.AsString() // String() adds SQL quotes
+			} else {
+				cells[j] = v.String()
+			}
+		}
+		out[i] = cells
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Ordered merge for scatter-gather: the cluster coordinator's row
+// combiner. Range-sharded tables preserve the single-node partitioned
+// scan order (partition order, then insertion order within each), so
+// merging shard results is pure concatenation in shard-index order —
+// no comparator, no re-sort, and therefore byte-identical output to a
+// single node holding the union of the shards.
+package exec
+
+// MergeOrdered concatenates per-source result slices in source order,
+// honoring limit (< 0: no limit). It never truncates mid-source-slice
+// semantics: rows keep their within-source order, and the cut point is
+// exactly where a single-node LIMIT would have stopped.
+func MergeOrdered[T any](parts [][]T, limit int64) []T {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if limit >= 0 && int64(n) > limit {
+		n = int(limit)
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		for _, row := range p {
+			if limit >= 0 && int64(len(out)) >= limit {
+				return out
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeOrdered(t *testing.T) {
+	parts := [][]int{{1, 2}, nil, {3}, {4, 5, 6}}
+	cases := []struct {
+		name  string
+		limit int64
+		want  []int
+	}{
+		{"no-limit", -1, []int{1, 2, 3, 4, 5, 6}},
+		{"limit-zero", 0, []int{}},
+		{"limit-mid-source", 4, []int{1, 2, 3, 4}},
+		{"limit-on-boundary", 3, []int{1, 2, 3}},
+		{"limit-over", 99, []int{1, 2, 3, 4, 5, 6}},
+	}
+	for _, tc := range cases {
+		got := MergeOrdered(parts, tc.limit)
+		if len(got) == 0 && len(tc.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: MergeOrdered = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if got := MergeOrdered[int](nil, -1); len(got) != 0 {
+		t.Errorf("nil parts: got %v", got)
+	}
+}

@@ -1,0 +1,231 @@
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is one key's circuit state.
+type BreakerState int
+
+const (
+	// BreakerClosed: the guarded path runs normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the guarded path is failing; callers are shed to
+	// their degraded alternative until the cooldown ends.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown ended and one probe is exercising
+	// the guarded path; everyone else stays shed until it reports.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one key's circuit.
+type breaker struct {
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+}
+
+// BreakerSet is a keyed circuit breaker: each key (a table, a remote
+// shard, any named dependency) gets its own circuit. A circuit trips
+// open after threshold consecutive failures; while open, Allow tells
+// callers to shed to their degraded alternative. After cooldown the
+// circuit goes half-open: a single probe exercises the guarded path,
+// and its outcome closes or re-opens the circuit.
+//
+// The set carries no policy about what "degraded" means — the server
+// sheds table queries to a force-seqscan plan, the cluster coordinator
+// fails fast on an unreachable shard. Both reuse this state machine.
+type BreakerSet struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu   sync.Mutex
+	now  func() time.Time // injectable for tests (guarded by mu)
+	keys map[string]*breaker
+
+	trips atomic.Int64 // closed->open (and failed-probe re-open) transitions
+}
+
+// NewBreakerSet builds the breaker. threshold <= 0 disables it (Allow
+// always says "run normally"); cooldown <= 0 takes the 5s default.
+func NewBreakerSet(threshold int, cooldown time.Duration) *BreakerSet {
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &BreakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		keys:      map[string]*breaker{},
+	}
+}
+
+// Enabled reports whether the breaker is active.
+func (b *BreakerSet) Enabled() bool { return b != nil && b.threshold > 0 }
+
+// SetNow replaces the breaker's clock (tests advance time without
+// sleeping).
+func (b *BreakerSet) SetNow(fn func() time.Time) {
+	b.mu.Lock()
+	b.now = fn
+	b.mu.Unlock()
+}
+
+// get returns the key's circuit, creating it closed. Callers hold b.mu.
+func (b *BreakerSet) get(key string) *breaker {
+	br, ok := b.keys[key]
+	if !ok {
+		br = &breaker{}
+		b.keys[key] = br
+	}
+	return br
+}
+
+// Allow decides how the next operation on key runs. shed means "use the
+// degraded alternative"; probe means "this operation is the half-open
+// probe — report its outcome with probe=true".
+func (b *BreakerSet) Allow(key string) (shed, probe bool) {
+	if !b.Enabled() || key == "" {
+		return false, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.get(key)
+	switch br.state {
+	case BreakerClosed:
+		return false, false
+	case BreakerOpen:
+		if b.now().Sub(br.openedAt) >= b.cooldown {
+			br.state = BreakerHalfOpen
+			return false, true
+		}
+		return true, false
+	default: // half-open: a probe is already in flight
+		return true, false
+	}
+}
+
+// Report records an operation outcome on key. failed means the guarded
+// path failed; probe echoes Allow's probe flag. Shed (degraded)
+// executions are not reported — they never touch the guarded path and
+// carry no signal about it.
+func (b *BreakerSet) Report(key string, probe, failed bool) {
+	if !b.Enabled() || key == "" {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.get(key)
+	if probe {
+		if br.state != BreakerHalfOpen {
+			return // stale probe: the circuit moved on without it
+		}
+		if failed {
+			br.state = BreakerOpen
+			br.openedAt = b.now()
+			b.trips.Add(1)
+		} else {
+			br.state = BreakerClosed
+			br.failures = 0
+		}
+		return
+	}
+	if br.state != BreakerClosed {
+		return
+	}
+	if !failed {
+		br.failures = 0
+		return
+	}
+	br.failures++
+	if br.failures >= b.threshold {
+		br.state = BreakerOpen
+		br.openedAt = b.now()
+		br.failures = 0
+		b.trips.Add(1)
+	}
+}
+
+// ProbeInconclusive returns a half-open circuit to open without
+// counting a trip: the probe died for reasons unrelated to the guarded
+// path, so it proved nothing; the next cooldown expiry sends another
+// probe.
+func (b *BreakerSet) ProbeInconclusive(key string) {
+	if !b.Enabled() || key == "" {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.get(key)
+	if br.state == BreakerHalfOpen {
+		br.state = BreakerOpen
+		br.openedAt = b.now()
+	}
+}
+
+// OpenCount returns how many keys currently have a non-closed circuit.
+func (b *BreakerSet) OpenCount() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, br := range b.keys {
+		if br.state != BreakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// Trips returns the cumulative trip count.
+func (b *BreakerSet) Trips() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.trips.Load()
+}
+
+// StateOf reports a key's circuit state.
+func (b *BreakerSet) StateOf(key string) string {
+	if b == nil {
+		return BreakerClosed.String()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if br, ok := b.keys[key]; ok {
+		return br.state.String()
+	}
+	return BreakerClosed.String()
+}
+
+// States returns the non-closed circuits keyed by name (stats surfaces
+// show only the interesting ones).
+func (b *BreakerSet) States() map[string]string {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]string)
+	for key, br := range b.keys {
+		if br.state != BreakerClosed {
+			out[key] = br.state.String()
+		}
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreakerSet(0, time.Second)
+	if b.Enabled() {
+		t.Fatal("threshold 0 should disable the breaker")
+	}
+	for i := 0; i < 10; i++ {
+		b.Report("k", false, true)
+	}
+	if shed, probe := b.Allow("k"); shed || probe {
+		t.Fatalf("disabled breaker Allow = (%v, %v), want (false, false)", shed, probe)
+	}
+	if b.OpenCount() != 0 || b.Trips() != 0 {
+		t.Fatalf("disabled breaker tracked state: open=%d trips=%d", b.OpenCount(), b.Trips())
+	}
+}
+
+func TestBreakerTripAndCooldownCycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreakerSet(3, 5*time.Second)
+	b.SetNow(func() time.Time { return now })
+
+	// Two failures: still closed (a success in between resets nothing
+	// here; threshold is consecutive).
+	for i := 0; i < 2; i++ {
+		if shed, _ := b.Allow("shard-0"); shed {
+			t.Fatalf("shed before threshold on failure %d", i)
+		}
+		b.Report("shard-0", false, true)
+	}
+	if got := b.StateOf("shard-0"); got != "closed" {
+		t.Fatalf("state after 2 failures = %q, want closed", got)
+	}
+
+	// A success resets the consecutive counter.
+	b.Report("shard-0", false, false)
+	b.Report("shard-0", false, true)
+	b.Report("shard-0", false, true)
+	if got := b.StateOf("shard-0"); got != "closed" {
+		t.Fatalf("success did not reset the failure streak: %q", got)
+	}
+
+	// Third consecutive failure trips it.
+	b.Report("shard-0", false, true)
+	if got := b.StateOf("shard-0"); got != "open" {
+		t.Fatalf("state after threshold = %q, want open", got)
+	}
+	if b.Trips() != 1 || b.OpenCount() != 1 {
+		t.Fatalf("trips=%d open=%d, want 1/1", b.Trips(), b.OpenCount())
+	}
+
+	// While open and inside the cooldown: shed, no probe.
+	now = now.Add(2 * time.Second)
+	if shed, probe := b.Allow("shard-0"); !shed || probe {
+		t.Fatalf("inside cooldown Allow = (%v, %v), want (true, false)", shed, probe)
+	}
+
+	// Past cooldown: exactly one probe; concurrent callers stay shed.
+	now = now.Add(4 * time.Second)
+	shed, probe := b.Allow("shard-0")
+	if shed || !probe {
+		t.Fatalf("post-cooldown Allow = (%v, %v), want (false, true)", shed, probe)
+	}
+	if shed2, probe2 := b.Allow("shard-0"); !shed2 || probe2 {
+		t.Fatalf("second caller during probe = (%v, %v), want (true, false)", shed2, probe2)
+	}
+	if got := b.StateOf("shard-0"); got != "half-open" {
+		t.Fatalf("state during probe = %q, want half-open", got)
+	}
+
+	// Successful probe closes the circuit.
+	b.Report("shard-0", probe, false)
+	if got := b.StateOf("shard-0"); got != "closed" {
+		t.Fatalf("state after successful probe = %q, want closed", got)
+	}
+	if b.OpenCount() != 0 {
+		t.Fatalf("open count after recovery = %d, want 0", b.OpenCount())
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreakerSet(1, time.Second)
+	b.SetNow(func() time.Time { return now })
+
+	b.Report("r", false, true)
+	if got := b.StateOf("r"); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	now = now.Add(2 * time.Second)
+	if _, probe := b.Allow("r"); !probe {
+		t.Fatal("expected a probe after cooldown")
+	}
+	b.Report("r", true, true)
+	if got := b.StateOf("r"); got != "open" {
+		t.Fatalf("state after failed probe = %q, want open", got)
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2 (initial + failed probe)", b.Trips())
+	}
+
+	// The re-open restarts the cooldown from the probe's failure time.
+	if shed, probe := b.Allow("r"); !shed || probe {
+		t.Fatalf("Allow right after re-open = (%v, %v), want (true, false)", shed, probe)
+	}
+}
+
+func TestBreakerProbeInconclusive(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreakerSet(1, time.Second)
+	b.SetNow(func() time.Time { return now })
+
+	b.Report("r", false, true)
+	now = now.Add(2 * time.Second)
+	if _, probe := b.Allow("r"); !probe {
+		t.Fatal("expected a probe")
+	}
+	b.ProbeInconclusive("r")
+	if got := b.StateOf("r"); got != "open" {
+		t.Fatalf("state after inconclusive probe = %q, want open", got)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("inconclusive probe counted a trip: %d", b.Trips())
+	}
+	// The next cooldown expiry hands out another probe.
+	now = now.Add(2 * time.Second)
+	if _, probe := b.Allow("r"); !probe {
+		t.Fatal("expected a fresh probe after the inconclusive one")
+	}
+}
+
+func TestBreakerKeysAreIndependent(t *testing.T) {
+	b := NewBreakerSet(1, time.Hour)
+	b.Report("a", false, true)
+	if got := b.StateOf("a"); got != "open" {
+		t.Fatalf("a = %q, want open", got)
+	}
+	if got := b.StateOf("b"); got != "closed" {
+		t.Fatalf("b = %q, want closed", got)
+	}
+	if shed, _ := b.Allow("b"); shed {
+		t.Fatal("b shed by a's open circuit")
+	}
+	states := b.States()
+	if len(states) != 1 || states["a"] != "open" {
+		t.Fatalf("States() = %v, want {a: open}", states)
+	}
+}
+
+func TestBreakerStaleProbeReportIgnored(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreakerSet(1, time.Second)
+	b.SetNow(func() time.Time { return now })
+
+	b.Report("r", false, true)
+	now = now.Add(2 * time.Second)
+	if _, probe := b.Allow("r"); !probe {
+		t.Fatal("expected a probe")
+	}
+	b.Report("r", true, false) // probe succeeds, circuit closes
+	// A duplicate/late probe report must not flip the closed circuit.
+	b.Report("r", true, true)
+	if got := b.StateOf("r"); got != "closed" {
+		t.Fatalf("stale probe report reopened the circuit: %q", got)
+	}
+}
+
+func TestBreakerConcurrentAccess(t *testing.T) {
+	b := NewBreakerSet(3, time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []string{"x", "y"}[w%2]
+			for i := 0; i < 500; i++ {
+				shed, probe := b.Allow(key)
+				if !shed {
+					b.Report(key, probe, i%3 == 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Race detector owns the assertions; sanity-check the counters.
+	if b.OpenCount() > 2 {
+		t.Fatalf("open count = %d from 2 keys", b.OpenCount())
+	}
+}

@@ -36,6 +36,15 @@ func PrunePartitions(t *catalog.Table, pred expr.Expr) (parts []int, total int) 
 	return out, t.Part.NumPartitions()
 }
 
+// PruneSpec returns, per partition of spec, whether it may hold a row
+// satisfying pred. The cluster coordinator reuses this to prune whole
+// shards: a range shard map is just a PartitionSpec whose "partitions"
+// are nodes, and the same interval intersection that skips a partition's
+// pages skips a shard's network round-trip.
+func PruneSpec(spec *catalog.PartitionSpec, pred expr.Expr) []bool {
+	return pruneWalk(spec, pred)
+}
+
 // pruneWalk returns, per partition, whether it may hold a satisfying
 // row. And intersects, Or unions; leaves constrain only when they test
 // the partition column.

@@ -98,6 +98,48 @@ func TestPrunePartitionsUnpartitioned(t *testing.T) {
 	}
 }
 
+// TestPruneSpecStandalone exercises the exported spec-level entry point
+// (the cluster coordinator prunes shards through it, with no Table in
+// hand — a shard map is just a PartitionSpec over nodes).
+func TestPruneSpecStandalone(t *testing.T) {
+	spec := &catalog.PartitionSpec{
+		Column: "num",
+		Bounds: []value.Value{value.Int(25), value.Int(50), value.Int(75)},
+	}
+	cases := []struct {
+		name string
+		pred expr.Expr
+		want []bool
+	}{
+		{"eq", cmp("num", expr.OpEq, 30), []bool{false, true, false, false}},
+		{"range", expr.NewAnd(cmp("num", expr.OpGe, 30), cmp("num", expr.OpLt, 60)),
+			[]bool{false, true, true, false}},
+		{"contradiction", expr.NewAnd(cmp("num", expr.OpGt, 80), cmp("num", expr.OpLt, 10)),
+			[]bool{false, false, false, false}},
+		{"other-col", cmp("id", expr.OpEq, 7), []bool{true, true, true, true}},
+	}
+	for _, tc := range cases {
+		if got := PruneSpec(spec, tc.pred); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: PruneSpec = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Parity with the Table-level pruner on an identical spec.
+	_, tb := buildPartDB(t)
+	for _, tc := range cases {
+		keep := PruneSpec(tb.Part, tc.pred)
+		parts, _ := PrunePartitions(tb, tc.pred)
+		var fromKeep []int
+		for p, ok := range keep {
+			if ok {
+				fromKeep = append(fromKeep, p)
+			}
+		}
+		if !reflect.DeepEqual(fromKeep, parts) && !(len(fromKeep) == 0 && len(parts) == 0) {
+			t.Errorf("%s: PruneSpec/PrunePartitions disagree: %v vs %v", tc.name, fromKeep, parts)
+		}
+	}
+}
+
 // TestPruningSoundness cross-checks the pruner against row routing: for
 // random predicates, every row satisfying the predicate must live in a
 // surviving partition.

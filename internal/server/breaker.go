@@ -1,172 +1,63 @@
 package server
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"minequery/internal/fault"
 )
 
-// breakerState is one table's circuit state.
-type breakerState int
-
-const (
-	// breakerClosed: optimized plans run normally.
-	breakerClosed breakerState = iota
-	// breakerOpen: index paths on this table are failing; queries are
-	// shed to the degraded force-seqscan plan until the cooldown ends.
-	breakerOpen
-	// breakerHalfOpen: the cooldown ended and one probe query is
-	// running the optimized plan; everyone else stays degraded until
-	// the probe reports.
-	breakerHalfOpen
-)
-
-func (s breakerState) String() string {
-	switch s {
-	case breakerOpen:
-		return "open"
-	case breakerHalfOpen:
-		return "half-open"
-	default:
-		return "closed"
-	}
-}
-
-// tableBreaker is one table's circuit.
-type tableBreaker struct {
-	state    breakerState
-	failures int       // consecutive index-path failures while closed
-	openedAt time.Time // when the circuit last opened
-}
-
-// breakerSet is the server's per-table circuit breaker. A table's
-// circuit trips open after threshold consecutive index-path failures
-// (transient errors surfacing from an optimized plan, or engine-level
-// fallbacks); while open, the server sheds that table's queries to the
-// degraded force-seqscan plan — which returns identical rows, so
-// shedding is a latency trade, never a correctness one. After cooldown
-// the circuit goes half-open: a single probe runs the optimized plan,
-// and its outcome closes or re-opens the circuit.
+// breakerSet is the server's per-table circuit breaker: the generic
+// keyed state machine in internal/fault, plus the server's policy for
+// what "degraded" means. A table's circuit trips open after threshold
+// consecutive index-path failures (transient errors surfacing from an
+// optimized plan, or engine-level fallbacks); while open, the server
+// sheds that table's queries to the degraded force-seqscan plan — which
+// returns identical rows, so shedding is a latency trade, never a
+// correctness one. After cooldown the circuit goes half-open: a single
+// probe runs the optimized plan, and its outcome closes or re-opens the
+// circuit.
 type breakerSet struct {
-	threshold int
-	cooldown  time.Duration
-	now       func() time.Time // injectable for tests
-
-	mu     sync.Mutex
-	tables map[string]*tableBreaker
-
-	trips    atomic.Int64 // closed->open (and failed-probe re-open) transitions
+	set      *fault.BreakerSet
 	degraded atomic.Int64 // queries served on the degraded plan
 }
 
 // newBreakerSet builds the breaker. threshold <= 0 disables it (allow
 // always says "optimized"); cooldown <= 0 takes the 5s default.
 func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
-	if cooldown <= 0 {
-		cooldown = 5 * time.Second
-	}
-	return &breakerSet{
-		threshold: threshold,
-		cooldown:  cooldown,
-		now:       time.Now,
-		tables:    map[string]*tableBreaker{},
-	}
+	return &breakerSet{set: fault.NewBreakerSet(threshold, cooldown)}
 }
 
-func (b *breakerSet) enabled() bool { return b != nil && b.threshold > 0 }
-
-// get returns the table's circuit, creating it closed. Callers hold
-// b.mu.
-func (b *breakerSet) get(table string) *tableBreaker {
-	tb, ok := b.tables[table]
-	if !ok {
-		tb = &tableBreaker{}
-		b.tables[table] = tb
-	}
-	return tb
-}
+func (b *breakerSet) enabled() bool { return b != nil && b.set.Enabled() }
 
 // allow decides how the next query on table runs. degraded means "use
 // the force-seqscan plan"; probe means "this query is the half-open
 // probe — report its outcome with probe=true".
 func (b *breakerSet) allow(table string) (degraded, probe bool) {
-	if !b.enabled() || table == "" {
+	if b == nil {
 		return false, false
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	tb := b.get(table)
-	switch tb.state {
-	case breakerClosed:
-		return false, false
-	case breakerOpen:
-		if b.now().Sub(tb.openedAt) >= b.cooldown {
-			tb.state = breakerHalfOpen
-			return false, true
-		}
-		return true, false
-	default: // half-open: a probe is already in flight
-		return true, false
-	}
+	return b.set.Allow(table)
 }
 
 // report records a query outcome on table. failed means the optimized
 // plan failed transiently or fell back to the sequential scan; probe
-// echoes allow's probe flag. Degraded (shed) executions are not
-// reported — they never touch the index path and carry no signal about
-// it.
+// echoes allow's probe flag.
 func (b *breakerSet) report(table string, probe, failed bool) {
-	if !b.enabled() || table == "" {
+	if b == nil {
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	tb := b.get(table)
-	if probe {
-		if tb.state != breakerHalfOpen {
-			return // stale probe: the circuit moved on without it
-		}
-		if failed {
-			tb.state = breakerOpen
-			tb.openedAt = b.now()
-			b.trips.Add(1)
-		} else {
-			tb.state = breakerClosed
-			tb.failures = 0
-		}
-		return
-	}
-	if tb.state != breakerClosed {
-		return
-	}
-	if !failed {
-		tb.failures = 0
-		return
-	}
-	tb.failures++
-	if tb.failures >= b.threshold {
-		tb.state = breakerOpen
-		tb.openedAt = b.now()
-		tb.failures = 0
-		b.trips.Add(1)
-	}
+	b.set.Report(table, probe, failed)
 }
 
 // probeInconclusive returns a half-open circuit to open without
 // counting a trip: the probe died for reasons unrelated to the index
-// path (timeout, cancellation, parse), so it proved nothing; the next
-// cooldown expiry sends another probe.
+// path (timeout, cancellation, parse), so it proved nothing.
 func (b *breakerSet) probeInconclusive(table string) {
-	if !b.enabled() || table == "" {
+	if b == nil {
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	tb := b.get(table)
-	if tb.state == breakerHalfOpen {
-		tb.state = breakerOpen
-		tb.openedAt = b.now()
-	}
+	b.set.ProbeInconclusive(table)
 }
 
 // openCount returns how many tables currently have a non-closed
@@ -175,29 +66,28 @@ func (b *breakerSet) openCount() int {
 	if b == nil {
 		return 0
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	n := 0
-	for _, tb := range b.tables {
-		if tb.state != breakerClosed {
-			n++
-		}
+	return b.set.OpenCount()
+}
+
+// trips returns the cumulative trip count.
+func (b *breakerSet) trips() int64 {
+	if b == nil {
+		return 0
 	}
-	return n
+	return b.set.Trips()
 }
 
 // stateOf reports a table's circuit state (for /v1/stats and tests).
 func (b *breakerSet) stateOf(table string) string {
 	if b == nil {
-		return breakerClosed.String()
+		return fault.BreakerClosed.String()
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if tb, ok := b.tables[table]; ok {
-		return tb.state.String()
-	}
-	return breakerClosed.String()
+	return b.set.StateOf(table)
 }
+
+// setNow replaces the breaker's clock (tests advance time without
+// sleeping).
+func (b *breakerSet) setNow(fn func() time.Time) { b.set.SetNow(fn) }
 
 // breakerStats is the /v1/stats view of the circuit breaker.
 type breakerStats struct {
@@ -212,20 +102,11 @@ func (b *breakerSet) stats() breakerStats {
 	if !b.enabled() {
 		return breakerStats{}
 	}
-	b.mu.Lock()
-	states := make(map[string]string, len(b.tables))
-	open := 0
-	for name, tb := range b.tables {
-		if tb.state != breakerClosed {
-			open++
-			states[name] = tb.state.String()
-		}
-	}
-	b.mu.Unlock()
+	states := b.set.States()
 	return breakerStats{
 		Enabled:    true,
-		OpenTables: open,
-		Trips:      b.trips.Load(),
+		OpenTables: len(states),
+		Trips:      b.set.Trips(),
 		Degraded:   b.degraded.Load(),
 		States:     states,
 	}

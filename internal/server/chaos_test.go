@@ -118,9 +118,7 @@ func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
 	// the half-open probe, succeeds on the optimized plan, and closes
 	// the circuit.
 	eng.SetFaults(nil)
-	s.breaker.mu.Lock()
-	s.breaker.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
-	s.breaker.mu.Unlock()
+	s.breaker.setNow(func() time.Time { return time.Now().Add(2 * time.Minute) })
 
 	status, raw := call(t, http.MethodPost, ts.URL+"/v1/execute", map[string]any{"sql": vipQuery})
 	if status != http.StatusOK {
@@ -153,9 +151,7 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 
 	// Past cooldown with the fault still armed: the probe fails and the
 	// circuit re-opens, counting another trip.
-	s.breaker.mu.Lock()
-	s.breaker.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
-	s.breaker.mu.Unlock()
+	s.breaker.setNow(func() time.Time { return time.Now().Add(2 * time.Minute) })
 	status, raw := call(t, http.MethodPost, ts.URL+"/v1/execute", map[string]any{"sql": vipQuery})
 	if status != http.StatusOK {
 		t.Fatalf("probe execute: %d %s", status, raw)

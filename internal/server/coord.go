@@ -1,0 +1,328 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"minequery"
+	"minequery/internal/cluster"
+)
+
+// CoordServer is minequeryd's coordinator mode: the same HTTP/JSON
+// dialect as the single-node server (execute, prepare,
+// explain-analyze, stats, metrics, healthz) served by a
+// cluster.Coordinator fanning out over a shard map, plus GET
+// /v1/cluster exposing the map, per-shard breaker state, and
+// last-observed epochs.
+type CoordServer struct {
+	coord   *cluster.Coordinator
+	mux     *http.ServeMux
+	metrics *minequery.MetricsRegistry
+	timeout time.Duration
+	started time.Time
+
+	mu      sync.Mutex
+	closing bool
+	wg      sync.WaitGroup
+
+	// queries/errors mirror the single-node counters at the request
+	// level (the coordinator's own counters count shard slots).
+}
+
+// NewCoord wires the coordinator HTTP surface. defaultTimeout bounds a
+// whole fan-out when the request does not set timeout_ms (<=0: 30s).
+func NewCoord(coord *cluster.Coordinator, defaultTimeout time.Duration) *CoordServer {
+	if defaultTimeout <= 0 {
+		defaultTimeout = 30 * time.Second
+	}
+	cs := &CoordServer{
+		coord:   coord,
+		mux:     http.NewServeMux(),
+		timeout: defaultTimeout,
+		started: time.Now(),
+	}
+	cs.metrics = cs.buildMetrics()
+	cs.mux.HandleFunc("POST /v1/execute", cs.handleExecute)
+	cs.mux.HandleFunc("POST /v1/prepare", cs.handlePrepare)
+	cs.mux.HandleFunc("POST /v1/explain-analyze", cs.handleExplainAnalyze)
+	cs.mux.HandleFunc("GET /v1/cluster", cs.handleCluster)
+	cs.mux.HandleFunc("GET /v1/stats", cs.handleStats)
+	cs.mux.HandleFunc("GET /metrics", cs.handleMetrics)
+	cs.mux.HandleFunc("GET /healthz", cs.handleHealthz)
+	return cs
+}
+
+// Handler returns the HTTP entry point.
+func (cs *CoordServer) Handler() http.Handler { return cs.mux }
+
+// Shutdown stops admitting requests and drains in-flight fan-outs.
+func (cs *CoordServer) Shutdown(ctx context.Context) error {
+	cs.mu.Lock()
+	cs.closing = true
+	cs.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		cs.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (cs *CoordServer) beginRequest() (func(), error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.closing {
+		return nil, errShuttingDown
+	}
+	cs.wg.Add(1)
+	return cs.wg.Done, nil
+}
+
+func (cs *CoordServer) writeError(w http.ResponseWriter, err error) {
+	code, status := classify(err)
+	writeJSON(w, status, map[string]errorBody{"error": {Code: code, Message: err.Error()}})
+}
+
+// ---- wire types ----
+
+type coordExecuteRequest struct {
+	SQL         string `json:"sql"`
+	StatementID string `json:"statement_id"`
+	TimeoutMS   int64  `json:"timeout_ms"`
+	DOP         int    `json:"dop"`
+}
+
+type coordShardStatsBody struct {
+	Planned  int `json:"planned"`
+	Pruned   int `json:"pruned"`
+	Queried  int `json:"queried"`
+	Degraded int `json:"degraded"`
+}
+
+type coordExecuteResponse struct {
+	StatementID string              `json:"statement_id,omitempty"`
+	Columns     []string            `json:"columns"`
+	Rows        [][]any             `json:"rows"`
+	RowCount    int                 `json:"row_count"`
+	Shards      coordShardStatsBody `json:"shards"`
+	// Degraded: AllowPartial accepted missing shards; the rows are a
+	// sound subset and MissingShards + Notes say exactly what is absent.
+	Degraded      bool     `json:"degraded"`
+	MissingShards []int    `json:"missing_shards,omitempty"`
+	Notes         []string `json:"notes,omitempty"`
+	Retries       int64    `json:"retries"`
+	Epoch         int64    `json:"epoch"`
+}
+
+type coordExplainResponse struct {
+	Analyze string `json:"analyze"`
+}
+
+type coordClusterResponse struct {
+	Table    string                 `json:"table"`
+	Column   string                 `json:"column"`
+	Mode     string                 `json:"mode"`
+	Shards   []cluster.ShardStatus  `json:"shards"`
+	Prepared []cluster.PreparedInfo `json:"prepared,omitempty"`
+}
+
+type coordStatsResponse struct {
+	UptimeMS    int64            `json:"uptime_ms"`
+	Counters    cluster.Counters `json:"counters"`
+	BreakerOpen int              `json:"breaker_open"`
+	Trips       int64            `json:"breaker_trips"`
+}
+
+// ---- handlers ----
+
+func (cs *CoordServer) handleExecute(w http.ResponseWriter, r *http.Request) {
+	done, err := cs.beginRequest()
+	if err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	defer done()
+	var req coordExecuteRequest
+	if err := decodeBody(r, &req); err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	if (req.SQL == "") == (req.StatementID == "") {
+		cs.writeError(w, errBadRequest("exactly one of sql or statement_id is required"))
+		return
+	}
+	timeout := cs.timeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	res, err := cs.coord.Execute(ctx, cluster.Request{
+		SQL:         req.SQL,
+		StatementID: req.StatementID,
+		DOP:         req.DOP,
+	})
+	if err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, coordExecuteResponse{
+		StatementID: res.StatementID,
+		Columns:     res.Columns,
+		Rows:        res.Rows,
+		RowCount:    len(res.Rows),
+		Shards: coordShardStatsBody{
+			Planned:  res.ShardStats.Planned,
+			Pruned:   res.ShardStats.Pruned,
+			Queried:  res.ShardStats.Queried,
+			Degraded: res.ShardStats.Degraded,
+		},
+		Degraded:      res.Degraded,
+		MissingShards: res.MissingShards,
+		Notes:         res.Notes,
+		Retries:       res.Retries,
+		Epoch:         res.Epoch,
+	})
+}
+
+func (cs *CoordServer) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	done, err := cs.beginRequest()
+	if err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	defer done()
+	var req prepareRequest
+	if err := decodeBody(r, &req); err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	if req.SQL == "" {
+		cs.writeError(w, errBadRequest("sql is required"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), cs.timeout)
+	defer cancel()
+	info, err := cs.coord.Prepare(ctx, req.SQL)
+	if err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (cs *CoordServer) handleExplainAnalyze(w http.ResponseWriter, r *http.Request) {
+	done, err := cs.beginRequest()
+	if err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	defer done()
+	var req explainAnalyzeRequest
+	if err := decodeBody(r, &req); err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	if req.SQL == "" {
+		cs.writeError(w, errBadRequest("sql is required"))
+		return
+	}
+	timeout := cs.timeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	report, err := cs.coord.ExplainAnalyze(ctx, req.SQL)
+	if err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, coordExplainResponse{Analyze: report})
+}
+
+func (cs *CoordServer) handleCluster(w http.ResponseWriter, r *http.Request) {
+	m := cs.coord.Map()
+	writeJSON(w, http.StatusOK, coordClusterResponse{
+		Table:    m.Table,
+		Column:   m.Column,
+		Mode:     string(m.Mode),
+		Shards:   cs.coord.ShardStatuses(),
+		Prepared: cs.coord.Statements(),
+	})
+}
+
+func (cs *CoordServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, coordStatsResponse{
+		UptimeMS:    time.Since(cs.started).Milliseconds(),
+		Counters:    cs.coord.Counters(),
+		BreakerOpen: cs.coord.BreakerOpen(),
+		Trips:       cs.coord.BreakerTrips(),
+	})
+}
+
+func (cs *CoordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cs.mu.Lock()
+	closing := cs.closing
+	cs.mu.Unlock()
+	if closing {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the minequery_shard_* series; like the
+// single-node scrape endpoint it skips the drain guard.
+func (cs *CoordServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = cs.metrics.WritePrometheus(w)
+}
+
+// buildMetrics bridges the coordinator's counters into frozen
+// minequery_shard_* series (checked by cmd/metricslint against the
+// cluster required-series list).
+func (cs *CoordServer) buildMetrics() *minequery.MetricsRegistry {
+	reg := minequery.NewMetricsRegistry()
+	c := func(f func(cluster.Counters) int64) func() float64 {
+		return func() float64 { return float64(f(cs.coord.Counters())) }
+	}
+	reg.CounterFunc("minequery_coord_queries_total",
+		"Queries executed by the coordinator (fan-outs, not per-shard requests).",
+		c(func(x cluster.Counters) int64 { return x.Queries }))
+	reg.CounterFunc("minequery_shard_planned_total",
+		"Shard slots considered across all coordinator queries (queries x shards).",
+		c(func(x cluster.Counters) int64 { return x.Planned }))
+	reg.CounterFunc("minequery_shard_pruned_total",
+		"Shard round-trips skipped because the shard's key range is provably disjoint from the (envelope-rewritten) predicate.",
+		c(func(x cluster.Counters) int64 { return x.Pruned }))
+	reg.CounterFunc("minequery_shard_queried_total",
+		"Shard round-trips actually performed.",
+		c(func(x cluster.Counters) int64 { return x.Queried }))
+	reg.CounterFunc("minequery_shard_degraded_total",
+		"Shard slots answered as missing in an AllowPartial degraded result.",
+		c(func(x cluster.Counters) int64 { return x.Degraded }))
+	reg.CounterFunc("minequery_shard_errors_total",
+		"Per-shard availability failures (connect, deadline, exhausted retries, open breaker).",
+		c(func(x cluster.Counters) int64 { return x.Errors }))
+	reg.CounterFunc("minequery_shard_retries_total",
+		"Per-shard transient retries performed by the coordinator.",
+		c(func(x cluster.Counters) int64 { return x.Retries }))
+	reg.CounterFunc("minequery_shard_replans_total",
+		"Epoch-mismatch / stale-plan recovery rounds (fleet-level plan invalidation).",
+		c(func(x cluster.Counters) int64 { return x.Replans }))
+	reg.GaugeFunc("minequery_shard_breaker_open",
+		"Remote shards whose circuit breaker is currently open or half-open.",
+		func() float64 { return float64(cs.coord.BreakerOpen()) })
+	reg.CounterFunc("minequery_shard_breaker_trips_total",
+		"Remote circuit-breaker trips.",
+		func() float64 { return float64(cs.coord.BreakerTrips()) })
+	return reg
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"minequery"
+	"minequery/internal/cluster"
 )
 
 // Error codes returned in the JSON error envelope. Each maps to one
@@ -23,6 +24,10 @@ const (
 	CodeUnknownTable = "unknown_table" // 404: query names a table the catalog lacks
 	CodeUnknownModel = "unknown_model" // 404: query names a model the catalog lacks
 	CodeTransient    = "transient"     // 503: transient failure survived retries and fallback; safe to retry
+
+	// Cluster codes (coordinator mode and the shard-exec endpoint).
+	CodeEpochMismatch    = "epoch_mismatch"    // 409: shard catalog epoch differs from the coordinator's expectation
+	CodeShardUnavailable = "shard_unavailable" // 502: a shard could not be reached and the query cannot be answered soundly
 )
 
 // statusClientClosedRequest is nginx's non-standard 499: the client
@@ -52,6 +57,13 @@ var errShuttingDown = &apiError{code: CodeShuttingDown, msg: "server is shutting
 // anything else is a bad request if it happened before execution (the
 // caller decides) or internal.
 func classify(err error) (string, int) {
+	// A RemoteError is a shard's own typed answer relayed by the
+	// coordinator: pass the original code and status through so cluster
+	// clients see exactly what a single node would have returned.
+	var re *cluster.RemoteError
+	if errors.As(err, &re) {
+		return re.Code, re.Status
+	}
 	var ae *apiError
 	if errors.As(err, &ae) {
 		switch ae.code {
@@ -63,11 +75,23 @@ func classify(err error) (string, int) {
 			return CodeNotFound, http.StatusNotFound
 		case CodeBadRequest:
 			return CodeBadRequest, http.StatusBadRequest
+		case CodeEpochMismatch:
+			return CodeEpochMismatch, http.StatusConflict
+		case CodeShardUnavailable:
+			return CodeShardUnavailable, http.StatusBadGateway
 		default:
 			return CodeInternal, http.StatusInternalServerError
 		}
 	}
 	switch {
+	// Shard availability must outrank the transient check: a ShardError
+	// usually wraps ErrTransient (that is what made it retryable), but
+	// "a named shard is down" is the actionable fact — 502 with the
+	// shard id beats a generic 503.
+	case errors.Is(err, cluster.ErrShardUnavailable):
+		return CodeShardUnavailable, http.StatusBadGateway
+	case errors.Is(err, cluster.ErrEpochMismatch):
+		return CodeEpochMismatch, http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeTimeout, http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

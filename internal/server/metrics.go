@@ -82,7 +82,7 @@ func (s *Server) buildMetrics() *minequery.MetricsRegistry {
 			if s.breaker == nil {
 				return 0
 			}
-			return counter(s.breaker.trips.Load())
+			return counter(s.breaker.trips())
 		})
 	reg.CounterFunc("minequeryd_degraded_queries_total",
 		"Queries shed to the degraded force-seqscan plan by an open breaker.",

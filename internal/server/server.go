@@ -156,6 +156,8 @@ func New(eng *minequery.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
 	s.mux.HandleFunc("POST /v1/execute", s.handleExecute)
 	s.mux.HandleFunc("POST /v1/explain-analyze", s.handleExplainAnalyze)
+	s.mux.HandleFunc("POST /v1/shard-exec", s.handleShardExec)
+	s.mux.HandleFunc("GET /v1/shard-info", s.handleShardInfo)
 	s.mux.HandleFunc("GET /v1/slowlog", s.handleSlowlog)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -243,15 +245,15 @@ type execStatsBody struct {
 }
 
 type executeResponse struct {
-	StatementID       string        `json:"statement_id"`
-	StatementCacheHit bool          `json:"statement_cache_hit"`
-	Columns           []string      `json:"columns"`
-	Rows              [][]any       `json:"rows"`
-	RowCount          int           `json:"row_count"`
-	Plan              string        `json:"plan"`
-	AccessPath        string        `json:"access_path"`
-	PlanChanged       bool          `json:"plan_changed"`
-	EstSelectivity    float64       `json:"est_selectivity"`
+	StatementID       string   `json:"statement_id"`
+	StatementCacheHit bool     `json:"statement_cache_hit"`
+	Columns           []string `json:"columns"`
+	Rows              [][]any  `json:"rows"`
+	RowCount          int      `json:"row_count"`
+	Plan              string   `json:"plan"`
+	AccessPath        string   `json:"access_path"`
+	PlanChanged       bool     `json:"plan_changed"`
+	EstSelectivity    float64  `json:"est_selectivity"`
 	// Degraded: the table's circuit breaker shed this query to the
 	// force-seqscan plan. Fallback: the engine itself re-ran the query
 	// on the baseline scan after a transient index-path failure. Both

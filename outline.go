@@ -1,0 +1,172 @@
+package minequery
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"minequery/internal/core"
+	"minequery/internal/expr"
+	"minequery/internal/qerr"
+	"minequery/internal/sqlparse"
+)
+
+// ModelRef identifies one model a query outline depends on.
+type ModelRef struct {
+	// Name is the model's catalog name, lowercased.
+	Name string
+	// Version is the registration generation (bumps on every retrain).
+	Version int64
+	// Fingerprint is the content hash of the model plus its envelope
+	// set. Two nodes whose entries share a fingerprint derive identical
+	// envelopes, so a plan built against one is sound against the other
+	// — the invariant the cluster coordinator's shard pruning rests on.
+	Fingerprint string
+}
+
+// PlanOutline is the distribution-facing residue of planning a query
+// once: the parsed shape plus the envelope-rewritten data predicate,
+// without a bound physical plan. A cluster coordinator uses it to prune
+// shards (intersecting DataPred with each shard's key range) and to
+// know which model fingerprints that pruning assumed; each shard then
+// plans locally against its own catalog.
+type PlanOutline struct {
+	// Table is the base table name as written in the query.
+	Table string
+	// Norm is the normalized statement text (the prepared-statement
+	// cache key shape).
+	Norm string
+	// DataPred is the sound data-columns-only weakening of the query's
+	// predicate with upper envelopes ANDed in, simplified to the same
+	// form the optimizer prunes partitions with. TrueExpr when the
+	// query has no usable predicate.
+	DataPred Expr
+	// BaselinePred is the same weakening without envelope augmentation
+	// — the query's own data predicate. Pruning justified by it alone
+	// holds regardless of what models any node carries; pruning that
+	// needs DataPred's extra envelope terms is sound only while the
+	// remote's model fingerprints match Models.
+	BaselinePred Expr
+	// Limit is the query's LIMIT (-1 when absent).
+	Limit int64
+	// Models lists the referenced models in join order (deduplicated).
+	Models []ModelRef
+	// Notes documents the envelope rewrites applied.
+	Notes []string
+	// Epoch is the catalog epoch the outline was derived at.
+	Epoch int64
+}
+
+// Outline parses and envelope-rewrites a SELECT against this engine's
+// catalog without building or running a physical plan. The engine acts
+// as the planning catalog: it must hold the referenced table's schema
+// and the referenced models, but needs no rows.
+func (e *Engine) Outline(sql string) (*PlanOutline, error) {
+	epoch := e.cat.Epoch()
+	em := e.metrics.Load()
+	stageStart := time.Now()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	em.stage("parse", time.Since(stageStart))
+	if _, ok := e.cat.Table(q.Table); !ok {
+		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, q.Table)
+	}
+	stageStart = time.Now()
+	rw, err := core.RewriteQueryCached(q, e.cat, e.optCfg.MaxDisjuncts, e.envCache)
+	if err != nil {
+		return nil, err
+	}
+	em.stage("rewrite", time.Since(stageStart))
+
+	// Mirror the optimizer's pruning input exactly: the data predicate
+	// simplified within the disjunct budget (see opt.ChooseAccessPath).
+	pred := rw.DataPred
+	if simplified, ok := expr.Simplify(pred, e.optCfg.MaxDisjuncts); ok {
+		pred = simplified
+	}
+	baseRw, err := core.BaselineRewrite(q, e.cat, e.optCfg.MaxDisjuncts)
+	if err != nil {
+		return nil, err
+	}
+	basePred := baseRw.DataPred
+	if simplified, ok := expr.Simplify(basePred, e.optCfg.MaxDisjuncts); ok {
+		basePred = simplified
+	}
+
+	models := make([]ModelRef, 0, len(q.Joins))
+	seen := map[string]bool{}
+	for _, j := range q.Joins {
+		name := strings.ToLower(j.Model)
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		me, ok := e.cat.Model(name)
+		if !ok {
+			return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownModel, j.Model)
+		}
+		models = append(models, ModelRef{Name: name, Version: me.Version, Fingerprint: me.Fingerprint})
+	}
+	norm, err := sqlparse.Normalize(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanOutline{
+		Table:        q.Table,
+		Norm:         norm,
+		DataPred:     pred,
+		BaselinePred: basePred,
+		Limit:        q.Limit,
+		Models:       models,
+		Notes:        rw.Notes,
+		Epoch:        epoch,
+	}, nil
+}
+
+// ModelSummary is the shard-info view of one registered model: enough
+// for a coordinator to decide whether a remote node's model matches its
+// own planning catalog, without shipping the model itself.
+type ModelSummary struct {
+	// Name is the model's catalog name, lowercased.
+	Name string
+	// Version and Fingerprint mirror the catalog entry (see ModelRef).
+	Version     int64
+	Fingerprint string
+	// PredictColumn is the predicted output column.
+	PredictColumn string
+	// Classes enumerates the class labels, rendered as strings.
+	Classes []string
+}
+
+// ModelSummaries lists the engine's registered models sorted by name.
+func (e *Engine) ModelSummaries() []ModelSummary {
+	entries := e.cat.Models()
+	out := make([]ModelSummary, 0, len(entries))
+	for _, me := range entries {
+		classes := me.Model.Classes()
+		cs := make([]string, len(classes))
+		for i, c := range classes {
+			cs[i] = c.String()
+		}
+		out = append(out, ModelSummary{
+			Name:          strings.ToLower(me.Model.Name()),
+			Version:       me.Version,
+			Fingerprint:   me.Fingerprint,
+			PredictColumn: me.Model.PredictColumn(),
+			Classes:       cs,
+		})
+	}
+	return out
+}
+
+// TableNames lists the engine's tables sorted by name.
+func (e *Engine) TableNames() []string {
+	tables := e.cat.Tables()
+	out := make([]string, 0, len(tables))
+	for _, t := range tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
