@@ -80,6 +80,12 @@ type AnalyzeReport struct {
 	// the optimizer proved disjoint from the predicate.
 	PartitionsTotal  int
 	PartitionsPruned int
+	// IsAggregate reports that the plan aggregated (GROUP BY or
+	// aggregate select items); AggMerges counts the partial-aggregate
+	// state merges folded into the final result (worker tables, columnar
+	// group workers, partitions — and shards at a coordinator).
+	IsAggregate bool
+	AggMerges   int64
 	// StorageFormat is "columnar" when the scan leaf ran on the
 	// column-group sidecar ("" for row-path executions — the row format
 	// is not reported so row-path output is unchanged). ColumnGroups is
@@ -179,6 +185,10 @@ func buildAnalyzeReport(root plan.Node, col *exec.Collector, t *catalog.Table, s
 		}
 	}
 	walk(root, 0)
+	if finalAggOf(root) != nil {
+		rep.IsAggregate = true
+		rep.AggMerges = col.AggMerges.Load()
+	}
 	return rep
 }
 
@@ -208,6 +218,15 @@ func estimateRows(n plan.Node, rowCount int64, sel float64) float64 {
 			return float64(x.N)
 		}
 		return child
+	case *plan.HashAgg:
+		// An ungrouped aggregate emits exactly one row. For GROUP BY the
+		// optimizer keeps no group-key distinct counts, so the input
+		// cardinality stands in as an upper bound; the est-vs-actual gap
+		// is then the measured grouping factor.
+		if len(x.GroupBy) == 0 {
+			return 1
+		}
+		return estimateRows(x.Child, rowCount, sel)
 	}
 	return 0
 }
@@ -261,6 +280,12 @@ func (r *AnalyzeReport) Render(elideTimings bool) string {
 	}
 	if r.PartitionsTotal > 0 {
 		fmt.Fprintf(&b, "partitions: %d/%d pruned\n", r.PartitionsPruned, r.PartitionsTotal)
+	}
+	if r.IsAggregate {
+		// Merge count is deterministic for a fixed configuration: one
+		// merge per extra worker table (plus one per extra shard at a
+		// coordinator), so goldens at a pinned DOP stay byte-exact.
+		fmt.Fprintf(&b, "aggregate: partial_merges=%d\n", r.AggMerges)
 	}
 	fmt.Fprintf(&b, "execution: path=%s seq_pages=%d rand_pages=%d tuples=%d cost_units=%.1f time=%s\n",
 		r.AccessPath, r.Stats.SeqPageReads, r.Stats.RandPageReads, r.Stats.TupleReads,

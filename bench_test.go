@@ -349,7 +349,7 @@ func BenchmarkQueryEndToEnd(b *testing.B) {
 	})
 	b.Run("baseline", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.QueryBaseline(nbQuery); err != nil {
+			if _, err := eng.Query(context.Background(), nbQuery, WithBaseline()); err != nil {
 				b.Fatal(err)
 			}
 		}

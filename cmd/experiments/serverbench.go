@@ -89,6 +89,12 @@ func serverBench(rows, n, conc int, out string) {
 	warm(adhocBody(0))
 	adhoc := benchRun(n, conc, adhocBody, ts.URL)
 
+	pushdown, materialize, aggN := aggregateBench(ts.URL, n, conc)
+	speedupP50 := 0.0
+	if pushdown.P50US > 0 {
+		speedupP50 = float64(materialize.P50US) / float64(pushdown.P50US)
+	}
+
 	var stats json.RawMessage
 	resp, err := http.Get(ts.URL + "/v1/stats")
 	if err == nil {
@@ -106,6 +112,13 @@ func serverBench(rows, n, conc int, out string) {
 			"on_p50_us":    onP50US,
 			"off_p50_us":   offP50US,
 			"overhead_pct": overheadPct,
+		},
+		"aggregate": map[string]any{
+			"dop":         4,
+			"requests":    aggN,
+			"pushdown":    pushdown,
+			"materialize": materialize,
+			"speedup_p50": speedupP50,
 		},
 		"server": stats,
 	}
@@ -126,15 +139,102 @@ func serverBench(rows, n, conc int, out string) {
 	for _, w := range []struct {
 		name string
 		lat  latencySummary
-	}{{"prepared", prepared}, {"adhoc", adhoc}, {"no-instr", uninstrumented}} {
+	}{{"prepared", prepared}, {"adhoc", adhoc}, {"no-instr", uninstrumented},
+		{"agg-push", pushdown}, {"agg-mat", materialize}} {
 		fmt.Printf("%-9s  %10d %10d %10d %10d %9.0f\n",
 			w.name, w.lat.P50US, w.lat.P95US, w.lat.P99US, w.lat.MeanUS, w.lat.QPS)
 	}
 	fmt.Printf("instrumentation overhead: %+.1f%% (ABBA medians: %dus on vs %dus off)\n",
 		overheadPct, onP50US, offP50US)
+	fmt.Printf("aggregate pushdown speedup at DOP 4: %.1fx over materialize-then-aggregate (p50)\n",
+		speedupP50)
+	if speedupP50 < 2 {
+		fmt.Fprintf(os.Stderr, "server bench: WARNING: pushdown speedup %.1fx below the 2x floor\n", speedupP50)
+	}
 	if out != "" {
 		fmt.Printf("wrote %s\n", out)
 	}
+}
+
+// aggregateBench measures what partial-aggregate pushdown buys over the
+// only option clients had before the aggregation API existed: SELECT
+// the raw columns, ship every row over HTTP, and fold the groups on the
+// client. Both sides run the same GROUP BY at DOP 4 through a shared
+// session; the pushdown answer travels as a handful of group rows, the
+// materialized one as the whole table. Before timing anything, the two
+// answers are cross-checked so the speedup is for identical results.
+func aggregateBench(url string, n, conc int) (pushdown, materialize latencySummary, aggN int) {
+	const aggSQL = "SELECT income, count(*), sum(age) FROM customers GROUP BY income"
+	const matSQL = "SELECT income, age FROM customers"
+
+	var sess struct {
+		SessionID string `json:"session_id"`
+	}
+	postJSON(url+"/v1/session", map[string]any{}, &sess)
+	postJSON(url+"/v1/session/"+sess.SessionID+"/settings", map[string]any{"dop": 4}, nil)
+
+	execRows := func(sql string) [][]any {
+		var out struct {
+			Rows [][]any `json:"rows"`
+		}
+		postJSON(url+"/v1/execute", map[string]any{"sql": sql, "session_id": sess.SessionID}, &out)
+		return out.Rows
+	}
+
+	// Client-side fold: what every caller had to write by hand before
+	// GROUP BY reached the wire. Shapes as income -> (count, sum age).
+	fold := func(rows [][]any) map[int64][2]int64 {
+		groups := map[int64][2]int64{}
+		for _, row := range rows {
+			inc := asInt64(row[0])
+			g := groups[inc]
+			g[0]++
+			g[1] += asInt64(row[1])
+			groups[inc] = g
+		}
+		return groups
+	}
+
+	want := fold(execRows(matSQL))
+	got := execRows(aggSQL)
+	if len(got) != len(want) {
+		fmt.Fprintf(os.Stderr, "server bench: aggregate cross-check: %d groups pushed down vs %d materialized\n", len(got), len(want))
+		os.Exit(1)
+	}
+	for _, row := range got {
+		g, ok := want[asInt64(row[0])]
+		if !ok || asInt64(row[1]) != g[0] || asInt64(row[2]) != g[1] {
+			fmt.Fprintf(os.Stderr, "server bench: aggregate cross-check: pushdown group %v disagrees with client fold %v\n", row, g)
+			os.Exit(1)
+		}
+	}
+
+	// Each materialized request ships the full table as JSON; a quarter
+	// of the main request count keeps the wall time proportionate.
+	aggN = n / 4
+	if aggN < 40 {
+		aggN = 40
+	}
+	for i := 0; i < conc; i++ {
+		execRows(aggSQL)
+	}
+	pushdown = benchRunFunc(aggN, conc, func(int) { execRows(aggSQL) })
+	for i := 0; i < conc; i++ {
+		execRows(matSQL)
+	}
+	materialize = benchRunFunc(aggN, conc, func(int) { fold(execRows(matSQL)) })
+	return pushdown, materialize, aggN
+}
+
+// asInt64 reads one JSON numeric cell (float64 under encoding/json's
+// default decoding) as the int64 it started as.
+func asInt64(v any) int64 {
+	f, ok := v.(float64)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "server bench: aggregate cell %T is not numeric\n", v)
+		os.Exit(1)
+	}
+	return int64(f)
 }
 
 // benchEngine mirrors minequeryd's -demo fixture shape: a customers
@@ -191,6 +291,13 @@ type latencySummary struct {
 // benchRun issues n requests across conc workers, timing each round
 // trip, and summarizes the client-observed latency distribution.
 func benchRun(n, conc int, body func(i int) map[string]any, url string) latencySummary {
+	return benchRunFunc(n, conc, func(i int) { postJSON(url+"/v1/execute", body(i), nil) })
+}
+
+// benchRunFunc is benchRun with an arbitrary per-request action, for
+// workloads whose client does more than post-and-discard (e.g. the
+// materialize-then-aggregate baseline, which decodes and folds rows).
+func benchRunFunc(n, conc int, do func(i int)) latencySummary {
 	if conc < 1 {
 		conc = 1
 	}
@@ -212,7 +319,7 @@ func benchRun(n, conc int, body func(i int) map[string]any, url string) latencyS
 					return
 				}
 				t0 := time.Now()
-				postJSON(url+"/v1/execute", body(i), nil)
+				do(i)
 				lats[i] = time.Since(t0)
 			}
 		}()

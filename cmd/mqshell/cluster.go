@@ -38,9 +38,15 @@ type clusterErrorEnvelope struct {
 }
 
 type clusterExecResult struct {
-	Columns  []string `json:"columns"`
-	Rows     [][]any  `json:"rows"`
-	RowCount int      `json:"row_count"`
+	Columns []string `json:"columns"`
+	Schema  []struct {
+		Name   string `json:"name"`
+		Kind   string `json:"kind"`
+		Source string `json:"source"`
+	} `json:"schema"`
+	Rows      [][]any `json:"rows"`
+	RowCount  int     `json:"row_count"`
+	AggMerges int64   `json:"agg_partial_merges"`
 	Shards   struct {
 		Planned  int `json:"planned"`
 		Pruned   int `json:"pruned"`
@@ -173,6 +179,28 @@ func truncate(s string, n int) string {
 	return s[:n-3] + "..."
 }
 
+// clusterHeader renders the column header. When the coordinator's
+// self-describing schema marks aggregate columns, each name carries
+// its kind (count(*):INT) so grouped answers read unambiguously;
+// plain selects keep the bare name header the shell always had.
+func clusterHeader(res *clusterExecResult) string {
+	hasAgg := false
+	for _, c := range res.Schema {
+		if c.Source == "aggregate" {
+			hasAgg = true
+			break
+		}
+	}
+	if !hasAgg {
+		return strings.Join(res.Columns, " | ")
+	}
+	parts := make([]string, len(res.Schema))
+	for i, c := range res.Schema {
+		parts[i] = c.Name + ":" + c.Kind
+	}
+	return strings.Join(parts, " | ")
+}
+
 // formatClusterRow renders one wire row the way the embedded shell
 // renders a Tuple: bracketed, space-separated values.
 func formatClusterRow(row []any) string {
@@ -239,7 +267,7 @@ func (c *clusterClient) repl(readLine func() (string, bool)) {
 				fmt.Println("error:", err)
 				break
 			}
-			fmt.Println(strings.Join(res.Columns, " | "))
+			fmt.Println(clusterHeader(res))
 			for i, row := range res.Rows {
 				if i >= 20 {
 					fmt.Printf("... (%d rows total)\n", len(res.Rows))
@@ -249,6 +277,9 @@ func (c *clusterClient) repl(readLine func() (string, bool)) {
 			}
 			fmt.Printf("-- %d rows, shards planned=%d pruned=%d queried=%d",
 				res.RowCount, res.Shards.Planned, res.Shards.Pruned, res.Shards.Queried)
+			if res.AggMerges > 0 {
+				fmt.Printf(", agg merges=%d", res.AggMerges)
+			}
 			if res.Retries > 0 {
 				fmt.Printf(", retries=%d", res.Retries)
 			}

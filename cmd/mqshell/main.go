@@ -85,7 +85,7 @@ func main() {
 				fmt.Println("error:", err)
 				break
 			}
-			fmt.Println(strings.Join(res.Columns, " | "))
+			fmt.Println(strings.Join(res.ColumnNames(), " | "))
 			for i, row := range res.Rows {
 				if i >= 20 {
 					fmt.Printf("... (%d rows total)\n", len(res.Rows))

@@ -15,4 +15,9 @@ var (
 	// ErrUnknownModel marks a reference to a mining model the engine
 	// does not hold.
 	ErrUnknownModel = qerr.ErrUnknownModel
+	// ErrUnsupportedQuery marks a query that parses but lies outside
+	// the executable dialect — most commonly an aggregate shape the
+	// planner rejects (SELECT * with GROUP BY, a select-list column
+	// missing from GROUP BY, SUM/AVG over a non-numeric column).
+	ErrUnsupportedQuery = qerr.ErrUnsupportedQuery
 )

@@ -63,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := eng.QueryBaseline(campaign)
+	base, err := eng.Query(context.Background(), campaign, minequery.WithBaseline())
 	if err != nil {
 		log.Fatal(err)
 	}

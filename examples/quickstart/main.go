@@ -69,7 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	baseline, err := eng.QueryBaseline(q)
+	baseline, err := eng.Query(context.Background(), q, minequery.WithBaseline())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -65,7 +65,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := eng.QueryBaseline(concur)
+	base, err := eng.Query(context.Background(), concur, minequery.WithBaseline())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,165 @@
+// Wire form of a partial aggregate state: what a shard returns from a
+// partial-aggregate execution and what the coordinator merges. Encoding
+// is exact — floats travel as decimal-rendered IEEE-754 bit patterns
+// and big.Int numerators as decimal strings — so a scatter-gathered
+// aggregate finalizes byte-identically to the single-node run.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+	"strconv"
+
+	"minequery/internal/value"
+)
+
+// Wire is the JSON-serializable partial aggregate state.
+type Wire struct {
+	Groups []WireGroup `json:"groups"`
+}
+
+// WireGroup is one group key with its accumulators.
+type WireGroup struct {
+	Key  []WireValue `json:"key,omitempty"`
+	Accs []WireAcc   `json:"accs"`
+}
+
+// WireValue carries one value exactly. K is the kind tag: "n" (null),
+// "i" (int, decimal), "f" (float, decimal uint64 of its IEEE bits),
+// "s" (string, raw), "b" (bool, "t"/"f").
+type WireValue struct {
+	K string `json:"k"`
+	V string `json:"v,omitempty"`
+}
+
+// WireAcc is one accumulator. Zero-valued fields are omitted.
+type WireAcc struct {
+	N    int64      `json:"n,omitempty"`
+	ISum int64      `json:"is,omitempty"`
+	Num  string     `json:"num,omitempty"`
+	NaN  bool       `json:"nan,omitempty"`
+	PInf bool       `json:"pinf,omitempty"`
+	NInf bool       `json:"ninf,omitempty"`
+	MV   *WireValue `json:"mv,omitempty"`
+}
+
+func encodeWireValue(v value.Value) WireValue {
+	switch v.Kind() {
+	case value.KindNull:
+		return WireValue{K: "n"}
+	case value.KindInt:
+		return WireValue{K: "i", V: strconv.FormatInt(v.AsInt(), 10)}
+	case value.KindFloat:
+		return WireValue{K: "f", V: strconv.FormatUint(math.Float64bits(v.AsFloat()), 10)}
+	case value.KindBool:
+		if v.AsBool() {
+			return WireValue{K: "b", V: "t"}
+		}
+		return WireValue{K: "b", V: "f"}
+	default:
+		return WireValue{K: "s", V: v.AsString()}
+	}
+}
+
+func decodeWireValue(w WireValue) (value.Value, error) {
+	switch w.K {
+	case "n":
+		return value.Null(), nil
+	case "i":
+		i, err := strconv.ParseInt(w.V, 10, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("agg: bad wire int %q", w.V)
+		}
+		return value.Int(i), nil
+	case "f":
+		bits, err := strconv.ParseUint(w.V, 10, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("agg: bad wire float %q", w.V)
+		}
+		return value.Float(math.Float64frombits(bits)), nil
+	case "b":
+		return value.Bool(w.V == "t"), nil
+	case "s":
+		return value.Str(w.V), nil
+	}
+	return value.Value{}, fmt.Errorf("agg: bad wire value kind %q", w.K)
+}
+
+// EncodeWire serializes the state. Groups are emitted in canonical key
+// order so the payload itself is deterministic.
+func (t *Table) EncodeWire() *Wire {
+	keys := make([]string, 0, len(t.groups))
+	for k := range t.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := &Wire{Groups: make([]WireGroup, 0, len(keys))}
+	for _, k := range keys {
+		gr := t.groups[k]
+		wg := WireGroup{Accs: make([]WireAcc, len(gr.accs))}
+		for _, v := range gr.key {
+			wg.Key = append(wg.Key, encodeWireValue(v))
+		}
+		for i := range gr.accs {
+			a := &gr.accs[i]
+			wa := WireAcc{N: a.n, ISum: a.isum, NaN: a.anyNaN, PInf: a.posInf, NInf: a.negInf}
+			if a.num != nil && a.num.Sign() != 0 {
+				wa.Num = a.num.String()
+			}
+			if a.hasMV {
+				mv := encodeWireValue(a.mv)
+				wa.MV = &mv
+			}
+			wg.Accs[i] = wa
+		}
+		w.Groups = append(w.Groups, wg)
+	}
+	return w
+}
+
+// MergeWire folds a decoded wire state into t. A shape mismatch (wrong
+// group-key or accumulator arity for t's spec) is an error: it means
+// the shard planned a different aggregation.
+func (t *Table) MergeWire(w *Wire) error {
+	if w == nil {
+		return nil
+	}
+	t.merges++
+	for _, wg := range w.Groups {
+		if len(wg.Key) != len(t.Spec.GroupBy) || len(wg.Accs) != len(t.Spec.Items) {
+			return fmt.Errorf("agg: wire state shape mismatch (key %d/%d, accs %d/%d)",
+				len(wg.Key), len(t.Spec.GroupBy), len(wg.Accs), len(t.Spec.Items))
+		}
+		key := make([]value.Value, len(wg.Key))
+		for i, wv := range wg.Key {
+			v, err := decodeWireValue(wv)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		gr := t.groupFor(key)
+		for i := range wg.Accs {
+			wa := &wg.Accs[i]
+			dec := acc{n: wa.N, isum: wa.ISum, anyNaN: wa.NaN, posInf: wa.PInf, negInf: wa.NInf}
+			if wa.Num != "" {
+				n, ok := new(big.Int).SetString(wa.Num, 10)
+				if !ok {
+					return fmt.Errorf("agg: bad wire numerator %q", wa.Num)
+				}
+				dec.num = n
+			}
+			if wa.MV != nil {
+				mv, err := decodeWireValue(*wa.MV)
+				if err != nil {
+					return err
+				}
+				dec.mv, dec.hasMV = mv, true
+			}
+			gr.accs[i].merge(&dec, t.Spec.Items[i])
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"minequery/internal/agg"
 	"minequery/internal/qerr"
 )
 
@@ -29,6 +30,18 @@ type ExecRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// DOP overrides the shard's scan parallelism for this call.
 	DOP int `json:"dop,omitempty"`
+	// AggPartial asks the shard for its un-finalized partial aggregate
+	// state instead of finalized rows (aggregate statements only); the
+	// coordinator merges the states and finalizes once.
+	AggPartial bool `json:"agg_partial,omitempty"`
+}
+
+// ColumnMeta is the wire form of one output column's self-description
+// (the daemon's "schema" response field).
+type ColumnMeta struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Source string `json:"source"`
 }
 
 // ExecStats is the shard's measured execution cost.
@@ -45,17 +58,21 @@ type ExecStats struct {
 // holding the shard's literal bytes — re-encoding the merged rows
 // reproduces exactly what a single node would have written.
 type ExecResponse struct {
-	StatementID string   `json:"statement_id"`
-	Columns     []string `json:"columns"`
-	Rows        [][]any  `json:"rows"`
-	RowCount    int      `json:"row_count"`
-	AccessPath  string   `json:"access_path"`
-	Degraded    bool     `json:"degraded"`
-	Fallback    bool     `json:"fallback"`
-	Retries     int64    `json:"retries"`
+	StatementID string       `json:"statement_id"`
+	Columns     []string     `json:"columns"`
+	Schema      []ColumnMeta `json:"schema"`
+	Rows        [][]any      `json:"rows"`
+	RowCount    int          `json:"row_count"`
+	AccessPath  string       `json:"access_path"`
+	Degraded    bool         `json:"degraded"`
+	Fallback    bool         `json:"fallback"`
+	Retries     int64        `json:"retries"`
 	// Epoch is the shard's catalog epoch at execution time.
 	Epoch int64     `json:"epoch"`
 	Stats ExecStats `json:"stats"`
+	// AggPartial is the shard's partial aggregate state when the
+	// request set AggPartial (rows is then empty).
+	AggPartial *agg.Wire `json:"agg_partial"`
 }
 
 // ModelInfo describes one model on a shard (GET /v1/shard-info).

@@ -12,10 +12,12 @@ import (
 	"time"
 
 	"minequery"
+	"minequery/internal/agg"
 	"minequery/internal/exec"
 	"minequery/internal/fault"
 	"minequery/internal/qerr"
 	"minequery/internal/sqlparse"
+	"minequery/internal/value"
 )
 
 // Config tunes a Coordinator. Zero values take the documented defaults.
@@ -146,10 +148,20 @@ type Request struct {
 type Result struct {
 	StatementID string
 	Columns     []string
+	// Schema self-describes each output column (name, value kind, and
+	// projected-vs-aggregate provenance), taken from the first answering
+	// shard (every shard plans the same statement, so they agree).
+	Schema []ColumnMeta
 	// Rows preserve each shard's literal JSON numbers (json.Number), so
 	// re-encoding is byte-identical to a single node over the union.
+	// Aggregate statements instead carry rows finalized once at the
+	// coordinator from the merged per-shard partial states, rendered
+	// with the same value conversion a single-node daemon uses.
 	Rows       [][]any
 	ShardStats ShardStats
+	// AggMerges counts the per-shard partial aggregate states folded
+	// into the finalized answer (aggregate statements only).
+	AggMerges int64
 	// Degraded is set when AllowPartial accepted missing shards; the
 	// rows are a sound subset, MissingShards lists what's absent, and
 	// Notes explains — never silently short.
@@ -480,6 +492,12 @@ func (c *Coordinator) merge(o *minequery.PlanOutline, d pruneDecision, outcomes 
 	}
 	res.ShardStats.Planned = n
 
+	// Aggregate statements gather un-finalized per-shard states into one
+	// merge table; everything else gathers finalized row parts.
+	var tab *agg.Table
+	if o.Agg != nil {
+		tab = agg.NewTable(o.Agg)
+	}
 	parts := make([][][]any, 0, n)
 	var missing []int
 	var firstShardErr, firstRemoteErr error
@@ -488,9 +506,19 @@ func (c *Coordinator) merge(o *minequery.PlanOutline, d pruneDecision, outcomes 
 		switch {
 		case d.query[i] && out.err == nil && out.resp != nil:
 			res.ShardStats.Queried++
-			parts = append(parts, out.resp.Rows)
+			if tab != nil {
+				if out.resp.AggPartial == nil {
+					return nil, fmt.Errorf("cluster: shard %d answered an aggregate statement without partial state", i)
+				}
+				if err := tab.MergeWire(out.resp.AggPartial); err != nil {
+					return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+				}
+			} else {
+				parts = append(parts, out.resp.Rows)
+			}
 			if res.Columns == nil {
 				res.Columns = out.resp.Columns
+				res.Schema = out.resp.Schema
 			}
 			res.Retries += out.resp.Retries
 			if out.resp.Degraded || out.resp.Fallback {
@@ -535,6 +563,11 @@ func (c *Coordinator) merge(o *minequery.PlanOutline, d pruneDecision, outcomes 
 		c.degraded.Add(int64(len(missing)))
 		res.ShardStats.Degraded = len(missing)
 		res.Notes = append(res.Notes, fmt.Sprintf("partial result: shards %v unavailable (%v)", missing, firstShardErr))
+		if tab != nil {
+			// Unlike plain row subsets, partial aggregates over a subset of
+			// shards change the computed values, not just omit rows.
+			res.Notes = append(res.Notes, "aggregates computed over available shards only")
+		}
 		if res.ShardStats.Queried == 0 {
 			// Nothing answered: a "partial" result with zero sound rows
 			// is indistinguishable from wrong rows — fail instead.
@@ -552,13 +585,63 @@ func (c *Coordinator) merge(o *minequery.PlanOutline, d pruneDecision, outcomes 
 		if err != nil {
 			return nil, err
 		}
-		res.Columns = local.Columns
+		res.Columns = local.ColumnNames()
+		res.Schema = schemaFromMeta(local.Columns)
+	}
+	if tab != nil {
+		// Finalize once over every shard's merged state; the canonical
+		// group order makes LIMIT-after-finalize match a single node's
+		// Limit-above-final-HashAgg exactly. With zero shards queried
+		// (all pruned) the empty table still finalizes correctly: no rows
+		// for GROUP BY, the aggregate-identity row for scalar aggregates.
+		rows := tab.Finalize()
+		if o.Limit >= 0 && int64(len(rows)) > o.Limit {
+			rows = rows[:o.Limit]
+		}
+		res.AggMerges = tab.Merges()
+		res.Rows = tuplesToJSON(rows)
+		return res, nil
 	}
 	res.Rows = exec.MergeOrdered(parts, o.Limit)
 	if res.Rows == nil {
 		res.Rows = [][]any{}
 	}
 	return res, nil
+}
+
+// schemaFromMeta converts engine column metadata to the wire form.
+func schemaFromMeta(cols []minequery.ColumnMeta) []ColumnMeta {
+	out := make([]ColumnMeta, len(cols))
+	for i, c := range cols {
+		out[i] = ColumnMeta{Name: c.Name, Kind: c.Kind.String(), Source: c.Source}
+	}
+	return out
+}
+
+// tuplesToJSON renders finalized aggregate tuples with the same value
+// conversion a single-node daemon applies to its result rows, so the
+// coordinator's JSON answer is byte-identical to the union node's.
+func tuplesToJSON(rows []value.Tuple) [][]any {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			switch v.Kind() {
+			case value.KindNull:
+				vals[j] = nil
+			case value.KindInt:
+				vals[j] = v.AsInt()
+			case value.KindFloat:
+				vals[j] = v.AsFloat()
+			case value.KindBool:
+				vals[j] = v.AsBool()
+			default:
+				vals[j] = v.AsString()
+			}
+		}
+		out[i] = vals
+	}
+	return out
 }
 
 // execOnShard runs one statement on shard i to a terminal outcome:
@@ -577,7 +660,7 @@ func (c *Coordinator) execOnShard(ctx context.Context, i int, o *minequery.PlanO
 	var resp *ExecResponse
 	var lastErr error
 	for round := 0; round <= maxReplans; round++ {
-		ereq := ExecRequest{TimeoutMS: c.cfg.ShardTimeout.Milliseconds(), DOP: req.DOP}
+		ereq := ExecRequest{TimeoutMS: c.cfg.ShardTimeout.Milliseconds(), DOP: req.DOP, AggPartial: o.Agg != nil}
 		if stmt != nil {
 			ereq.StatementID = c.shardStmtID(ctx, i, stmt)
 			if ereq.StatementID == "" {

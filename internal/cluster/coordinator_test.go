@@ -34,9 +34,10 @@ func postJSON(t *testing.T, url, path string, body any) (int, []byte) {
 }
 
 // rowsPayload is the part of an execute response the byte-identity
-// checks compare: the raw bytes of columns and rows.
+// checks compare: the raw bytes of columns, schema, and rows.
 type rowsPayload struct {
 	Columns  json.RawMessage `json:"columns"`
+	Schema   json.RawMessage `json:"schema"`
 	Rows     json.RawMessage `json:"rows"`
 	RowCount int             `json:"row_count"`
 	Shards   struct {
@@ -104,6 +105,9 @@ func execBoth(t *testing.T, coordURL, unionURL, sql string, dop int) (coord rows
 	cp, up := decodePayload(t, craw), decodePayload(t, uraw)
 	if !bytes.Equal(cp.Columns, up.Columns) {
 		t.Fatalf("exec %q: columns diverge\ncoord: %s\nunion: %s", sql, cp.Columns, up.Columns)
+	}
+	if !bytes.Equal(cp.Schema, up.Schema) {
+		t.Fatalf("exec %q: schema diverges\ncoord: %s\nunion: %s", sql, cp.Schema, up.Schema)
 	}
 	if !bytes.Equal(cp.Rows, up.Rows) {
 		t.Fatalf("exec %q: rows diverge (coord %d vs union %d rows)\ncoord: %.400s\nunion: %.400s",

@@ -97,6 +97,21 @@ func validateColumns(q *sqlparse.Query, cat *catalog.Catalog, pc predCols) error
 			return err
 		}
 	}
+	// Aggregate select items and GROUP BY columns name inputs too;
+	// q.Select holds only the plain (non-aggregate) items.
+	for _, it := range q.Items {
+		if it.Star || it.Col == "" {
+			continue
+		}
+		if err := check(it.Col); err != nil {
+			return err
+		}
+	}
+	for _, c := range q.GroupBy {
+		if err := check(c); err != nil {
+			return err
+		}
+	}
 	for _, c := range expr.Columns(q.Where) {
 		if err := check(c); err != nil {
 			return err

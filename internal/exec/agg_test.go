@@ -1,0 +1,286 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"minequery/internal/agg"
+	"minequery/internal/core"
+	"minequery/internal/expr"
+	"minequery/internal/mining"
+	"minequery/internal/mining/dtree"
+	"minequery/internal/plan"
+	"minequery/internal/storage"
+	"minequery/internal/value"
+)
+
+// aggPlan wraps a child pipeline in the canonical Final-over-Partial
+// pair.
+func aggPlan(child plan.Node, groupBy []string, items []agg.Item) *plan.HashAgg {
+	return &plan.HashAgg{
+		Child:   &plan.HashAgg{Child: child, Phase: plan.AggPartial, GroupBy: groupBy, Aggs: items},
+		Phase:   plan.AggFinal,
+		GroupBy: groupBy,
+		Aggs:    items,
+	}
+}
+
+func rowsToStrings(rows []value.Tuple) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// TestAggPathEquivalence pins the tentpole invariant at the exec layer:
+// the fused morsel runner (row heap, DOP>1), the fused columnar runner
+// (DOP 1 and >1), and the generic runner (DOP 1) finalize byte-identical
+// rows in identical order for grouped and ungrouped aggregates, with and
+// without a filter.
+func TestAggPathEquivalence(t *testing.T) {
+	cc, tb := testDB(t, 4000)
+	if err := tb.EnableColumnar(); err != nil {
+		t.Fatal(err)
+	}
+
+	items := []agg.Item{
+		{Func: agg.None, Col: "cat"},
+		{Func: agg.Count, Star: true},
+		{Func: agg.Sum, Col: "num"},
+		{Func: agg.Min, Col: "num"},
+		{Func: agg.Max, Col: "num"},
+		{Func: agg.Avg, Col: "num"},
+	}
+	ungrouped := []agg.Item{
+		{Func: agg.Count, Star: true},
+		{Func: agg.Sum, Col: "num"},
+		{Func: agg.Avg, Col: "num"},
+	}
+	pred := expr.NewAnd(
+		expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(10)},
+		expr.Cmp{Col: "num", Op: expr.OpLe, Val: value.Int(90)},
+	)
+
+	type shape struct {
+		name    string
+		groupBy []string
+		items   []agg.Item
+		filter  expr.Expr
+	}
+	shapes := []shape{
+		{"grouped", []string{"cat"}, items, nil},
+		{"grouped-filtered", []string{"cat"}, items, pred},
+		{"ungrouped", nil, ungrouped, nil},
+		{"ungrouped-filtered-empty", nil, ungrouped, expr.FalseExpr{}},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			build := func(columnar bool) plan.Node {
+				var child plan.Node = &plan.SeqScan{Table: "t", Columnar: columnar}
+				if sh.filter != nil {
+					child = &plan.Filter{Child: child, Pred: sh.filter}
+				}
+				return aggPlan(child, sh.groupBy, sh.items)
+			}
+			want, _, err := RunOpts(cc, build(false), Options{DOP: 1, BatchSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sh.groupBy == nil && len(want) != 1 {
+				t.Fatalf("ungrouped aggregate produced %d rows, want 1", len(want))
+			}
+			wantS := rowsToStrings(want)
+			for _, cfg := range []struct {
+				name     string
+				columnar bool
+				dop      int
+			}{
+				{"morsel-dop4", false, 4},
+				{"columnar-dop1", true, 1},
+				{"columnar-dop4", true, 4},
+				{"generic-dop1", false, 1},
+			} {
+				got, _, err := RunOpts(cc, build(cfg.columnar), Options{DOP: cfg.dop, BatchSize: 64})
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.name, err)
+				}
+				gotS := rowsToStrings(got)
+				if strings.Join(gotS, "\n") != strings.Join(wantS, "\n") {
+					t.Fatalf("%s differs from serial run\n got %v\nwant %v", cfg.name, gotS, wantS)
+				}
+			}
+		})
+	}
+}
+
+// TestAggOverPredictedColumn runs the paper's pipeline under an
+// aggregate: GROUP BY a model's predicted class with a residual class
+// filter, checking the fused paths against a hand-computed oracle.
+func TestAggOverPredictedColumn(t *testing.T) {
+	cc, tb := testDB(t, 3000)
+	if err := tb.EnableColumnar(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := &mining.TrainSet{Schema: value.MustSchema(value.Column{Name: "num", Kind: value.KindInt})}
+	tb.Heap.Scan(func(_ storage.RID, rec []byte) bool {
+		row, err := value.DecodeTuple(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts.Rows = append(ts.Rows, value.Tuple{row[2]})
+		cls := "low"
+		if row[2].AsInt() >= 90 {
+			cls = "high"
+		}
+		ts.Labels = append(ts.Labels, value.Str(cls))
+		return true
+	})
+	m, err := dtree.Train("dt", "cls", ts, dtree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := core.UpperEnvelopes(m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.RegisterModel(m, der.Envelopes)
+
+	items := []agg.Item{
+		{Func: agg.None, Col: "dt.cls"},
+		{Func: agg.Count, Star: true},
+		{Func: agg.Sum, Col: "num"},
+	}
+	build := func(columnar bool) plan.Node {
+		return aggPlan(&plan.Filter{
+			Child: &plan.Predict{Child: &plan.SeqScan{Table: "t", Columnar: columnar}, Model: "dt", As: "dt.cls"},
+			Pred:  expr.Cmp{Col: "dt.cls", Op: expr.OpEq, Val: value.Str("high")},
+		}, []string{"dt.cls"}, items)
+	}
+
+	want, _, err := RunOpts(cc, build(false), Options{DOP: 1, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 1 {
+		t.Fatalf("expected one 'high' group, got %d rows", len(want))
+	}
+	wantS := rowsToStrings(want)
+	for _, cfg := range []struct {
+		name     string
+		columnar bool
+		dop      int
+	}{
+		{"morsel-dop4", false, 4},
+		{"columnar-dop1", true, 1},
+		{"columnar-dop4", true, 4},
+	} {
+		got, _, err := RunOpts(cc, build(cfg.columnar), Options{DOP: cfg.dop, BatchSize: 64})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if gotS := rowsToStrings(got); strings.Join(gotS, "\n") != strings.Join(wantS, "\n") {
+			t.Fatalf("%s differs\n got %v\nwant %v", cfg.name, gotS, wantS)
+		}
+	}
+}
+
+// TestAggOutputSchema checks the Final's schema: select-list order,
+// canonical aggregate names, finalized kinds.
+func TestAggOutputSchema(t *testing.T) {
+	cc, _ := testDB(t, 100)
+	p := aggPlan(&plan.SeqScan{Table: "t"}, []string{"cat"}, []agg.Item{
+		{Func: agg.Count, Star: true},
+		{Func: agg.None, Col: "cat"},
+		{Func: agg.Avg, Col: "num"},
+	})
+	_, schema, err := RunOpts(cc, p, Options{DOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(count(*) INT, cat TEXT, avg(num) FLOAT)"
+	if schema.String() != want {
+		t.Fatalf("schema %s, want %s", schema, want)
+	}
+}
+
+// TestRunPartialAggWire checks the shard half of scatter-gather: the
+// partial states of two disjoint partition scans, carried over the
+// wire encoding, merge and finalize identically to one full run.
+func TestRunPartialAggWire(t *testing.T) {
+	cc, _ := testDB(t, 2000)
+	groupBy := []string{"cat"}
+	items := []agg.Item{
+		{Func: agg.None, Col: "cat"},
+		{Func: agg.Count, Star: true},
+		{Func: agg.Sum, Col: "num"},
+		{Func: agg.Avg, Col: "num"},
+	}
+	full := aggPlan(&plan.SeqScan{Table: "t"}, groupBy, items)
+	want, _, err := RunOpts(cc, full, Options{DOP: 4, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split the table by a predicate into two "shards", run each as a
+	// partial, and merge the wires like the coordinator would.
+	lo := &plan.HashAgg{Child: &plan.Filter{
+		Child: &plan.SeqScan{Table: "t"},
+		Pred:  expr.Cmp{Col: "num", Op: expr.OpLt, Val: value.Int(50)},
+	}, Phase: plan.AggPartial, GroupBy: groupBy, Aggs: items}
+	hi := &plan.HashAgg{Child: &plan.Filter{
+		Child: &plan.SeqScan{Table: "t"},
+		Pred:  expr.Cmp{Col: "num", Op: expr.OpGe, Val: value.Int(50)},
+	}, Phase: plan.AggPartial, GroupBy: groupBy, Aggs: items}
+
+	tabLo, err := RunPartialAgg(nil, cc, lo, Options{DOP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabHi, err := RunPartialAgg(nil, cc, hi, Options{DOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := agg.NewTable(tabLo.Spec)
+	if err := merged.MergeWire(tabLo.EncodeWire()); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.MergeWire(tabHi.EncodeWire()); err != nil {
+		t.Fatal(err)
+	}
+	got := merged.Finalize()
+	if fmt.Sprint(rowsToStrings(got)) != fmt.Sprint(rowsToStrings(want)) {
+		t.Fatalf("scatter-gathered aggregate differs\n got %v\nwant %v", got, want)
+	}
+	if merged.Merges() != 2 {
+		t.Fatalf("merges = %d, want 2", merged.Merges())
+	}
+}
+
+// TestAggCollectorStats checks the manually-fed stats of the fused
+// paths: the scan leaf's rows, the partial's group count, and the
+// merge counter all surface through the Collector.
+func TestAggCollectorStats(t *testing.T) {
+	cc, _ := testDB(t, 1000)
+	p := aggPlan(&plan.SeqScan{Table: "t"}, []string{"cat"}, []agg.Item{
+		{Func: agg.None, Col: "cat"}, {Func: agg.Count, Star: true},
+	})
+	col := NewCollector()
+	_, _, err := RunOpts(cc, p, Options{DOP: 4, BatchSize: 64, MorselPages: 1, Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := p.Child.(*plan.HashAgg)
+	scan := part.Child.(*plan.SeqScan)
+	if got := col.Op(scan).Rows.Load(); got != 1000 {
+		t.Fatalf("scan rows = %d, want 1000", got)
+	}
+	if got := col.Op(part).Rows.Load(); got != 8 {
+		t.Fatalf("partial groups = %d, want 8", got)
+	}
+	if col.AggMerges.Load() == 0 {
+		t.Fatal("no partial merges recorded at DOP 4")
+	}
+}

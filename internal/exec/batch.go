@@ -204,6 +204,11 @@ func buildBareBatchNode(ctx context.Context, c *catalog.Catalog, n plan.Node, op
 			return nil, err
 		}
 		return &batchLimit{child: child, n: x.N}, nil
+	case *plan.HashAgg:
+		if x.Phase != plan.AggFinal {
+			return nil, fmt.Errorf("exec: HashAgg(partial) cannot be built standalone; it is owned by its Final")
+		}
+		return newBatchFinalAgg(ctx, c, x, opts)
 	default:
 		if err := ctxErr(ctx); err != nil {
 			// Index access paths materialize their RID lists inside

@@ -61,6 +61,11 @@ type Collector struct {
 	// without surfacing an error or falling back.
 	Retries atomic.Int64
 
+	// AggMerges counts partial-aggregate state merges performed while
+	// combining per-worker (and, at the coordinator, per-shard) tables
+	// into the final aggregate.
+	AggMerges atomic.Int64
+
 	mu      sync.Mutex
 	ops     map[plan.Node]*OpStats
 	workers []*WorkerStats

@@ -57,10 +57,12 @@ type vecCore struct {
 	processed atomic.Int64
 }
 
-// processGroup filters one column group and materializes the surviving
-// rows into output batches. Safe for concurrent use with per-caller
-// scratch.
-func (c *vecCore) processGroup(g *storage.ColGroup, sc *vec.Scratch) []Batch {
+// selectGroup runs the scan-and-filter half of one column group: I/O
+// and scan-stats accounting, predicate evaluation into a selection
+// vector, and envelope-vs-residual attribution of the rejected rows.
+// It returns the selection (nil when the scan is unfiltered) and the
+// surviving row count. Safe for concurrent use with per-caller scratch.
+func (c *vecCore) selectGroup(g *storage.ColGroup, sc *vec.Scratch) ([]int32, int) {
 	if c.io != nil {
 		// One sidecar group read counts as one sequential page; every row
 		// of the group is touched column-wise.
@@ -94,6 +96,14 @@ func (c *vecCore) processGroup(g *storage.ColGroup, sc *vec.Scratch) []Batch {
 			}
 		}
 	}
+	return sel, n
+}
+
+// processGroup filters one column group and materializes the surviving
+// rows into output batches. Safe for concurrent use with per-caller
+// scratch.
+func (c *vecCore) processGroup(g *storage.ColGroup, sc *vec.Scratch) []Batch {
+	sel, n := c.selectGroup(g, sc)
 	if n == 0 {
 		return nil
 	}
@@ -346,9 +356,15 @@ func (s *vecScan) reportInfo() {
 	if s.col == nil {
 		return
 	}
-	info := &VecScanInfo{Groups: s.processed.Load()}
-	if s.pred != nil {
-		r := s.pred.Report()
+	s.col.setVecInfo(s.scanNode, s.info())
+}
+
+// info snapshots the columnar actuals (shared with the fused aggregate
+// scan, which reports the same way for its scan leaf).
+func (c *vecCore) info() *VecScanInfo {
+	info := &VecScanInfo{Groups: c.processed.Load()}
+	if c.pred != nil {
+		r := c.pred.Report()
 		info.Combiner = r.Combiner
 		info.Order = append([]int(nil), r.Order...)
 		for _, t := range r.Terms {
@@ -357,7 +373,7 @@ func (s *vecScan) reportInfo() {
 			})
 		}
 	}
-	s.col.setVecInfo(s.scanNode, info)
+	return info
 }
 
 // Close stops the workers (none ever block: per-group channels are

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"minequery/internal/agg"
 	"minequery/internal/expr"
 	"minequery/internal/value"
 )
@@ -101,6 +102,38 @@ type Limit struct {
 	N     int64
 }
 
+// AggPhase distinguishes the two halves of the split aggregation.
+type AggPhase int
+
+const (
+	// AggPartial accumulates mergeable per-worker/per-shard states.
+	AggPartial AggPhase = iota
+	// AggFinal merges partial states and emits finalized rows.
+	AggFinal
+)
+
+// String names the phase.
+func (p AggPhase) String() string {
+	if p == AggFinal {
+		return "final"
+	}
+	return "partial"
+}
+
+// HashAgg is hash aggregation, always planned as a Final over a
+// Partial. The Partial's child is the (possibly filtered/predicting)
+// scan pipeline; the executor pushes the Partial into morsel workers,
+// columnar group workers, and partitions, producing order-independent
+// states the Final merges deterministically.
+type HashAgg struct {
+	Child Node
+	Phase AggPhase
+	// GroupBy are the grouping columns (input schema names).
+	GroupBy []string
+	// Aggs are the select-list items in output order.
+	Aggs []agg.Item
+}
+
 // Children implements Node.
 func (*SeqScan) Children() []Node    { return nil }
 func (*IndexSeek) Children() []Node  { return nil }
@@ -110,6 +143,7 @@ func (f *Filter) Children() []Node   { return []Node{f.Child} }
 func (p *Project) Children() []Node  { return []Node{p.Child} }
 func (p *Predict) Children() []Node  { return []Node{p.Child} }
 func (l *Limit) Children() []Node    { return []Node{l.Child} }
+func (h *HashAgg) Children() []Node  { return []Node{h.Child} }
 
 // Describe implements Node.
 func (s *SeqScan) Describe() string {
@@ -183,6 +217,26 @@ func (p *Predict) Describe() string {
 // Describe implements Node.
 func (l *Limit) Describe() string { return fmt.Sprintf("Limit(%d)", l.N) }
 
+// Describe implements Node.
+func (h *HashAgg) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HashAgg(%s", h.Phase)
+	if len(h.GroupBy) > 0 {
+		b.WriteString(" groups=[")
+		b.WriteString(strings.Join(h.GroupBy, ", "))
+		b.WriteString("]")
+	}
+	b.WriteString(" aggs=[")
+	for i, it := range h.Aggs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Name())
+	}
+	b.WriteString("])")
+	return b.String()
+}
+
 // Explain renders the plan tree with indentation.
 func Explain(n Node) string {
 	var b strings.Builder
@@ -246,6 +300,8 @@ func PathOf(n Node) AccessPath {
 		case *Predict:
 			n = x.Child
 		case *Limit:
+			n = x.Child
+		case *HashAgg:
 			n = x.Child
 		default:
 			return AccessSeqScan

@@ -16,6 +16,12 @@ var (
 	// ErrUnknownModel marks a reference to a mining model the catalog
 	// does not hold.
 	ErrUnknownModel = errors.New("unknown model")
+	// ErrUnsupportedQuery marks a query the dialect parses but the
+	// engine cannot execute: an aggregate shape outside the supported
+	// forms (SELECT * with GROUP BY, a plain select-list column not in
+	// GROUP BY, SUM/AVG over a non-numeric column). It is a permanent
+	// client error, never retried.
+	ErrUnsupportedQuery = errors.New("unsupported query")
 	// ErrTransient marks a failure that may succeed on retry: a flaky
 	// page read, a stalled I/O completing late. The executor retries
 	// these with bounded backoff, and — when retries are exhausted on an

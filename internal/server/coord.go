@@ -107,11 +107,17 @@ type coordShardStatsBody struct {
 }
 
 type coordExecuteResponse struct {
-	StatementID string              `json:"statement_id,omitempty"`
-	Columns     []string            `json:"columns"`
-	Rows        [][]any             `json:"rows"`
-	RowCount    int                 `json:"row_count"`
-	Shards      coordShardStatsBody `json:"shards"`
+	StatementID string   `json:"statement_id,omitempty"`
+	Columns     []string `json:"columns"`
+	// Schema self-describes the output columns exactly as the
+	// single-node daemon's "schema" field does; old clients ignore it.
+	Schema   []cluster.ColumnMeta `json:"schema"`
+	Rows     [][]any              `json:"rows"`
+	RowCount int                  `json:"row_count"`
+	Shards   coordShardStatsBody  `json:"shards"`
+	// AggMerges counts per-shard partial aggregate states merged at the
+	// coordinator (0 for non-aggregate statements).
+	AggMerges int64 `json:"agg_partial_merges,omitempty"`
 	// Degraded: AllowPartial accepted missing shards; the rows are a
 	// sound subset and MissingShards + Notes say exactly what is absent.
 	Degraded      bool     `json:"degraded"`
@@ -176,8 +182,10 @@ func (cs *CoordServer) handleExecute(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, coordExecuteResponse{
 		StatementID: res.StatementID,
 		Columns:     res.Columns,
+		Schema:      res.Schema,
 		Rows:        res.Rows,
 		RowCount:    len(res.Rows),
+		AggMerges:   res.AggMerges,
 		Shards: coordShardStatsBody{
 			Planned:  res.ShardStats.Planned,
 			Pruned:   res.ShardStats.Pruned,

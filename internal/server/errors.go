@@ -25,6 +25,10 @@ const (
 	CodeUnknownModel = "unknown_model" // 404: query names a model the catalog lacks
 	CodeTransient    = "transient"     // 503: transient failure survived retries and fallback; safe to retry
 
+	// CodeUnsupportedQuery is a 400: the SQL parsed but the engine
+	// cannot execute its shape (e.g. a rejected aggregate form).
+	CodeUnsupportedQuery = "unsupported_query"
+
 	// Cluster codes (coordinator mode and the shard-exec endpoint).
 	CodeEpochMismatch    = "epoch_mismatch"    // 409: shard catalog epoch differs from the coordinator's expectation
 	CodeShardUnavailable = "shard_unavailable" // 502: a shard could not be reached and the query cannot be answered soundly
@@ -100,6 +104,8 @@ func classify(err error) (string, int) {
 		return CodeStalePlan, http.StatusConflict
 	case errors.Is(err, minequery.ErrParse):
 		return CodeParse, http.StatusBadRequest
+	case errors.Is(err, minequery.ErrUnsupportedQuery):
+		return CodeUnsupportedQuery, http.StatusBadRequest
 	case errors.Is(err, minequery.ErrUnknownTable):
 		return CodeUnknownTable, http.StatusNotFound
 	case errors.Is(err, minequery.ErrUnknownModel):

@@ -244,10 +244,24 @@ type execStatsBody struct {
 	CostUnits     float64 `json:"cost_units"`
 }
 
+// columnMetaBody is the wire form of one output column's
+// self-description. It rides in the response's "schema" field, which
+// predates-this-field clients simply ignore; "columns" (names only)
+// stays as-is for them.
+type columnMetaBody struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Source string `json:"source"`
+}
+
 type executeResponse struct {
 	StatementID       string   `json:"statement_id"`
 	StatementCacheHit bool     `json:"statement_cache_hit"`
 	Columns           []string `json:"columns"`
+	// Schema self-describes each output column (name, value kind, and
+	// whether it is projected from the input or computed by an
+	// aggregate), so clients never re-derive types from the query text.
+	Schema []columnMetaBody `json:"schema"`
 	Rows              [][]any  `json:"rows"`
 	RowCount          int      `json:"row_count"`
 	Plan              string   `json:"plan"`
@@ -324,6 +338,15 @@ func decodeBody(r *http.Request, v any) error {
 		return errBadRequest("decode request: " + err.Error())
 	}
 	return nil
+}
+
+// schemaToJSON converts a result's column metadata to the wire form.
+func schemaToJSON(cols []minequery.ColumnMeta) []columnMetaBody {
+	out := make([]columnMetaBody, len(cols))
+	for i, c := range cols {
+		out[i] = columnMetaBody{Name: c.Name, Kind: c.Kind.String(), Source: c.Source}
+	}
+	return out
 }
 
 // rowsToJSON converts tuples to JSON-friendly values.
@@ -537,7 +560,8 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, executeResponse{
 		StatementID:       ent.id,
 		StatementCacheHit: reused,
-		Columns:           res.Columns,
+		Columns:           res.ColumnNames(),
+		Schema:            schemaToJSON(res.Columns),
 		Rows:              rowsToJSON(res.Rows),
 		RowCount:          len(res.Rows),
 		Plan:              res.Plan,

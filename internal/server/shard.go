@@ -24,6 +24,12 @@ type shardExecRequest struct {
 	ExpectedEpoch *int64 `json:"expected_epoch"`
 	TimeoutMS     int64  `json:"timeout_ms"`
 	DOP           int    `json:"dop"`
+	// AggPartial asks for partial-aggregate execution: instead of
+	// finalized rows, the response carries the un-finalized per-group
+	// accumulator state (agg_partial), which the coordinator merges
+	// across shards — in any order — and finalizes once. Only valid for
+	// GROUP BY / aggregate statements.
+	AggPartial bool `json:"agg_partial,omitempty"`
 }
 
 type shardExecResponse struct {
@@ -31,6 +37,9 @@ type shardExecResponse struct {
 	// Epoch is this node's catalog epoch observed at admission; the
 	// coordinator folds it into its per-shard state.
 	Epoch int64 `json:"epoch"`
+	// AggPartial is this shard's partial aggregate state (requests with
+	// agg_partial set; rows is then empty and row_count 0).
+	AggPartial *minequery.AggWire `json:"agg_partial,omitempty"`
 }
 
 type shardModelBody struct {
@@ -106,6 +115,9 @@ func (s *Server) handleShardExec(w http.ResponseWriter, r *http.Request) {
 	if req.DOP > 0 {
 		opts = append(opts, minequery.WithDOP(req.DOP))
 	}
+	if req.AggPartial {
+		opts = append(opts, minequery.WithPartialAggs())
+	}
 	res, reused, degraded, err := s.executeGuarded(ctx, ent, opts)
 	if err != nil {
 		s.writeError(w, err)
@@ -117,7 +129,8 @@ func (s *Server) handleShardExec(w http.ResponseWriter, r *http.Request) {
 		executeResponse: executeResponse{
 			StatementID:       ent.id,
 			StatementCacheHit: reused,
-			Columns:           res.Columns,
+			Columns:           res.ColumnNames(),
+			Schema:            schemaToJSON(res.Columns),
 			Rows:              rowsToJSON(res.Rows),
 			RowCount:          len(res.Rows),
 			Plan:              res.Plan,
@@ -135,7 +148,8 @@ func (s *Server) handleShardExec(w http.ResponseWriter, r *http.Request) {
 				CostUnits:     res.Stats.CostUnits,
 			},
 		},
-		Epoch: epoch,
+		Epoch:      epoch,
+		AggPartial: res.PartialAgg,
 	})
 }
 

@@ -46,6 +46,21 @@ var seedQueries = []string{
 	"SELECT id FROM t WHERE a = 1 OR b = 2 OR c = 3 OR d = 4 OR e = 5 OR f = 6 OR g = 7 OR h = 8",
 	"SELECT * FROM t WHERE NOT (NOT (NOT (a IN (1, 1, 2))))",
 	"SELECT * FROM t WHERE ((((a = 1)))) AND (b IN ('x','x') OR (c <> NULL AND d = TRUE))",
+	// Aggregate / GROUP BY shapes: grouped and ungrouped aggregates,
+	// aggregates over predicted columns, COUNT(*) vs COUNT(col), and the
+	// malformed variants (bad GROUP, non-count stars, unclosed calls).
+	"SELECT COUNT(*) FROM t",
+	"SELECT cat, COUNT(*), SUM(num) FROM t GROUP BY cat",
+	"SELECT count(num), min(num), max(num), avg(num) FROM t WHERE num >= 10",
+	"SELECT m.cls, COUNT(*) FROM t PREDICTION JOIN dt AS m ON m.num = t.num GROUP BY m.cls",
+	"SELECT cat, num, COUNT(*) FROM t GROUP BY cat, num LIMIT 3",
+	"SELECT cat FROM t GROUP BY cat",
+	"SELECT AVG(num) FROM t PREDICTION JOIN nb AS p ON p.cat = t.cat WHERE p.grp = 'a' GROUP BY cat",
+	"SELECT count ( * ) , sum ( num ) FROM t GROUP BY cat , num",
+	"SELECT SUM(*) FROM t",
+	"SELECT COUNT( FROM t",
+	"SELECT cat, COUNT(*) FROM t GROUP cat",
+	"SELECT COUNT(*) FROM t GROUP BY",
 	"",
 	"SELECT",
 	"SELECT * FROM",

@@ -24,10 +24,27 @@ type PredictionJoin struct {
 	On    []OnPair
 }
 
+// SelectItem is one entry of an explicit select list: a plain column
+// reference, or an aggregate call when Agg is set (the lowercase
+// function name: "count", "sum", "min", "max", "avg"; Star marks
+// COUNT(*), whose Col is empty).
+type SelectItem struct {
+	Agg  string
+	Col  string
+	Star bool
+}
+
 // Query is a parsed SELECT statement.
 type Query struct {
-	// Select lists projected columns; empty means "*".
+	// Select lists the plain (non-aggregate) projected columns; empty
+	// means "*" for non-aggregate queries. Kept alongside Items for the
+	// consumers that only project.
 	Select []string
+	// Items is the full select list in order (plain columns and
+	// aggregate calls); empty means "*".
+	Items []SelectItem
+	// GroupBy lists the GROUP BY columns, in clause order.
+	GroupBy []string
 	// Table is the FROM table, Alias its optional alias.
 	Table string
 	Alias string
@@ -39,6 +56,20 @@ type Query struct {
 	// Limit is the row limit, or -1 if absent.
 	Limit int64
 }
+
+// HasAggregates reports whether any select item is an aggregate call.
+func (q *Query) HasAggregates() bool {
+	for _, it := range q.Items {
+		if it.Agg != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Grouped reports whether the query aggregates: it has a GROUP BY
+// clause or at least one aggregate select item.
+func (q *Query) Grouped() bool { return len(q.GroupBy) > 0 || q.HasAggregates() }
 
 // Parse parses one SELECT statement. Every error wraps qerr.ErrParse,
 // so callers can classify parse failures with errors.Is without
@@ -98,6 +129,14 @@ func (q *Query) resolveRefs() error {
 	}
 	for i, c := range q.Select {
 		q.Select[i] = resolve(c)
+	}
+	for i := range q.Items {
+		if !q.Items[i].Star {
+			q.Items[i].Col = resolve(q.Items[i].Col)
+		}
+	}
+	for i, c := range q.GroupBy {
+		q.GroupBy[i] = resolve(c)
 	}
 	q.Where = expr.MapColumns(q.Where, resolve)
 	return firstErr
@@ -196,6 +235,12 @@ func (p *parser) columnRef() (string, error) {
 
 var reservedAfterFrom = map[string]bool{
 	"prediction": true, "where": true, "limit": true, "on": true, "and": true,
+	"group": true,
+}
+
+// aggFuncs are the aggregate function names the select list accepts.
+var aggFuncs = map[string]bool{
+	"count": true, "sum": true, "min": true, "max": true, "avg": true,
 }
 
 func (p *parser) parseSelect() (*Query, error) {
@@ -204,14 +249,17 @@ func (p *parser) parseSelect() (*Query, error) {
 	}
 	q := &Query{Limit: -1, Where: expr.TrueExpr{}}
 	if p.acceptSymbol("*") {
-		// empty Select means all columns
+		// empty Select/Items means all columns
 	} else {
 		for {
-			col, err := p.columnRef()
+			it, err := p.parseSelectItem()
 			if err != nil {
 				return nil, err
 			}
-			q.Select = append(q.Select, col)
+			q.Items = append(q.Items, it)
+			if it.Agg == "" {
+				q.Select = append(q.Select, it.Col)
+			}
 			if !p.acceptSymbol(",") {
 				break
 			}
@@ -252,6 +300,21 @@ func (p *parser) parseSelect() (*Query, error) {
 		}
 		q.Where = w
 	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
 	if p.acceptKeyword("limit") {
 		t := p.next()
 		if t.kind != tokNumber {
@@ -264,6 +327,41 @@ func (p *parser) parseSelect() (*Query, error) {
 		q.Limit = n
 	}
 	return q, nil
+}
+
+// parseSelectItem reads one select-list entry: an aggregate call
+// (COUNT/SUM/MIN/MAX/AVG over a column, or COUNT(*)) or a plain column
+// reference. An aggregate name is only treated as one when immediately
+// followed by "(" — "count" stays usable as a column name.
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if t := p.peek(); t.kind == tokIdent && aggFuncs[strings.ToLower(t.text)] {
+		if nt := p.toks[p.pos+1]; nt.kind == tokSymbol && nt.text == "(" {
+			fn := strings.ToLower(t.text)
+			p.pos += 2
+			it := SelectItem{Agg: fn}
+			if p.acceptSymbol("*") {
+				if fn != "count" {
+					return SelectItem{}, p.errf("%s(*) is not supported, only COUNT(*)", strings.ToUpper(fn))
+				}
+				it.Star = true
+			} else {
+				col, err := p.columnRef()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				it.Col = col
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectItem{}, err
+			}
+			return it, nil
+		}
+	}
+	col, err := p.columnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col}, nil
 }
 
 func (p *parser) parsePredictionJoin() (*PredictionJoin, error) {

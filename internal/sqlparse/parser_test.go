@@ -237,3 +237,128 @@ func TestQualifiedColumnResolution(t *testing.T) {
 		t.Error("unknown qualifier in projection accepted")
 	}
 }
+
+func TestParseAggregates(t *testing.T) {
+	q, err := Parse("SELECT cat, COUNT(*), sum(num), Min(num), MAX(num), avg(num), count(num) FROM t GROUP BY cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SelectItem{
+		{Col: "cat"},
+		{Agg: "count", Star: true},
+		{Agg: "sum", Col: "num"},
+		{Agg: "min", Col: "num"},
+		{Agg: "max", Col: "num"},
+		{Agg: "avg", Col: "num"},
+		{Agg: "count", Col: "num"},
+	}
+	if len(q.Items) != len(want) {
+		t.Fatalf("Items = %+v", q.Items)
+	}
+	for i, w := range want {
+		if q.Items[i] != w {
+			t.Errorf("Items[%d] = %+v, want %+v", i, q.Items[i], w)
+		}
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "cat" {
+		t.Errorf("GroupBy = %v", q.GroupBy)
+	}
+	// Select keeps only the plain columns (for the non-aggregate consumers).
+	if len(q.Select) != 1 || q.Select[0] != "cat" {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if !q.HasAggregates() || !q.Grouped() {
+		t.Error("HasAggregates/Grouped should be true")
+	}
+}
+
+func TestParseGroupByWithoutAggregates(t *testing.T) {
+	q, err := Parse("SELECT cat, num FROM t GROUP BY cat, num")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.HasAggregates() {
+		t.Error("no aggregate items expected")
+	}
+	if !q.Grouped() {
+		t.Error("GROUP BY alone must mark the query grouped")
+	}
+	if len(q.GroupBy) != 2 || q.GroupBy[0] != "cat" || q.GroupBy[1] != "num" {
+		t.Errorf("GroupBy = %v", q.GroupBy)
+	}
+}
+
+func TestParseAggregateOverPredictedColumn(t *testing.T) {
+	q, err := Parse("SELECT m.cls, COUNT(*) FROM t PREDICTION JOIN dt AS m ON m.num = t.num GROUP BY m.cls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Items[0].Col != "m.cls" {
+		t.Errorf("predicted group column kept qualified, got %+v", q.Items[0])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "m.cls" {
+		t.Errorf("GroupBy = %v", q.GroupBy)
+	}
+}
+
+func TestParseGroupByResolvesTableQualifier(t *testing.T) {
+	q, err := Parse("SELECT t.cat, COUNT(t.num) FROM t GROUP BY t.cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.GroupBy[0] != "cat" {
+		t.Errorf("table qualifier not stripped from GROUP BY: %v", q.GroupBy)
+	}
+	if q.Items[1].Col != "num" {
+		t.Errorf("table qualifier not stripped from aggregate arg: %+v", q.Items[1])
+	}
+}
+
+func TestParseCountAsColumnName(t *testing.T) {
+	// An aggregate name not followed by "(" stays a plain column.
+	q, err := Parse("SELECT count FROM t WHERE count > 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != 1 || q.Items[0].Agg != "" || q.Items[0].Col != "count" {
+		t.Errorf("Items = %+v", q.Items)
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT SUM(*) FROM t",
+		"SELECT COUNT( FROM t",
+		"SELECT COUNT(*) FROM t GROUP BY",
+		"SELECT cat, COUNT(*) FROM t GROUP cat",
+		"SELECT AVG() FROM t",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestGroupIsNotAnAlias(t *testing.T) {
+	q, err := Parse("SELECT cat FROM t GROUP BY cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Alias != "" {
+		t.Errorf("GROUP consumed as table alias: %q", q.Alias)
+	}
+}
+
+func TestNormalizeGroupBy(t *testing.T) {
+	a, err := Normalize("SELECT Cat,  COUNT( * ) FROM T GROUP   BY cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Normalize("select cat, count(*) from t group by cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("normalized forms differ: %q vs %q", a, b)
+	}
+}

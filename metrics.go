@@ -32,6 +32,8 @@ type engineMetrics struct {
 	partsScanned  *metrics.Counter
 	columnarScans *metrics.Counter
 	termRejected  *metrics.CounterVec
+	aggQueries    *metrics.Counter
+	aggMerges     *metrics.Counter
 }
 
 // columnarTermLabels pre-creates per-term rejection children for the
@@ -55,6 +57,8 @@ var queryStages = []string{"parse", "rewrite", "optimize", "execute"}
 //	minequery_partitions_scanned_total   partitions surviving pruning
 //	minequery_columnar_scans_total       scans executed on the column-group path
 //	minequery_columnar_term_rejected_total{term} rows rejected per predicate term position
+//	minequery_agg_queries_total          completed GROUP BY / aggregate queries
+//	minequery_agg_partial_merges_total   partial-aggregate state merges (workers, partitions, shards)
 //
 // Call it once per registry; series names panic on double registration.
 func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
@@ -79,6 +83,10 @@ func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
 			"Sequential scans executed on the vectorized column-group path."),
 		termRejected: r.CounterVec("minequery_columnar_term_rejected_total",
 			"Rows rejected by each predicate term (by original term position) on columnar scans.", "term"),
+		aggQueries: r.Counter("minequery_agg_queries_total",
+			"Completed queries with GROUP BY or aggregate select items."),
+		aggMerges: r.Counter("minequery_agg_partial_merges_total",
+			"Partial-aggregate state merges across morsel workers, columnar groups, partitions, and shards."),
 	}
 	// Pre-create the label children so every series is visible from the
 	// first scrape (a frozen series list is lintable even on an idle
@@ -140,6 +148,16 @@ func (em *engineMetrics) columnar(info *exec.VecScanInfo) {
 	for _, t := range info.Terms {
 		em.termRejected.With(strconv.Itoa(t.Index)).Add(t.Evaluated - t.Passed)
 	}
+}
+
+// agg records one aggregate query and its partial-state merge count
+// (nil-safe; no-op for non-aggregate queries).
+func (em *engineMetrics) agg(isAgg bool, merges int64) {
+	if em == nil || !isAgg {
+		return
+	}
+	em.aggQueries.Inc()
+	em.aggMerges.Add(merges)
 }
 
 // partitions records one query's partition-pruning outcome (nil-safe;

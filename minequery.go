@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"minequery/internal/agg"
 	"minequery/internal/catalog"
 	"minequery/internal/core"
 	"minequery/internal/exec"
@@ -507,10 +508,43 @@ type ExecStats struct {
 	CostUnits float64
 }
 
+// ColumnMeta describes one output column of a Result: its name, value
+// kind, and provenance — "projected" for a base-table or predicted
+// column carried through to the output, "aggregate" for a computed
+// aggregate (COUNT/SUM/MIN/MAX/AVG). It is the self-describing schema
+// the server's wire format and the cluster coordinator carry alongside
+// rows, so clients never have to re-derive types from the query text.
+type ColumnMeta struct {
+	Name   string
+	Kind   Kind
+	Source string
+}
+
+// Column sources.
+const (
+	// SourceProjected marks a column read (or predicted) from the input
+	// and carried to the output unchanged.
+	SourceProjected = "projected"
+	// SourceAggregate marks a column computed by an aggregate function.
+	SourceAggregate = "aggregate"
+)
+
+// AggWire is the order-independent wire form of a partial aggregate
+// state (see WithPartialAggs): per-group accumulator payloads that a
+// coordinator merges across peers — in any order — and finalizes once.
+type AggWire = agg.Wire
+
+// AggSpec is a resolved aggregation (group-by columns plus select
+// items bound to the input schema). A PlanOutline carries one for
+// aggregate statements so a distribution layer can rebuild the
+// merge/finalize state without re-planning.
+type AggSpec = agg.Spec
+
 // Result is a completed query.
 type Result struct {
-	// Columns names the output columns.
-	Columns []string
+	// Columns describes the output columns in order; see ColumnNames for
+	// just the names.
+	Columns []ColumnMeta
 	// Rows holds the output tuples.
 	Rows []Tuple
 	// Plan is the executed physical plan (Explain form).
@@ -557,6 +591,20 @@ type Result struct {
 	// format is then unknown — a columnar-flagged plan silently falls
 	// back to the row path whenever the sidecar is stale).
 	StorageFormat string
+	// PartialAgg carries the un-finalized aggregate state when the query
+	// ran in partial-aggregate mode (WithPartialAggs): Rows is nil, and
+	// this payload is what a coordinator merges across shards before
+	// finalizing once. Nil in normal executions.
+	PartialAgg *AggWire
+}
+
+// ColumnNames returns the output column names, in order.
+func (r *Result) ColumnNames() []string {
+	names := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		names[i] = c.Name
+	}
+	return names
 }
 
 // Query parses, rewrites (adding upper envelopes), optimizes, and runs
@@ -566,6 +614,7 @@ type Result struct {
 //	WithDOP(n)          override scan parallelism for this call
 //	WithForcedPath(p)   pin the access path ("seqscan")
 //	WithAnalyze()       attribute filter rejections to envelope vs residual
+//	WithPartialAggs()   return the partial aggregate state instead of rows
 //
 // Cancellation: when ctx is cancelled or its deadline passes, execution
 // stops between batches and the returned error matches context.Canceled
@@ -576,27 +625,6 @@ func (e *Engine) Query(ctx context.Context, sql string, opts ...QueryOption) (*R
 		return nil, err
 	}
 	return e.runQuery(ctx, sql, qc)
-}
-
-// QueryContext runs a SELECT with cancellation.
-//
-// Deprecated: Query now takes a context directly; call Query.
-func (e *Engine) QueryContext(ctx context.Context, sql string) (*Result, error) {
-	return e.Query(ctx, sql)
-}
-
-// QueryBaseline runs a SELECT without envelope optimization.
-//
-// Deprecated: call Query with WithBaseline().
-func (e *Engine) QueryBaseline(sql string) (*Result, error) {
-	return e.Query(context.Background(), sql, WithBaseline())
-}
-
-// QueryBaselineContext is QueryBaseline with cancellation.
-//
-// Deprecated: call Query with WithBaseline().
-func (e *Engine) QueryBaselineContext(ctx context.Context, sql string) (*Result, error) {
-	return e.Query(ctx, sql, WithBaseline())
 }
 
 // ExplainAnalyze runs the query with envelope attribution enabled and
@@ -633,6 +661,12 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qc queryConfig) (*Res
 	if !ok {
 		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, q.Table)
 	}
+	if err := e.validateAggregate(q, t); err != nil {
+		return nil, err
+	}
+	if qc.partialAggs && !q.Grouped() {
+		return nil, fmt.Errorf("minequery: %w: partial-aggregate execution requires GROUP BY or aggregate select items", qerr.ErrUnsupportedQuery)
+	}
 	stageStart = time.Now()
 	var rw *core.Rewrite
 	if qc.baseline {
@@ -665,7 +699,76 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qc queryConfig) (*Res
 		}
 		analyzeBase = baseRw.DataPred
 	}
-	return e.executePlan(ctx, t, root, fallback, res, rw, execOpts, analyzeBase)
+	return e.executePlan(ctx, t, root, fallback, res, rw, execOpts, analyzeBase, qc.partialAggs)
+}
+
+// validateAggregate checks an aggregate query's shape at plan time, so
+// unsupported forms fail with ErrUnsupportedQuery before any execution
+// state is built. Non-aggregate queries pass through untouched.
+func (e *Engine) validateAggregate(q *sqlparse.Query, t *catalog.Table) error {
+	if !q.Grouped() {
+		return nil
+	}
+	if len(q.Items) == 0 {
+		return fmt.Errorf("minequery: %w: SELECT * cannot be combined with GROUP BY or aggregates", qerr.ErrUnsupportedQuery)
+	}
+	for _, it := range q.Items {
+		if it.Agg == "" {
+			continue
+		}
+		if _, ok := agg.FuncByName(it.Agg); !ok {
+			return fmt.Errorf("minequery: %w: unknown aggregate function %q", qerr.ErrUnsupportedQuery, it.Agg)
+		}
+	}
+	sch, err := e.postPredictSchema(q, t)
+	if err != nil {
+		return err
+	}
+	spec, err := agg.Resolve(sch, q.GroupBy, aggItems(q))
+	if err != nil {
+		return fmt.Errorf("minequery: %w: %v", qerr.ErrUnsupportedQuery, err)
+	}
+	// The output schema cannot carry duplicate column names, so a
+	// repeated select item ("sum(x), sum(x)") is rejected here rather
+	// than as an opaque schema error mid-execution.
+	if _, err := spec.OutSchema(); err != nil {
+		return fmt.Errorf("minequery: %w: %v", qerr.ErrUnsupportedQuery, err)
+	}
+	return nil
+}
+
+// postPredictSchema is the schema flowing into the aggregation: the base
+// table's columns plus one predicted column per PREDICTION JOIN, exactly
+// as the Predict operators will append them at execution.
+func (e *Engine) postPredictSchema(q *sqlparse.Query, t *catalog.Table) (*value.Schema, error) {
+	cols := append([]value.Column(nil), t.Schema.Columns...)
+	for _, j := range q.Joins {
+		me, ok := e.cat.Model(j.Model)
+		if !ok {
+			continue // caught earlier by the rewriter
+		}
+		kind := value.KindString
+		if cls := me.Model.Classes(); len(cls) > 0 {
+			kind = cls[0].Kind()
+		}
+		cols = append(cols, value.Column{
+			Name: strings.ToLower(j.Alias + "." + me.Model.PredictColumn()),
+			Kind: kind,
+		})
+	}
+	return value.NewSchema(cols...)
+}
+
+// aggItems converts the parsed select list to agg items. Function names
+// were validated by validateAggregate, so lookup failures cannot reach
+// execution (an unknown name maps to None, which Resolve then rejects).
+func aggItems(q *sqlparse.Query) []agg.Item {
+	items := make([]agg.Item, 0, len(q.Items))
+	for _, it := range q.Items {
+		f, _ := agg.FuncByName(it.Agg)
+		items = append(items, agg.Item{Func: f, Col: it.Col, Star: it.Star})
+	}
+	return items
 }
 
 // executePlan runs an assembled physical plan and packages the Result.
@@ -683,13 +786,13 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qc queryConfig) (*Res
 // recorded on the Result (Fallback, FallbackReason, a rewrite note) and
 // in the minequery_fallbacks_total metric. A dead context is never
 // retried: cancellation/deadline errors surface as-is.
-func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root, fallbackRoot plan.Node, res opt.Result, rw *core.Rewrite, execOpts exec.Options, analyzeBase expr.Expr) (*Result, error) {
-	r, err := e.runPlanOnce(ctx, t, root, res, rw, execOpts, analyzeBase)
+func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root, fallbackRoot plan.Node, res opt.Result, rw *core.Rewrite, execOpts exec.Options, analyzeBase expr.Expr, partial bool) (*Result, error) {
+	r, err := e.runPlanOnce(ctx, t, root, res, rw, execOpts, analyzeBase, partial)
 	if err == nil || fallbackRoot == nil || !errors.Is(err, qerr.ErrTransient) || ctx.Err() != nil {
 		return r, err
 	}
 	reason := err.Error()
-	fr, ferr := e.runPlanOnce(ctx, t, fallbackRoot, res, rw, execOpts, analyzeBase)
+	fr, ferr := e.runPlanOnce(ctx, t, fallbackRoot, res, rw, execOpts, analyzeBase, partial)
 	if ferr != nil {
 		// The degraded path failed too; surface the original failure,
 		// which names the index path the query actually chose.
@@ -709,7 +812,7 @@ func (e *Engine) executePlan(ctx context.Context, t *catalog.Table, root, fallba
 
 // runPlanOnce executes one plan tree and packages the Result; it is the
 // single-attempt core under executePlan's degradation wrapper.
-func (e *Engine) runPlanOnce(ctx context.Context, t *catalog.Table, root plan.Node, res opt.Result, rw *core.Rewrite, execOpts exec.Options, analyzeBase expr.Expr) (*Result, error) {
+func (e *Engine) runPlanOnce(ctx context.Context, t *catalog.Table, root plan.Node, res opt.Result, rw *core.Rewrite, execOpts exec.Options, analyzeBase expr.Expr, partial bool) (*Result, error) {
 	var col *exec.Collector
 	if !e.noInstrument.Load() {
 		col = exec.NewCollector()
@@ -722,7 +825,30 @@ func (e *Engine) runPlanOnce(ctx context.Context, t *catalog.Table, root plan.No
 	}
 	before := t.Heap.Stats()
 	start := time.Now()
-	rows, schema, err := exec.RunCtx(ctx, e.cat, root, execOpts)
+	var (
+		rows   []value.Tuple
+		schema *value.Schema
+		wire   *agg.Wire
+		err    error
+	)
+	if partial {
+		// Partial-aggregate mode: run only the Partial producer and
+		// return its un-finalized state for a coordinator to merge.
+		part := partialAggOf(root)
+		if part == nil {
+			return nil, fmt.Errorf("minequery: %w: partial-aggregate execution requires an aggregate plan", qerr.ErrUnsupportedQuery)
+		}
+		var tab *agg.Table
+		tab, err = exec.RunPartialAgg(ctx, e.cat, part, execOpts)
+		if err == nil {
+			wire = tab.EncodeWire()
+			// Columns still describe the merged-and-finalized output, so a
+			// partial Result is self-describing for the gathering side too.
+			schema, err = tab.Spec.OutSchema()
+		}
+	} else {
+		rows, schema, err = exec.RunCtx(ctx, e.cat, root, execOpts)
+	}
 	elapsed := time.Since(start)
 	var retries int64
 	if col != nil {
@@ -751,9 +877,14 @@ func (e *Engine) runPlanOnce(ctx context.Context, t *catalog.Table, root plan.No
 	st.CostUnits = float64(st.SeqPageReads)*e.optCfg.SeqPageCost +
 		float64(st.RandPageReads)*e.optCfg.RandomPageCost +
 		float64(st.TupleReads)*e.optCfg.RowCPUCost
-	cols := make([]string, schema.Len())
+	fin := finalAggOf(root)
+	cols := make([]ColumnMeta, schema.Len())
 	for i := range cols {
-		cols[i] = schema.Col(i).Name
+		c := schema.Col(i)
+		cols[i] = ColumnMeta{Name: c.Name, Kind: c.Kind, Source: SourceProjected}
+		if fin != nil && i < len(fin.Aggs) && fin.Aggs[i].Func != agg.None {
+			cols[i].Source = SourceAggregate
+		}
 	}
 	r := &Result{
 		Columns:          cols,
@@ -767,6 +898,7 @@ func (e *Engine) runPlanOnce(ctx context.Context, t *catalog.Table, root plan.No
 		Retries:          retries,
 		PartitionsTotal:  res.PartsTotal,
 		PartitionsPruned: res.PartsPruned,
+		PartialAgg:       wire,
 	}
 	if col != nil {
 		r.StorageFormat = "row"
@@ -785,7 +917,37 @@ func (e *Engine) runPlanOnce(ctx context.Context, t *catalog.Table, root plan.No
 	em.stage("execute", elapsed)
 	em.query(r.AccessPath, st.TupleReads, int64(len(rows)))
 	em.partitions(res.PartsTotal, res.PartsPruned)
+	var merges int64
+	if col != nil {
+		merges = col.AggMerges.Load()
+	}
+	em.agg(fin != nil, merges)
 	return r, nil
+}
+
+// finalAggOf returns the plan's final-phase HashAgg — it sits at the
+// root or directly under a Limit — or nil for non-aggregate plans.
+func finalAggOf(n plan.Node) *plan.HashAgg {
+	switch x := n.(type) {
+	case *plan.HashAgg:
+		if x.Phase == plan.AggFinal {
+			return x
+		}
+	case *plan.Limit:
+		return finalAggOf(x.Child)
+	}
+	return nil
+}
+
+// partialAggOf returns the partial-phase HashAgg feeding the plan's
+// final aggregate, or nil for non-aggregate plans.
+func partialAggOf(n plan.Node) *plan.HashAgg {
+	fin := finalAggOf(n)
+	if fin == nil {
+		return nil
+	}
+	part, _ := fin.Child.(*plan.HashAgg)
+	return part
 }
 
 // columnarScanInfo returns the columnar actuals of the plan's scan leaf,
@@ -856,9 +1018,11 @@ func (e *Engine) buildPlan(q *sqlparse.Query, t *catalog.Table, rw *core.Rewrite
 }
 
 // finishPlan wraps an access-path subtree with the query's prediction
-// joins, post-prediction filter, projection, and limit. Each call
-// builds fresh operator nodes, so the optimized root and its fallback
-// never share nodes (per-node runtime stats stay separable).
+// joins, post-prediction filter, and then either the aggregation pair
+// (partial below final, replacing the projection: the select-list order
+// lives in the aggregate items) or the projection, and the limit. Each
+// call builds fresh operator nodes, so the optimized root and its
+// fallback never share nodes (per-node runtime stats stay separable).
 func (e *Engine) finishPlan(q *sqlparse.Query, rw *core.Rewrite, root plan.Node) plan.Node {
 	for _, j := range q.Joins {
 		me, ok := e.cat.Model(j.Model)
@@ -875,7 +1039,15 @@ func (e *Engine) finishPlan(q *sqlparse.Query, rw *core.Rewrite, root plan.Node)
 	if needsPostFilter(rw) {
 		root = &plan.Filter{Child: root, Pred: rw.FullPred}
 	}
-	if len(q.Select) > 0 {
+	if q.Grouped() {
+		items := aggItems(q)
+		root = &plan.HashAgg{
+			Child:   &plan.HashAgg{Child: root, Phase: plan.AggPartial, GroupBy: q.GroupBy, Aggs: items},
+			Phase:   plan.AggFinal,
+			GroupBy: q.GroupBy,
+			Aggs:    items,
+		}
+	} else if len(q.Select) > 0 {
 		root = &plan.Project{Child: root, Cols: q.Select}
 	}
 	if q.Limit >= 0 {
@@ -903,6 +1075,9 @@ func (e *Engine) Explain(sql string) (string, error) {
 	t, ok := e.cat.Table(q.Table)
 	if !ok {
 		return "", fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, q.Table)
+	}
+	if err := e.validateAggregate(q, t); err != nil {
+		return "", err
 	}
 	rw, err := core.RewriteQueryCached(q, e.cat, e.optCfg.MaxDisjuncts, e.envCache)
 	if err != nil {

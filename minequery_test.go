@@ -75,7 +75,7 @@ func TestQueryMatchesBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseline, err := e.QueryBaseline(nbQuery)
+	baseline, err := e.Query(context.Background(), nbQuery, WithBaseline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestOptimizedPlanUsesIndexAndIsCheaper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseline, err := e.QueryBaseline(nbQuery)
+	baseline, err := e.Query(context.Background(), nbQuery, WithBaseline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,14 +171,14 @@ func TestDecisionTreeQueryEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseline, err := e.QueryBaseline(sql)
+	baseline, err := e.Query(context.Background(), sql, WithBaseline())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(optimized.Rows) != len(baseline.Rows) {
 		t.Fatalf("result mismatch: %d vs %d", len(optimized.Rows), len(baseline.Rows))
 	}
-	if len(optimized.Columns) != 1 || optimized.Columns[0] != "id" {
+	if len(optimized.Columns) != 1 || optimized.Columns[0].Name != "id" {
 		t.Errorf("projection columns = %v", optimized.Columns)
 	}
 }
@@ -196,7 +196,7 @@ func TestKMeansQueryEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseline, err := e.QueryBaseline(sql)
+	baseline, err := e.Query(context.Background(), sql, WithBaseline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestINPredicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseline, err := e.QueryBaseline(sql)
+	baseline, err := e.Query(context.Background(), sql, WithBaseline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestModelDataJoinQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseline, err := e.QueryBaseline(sql)
+	baseline, err := e.Query(context.Background(), sql, WithBaseline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestTwoModelConcurrence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseline, err := e.QueryBaseline(sql)
+	baseline, err := e.Query(context.Background(), sql, WithBaseline())
 	if err != nil {
 		t.Fatal(err)
 	}

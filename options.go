@@ -11,11 +11,12 @@ type QueryOption func(*queryConfig) error
 
 // queryConfig is the resolved option set for one call.
 type queryConfig struct {
-	baseline   bool
-	dop        int
-	forcedPath string
-	analyze    bool
-	noFallback bool
+	baseline    bool
+	dop         int
+	forcedPath  string
+	analyze     bool
+	noFallback  bool
+	partialAggs bool
 }
 
 func buildQueryConfig(opts []QueryOption) (queryConfig, error) {
@@ -72,6 +73,22 @@ func WithForcedPath(path string) QueryOption {
 func WithNoFallback() QueryOption {
 	return func(qc *queryConfig) error {
 		qc.noFallback = true
+		return nil
+	}
+}
+
+// WithPartialAggs runs an aggregate query in partial mode: the engine
+// executes everything below the final aggregate — scan, envelope
+// filter, prediction joins, residual filter, and the partial
+// accumulation — but skips finalization, returning the order-independent
+// partial state in Result.PartialAgg (Result.Rows is nil). A
+// coordinator merges the wires of several peers with Table.MergeWire
+// and finalizes once, which is exactly how the cluster scatter-gathers
+// GROUP BY across shards without shipping rows. Non-aggregate queries
+// fail with ErrUnsupportedQuery.
+func WithPartialAggs() QueryOption {
+	return func(qc *queryConfig) error {
+		qc.partialAggs = true
 		return nil
 	}
 }

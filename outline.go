@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"minequery/internal/agg"
 	"minequery/internal/core"
 	"minequery/internal/expr"
 	"minequery/internal/qerr"
@@ -49,6 +50,12 @@ type PlanOutline struct {
 	BaselinePred Expr
 	// Limit is the query's LIMIT (-1 when absent).
 	Limit int64
+	// Agg is the resolved aggregation for GROUP BY / aggregate
+	// statements (nil otherwise). A coordinator executes each shard in
+	// partial-aggregate mode, rebuilds a merge table from this spec,
+	// folds every shard's wire state in, finalizes once, and applies
+	// Limit to the finalized canonical-order rows.
+	Agg *AggSpec
 	// Models lists the referenced models in join order (deduplicated).
 	Models []ModelRef
 	// Notes documents the envelope rewrites applied.
@@ -70,8 +77,24 @@ func (e *Engine) Outline(sql string) (*PlanOutline, error) {
 		return nil, err
 	}
 	em.stage("parse", time.Since(stageStart))
-	if _, ok := e.cat.Table(q.Table); !ok {
+	t, ok := e.cat.Table(q.Table)
+	if !ok {
 		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, q.Table)
+	}
+	if err := e.validateAggregate(q, t); err != nil {
+		return nil, err
+	}
+	var aggSpec *AggSpec
+	if q.Grouped() {
+		sch, err := e.postPredictSchema(q, t)
+		if err != nil {
+			return nil, err
+		}
+		if aggSpec, err = agg.Resolve(sch, q.GroupBy, aggItems(q)); err != nil {
+			// validateAggregate already vetted the shape; a failure here
+			// means the catalog moved between the two resolutions.
+			return nil, fmt.Errorf("minequery: %w: %v", qerr.ErrUnsupportedQuery, err)
+		}
 	}
 	stageStart = time.Now()
 	rw, err := core.RewriteQueryCached(q, e.cat, e.optCfg.MaxDisjuncts, e.envCache)
@@ -119,6 +142,7 @@ func (e *Engine) Outline(sql string) (*PlanOutline, error) {
 		DataPred:     pred,
 		BaselinePred: basePred,
 		Limit:        q.Limit,
+		Agg:          aggSpec,
 		Models:       models,
 		Notes:        rw.Notes,
 		Epoch:        epoch,

@@ -93,6 +93,9 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 	if !ok {
 		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, q.Table)
 	}
+	if err := e.validateAggregate(q, t); err != nil {
+		return nil, err
+	}
 	stageStart = time.Now()
 	rw, err := core.RewriteQueryCached(q, e.cat, e.optCfg.MaxDisjuncts, e.envCache)
 	if err != nil {
@@ -183,7 +186,7 @@ func (p *Prepared) execute(ctx context.Context, qc queryConfig) (*Result, error)
 	if qc.noFallback {
 		fallback = nil
 	}
-	res, err := p.eng.executePlan(ctx, p.table, p.root, fallback, p.optRes, p.rewrite, opts, analyzeBase)
+	res, err := p.eng.executePlan(ctx, p.table, p.root, fallback, p.optRes, p.rewrite, opts, analyzeBase, qc.partialAggs)
 	if err != nil && strings.Contains(err.Error(), "plan invalidated") {
 		// The exec-layer version guard fired: a model changed between the
 		// epoch check and plan build-out. Surface it as staleness.

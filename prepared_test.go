@@ -177,10 +177,10 @@ func TestQueryContextCancel(t *testing.T) {
 	trainNB(t, e)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := e.QueryContext(ctx, nbQuery); !errors.Is(err, context.Canceled) {
+	if _, err := e.Query(ctx, nbQuery); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	if _, err := e.QueryBaselineContext(ctx, nbQuery); !errors.Is(err, context.Canceled) {
+	if _, err := e.Query(ctx, nbQuery, WithBaseline()); !errors.Is(err, context.Canceled) {
 		t.Fatalf("baseline err = %v, want context.Canceled", err)
 	}
 }
