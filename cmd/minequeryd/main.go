@@ -35,6 +35,8 @@ func main() {
 		demoRows = flag.Int("demo-rows", 30000, "row count for -demo")
 		brkThr   = flag.Int("breaker-threshold", 3, "consecutive index-path failures tripping a table's circuit breaker (-1: disable)")
 		brkCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
+		walPath  = flag.String("wal", "", "write-ahead log file for the DML/CREATE MODEL write path (empty: volatile)")
+		retrain  = flag.Int64("retrain-threshold", 0, "retrain a table's CREATE MODEL models after this many written rows (0: disable)")
 
 		coord       = flag.Bool("coord", false, "run as a cluster coordinator over -shard-addrs instead of serving local data")
 		shardAddrs  = flag.String("shard-addrs", "", "comma-separated shard base URLs (coordinator mode)")
@@ -78,6 +80,23 @@ func main() {
 			log.Fatalf("minequeryd: seed demo: %v", err)
 		}
 		log.Printf("minequeryd: demo database ready (%d rows, models risk_tree, seg_bayes)", *demoRows)
+	}
+
+	// WAL and retrain policy attach after demo seeding on purpose: the
+	// bulk-loaded seed is the recovery baseline, and the log holds only
+	// the statement history on top of it. Replay requires the same
+	// -demo/-retrain-threshold configuration across restarts.
+	eng.SetRetrainPolicy(minequery.RetrainPolicy{WriteThreshold: *retrain})
+	if *walPath != "" {
+		dev, err := minequery.OpenWALFile(*walPath)
+		if err != nil {
+			log.Fatalf("minequeryd: open WAL %s: %v", *walPath, err)
+		}
+		n, err := eng.EnableWAL(dev)
+		if err != nil {
+			log.Fatalf("minequeryd: enable WAL: %v", err)
+		}
+		log.Printf("minequeryd: WAL %s attached (%d records replayed)", *walPath, n)
 	}
 
 	q := *queue

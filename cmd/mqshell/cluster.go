@@ -129,6 +129,22 @@ func (c *clusterClient) exec(sql string) (*clusterExecResult, error) {
 	return &res, nil
 }
 
+type clusterWriteResult struct {
+	Statement     string   `json:"statement"`
+	Table         string   `json:"table"`
+	RowsAffected  int64    `json:"rows_affected"`
+	ShardsWritten int      `json:"shards_written"`
+	Retrained     []string `json:"retrained"`
+}
+
+func (c *clusterClient) execWrite(sql string) (*clusterWriteResult, error) {
+	var res clusterWriteResult
+	if err := c.call("POST", "/v1/exec", map[string]string{"sql": sql}, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
 func (c *clusterClient) explainAnalyze(sql string) (string, error) {
 	var res struct {
 		Analyze string `json:"analyze"`
@@ -261,6 +277,17 @@ func (c *clusterClient) repl(readLine func() (string, bool)) {
 			}
 			fmt.Printf("sharded table %s (%s on %s, %d shards) — run \\shards for the map\n",
 				ci.Table, ci.Mode, ci.Column, len(ci.Shards))
+		case isWriteStatement(line):
+			res, err := c.execWrite(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("%s: %d rows affected across %d shards\n",
+				res.Statement, res.RowsAffected, res.ShardsWritten)
+			if len(res.Retrained) > 0 {
+				fmt.Printf("-- retrained: %s\n", strings.Join(res.Retrained, ", "))
+			}
 		default:
 			res, err := c.exec(line)
 			if err != nil {

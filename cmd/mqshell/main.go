@@ -79,6 +79,13 @@ func main() {
 			} else {
 				fmt.Print(out)
 			}
+		case isWriteStatement(line):
+			res, err := eng.Exec(context.Background(), line)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			printExecResult(res)
 		default:
 			res, err := eng.Query(context.Background(), line)
 			if err != nil {
@@ -97,6 +104,31 @@ func main() {
 				len(res.Rows), res.AccessPath, res.Stats.CostUnits)
 		}
 		fmt.Print("mq> ")
+	}
+}
+
+// isWriteStatement routes INSERT/UPDATE/DELETE/CREATE MODEL lines to
+// the engine's write path instead of the query path.
+func isWriteStatement(line string) bool {
+	head := strings.ToLower(line)
+	for _, p := range []string{"insert", "update", "delete", "create"} {
+		if strings.HasPrefix(head, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// printExecResult renders one write statement's outcome.
+func printExecResult(res *minequery.ExecResult) {
+	if res.Model != nil {
+		fmt.Printf("model %s trained (%d classes, version %d)\n",
+			res.Model.Name, len(res.Model.Classes), res.Model.Version)
+	} else {
+		fmt.Printf("%s: %d rows affected\n", res.Statement, res.RowsAffected)
+	}
+	if len(res.Retrained) > 0 {
+		fmt.Printf("-- retrained: %s\n", strings.Join(res.Retrained, ", "))
 	}
 }
 

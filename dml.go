@@ -1,0 +1,568 @@
+package minequery
+
+// The engine's write path: INSERT/UPDATE/DELETE and CREATE MODEL
+// through Exec, durable via the write-ahead log (wal.go) when enabled,
+// with write-volume retrain triggers driving the catalog-epoch
+// invalidation that prepared plans and envelope caches key on.
+//
+// Concurrency model: one writer at a time (writeMu serializes every
+// mutating statement, including retrains and WAL replay), any number of
+// concurrent readers. Readers never block on writeMu — the heap, btree,
+// and catalog are individually safe for reads interleaved with writes,
+// and a query sees a point-in-time snapshot of each page it scans.
+//
+// Durability protocol (log-then-apply): a statement's mutations are
+// encoded and appended to the WAL, fsynced, and only then applied to
+// the heap. Every acked statement is therefore durable, and the live
+// state always equals the durable log's replay — a crash can lose at
+// most the one statement that was never acked. Any WAL failure leaves
+// the log sticky-broken and the statement unapplied, so live state and
+// log never diverge.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"minequery/internal/catalog"
+	"minequery/internal/exec"
+	"minequery/internal/expr"
+	"minequery/internal/mining"
+	"minequery/internal/mining/cluster"
+	"minequery/internal/mining/dtree"
+	"minequery/internal/mining/nbayes"
+	"minequery/internal/mining/rules"
+	"minequery/internal/plan"
+	"minequery/internal/qerr"
+	"minequery/internal/sqlparse"
+	"minequery/internal/value"
+	"minequery/internal/wal"
+)
+
+// RetrainPolicy configures automatic in-engine retraining.
+type RetrainPolicy struct {
+	// WriteThreshold retrains every model defined (via CREATE MODEL) on
+	// a table once that many rows have been written to it since the
+	// last retrain. 0 disables automatic retraining.
+	WriteThreshold int64
+}
+
+// SetRetrainPolicy installs the write-volume retrain trigger. Each
+// retrain re-runs the model's CREATE MODEL training over current data
+// and re-registers it, bumping the model version and catalog epoch —
+// prepared statements go stale (ErrStalePlan) and envelope caches
+// refresh, exactly as for an explicit retrain.
+func (e *Engine) SetRetrainPolicy(p RetrainPolicy) {
+	e.retrainThreshold.Store(p.WriteThreshold)
+}
+
+// ExecResult reports the outcome of one write statement.
+type ExecResult struct {
+	// Statement is "insert", "update", "delete", or "create model".
+	Statement string
+	// Table is the mutated (or trained-over) table.
+	Table string
+	// RowsAffected counts rows written: inserted, updated, or deleted.
+	RowsAffected int64
+	// Model is the trained model's summary (CREATE MODEL only).
+	Model *ModelInfo
+	// Retrained lists models retrained by the write-volume trigger as a
+	// side effect of this statement.
+	Retrained []string
+	// Epoch is the catalog epoch after the statement — clients compare
+	// it against prepared-statement epochs to anticipate ErrStalePlan.
+	Epoch int64
+}
+
+// modelDef is the recorded CREATE MODEL definition, re-run on retrain.
+type modelDef struct {
+	name    string // original-case model name
+	table   string
+	family  string
+	predict string
+	feats   []string // explicit feature list; nil with star=true
+	star    bool
+	where   expr.Expr
+	sql     string // original statement text (WAL replay form)
+}
+
+// classificationFamily reports whether the family trains with labels
+// from the predicted column (as opposed to clustering, which invents
+// the predicted column).
+func classificationFamily(f string) bool {
+	return f == "dtree" || f == "nbayes" || f == "rules"
+}
+
+// Exec runs one write statement: INSERT, UPDATE, DELETE, or CREATE
+// MODEL. SELECT statements are rejected — reads go through Query, which
+// carries options, instrumentation, and result schemas that a write
+// path has no use for. Writes are serialized internally; Exec is safe
+// to call from many goroutines and interleaves freely with queries.
+func (e *Engine) Exec(ctx context.Context, sql string) (*ExecResult, error) {
+	st, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, fmt.Errorf("minequery: %w", err)
+	}
+	switch st.Kind {
+	case sqlparse.StmtSelect:
+		return nil, fmt.Errorf("minequery: %w: SELECT statements run through Query, not Exec", qerr.ErrUnsupportedQuery)
+	case sqlparse.StmtInsert:
+		return e.execInsert(st.Insert)
+	case sqlparse.StmtUpdate:
+		return e.execUpdate(ctx, st.Update)
+	case sqlparse.StmtDelete:
+		return e.execDelete(ctx, st.Delete)
+	case sqlparse.StmtCreateModel:
+		return e.execCreateModel(st.CreateModel, sql)
+	}
+	return nil, fmt.Errorf("minequery: %w: unhandled statement kind", qerr.ErrUnsupportedQuery)
+}
+
+func (e *Engine) execInsert(st *sqlparse.InsertStmt) (*ExecResult, error) {
+	t, ok := e.cat.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, st.Table)
+	}
+	rows, err := resolveInsertRows(t, st)
+	if err != nil {
+		return nil, err
+	}
+	muts := make([]wal.Mutation, len(rows))
+	for i, r := range rows {
+		muts[i] = wal.Mutation{Op: wal.OpInsert, Rec: value.EncodeTuple(nil, r)}
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if err := e.walAppend(wal.Record{Kind: wal.RecordDML, Table: t.Name, Muts: muts}); err != nil {
+		return nil, err
+	}
+	n, err := e.applyDML(t, muts)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExecResult{Statement: "insert", Table: t.Name, RowsAffected: n}
+	e.metrics.Load().dml("insert", n)
+	if res.Retrained, err = e.noteWrites(t.Name, n); err != nil {
+		return res, err
+	}
+	res.Epoch = e.cat.Epoch()
+	return res, nil
+}
+
+// resolveInsertRows maps a statement's value lists to full-arity,
+// normalized tuples. With an explicit column list, unnamed columns are
+// NULL; without one, each row must carry the full schema arity.
+func resolveInsertRows(t *catalog.Table, st *sqlparse.InsertStmt) ([]value.Tuple, error) {
+	ords := make([]int, len(st.Columns))
+	for i, c := range st.Columns {
+		o := t.Schema.Ordinal(c)
+		if o < 0 {
+			return nil, fmt.Errorf("minequery: %w: unknown column %q in INSERT into %s", qerr.ErrUnsupportedQuery, c, t.Name)
+		}
+		ords[i] = o
+	}
+	out := make([]value.Tuple, len(st.Rows))
+	for ri, vals := range st.Rows {
+		var row value.Tuple
+		if st.Columns == nil {
+			row = value.Tuple(vals)
+		} else {
+			row = make(value.Tuple, t.Schema.Len())
+			for i := range row {
+				row[i] = value.Null()
+			}
+			for i, v := range vals {
+				row[ords[i]] = v
+			}
+		}
+		norm, err := t.NormalizeRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("minequery: row %d: %w", ri, err)
+		}
+		out[ri] = norm
+	}
+	return out, nil
+}
+
+// validateDMLWhere checks that a DML predicate references only the
+// table's data columns — mining predicates (predicted columns) have no
+// meaning on the write side.
+func validateDMLWhere(t *catalog.Table, where expr.Expr) error {
+	for _, c := range expr.Columns(where) {
+		if t.Schema.Ordinal(c) < 0 {
+			return fmt.Errorf("minequery: %w: unknown column %q in DML predicate on %s (predicates on the write path see data columns only)",
+				qerr.ErrUnsupportedQuery, c, t.Name)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) execUpdate(ctx context.Context, st *sqlparse.UpdateStmt) (*ExecResult, error) {
+	t, ok := e.cat.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, st.Table)
+	}
+	if err := validateDMLWhere(t, st.Where); err != nil {
+		return nil, err
+	}
+	setOrds := make([]int, len(st.Sets))
+	for i, a := range st.Sets {
+		o := t.Schema.Ordinal(a.Col)
+		if o < 0 {
+			return nil, fmt.Errorf("minequery: %w: unknown column %q in UPDATE %s", qerr.ErrUnsupportedQuery, a.Col, t.Name)
+		}
+		setOrds[i] = o
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	matches, err := exec.CollectMatches(ctx, t, st.Where, e.execOpts)
+	if err != nil {
+		return nil, fmt.Errorf("minequery: update %s: %w", t.Name, err)
+	}
+	muts := make([]wal.Mutation, 0, len(matches))
+	for _, m := range matches {
+		newRow := m.Row.Clone()
+		for i, a := range st.Sets {
+			newRow[setOrds[i]] = a.Val
+		}
+		norm, err := t.NormalizeRow(newRow)
+		if err != nil {
+			return nil, fmt.Errorf("minequery: update %s at %s: %w", t.Name, m.RID, err)
+		}
+		muts = append(muts, wal.Mutation{Op: wal.OpUpdate, RID: m.RID, Rec: value.EncodeTuple(nil, norm)})
+	}
+	res := &ExecResult{Statement: "update", Table: t.Name}
+	if len(muts) > 0 {
+		if err := e.walAppend(wal.Record{Kind: wal.RecordDML, Table: t.Name, Muts: muts}); err != nil {
+			return nil, err
+		}
+		if res.RowsAffected, err = e.applyDML(t, muts); err != nil {
+			return nil, err
+		}
+	}
+	e.metrics.Load().dml("update", res.RowsAffected)
+	if res.Retrained, err = e.noteWrites(t.Name, res.RowsAffected); err != nil {
+		return res, err
+	}
+	res.Epoch = e.cat.Epoch()
+	return res, nil
+}
+
+func (e *Engine) execDelete(ctx context.Context, st *sqlparse.DeleteStmt) (*ExecResult, error) {
+	t, ok := e.cat.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, st.Table)
+	}
+	if err := validateDMLWhere(t, st.Where); err != nil {
+		return nil, err
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	matches, err := exec.CollectMatches(ctx, t, st.Where, e.execOpts)
+	if err != nil {
+		return nil, fmt.Errorf("minequery: delete %s: %w", t.Name, err)
+	}
+	muts := make([]wal.Mutation, len(matches))
+	for i, m := range matches {
+		muts[i] = wal.Mutation{Op: wal.OpDelete, RID: m.RID}
+	}
+	res := &ExecResult{Statement: "delete", Table: t.Name}
+	if len(muts) > 0 {
+		if err := e.walAppend(wal.Record{Kind: wal.RecordDML, Table: t.Name, Muts: muts}); err != nil {
+			return nil, err
+		}
+		if res.RowsAffected, err = e.applyDML(t, muts); err != nil {
+			return nil, err
+		}
+	}
+	e.metrics.Load().dml("delete", res.RowsAffected)
+	if res.Retrained, err = e.noteWrites(t.Name, res.RowsAffected); err != nil {
+		return res, err
+	}
+	res.Epoch = e.cat.Epoch()
+	return res, nil
+}
+
+// applyDML applies logged mutations to live state. Caller holds
+// writeMu. The same function re-applies records during WAL replay, so
+// live apply and recovery take one code path — and because inserts (and
+// update re-inserts) always append at the heap tail, RID assignment is
+// a pure function of the mutation sequence, making replayed RIDs line
+// up with the RIDs captured in later log records.
+func (e *Engine) applyDML(t *catalog.Table, muts []wal.Mutation) (int64, error) {
+	var n int64
+	for _, m := range muts {
+		switch m.Op {
+		case wal.OpInsert:
+			row, err := value.DecodeTuple(m.Rec)
+			if err != nil {
+				return n, fmt.Errorf("minequery: apply insert to %s: %w", t.Name, err)
+			}
+			if _, err := t.Insert(row); err != nil {
+				return n, fmt.Errorf("minequery: apply insert to %s: %w", t.Name, err)
+			}
+			n++
+		case wal.OpDelete:
+			removed, err := t.Delete(m.RID)
+			if err != nil {
+				return n, fmt.Errorf("minequery: apply delete to %s: %w", t.Name, err)
+			}
+			if removed {
+				n++
+			}
+		case wal.OpUpdate:
+			row, err := value.DecodeTuple(m.Rec)
+			if err != nil {
+				return n, fmt.Errorf("minequery: apply update to %s: %w", t.Name, err)
+			}
+			if _, err := t.Update(m.RID, row); err != nil {
+				return n, fmt.Errorf("minequery: apply update to %s: %w", t.Name, err)
+			}
+			n++
+		default:
+			return n, fmt.Errorf("minequery: apply to %s: unknown mutation op %d", t.Name, m.Op)
+		}
+	}
+	return n, nil
+}
+
+// noteWrites credits rows written against the retrain threshold and,
+// when crossed, retrains every model defined on the table. Caller
+// holds writeMu. Returns the names of retrained models.
+func (e *Engine) noteWrites(table string, rows int64) ([]string, error) {
+	if rows == 0 {
+		return nil, nil
+	}
+	thr := e.retrainThreshold.Load()
+	e.writesSince[table] += rows
+	if thr <= 0 || e.writesSince[table] < thr {
+		return nil, nil
+	}
+	e.writesSince[table] = 0
+	return e.retrainTable(table)
+}
+
+// retrainTable re-runs training for every CREATE MODEL definition on
+// table, in definition order. Caller holds writeMu. Each successful
+// retrain re-registers the model: version++, catalog epoch bump,
+// envelope caches and prepared plans invalidated.
+func (e *Engine) retrainTable(table string) ([]string, error) {
+	var names []string
+	for _, key := range e.defOrder {
+		d := e.modelDefs[key]
+		if d == nil || !strings.EqualFold(d.table, table) {
+			continue
+		}
+		if _, err := e.trainFromDef(d); err != nil {
+			return names, fmt.Errorf("minequery: retrain %s after writes to %s: %w", d.name, table, err)
+		}
+		names = append(names, d.name)
+		e.metrics.Load().retrain(1)
+	}
+	return names, nil
+}
+
+// resolveDefFeatures expands a definition's training view: the feature
+// columns and (for classification families) the label column.
+func resolveDefFeatures(t *catalog.Table, d *modelDef) ([]string, string, error) {
+	label := ""
+	if classificationFamily(d.family) {
+		if t.Schema.Ordinal(d.predict) < 0 {
+			return nil, "", fmt.Errorf("minequery: %w: PREDICT column %q not in %s (required for family %s)",
+				qerr.ErrUnsupportedQuery, d.predict, t.Name, d.family)
+		}
+		label = d.predict
+	}
+	if !d.star {
+		// The predicted column may appear in the view (it is the label);
+		// it is never a feature.
+		feats := make([]string, 0, len(d.feats))
+		for _, c := range d.feats {
+			if t.Schema.Ordinal(c) < 0 {
+				return nil, "", fmt.Errorf("minequery: %w: feature column %q not in %s", qerr.ErrUnsupportedQuery, c, t.Name)
+			}
+			if strings.EqualFold(c, d.predict) {
+				continue
+			}
+			feats = append(feats, c)
+		}
+		if len(feats) == 0 {
+			return nil, "", fmt.Errorf("minequery: %w: CREATE MODEL view has no feature columns", qerr.ErrUnsupportedQuery)
+		}
+		return feats, label, nil
+	}
+	// Star view: every column except the predicted one; clustering
+	// families additionally keep only numeric columns, since their
+	// inducers reject categorical attributes.
+	var feats []string
+	for i := 0; i < t.Schema.Len(); i++ {
+		col := t.Schema.Col(i)
+		if strings.EqualFold(col.Name, d.predict) {
+			continue
+		}
+		if !classificationFamily(d.family) &&
+			col.Kind != value.KindInt && col.Kind != value.KindFloat {
+			continue
+		}
+		feats = append(feats, col.Name)
+	}
+	if len(feats) == 0 {
+		return nil, "", fmt.Errorf("minequery: %w: no usable feature columns in %s for family %s",
+			qerr.ErrUnsupportedQuery, t.Name, d.family)
+	}
+	return feats, label, nil
+}
+
+// trainFromDef runs one definition's training over current table data
+// and registers the result (deriving envelopes). Caller holds writeMu.
+func (e *Engine) trainFromDef(d *modelDef) (*ModelInfo, error) {
+	t, ok := e.cat.Table(d.table)
+	if !ok {
+		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, d.table)
+	}
+	feats, label, err := resolveDefFeatures(t, d)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := e.buildTrainSetWhere(d.table, feats, label, d.where)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var m mining.Model
+	switch d.family {
+	case "dtree":
+		m, err = dtree.Train(d.name, d.predict, ts, dtree.Options{})
+	case "nbayes":
+		m, err = nbayes.Train(d.name, d.predict, ts, nbayes.Options{})
+	case "rules":
+		m, err = rules.Train(d.name, d.predict, ts, rules.Options{})
+	case "kmeans":
+		m, err = cluster.TrainKMeans(d.name, d.predict, ts, defaultClusterOptions())
+	case "gmm":
+		m, err = cluster.TrainGMM(d.name, d.predict, ts, defaultClusterOptions())
+	default:
+		return nil, fmt.Errorf("minequery: %w: unknown model family %q", qerr.ErrUnsupportedQuery, d.family)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("minequery: train %s (%s): %w", d.name, d.family, err)
+	}
+	return e.registerWithEnvelopes(m, time.Since(start))
+}
+
+// defaultClusterOptions are the CREATE MODEL clustering defaults: a
+// small fixed K and a fixed seed, so retrains over identical data
+// reproduce identical models (WAL replay depends on training being a
+// deterministic function of the data).
+func defaultClusterOptions() cluster.Options {
+	return cluster.Options{K: 3, Seed: 1}
+}
+
+func (e *Engine) execCreateModel(st *sqlparse.CreateModelStmt, sql string) (*ExecResult, error) {
+	d := &modelDef{
+		name:    st.Name,
+		table:   st.Table,
+		family:  st.Family,
+		predict: st.Predict,
+		feats:   st.Feats,
+		star:    st.Star,
+		where:   st.Where,
+		sql:     sql,
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	// Train first (no side effects on failure), log the statement, then
+	// register: a crash after the log entry replays the whole training
+	// deterministically over the recovered data.
+	info, err := e.createModelLocked(d)
+	if err != nil {
+		return nil, err
+	}
+	e.metrics.Load().dml("create_model", 0)
+	return &ExecResult{
+		Statement: "create model",
+		Table:     d.table,
+		Model:     info,
+		Epoch:     e.cat.Epoch(),
+	}, nil
+}
+
+// explainStatement renders a write statement's plan without executing
+// it. UPDATE/DELETE always drive a full serial scan on the read side
+// (the victim set must be exact, so no mining-envelope rewrites apply);
+// the plan shows that honestly.
+func (e *Engine) explainStatement(st *sqlparse.Statement) (string, error) {
+	var root plan.Node
+	switch st.Kind {
+	case sqlparse.StmtInsert:
+		if _, ok := e.cat.Table(st.Insert.Table); !ok {
+			return "", fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, st.Insert.Table)
+		}
+		root = &plan.Mutation{Op: "insert", Table: st.Insert.Table, Rows: len(st.Insert.Rows)}
+	case sqlparse.StmtUpdate:
+		t, ok := e.cat.Table(st.Update.Table)
+		if !ok {
+			return "", fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, st.Update.Table)
+		}
+		if err := validateDMLWhere(t, st.Update.Where); err != nil {
+			return "", err
+		}
+		root = &plan.Mutation{Op: "update", Table: t.Name, Child: dmlScanPlan(t.Name, st.Update.Where)}
+	case sqlparse.StmtDelete:
+		t, ok := e.cat.Table(st.Delete.Table)
+		if !ok {
+			return "", fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, st.Delete.Table)
+		}
+		if err := validateDMLWhere(t, st.Delete.Where); err != nil {
+			return "", err
+		}
+		root = &plan.Mutation{Op: "delete", Table: t.Name, Child: dmlScanPlan(t.Name, st.Delete.Where)}
+	case sqlparse.StmtCreateModel:
+		cm := st.CreateModel
+		if _, ok := e.cat.Table(cm.Table); !ok {
+			return "", fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, cm.Table)
+		}
+		return fmt.Sprintf("CreateModel(%s family=%s predict=%s over %s)\n  SeqScan(%s)\n",
+			cm.Name, cm.Family, cm.Predict, cm.Table, cm.Table), nil
+	default:
+		return "", fmt.Errorf("minequery: %w: cannot explain statement", qerr.ErrUnsupportedQuery)
+	}
+	return plan.Explain(root), nil
+}
+
+func dmlScanPlan(table string, where expr.Expr) plan.Node {
+	var n plan.Node = &plan.SeqScan{Table: table}
+	if where != nil {
+		n = &plan.Filter{Child: n, Pred: where}
+	}
+	return n
+}
+
+// createModelLocked trains, logs, registers, and records the
+// definition. Caller holds writeMu. It is the shared path between live
+// CREATE MODEL and WAL replay of logged DDL.
+func (e *Engine) createModelLocked(d *modelDef) (*ModelInfo, error) {
+	// Dry-run the feature resolution before training so a bad statement
+	// never reaches the log.
+	t, ok := e.cat.Table(d.table)
+	if !ok {
+		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, d.table)
+	}
+	if _, _, err := resolveDefFeatures(t, d); err != nil {
+		return nil, err
+	}
+	info, err := e.trainFromDef(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.walAppend(wal.Record{Kind: wal.RecordDDL, DDL: d.sql}); err != nil {
+		return nil, err
+	}
+	key := strings.ToLower(d.name)
+	if _, exists := e.modelDefs[key]; !exists {
+		e.defOrder = append(e.defOrder, key)
+	}
+	e.modelDefs[key] = d
+	return info, nil
+}

@@ -7,6 +7,7 @@ package minequery
 import (
 	"minequery/internal/fault"
 	"minequery/internal/qerr"
+	"minequery/internal/wal"
 )
 
 // Re-exported fault-injection types. A FaultInjector is seeded and
@@ -43,7 +44,19 @@ const (
 	FaultSiteBatch = fault.SiteBatch
 	// FaultSiteAdmission fires in the server's admission path.
 	FaultSiteAdmission = fault.SiteAdmission
+	// FaultSiteWALAppend fires once per WAL frame append, before the
+	// frame bytes reach the device — a crash here loses the statement.
+	FaultSiteWALAppend = fault.SiteWALAppend
+	// FaultSiteWALSync fires once per WAL fsync, after the frame was
+	// written but before it is durable — a crash here may leave a torn
+	// frame at the tail of the log.
+	FaultSiteWALSync = fault.SiteWALSync
 )
+
+// ErrWALCrash is the ready-made non-transient failure for crash tests
+// arming the WAL sites: it breaks the log (no retry, no degradation)
+// the way a process kill at a durability boundary would.
+var ErrWALCrash = wal.ErrCrash
 
 // ErrTransient classifies failures the retry layer may absorb and the
 // degradation path may survive; injected faults wrap it, and callers
@@ -80,6 +93,9 @@ func NewFakeClock() *FakeClock { return fault.NewFakeClock() }
 func (e *Engine) SetFaults(in *FaultInjector) {
 	e.cat.SetFaults(in)
 	e.execOpts.Faults = in
+	if l := e.wlog.Load(); l != nil {
+		l.SetFaults(in)
+	}
 }
 
 // SetRetryPolicy replaces the transient-retry policy used by subsequent

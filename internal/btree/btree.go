@@ -10,6 +10,7 @@ package btree
 
 import (
 	"bytes"
+	"sync"
 
 	"minequery/internal/storage"
 )
@@ -42,7 +43,13 @@ type node struct {
 }
 
 // Tree is a B+-tree. The zero value is not usable; call New.
+//
+// All methods are safe for concurrent use: mutations (Insert, Delete)
+// take the write lock, traversals hold the read lock for their whole
+// visit — so a range scan sees one consistent tree, and index
+// maintenance from the DML path can interleave with concurrent seeks.
 type Tree struct {
+	mu     sync.RWMutex
 	root   *node
 	degree int // max children per internal node; max entries per leaf = degree-1
 	size   int
@@ -58,10 +65,16 @@ func New(degree int) *Tree {
 }
 
 // Len returns the number of entries.
-func (t *Tree) Len() int { return t.size }
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
 
 // Height returns the tree height (1 for a single leaf).
 func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	h, n := 1, t.root
 	for !n.leaf {
 		h++
@@ -75,6 +88,8 @@ func (t *Tree) maxLeaf() int { return t.degree - 1 }
 // Insert adds an entry. Duplicate (key, RID) pairs are stored once.
 func (t *Tree) Insert(key []byte, rid storage.RID) {
 	e := Entry{Key: append([]byte(nil), key...), RID: rid}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	newChild, sep := t.insert(t.root, e)
 	if newChild != nil {
 		t.root = &node{
@@ -164,6 +179,8 @@ func childIndex(seps []Entry, e Entry) int {
 // empty); the structure is not rebalanced. Range scans skip empty leaves.
 func (t *Tree) Delete(key []byte, rid storage.RID) bool {
 	e := Entry{Key: key, RID: rid}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n := t.root
 	for !n.leaf {
 		n = n.children[childIndex(n.seps, e)]
@@ -187,6 +204,8 @@ var minRID = storage.RID{}
 // bounds). The callback returning false stops the scan. It returns the
 // number of entries visited.
 func (t *Tree) AscendRange(lo, hi []byte, loInc, hiInc bool, fn func(Entry) bool) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := t.root
 	if lo == nil {
 		for !n.leaf {
@@ -242,6 +261,8 @@ func (t *Tree) AscendEqual(key []byte, fn func(Entry) bool) int {
 
 // Min returns the smallest entry, if any.
 func (t *Tree) Min() (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := t.root
 	for !n.leaf {
 		n = n.children[0]

@@ -53,8 +53,9 @@ type Table struct {
 	// Part.NumPartitions() partitions. Immutable after creation.
 	Part *PartitionSpec
 
-	// writeVer counts row inserts; the columnar sidecar pins it at
-	// build time and is bypassed once they diverge (see ColumnStore).
+	// writeVer counts row writes (inserts, deletes, updates); the
+	// columnar sidecar pins it at build time and is bypassed once they
+	// diverge (see ColumnStore).
 	writeVer atomic.Int64
 
 	mu        sync.RWMutex
@@ -144,10 +145,14 @@ func (t *Table) Analyze() (*stats.TableStats, error) {
 	return ts, nil
 }
 
-// Insert appends a row, maintaining all indexes.
-func (t *Table) Insert(row value.Tuple) (storage.RID, error) {
+// NormalizeRow validates row against the table schema and returns the
+// storable form: arity and per-column kind are checked, and INT values
+// widen into FLOAT columns (on a clone — the caller's tuple is never
+// mutated). The write path normalizes before logging so the WAL holds
+// exactly the bytes the heap will store.
+func (t *Table) NormalizeRow(row value.Tuple) (value.Tuple, error) {
 	if len(row) != t.Schema.Len() {
-		return storage.RID{}, fmt.Errorf("catalog: table %s: row arity %d, schema arity %d", t.Name, len(row), t.Schema.Len())
+		return nil, fmt.Errorf("catalog: table %s: row arity %d, schema arity %d", t.Name, len(row), t.Schema.Len())
 	}
 	for i, v := range row {
 		if v.IsNull() {
@@ -162,9 +167,18 @@ func (t *Table) Insert(row value.Tuple) (storage.RID, error) {
 			continue
 		}
 		if got != want {
-			return storage.RID{}, fmt.Errorf("catalog: table %s column %s: value kind %s, want %s",
+			return nil, fmt.Errorf("catalog: table %s column %s: value kind %s, want %s",
 				t.Name, t.Schema.Col(i).Name, got, want)
 		}
+	}
+	return row, nil
+}
+
+// Insert appends a row, maintaining all indexes.
+func (t *Table) Insert(row value.Tuple) (storage.RID, error) {
+	row, err := t.NormalizeRow(row)
+	if err != nil {
+		return storage.RID{}, err
 	}
 	rid, err := t.insertRecord(row)
 	if err != nil {
@@ -174,6 +188,47 @@ func (t *Table) Insert(row value.Tuple) (storage.RID, error) {
 		ix.Tree.Insert(ix.KeyFor(row), rid)
 	}
 	return rid, nil
+}
+
+// Delete removes the row at rid, maintaining all indexes, and reports
+// whether a live row was removed. Like Insert it bumps the table's
+// write version, so columnar sidecars built before the delete go stale.
+func (t *Table) Delete(rid storage.RID) (bool, error) {
+	row, ok, err := t.Fetch(rid)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	if !t.Heap.Delete(rid) {
+		return false, nil
+	}
+	t.writeVer.Add(1)
+	for _, ix := range t.Indexes() {
+		ix.Tree.Delete(ix.KeyFor(row), rid)
+	}
+	return true, nil
+}
+
+// Update replaces the row at rid with newRow: the old row is deleted
+// and the new one appended at the end of the heap (possibly in a
+// different partition), returning the new RID. Update-moves-to-end
+// keeps RID assignment a pure function of the operation sequence, which
+// the WAL replay path depends on.
+func (t *Table) Update(rid storage.RID, newRow value.Tuple) (storage.RID, error) {
+	newRow, err := t.NormalizeRow(newRow)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	removed, err := t.Delete(rid)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	if !removed {
+		return storage.RID{}, fmt.Errorf("catalog: table %s: update of missing row %s", t.Name, rid)
+	}
+	return t.Insert(newRow)
 }
 
 // Fetch decodes the row at rid.

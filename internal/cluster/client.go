@@ -210,6 +210,29 @@ func (c *Client) Exec(ctx context.Context, addr string, req ExecRequest) (*ExecR
 	return &out, nil
 }
 
+// StatementResponse mirrors the daemon's /v1/exec answer (the write
+// path: INSERT/UPDATE/DELETE and CREATE MODEL).
+type StatementResponse struct {
+	Statement    string   `json:"statement"`
+	Table        string   `json:"table"`
+	RowsAffected int64    `json:"rows_affected"`
+	Retrained    []string `json:"retrained"`
+	Epoch        int64    `json:"epoch"`
+}
+
+// ExecStatement runs one write statement on a shard via /v1/exec.
+func (c *Client) ExecStatement(ctx context.Context, addr, sql string, timeoutMS int64) (*StatementResponse, error) {
+	var out StatementResponse
+	req := struct {
+		SQL       string `json:"sql"`
+		TimeoutMS int64  `json:"timeout_ms"`
+	}{SQL: sql, TimeoutMS: timeoutMS}
+	if err := c.do(ctx, http.MethodPost, addr+"/v1/exec", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Info fetches a shard's catalog summary via /v1/shard-info.
 func (c *Client) Info(ctx context.Context, addr string) (*Info, error) {
 	var out Info

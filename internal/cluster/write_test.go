@@ -1,0 +1,173 @@
+package cluster_test
+
+// Fleet write-path tests: the coordinator's Exec must keep the
+// placement invariant (every row on the shard its key maps to) and keep
+// the fleet equivalent to the single union node that ran the same
+// statements.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"minequery/internal/cluster"
+)
+
+func TestClusterInsertRoutesByShardKey(t *testing.T) {
+	tc := newTestCluster(t, 3, []int64{3, 6}, 2000, cluster.Config{Retry: fastRetry})
+	ctx := context.Background()
+
+	// income values 1, 4, 7 land on shards 0, 1, 2 respectively.
+	sql := `INSERT INTO customers (id, age, income, visits, segment) VALUES
+		(900001, 2, 1, 5, 'budget'),
+		(900002, 3, 4, 6, 'regular'),
+		(900003, 1, 7, 7, 'vip'),
+		(900004, 4, 4, 8, 'regular')`
+	res, err := tc.coord.Exec(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 4 || res.ShardsWritten != 3 {
+		t.Fatalf("insert result: %+v", res)
+	}
+	// Mirror on the union oracle.
+	if _, err := tc.union.Exec(ctx, sql); err != nil {
+		t.Fatal(err)
+	}
+
+	// Placement: each inserted row is on exactly the shard owning its
+	// income value, and nowhere else.
+	wantShard := map[int64]int{900001: 0, 900002: 1, 900003: 2, 900004: 1}
+	for id, want := range wantShard {
+		for s, eng := range tc.engines {
+			r, err := eng.Query(ctx, "SELECT id FROM customers WHERE id = "+strconv.FormatInt(id, 10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(r.Rows); (got == 1) != (s == want) {
+				t.Fatalf("row %d: shard %d has %d copies (want on shard %d only)", id, s, got, want)
+			}
+		}
+	}
+
+	// The coordinator's read of the new rows matches the union node.
+	cres, err := tc.coord.Execute(ctx, cluster.Request{SQL: "SELECT id, income FROM customers WHERE id >= 900001"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cres.Rows) != 4 {
+		t.Fatalf("coordinator sees %d new rows, want 4", len(cres.Rows))
+	}
+}
+
+func TestClusterUpdateDeleteBroadcast(t *testing.T) {
+	tc := newTestCluster(t, 3, []int64{3, 6}, 2000, cluster.Config{Retry: fastRetry})
+	ctx := context.Background()
+
+	// The predicate crosses shard ranges; the broadcast must hit every
+	// matching row fleet-wide, and the union oracle gives the expected
+	// count.
+	upd := "UPDATE customers SET visits = 0 WHERE age >= 8"
+	ures, err := tc.coord.Exec(ctx, upd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores, err := tc.union.Exec(ctx, upd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ures.RowsAffected != ores.RowsAffected || ures.RowsAffected == 0 {
+		t.Fatalf("update: cluster affected %d, union %d", ures.RowsAffected, ores.RowsAffected)
+	}
+	if ures.ShardsWritten != 3 {
+		t.Fatalf("update broadcast wrote %d shards, want 3", ures.ShardsWritten)
+	}
+
+	del := "DELETE FROM customers WHERE visits = 0 AND age >= 8"
+	dres, err := tc.coord.Exec(ctx, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odres, err := tc.union.Exec(ctx, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.RowsAffected != odres.RowsAffected || dres.RowsAffected != ures.RowsAffected {
+		t.Fatalf("delete: cluster affected %d, union %d, updated %d",
+			dres.RowsAffected, odres.RowsAffected, ures.RowsAffected)
+	}
+
+	// Fleet row count equals the union node's after both statements.
+	crows, err := tc.coord.Execute(ctx, cluster.Request{SQL: "SELECT COUNT(*) FROM customers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	urows := tc.unionRows("SELECT COUNT(*) FROM customers", 0)
+	if len(crows.Rows) != 1 || len(urows.Rows) != 1 {
+		t.Fatalf("count shapes: cluster %d rows, union %d rows", len(crows.Rows), len(urows.Rows))
+	}
+	cc, uc := fmt.Sprint(crows.Rows[0][0]), fmt.Sprint(urows.Rows[0][0].AsInt())
+	if cc != uc {
+		t.Fatalf("fleet count %s != union count %s", cc, uc)
+	}
+}
+
+func TestClusterCreateModelBroadcast(t *testing.T) {
+	tc := newTestCluster(t, 3, []int64{3, 6}, 2000, cluster.Config{Retry: fastRetry})
+	ctx := context.Background()
+
+	res, err := tc.coord.Exec(ctx,
+		"CREATE MODEL local_seg ON customers PREDICT segment USING dtree AS SELECT age, income, segment FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statement != "create model" || res.ShardsWritten != 3 {
+		t.Fatalf("create model result: %+v", res)
+	}
+	// Every shard can serve a PREDICTION JOIN on its local model.
+	for s, eng := range tc.engines {
+		r, err := eng.Query(ctx, `SELECT id FROM customers
+			PREDICTION JOIN local_seg AS m ON m.age = customers.age AND m.income = customers.income
+			WHERE m.segment = 'regular' LIMIT 3`)
+		if err != nil {
+			t.Fatalf("shard %d predict query: %v", s, err)
+		}
+		if len(r.Rows) == 0 {
+			t.Fatalf("shard %d: model trained but predicts nothing", s)
+		}
+	}
+}
+
+func TestClusterWriteFailurePolicy(t *testing.T) {
+	tc := newTestCluster(t, 3, []int64{3, 6}, 1000, cluster.Config{Retry: fastRetry})
+	ctx := context.Background()
+
+	// Kill shard 2 entirely: a broadcast must fail and name the shards
+	// that did apply.
+	tc.gates[2].mode.Store(gateKillAll)
+	_, err := tc.coord.Exec(ctx, "UPDATE customers SET visits = 1 WHERE age = 0")
+	if err == nil {
+		t.Fatal("broadcast with a dead shard should fail")
+	}
+	if !strings.Contains(err.Error(), "applied on shards") {
+		t.Fatalf("error should name partially applied shards: %v", err)
+	}
+
+	// An insert routed only to live shards still succeeds.
+	tc.gates[2].mode.Store(gateHealthy)
+	res, err := tc.coord.Exec(ctx,
+		"INSERT INTO customers (id, age, income, visits, segment) VALUES (910000, 1, 0, 2, 'budget')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsWritten != 1 || res.RowsAffected != 1 {
+		t.Fatalf("routed insert: %+v", res)
+	}
+
+	// SELECT through the write path is a typed rejection.
+	if _, err := tc.coord.Exec(ctx, "SELECT id FROM customers"); err == nil {
+		t.Fatal("SELECT through Exec should be rejected")
+	}
+}

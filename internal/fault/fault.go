@@ -53,6 +53,13 @@ const (
 	// before query execution, holding the slot for the injected delay —
 	// the queue-pressure scenario.
 	SiteAdmission = "server.admission"
+	// SiteWALAppend fires once per WAL frame append, before the frame
+	// bytes reach the device — a crash here loses the whole frame.
+	SiteWALAppend = "wal.append"
+	// SiteWALSync fires once per WAL fsync, after the frame was written
+	// but before it is made durable — a crash here may leave a torn
+	// frame at the tail of the log.
+	SiteWALSync = "wal.sync"
 )
 
 // Rule arms one injection site. The zero trigger fields never fire; set

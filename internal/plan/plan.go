@@ -102,6 +102,19 @@ type Limit struct {
 	N     int64
 }
 
+// Mutation is the root of a DML plan: Op is "insert", "update", or
+// "delete"; Child is the matching-row pipeline for update/delete (nil
+// for insert, which has no read side) and Rows the literal row count
+// for insert. The executor does not build Mutation nodes — the engine's
+// write path drives the child pipeline itself under the table's write
+// lock — but EXPLAIN renders them like any other plan.
+type Mutation struct {
+	Op    string
+	Table string
+	Child Node
+	Rows  int
+}
+
 // AggPhase distinguishes the two halves of the split aggregation.
 type AggPhase int
 
@@ -144,6 +157,12 @@ func (p *Project) Children() []Node  { return []Node{p.Child} }
 func (p *Predict) Children() []Node  { return []Node{p.Child} }
 func (l *Limit) Children() []Node    { return []Node{l.Child} }
 func (h *HashAgg) Children() []Node  { return []Node{h.Child} }
+func (m *Mutation) Children() []Node {
+	if m.Child == nil {
+		return nil
+	}
+	return []Node{m.Child}
+}
 
 // Describe implements Node.
 func (s *SeqScan) Describe() string {
@@ -237,6 +256,19 @@ func (h *HashAgg) Describe() string {
 	return b.String()
 }
 
+// Describe implements Node.
+func (m *Mutation) Describe() string {
+	switch m.Op {
+	case "insert":
+		return fmt.Sprintf("Insert(%s, %d rows)", m.Table, m.Rows)
+	case "update":
+		return fmt.Sprintf("Update(%s)", m.Table)
+	case "delete":
+		return fmt.Sprintf("Delete(%s)", m.Table)
+	}
+	return fmt.Sprintf("Mutation(%s, %s)", m.Op, m.Table)
+}
+
 // Explain renders the plan tree with indentation.
 func Explain(n Node) string {
 	var b strings.Builder
@@ -302,6 +334,11 @@ func PathOf(n Node) AccessPath {
 		case *Limit:
 			n = x.Child
 		case *HashAgg:
+			n = x.Child
+		case *Mutation:
+			if x.Child == nil {
+				return AccessConstant // pure insert: no read side
+			}
 			n = x.Child
 		default:
 			return AccessSeqScan

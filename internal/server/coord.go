@@ -45,6 +45,7 @@ func NewCoord(coord *cluster.Coordinator, defaultTimeout time.Duration) *CoordSe
 	}
 	cs.metrics = cs.buildMetrics()
 	cs.mux.HandleFunc("POST /v1/execute", cs.handleExecute)
+	cs.mux.HandleFunc("POST /v1/exec", cs.handleExec)
 	cs.mux.HandleFunc("POST /v1/prepare", cs.handlePrepare)
 	cs.mux.HandleFunc("POST /v1/explain-analyze", cs.handleExplainAnalyze)
 	cs.mux.HandleFunc("GET /v1/cluster", cs.handleCluster)
@@ -198,6 +199,39 @@ func (cs *CoordServer) handleExecute(w http.ResponseWriter, r *http.Request) {
 		Retries:       res.Retries,
 		Epoch:         res.Epoch,
 	})
+}
+
+// handleExec routes one write statement across the fleet: INSERT rows
+// to their owning shards by the shard map, UPDATE/DELETE/CREATE MODEL
+// broadcast to every shard.
+func (cs *CoordServer) handleExec(w http.ResponseWriter, r *http.Request) {
+	done, err := cs.beginRequest()
+	if err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	defer done()
+	var req execRequest
+	if err := decodeBody(r, &req); err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	if req.SQL == "" {
+		cs.writeError(w, errBadRequest("sql is required"))
+		return
+	}
+	timeout := cs.timeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	res, err := cs.coord.Exec(ctx, req.SQL)
+	if err != nil {
+		cs.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (cs *CoordServer) handlePrepare(w http.ResponseWriter, r *http.Request) {

@@ -155,6 +155,7 @@ func New(eng *minequery.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/session/{id}/settings", s.handleSessionSettings)
 	s.mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
 	s.mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
 	s.mux.HandleFunc("POST /v1/explain-analyze", s.handleExplainAnalyze)
 	s.mux.HandleFunc("POST /v1/shard-exec", s.handleShardExec)
 	s.mux.HandleFunc("GET /v1/shard-info", s.handleShardInfo)
@@ -276,6 +277,28 @@ type executeResponse struct {
 	Fallback bool          `json:"fallback"`
 	Retries  int64         `json:"retries"`
 	Stats    execStatsBody `json:"stats"`
+}
+
+type execRequest struct {
+	SQL       string `json:"sql"`
+	SessionID string `json:"session_id"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+type execResponse struct {
+	Statement    string   `json:"statement"`
+	Table        string   `json:"table"`
+	RowsAffected int64    `json:"rows_affected"`
+	Retrained    []string `json:"retrained,omitempty"`
+	Epoch        int64    `json:"epoch"`
+	// Model summarizes the trained model (CREATE MODEL only).
+	Model *execModelBody `json:"model,omitempty"`
+}
+
+type execModelBody struct {
+	Name    string `json:"name"`
+	Classes int    `json:"classes"`
+	Version int64  `json:"version"`
 }
 
 type explainAnalyzeRequest struct {
@@ -579,6 +602,77 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			CostUnits:     res.Stats.CostUnits,
 		},
 	})
+}
+
+// handleExec runs one write statement (INSERT/UPDATE/DELETE or CREATE
+// MODEL) through the engine's durable write path. Writes go through the
+// same admission control as queries — a burst of inserts queues behind
+// the worker pool rather than starving readers — and through the same
+// error taxonomy, so clients see parse_error/unsupported_query for bad
+// statements and transient for injected write-path failures.
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	done, err := s.beginRequest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer done()
+	var req execRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.SQL == "" {
+		s.writeError(w, errBadRequest("sql is required"))
+		return
+	}
+	settings, err := s.resolveSettings(req.SessionID)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if settings.Timeout > 0 {
+		timeout = settings.Timeout
+	}
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.adm.release()
+	if s.execHook != nil {
+		s.execHook()
+	}
+	if err := s.cfg.Faults.Hit(minequery.FaultSiteAdmission); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	res, err := s.eng.Exec(ctx, req.SQL)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.queries.Add(1)
+	body := execResponse{
+		Statement:    res.Statement,
+		Table:        res.Table,
+		RowsAffected: res.RowsAffected,
+		Retrained:    res.Retrained,
+		Epoch:        res.Epoch,
+	}
+	if res.Model != nil {
+		body.Model = &execModelBody{
+			Name:    res.Model.Name,
+			Classes: len(res.Model.Classes),
+			Version: res.Model.Version,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // executeGuarded runs the entry's plan behind the per-table circuit

@@ -1,8 +1,11 @@
 package sqlparse
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"minequery/internal/qerr"
 )
 
 // seedQueries covers the dialect: plain selects, the paper's four mining
@@ -74,6 +77,54 @@ var seedQueries = []string{
 	"SELECT * FROM t PREDICTION JOIN",
 	"\x00\xff SELECT * FROM t",
 	"SELECT * FROM t -- trailing garbage )))",
+	// Write-path statements: every DML/CREATE MODEL production the
+	// statement grammar accepts, plus each of its typed rejection
+	// paths (parse errors vs recognized-but-unsupported verbs), so the
+	// fuzzer starts on both sides of every branch in ParseStatement.
+	"INSERT INTO t VALUES (1, 2, 3, 'x')",
+	"INSERT INTO t (id, a, b, label) VALUES (1, 2, 3, 'x'), (2, -3, 4.5, NULL)",
+	"insert into T (ID) values (1), (2), (3)",
+	"INSERT INTO t (a) VALUES (TRUE), (FALSE), (1e3), ('O''Brien')",
+	"UPDATE t SET b = 7",
+	"UPDATE t SET b = 7, label = 'red' WHERE a = 3 AND id >= 10",
+	"UPDATE t SET label = NULL WHERE b IN (1, 2) OR NOT (a <> 0)",
+	"DELETE FROM t",
+	"DELETE FROM t WHERE b < 30 AND a = 5",
+	"CREATE MODEL m ON t PREDICT label USING dtree",
+	"CREATE MODEL m ON t PREDICT label USING nbayes AS SELECT a, b, label FROM t",
+	"CREATE MODEL m ON t PREDICT label USING rules AS SELECT * FROM t WHERE b >= 10",
+	"create model K on t predict cluster using kmeans",
+	"CREATE MODEL g ON t PREDICT component USING gmm AS SELECT a, b FROM t",
+	// Malformed DML: parse-error paths.
+	"INSERT INTO t",
+	"INSERT INTO t VALUES",
+	"INSERT INTO t VALUES (1, 2",
+	"INSERT INTO t (a b) VALUES (1)",
+	"INSERT INTO t (a) VALUES (1), (1, 2)",
+	"INSERT INTO t (a) SELECT a FROM s",
+	"UPDATE t",
+	"UPDATE t SET",
+	"UPDATE t SET a",
+	"UPDATE t SET a = WHERE b = 1",
+	"UPDATE t SET a = b",
+	"DELETE t WHERE a = 1",
+	"DELETE FROM",
+	"CREATE MODEL m",
+	"CREATE MODEL m ON t",
+	"CREATE MODEL m ON t PREDICT label",
+	"CREATE MODEL m ON t PREDICT label USING",
+	"CREATE MODEL m ON t PREDICT label USING dtree AS",
+	"CREATE MODEL m ON t PREDICT label USING dtree AS SELECT FROM t",
+	"CREATE MODEL m ON t PREDICT label USING dtree AS SELECT a FROM other",
+	// Recognized-but-unsupported: typed ErrUnsupportedQuery paths.
+	"CREATE MODEL m ON t PREDICT label USING svm",
+	"CREATE TABLE t (a INT)",
+	"CREATE INDEX ix ON t (a)",
+	"DROP TABLE t",
+	"ALTER TABLE t ADD COLUMN x INT",
+	"TRUNCATE t",
+	"MERGE INTO t USING s ON t.id = s.id",
+	"GRANT ALL ON t TO nobody",
 }
 
 // FuzzLexer checks that tokenization never panics and that every
@@ -100,6 +151,135 @@ func FuzzLexer(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzStatement checks that ParseStatement never panics and keeps its
+// contract on arbitrary input: exactly one of (statement, error) is
+// returned, the union field matching Kind is populated, and every error
+// is typed — it wraps qerr.ErrParse or qerr.ErrUnsupportedQuery, never
+// an anonymous failure.
+func FuzzStatement(f *testing.F) {
+	for _, q := range seedQueries {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := ParseStatement(src)
+		if err != nil {
+			if st != nil {
+				t.Fatal("ParseStatement must not return both a statement and an error")
+			}
+			if !errors.Is(err, qerr.ErrParse) && !errors.Is(err, qerr.ErrUnsupportedQuery) {
+				t.Fatalf("untyped statement error for %q: %v", src, err)
+			}
+			return
+		}
+		if st == nil {
+			t.Fatal("ParseStatement returned neither statement nor error")
+		}
+		switch st.Kind {
+		case StmtSelect:
+			if st.Select == nil {
+				t.Fatal("StmtSelect with nil Select")
+			}
+		case StmtInsert:
+			if st.Insert == nil || st.Insert.Table == "" || len(st.Insert.Rows) == 0 {
+				t.Fatalf("malformed InsertStmt accepted: %q", src)
+			}
+			if st.Insert.Columns != nil {
+				for _, row := range st.Insert.Rows {
+					if len(row) != len(st.Insert.Columns) {
+						t.Fatalf("insert row arity %d != column list %d: %q",
+							len(row), len(st.Insert.Columns), src)
+					}
+				}
+			}
+		case StmtUpdate:
+			if st.Update == nil || st.Update.Table == "" || len(st.Update.Sets) == 0 {
+				t.Fatalf("malformed UpdateStmt accepted: %q", src)
+			}
+		case StmtDelete:
+			if st.Delete == nil || st.Delete.Table == "" {
+				t.Fatalf("malformed DeleteStmt accepted: %q", src)
+			}
+		case StmtCreateModel:
+			cm := st.CreateModel
+			if cm == nil || cm.Name == "" || cm.Table == "" || cm.Predict == "" {
+				t.Fatalf("malformed CreateModelStmt accepted: %q", src)
+			}
+			if _, ok := ModelFamilies[cm.Family]; !ok {
+				t.Fatalf("unknown family %q accepted: %q", cm.Family, src)
+			}
+			// Without AS SELECT the view defaults to "every column but
+			// the predicted one": Star set, no explicit features/filter.
+			if !cm.HasView && (cm.Feats != nil || !cm.Star || cm.Where != nil) {
+				t.Fatalf("bad default view for CREATE MODEL without AS SELECT: %+v (%q)", cm, src)
+			}
+			if cm.Star && cm.Feats != nil {
+				t.Fatalf("Star and explicit features are mutually exclusive: %q", src)
+			}
+		default:
+			t.Fatalf("unknown statement kind %d for %q", st.Kind, src)
+		}
+	})
+}
+
+// TestStatementGrammarCoverage pins the typed outcome of one statement
+// per grammar production and per rejection path: accepted productions
+// parse to the expected kind; malformed text fails with ErrParse;
+// recognized-but-unimplemented statements fail with ErrUnsupportedQuery
+// (clients tell "wrong dialect" from "gibberish" by the type alone).
+func TestStatementGrammarCoverage(t *testing.T) {
+	accept := map[string]StmtKind{
+		"SELECT id FROM t WHERE a = 1":                                           StmtSelect,
+		"INSERT INTO t VALUES (1, 'x')":                                          StmtInsert,
+		"INSERT INTO t (a, b) VALUES (1, 2), (NULL, TRUE)":                       StmtInsert,
+		"UPDATE t SET a = 1":                                                     StmtUpdate,
+		"UPDATE t SET a = 1, b = 'x' WHERE c IN (1, 2) AND d >= 0":               StmtUpdate,
+		"DELETE FROM t":                                                          StmtDelete,
+		"DELETE FROM t WHERE NOT (a = 1)":                                        StmtDelete,
+		"CREATE MODEL m ON t PREDICT p USING dtree":                              StmtCreateModel,
+		"CREATE MODEL m ON t PREDICT p USING gmm AS SELECT a, b FROM t":          StmtCreateModel,
+		"CREATE MODEL m ON t PREDICT p USING rules AS SELECT * FROM t WHERE a=1": StmtCreateModel,
+	}
+	for sql, kind := range accept {
+		st, err := ParseStatement(sql)
+		if err != nil {
+			t.Errorf("%q: unexpected error %v", sql, err)
+			continue
+		}
+		if st.Kind != kind {
+			t.Errorf("%q: kind %d, want %d", sql, st.Kind, kind)
+		}
+	}
+	parseErrs := []string{
+		"INSERT INTO t",
+		"INSERT INTO t (a) VALUES (1, 2)",
+		"INSERT INTO t (a) SELECT a FROM s",
+		"UPDATE t SET",
+		"UPDATE t SET a = b",
+		"DELETE t",
+		"CREATE MODEL m ON t PREDICT p",
+		"CREATE MODEL m ON t PREDICT p USING dtree AS SELECT a FROM other",
+		"wibble wobble",
+	}
+	for _, sql := range parseErrs {
+		if _, err := ParseStatement(sql); !errors.Is(err, qerr.ErrParse) {
+			t.Errorf("%q: want ErrParse, got %v", sql, err)
+		}
+	}
+	unsupported := []string{
+		"CREATE MODEL m ON t PREDICT p USING svm",
+		"CREATE TABLE t (a INT)",
+		"DROP TABLE t",
+		"ALTER TABLE t ADD COLUMN x INT",
+		"TRUNCATE t",
+		"GRANT ALL ON t TO nobody",
+	}
+	for _, sql := range unsupported {
+		if _, err := ParseStatement(sql); !errors.Is(err, qerr.ErrUnsupportedQuery) {
+			t.Errorf("%q: want ErrUnsupportedQuery, got %v", sql, err)
+		}
+	}
 }
 
 // FuzzParser checks that Parse never panics: any input either yields a

@@ -1,0 +1,140 @@
+package sqlparse
+
+import (
+	"errors"
+	"testing"
+
+	"minequery/internal/qerr"
+	"minequery/internal/value"
+)
+
+func TestParseInsert(t *testing.T) {
+	st, err := ParseStatement("INSERT INTO customers (id, age, segment) VALUES (1, 34, 'vip'), (2, -5, 'budget')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != StmtInsert {
+		t.Fatalf("kind = %v", st.Kind)
+	}
+	in := st.Insert
+	if in.Table != "customers" || len(in.Columns) != 3 || len(in.Rows) != 2 {
+		t.Fatalf("insert = %+v", in)
+	}
+	if got := in.Rows[1][1]; !value.Equal(got, value.Int(-5)) {
+		t.Fatalf("negative literal = %v", got)
+	}
+	if got := in.Rows[0][2]; !value.Equal(got, value.Str("vip")) {
+		t.Fatalf("string literal = %v", got)
+	}
+
+	// Bare form: no column list.
+	st, err = ParseStatement("insert into t values (1, 2.5, true, null)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Insert.Columns != nil || len(st.Insert.Rows[0]) != 4 {
+		t.Fatalf("bare insert = %+v", st.Insert)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	st, err := ParseStatement("UPDATE customers SET segment = 'vip', visits = 0 WHERE customers.age > 40 AND income >= 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := st.Update
+	if up.Table != "customers" || len(up.Sets) != 2 || up.Where == nil {
+		t.Fatalf("update = %+v", up)
+	}
+	// Table qualifier must be stripped.
+	if s := up.Where.String(); s == "" || containsStr(s, "customers.") {
+		t.Fatalf("qualifier survived: %s", s)
+	}
+
+	st, err = ParseStatement("DELETE FROM customers WHERE segment = 'budget'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != StmtDelete || st.Delete.Where == nil {
+		t.Fatalf("delete = %+v", st.Delete)
+	}
+	// WHERE-less delete matches everything.
+	st, err = ParseStatement("delete from t")
+	if err != nil || st.Delete.Where != nil {
+		t.Fatalf("bare delete: %v %+v", err, st)
+	}
+}
+
+func TestParseCreateModel(t *testing.T) {
+	st, err := ParseStatement("CREATE MODEL churn ON customers PREDICT segment USING dtree AS SELECT age, income FROM customers WHERE visits > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := st.CreateModel
+	if cm.Name != "churn" || cm.Table != "customers" || cm.Predict != "segment" ||
+		cm.Family != "dtree" || len(cm.Feats) != 2 || cm.Star || cm.Where == nil || !cm.HasView {
+		t.Fatalf("create model = %+v", cm)
+	}
+	// Minimal form and star view.
+	st, err = ParseStatement("create model m on t predict c using rules")
+	if err != nil || !st.CreateModel.Star || st.CreateModel.HasView {
+		t.Fatalf("minimal: %v %+v", err, st)
+	}
+	st, err = ParseStatement("create model m on t predict c using kmeans as select * from t")
+	if err != nil || !st.CreateModel.Star || !st.CreateModel.HasView {
+		t.Fatalf("star view: %v %+v", err, st)
+	}
+}
+
+func TestParseStatementSelectDelegates(t *testing.T) {
+	st, err := ParseStatement("SELECT * FROM t WHERE a > 1 LIMIT 3")
+	if err != nil || st.Kind != StmtSelect || st.Select == nil || st.Select.Table != "t" {
+		t.Fatalf("select: %v %+v", err, st)
+	}
+}
+
+func TestParseStatementTypedErrors(t *testing.T) {
+	unsupported := []string{
+		"DROP TABLE t",
+		"CREATE TABLE t (a int)",
+		"CREATE INDEX ix ON t (a)",
+		"ALTER TABLE t ADD c int",
+		"BEGIN",
+		"TRUNCATE t",
+		"CREATE MODEL m ON t PREDICT c USING svm", // unknown family
+	}
+	for _, sql := range unsupported {
+		if _, err := ParseStatement(sql); !errors.Is(err, qerr.ErrUnsupportedQuery) {
+			t.Errorf("%q: want ErrUnsupportedQuery, got %v", sql, err)
+		}
+	}
+	malformed := []string{
+		"",
+		"INSERT customers VALUES (1)",
+		"INSERT INTO t (a, b) VALUES (1)",       // arity mismatch
+		"INSERT INTO t VALUES (1), (1, 2)",      // inconsistent rows
+		"INSERT INTO t VALUES (a)",              // non-literal value
+		"UPDATE t SET",                          // missing assignment
+		"UPDATE t SET a = b",                    // non-literal rhs
+		"UPDATE t SET a = 1 WHERE x.y = 2",      // foreign qualifier
+		"DELETE t WHERE a = 1",                  // missing FROM
+		"CREATE MODEL m ON t PREDICT c",         // missing USING
+		"create model m on t predict c using dtree as select a from other", // view over wrong table
+		"INSERT INTO t VALUES (1) garbage",
+		"42",
+	}
+	for _, sql := range malformed {
+		if _, err := ParseStatement(sql); !errors.Is(err, qerr.ErrParse) {
+			t.Errorf("%q: want ErrParse, got %v", sql, err)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

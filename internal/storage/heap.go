@@ -8,9 +8,12 @@
 // Reads are safe to issue from many goroutines at once (the morsel-driven
 // parallel scan in internal/exec relies on this): the page directory is
 // guarded by an RWMutex and all I/O counters are atomic. Writers (Insert,
-// Delete) take the write lock for directory changes but record bytes are
-// only immutable once inserted — interleaving writes with an in-flight
-// scan of the same page is not supported.
+// Delete) may interleave freely with in-flight scans: each scan takes a
+// point-in-time snapshot of a page's slot directory under the read lock
+// and then delivers record bytes lock-free — record payloads are
+// immutable once published (Insert only appends into untouched space,
+// Delete only zeroes the slot entry), so a scan sees each page as it was
+// when the scan reached it, never a torn record.
 package storage
 
 import (
@@ -246,15 +249,24 @@ func (h *Heap) GetInto(c *Counters, rid RID) ([]byte, bool, error) {
 	if err := h.faults.Load().Hit(fault.SitePageReadRand); err != nil {
 		return nil, false, fmt.Errorf("storage: random read page %d: %w", rid.Page, err)
 	}
-	p := h.pageAt(int(rid.Page))
-	if p == nil {
+	// The slot entry is read under the lock (it may be concurrently
+	// zeroed by Delete); the record bytes it points at are immutable, so
+	// the returned alias stays valid after unlock.
+	h.mu.RLock()
+	var rec []byte
+	var ok bool
+	exists := int(rid.Page) < len(h.pages)
+	if exists {
+		rec, ok = h.pages[rid.Page].record(int(rid.Slot))
+	}
+	h.mu.RUnlock()
+	if !exists {
 		return nil, false, nil
 	}
 	h.stats.randPageReads.Add(1)
 	if c != nil {
 		c.RandPageReads.Add(1)
 	}
-	rec, ok := p.record(int(rid.Slot))
 	if ok {
 		h.stats.tupleReads.Add(1)
 		if c != nil {
@@ -301,6 +313,11 @@ func (h *Heap) ScanPages(lo, hi int, fn func(RID, []byte) bool) error {
 // reads are additionally attributed to c (when non-nil). Errors fire at
 // page granularity, before any record on the failing page is delivered,
 // so a caller that retries the page never double-delivers rows.
+//
+// Each page's slot directory is snapshotted under the read lock, then
+// records are delivered lock-free: the scan observes every page at one
+// instant even while writers interleave, and the payload bytes behind a
+// snapshotted slot are immutable.
 func (h *Heap) ScanPagesInto(c *Counters, lo, hi int, fn func(RID, []byte) bool) error {
 	if lo < 0 {
 		lo = 0
@@ -308,28 +325,40 @@ func (h *Heap) ScanPagesInto(c *Counters, lo, hi int, fn func(RID, []byte) bool)
 	if n := h.PageCount(); hi > n {
 		hi = n
 	}
+	var slots []slotRef // reused per page
 	for pi := lo; pi < hi; pi++ {
 		if err := h.faults.Load().Hit(fault.SitePageReadSeq); err != nil {
 			return fmt.Errorf("storage: sequential read page %d: %w", pi, err)
 		}
-		p := h.pageAt(pi)
+		h.mu.RLock()
+		var p *page
+		if pi < len(h.pages) {
+			p = h.pages[pi]
+		}
 		if p == nil {
 			// Pages are never deallocated, so a nil page mid-range is a
 			// clamp artifact (the range was computed against a different
 			// directory snapshot), not end-of-heap: skip it and keep
 			// visiting the rest of the morsel rather than silently
 			// truncating [pi+1, hi).
+			h.mu.RUnlock()
 			continue
 		}
+		slots = slots[:0]
+		for s, n := 0, p.slotCount(); s < n; s++ {
+			off, length := p.slotAt(s)
+			slots = append(slots, slotRef{off: off, length: length})
+		}
+		h.mu.RUnlock()
 		h.stats.seqPageReads.Add(1)
 		if c != nil {
 			c.SeqPageReads.Add(1)
 		}
-		for s := 0; s < p.slotCount(); s++ {
-			rec, ok := p.record(s)
-			if !ok {
-				continue
+		for s, sr := range slots {
+			if sr.length == 0 {
+				continue // deleted
 			}
+			rec := p.data[sr.off : sr.off+sr.length]
 			h.stats.tupleReads.Add(1)
 			if c != nil {
 				c.TupleReads.Add(1)
@@ -340,6 +369,11 @@ func (h *Heap) ScanPagesInto(c *Counters, lo, hi int, fn func(RID, []byte) bool)
 		}
 	}
 	return nil
+}
+
+// slotRef is one snapshotted slot-directory entry.
+type slotRef struct {
+	off, length int
 }
 
 // Len returns the number of live records.

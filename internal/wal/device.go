@@ -1,0 +1,187 @@
+// Package wal is the write-ahead log backing the engine's DML path.
+//
+// The log is a flat byte stream of self-describing frames appended in
+// commit order. Durability is factored behind the Device interface so
+// tests can model crashes at exact fsync/append boundaries: MemDevice
+// keeps a "durable" image (everything before the last successful Sync)
+// separate from a "pending" tail, and can hand back crash images with
+// any prefix of the pending bytes — including torn frames. FileDevice
+// is the production implementation over an append-only file.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrDeviceFailed is returned by a device after it has been failed
+// (explicitly by a test, or permanently by an I/O error). Once a device
+// fails, the Log on top of it goes sticky-broken: every later append
+// reports the original failure rather than silently diverging the log
+// from the live state.
+var ErrDeviceFailed = errors.New("wal: device failed")
+
+// Device is the durability boundary under the log. Write appends bytes
+// to the tail (buffered — not durable until Sync returns nil). Contents
+// returns the current durable image, read once at Open for replay.
+type Device interface {
+	Contents() ([]byte, error)
+	Write(p []byte) error
+	Sync() error
+}
+
+// MemDevice is the in-memory Device used by tests and embedded engines.
+// It models the kernel page cache: Write lands in pending, Sync moves
+// pending into durable. CrashImage exposes what a real disk could hold
+// after a crash — the durable bytes plus an arbitrary prefix of the
+// un-synced tail (the torn-write model).
+type MemDevice struct {
+	mu      sync.Mutex
+	durable []byte
+	pending []byte
+	failed  bool
+}
+
+// NewMemDevice returns an empty in-memory device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// NewMemDeviceFrom returns a device whose durable image is a copy of b
+// — the "disk after reboot" for recovery tests.
+func NewMemDeviceFrom(b []byte) *MemDevice {
+	return &MemDevice{durable: append([]byte(nil), b...)}
+}
+
+// Contents returns a copy of the durable image plus any pending bytes.
+// On a live (un-crashed) device the pending tail is still readable,
+// exactly as an OS page cache serves un-synced file bytes.
+func (d *MemDevice) Contents() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return nil, ErrDeviceFailed
+	}
+	out := make([]byte, 0, len(d.durable)+len(d.pending))
+	out = append(out, d.durable...)
+	return append(out, d.pending...), nil
+}
+
+// Write appends p to the pending (un-synced) tail.
+func (d *MemDevice) Write(p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrDeviceFailed
+	}
+	d.pending = append(d.pending, p...)
+	return nil
+}
+
+// Sync makes all pending bytes durable.
+func (d *MemDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrDeviceFailed
+	}
+	d.durable = append(d.durable, d.pending...)
+	d.pending = d.pending[:0]
+	return nil
+}
+
+// Fail marks the device failed; every later operation returns
+// ErrDeviceFailed. Used by crash tests to stop the doomed process's
+// device from accepting writes after the injected kill.
+func (d *MemDevice) Fail() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = true
+}
+
+// PendingLen reports how many un-synced bytes the device holds.
+func (d *MemDevice) PendingLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending)
+}
+
+// CrashImage returns the bytes a disk could plausibly hold after a
+// crash: the durable image plus the first keep bytes of the pending
+// tail (clamped to [0, len(pending)]). keep < len(pending) models a
+// torn final write; recovery must drop the incomplete frame.
+func (d *MemDevice) CrashImage(keep int) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > len(d.pending) {
+		keep = len(d.pending)
+	}
+	out := make([]byte, 0, len(d.durable)+keep)
+	out = append(out, d.durable...)
+	return append(out, d.pending[:keep]...)
+}
+
+// FileDevice is the production Device: an append-only file whose Sync
+// is fsync. Open with OpenFileDevice; Close releases the handle.
+type FileDevice struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenFileDevice opens (creating if absent) the log file at path for
+// appending.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return &FileDevice{f: f}, nil
+}
+
+// Contents reads the whole file — the durable image at open time.
+func (d *FileDevice) Contents() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	b, err := io.ReadAll(d.f)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read: %w", err)
+	}
+	if _, err := d.f.Seek(0, io.SeekEnd); err != nil {
+		return nil, fmt.Errorf("wal: seek end: %w", err)
+	}
+	return b, nil
+}
+
+// Write appends to the file.
+func (d *FileDevice) Write(p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.f.Write(p); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	return nil
+}
+
+// Sync fsyncs the file.
+func (d *FileDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}

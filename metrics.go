@@ -34,7 +34,17 @@ type engineMetrics struct {
 	termRejected  *metrics.CounterVec
 	aggQueries    *metrics.Counter
 	aggMerges     *metrics.Counter
+	walAppends    *metrics.Counter
+	walFsyncs     *metrics.Counter
+	walReplayed   *metrics.Counter
+	dmlStatements *metrics.CounterVec
+	dmlRows       *metrics.Counter
+	retrains      *metrics.Counter
 }
+
+// dmlOpLabels pre-creates the per-op statement children so the frozen
+// series list is visible on an idle engine.
+var dmlOpLabels = []string{"insert", "update", "delete", "create_model"}
 
 // columnarTermLabels pre-creates per-term rejection children for the
 // first few term positions so the frozen series list is visible on an
@@ -59,6 +69,12 @@ var queryStages = []string{"parse", "rewrite", "optimize", "execute"}
 //	minequery_columnar_term_rejected_total{term} rows rejected per predicate term position
 //	minequery_agg_queries_total          completed GROUP BY / aggregate queries
 //	minequery_agg_partial_merges_total   partial-aggregate state merges (workers, partitions, shards)
+//	minequery_wal_appends_total          WAL frames appended by write statements
+//	minequery_wal_fsyncs_total           WAL fsync barriers completed
+//	minequery_wal_replay_frames_total    WAL frames replayed during recovery
+//	minequery_dml_statements_total{op}   completed write statements by kind
+//	minequery_dml_rows_total             rows written (inserted, updated, deleted)
+//	minequery_retrains_total             models retrained by the write-volume trigger
 //
 // Call it once per registry; series names panic on double registration.
 func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
@@ -87,6 +103,18 @@ func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
 			"Completed queries with GROUP BY or aggregate select items."),
 		aggMerges: r.Counter("minequery_agg_partial_merges_total",
 			"Partial-aggregate state merges across morsel workers, columnar groups, partitions, and shards."),
+		walAppends: r.Counter("minequery_wal_appends_total",
+			"WAL frames appended (and made durable) by write statements."),
+		walFsyncs: r.Counter("minequery_wal_fsyncs_total",
+			"WAL fsync barriers completed on the commit path."),
+		walReplayed: r.Counter("minequery_wal_replay_frames_total",
+			"WAL frames replayed during crash recovery."),
+		dmlStatements: r.CounterVec("minequery_dml_statements_total",
+			"Completed write statements by kind.", "op"),
+		dmlRows: r.Counter("minequery_dml_rows_total",
+			"Rows written by DML statements (inserted, updated, deleted)."),
+		retrains: r.Counter("minequery_retrains_total",
+			"Models retrained by the write-volume retrain trigger."),
 	}
 	// Pre-create the label children so every series is visible from the
 	// first scrape (a frozen series list is lintable even on an idle
@@ -99,6 +127,9 @@ func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
 	}
 	for _, l := range columnarTermLabels {
 		em.termRejected.With(l)
+	}
+	for _, op := range dmlOpLabels {
+		em.dmlStatements.With(op)
 	}
 	e.metrics.Store(em)
 }
@@ -158,6 +189,42 @@ func (em *engineMetrics) agg(isAgg bool, merges int64) {
 	}
 	em.aggQueries.Inc()
 	em.aggMerges.Add(merges)
+}
+
+// walAppend records one durable WAL frame: an append plus the fsync
+// barrier that acked it (nil-safe).
+func (em *engineMetrics) walAppend() {
+	if em == nil {
+		return
+	}
+	em.walAppends.Inc()
+	em.walFsyncs.Inc()
+}
+
+// walReplay records frames replayed during recovery (nil-safe).
+func (em *engineMetrics) walReplay(frames int64) {
+	if em == nil || frames == 0 {
+		return
+	}
+	em.walReplayed.Add(frames)
+}
+
+// dml records one completed write statement and its row count
+// (nil-safe).
+func (em *engineMetrics) dml(op string, rows int64) {
+	if em == nil {
+		return
+	}
+	em.dmlStatements.With(op).Inc()
+	em.dmlRows.Add(rows)
+}
+
+// retrain records write-volume-triggered model retrains (nil-safe).
+func (em *engineMetrics) retrain(n int64) {
+	if em == nil {
+		return
+	}
+	em.retrains.Add(n)
 }
 
 // partitions records one query's partition-pruning outcome (nil-safe;

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -52,6 +53,7 @@ import (
 	"minequery/internal/sqlparse"
 	"minequery/internal/storage"
 	"minequery/internal/value"
+	"minequery/internal/wal"
 )
 
 // Re-exported value types so downstream users never import internal
@@ -144,6 +146,28 @@ type Engine struct {
 	// metrics is the installed engine-metrics sink, nil until
 	// RegisterMetrics.
 	metrics atomic.Pointer[engineMetrics]
+
+	// ---- write path (dml.go, wal.go) ----
+
+	// writeMu serializes the whole write side: DML statements, CREATE
+	// MODEL, write-volume retrains, and WAL replay. Readers never take
+	// it — queries interleave freely with writes.
+	writeMu sync.Mutex
+	// wlog is the write-ahead log, nil until EnableWAL.
+	wlog atomic.Pointer[wal.Log]
+	// replaying, guarded by writeMu, suppresses re-logging while WAL
+	// records are re-applied during EnableWAL.
+	replaying bool
+	// retrainThreshold is the write-volume retrain trigger (rows per
+	// table); 0 disables automatic retraining.
+	retrainThreshold atomic.Int64
+	// modelDefs records every CREATE MODEL definition so retrains can
+	// re-run training; defOrder keeps registration order deterministic.
+	// writesSince counts rows written per table since its last retrain.
+	// All three are guarded by writeMu.
+	modelDefs   map[string]*modelDef
+	defOrder    []string
+	writesSince map[string]int64
 }
 
 // Config tunes an Engine.
@@ -191,7 +215,11 @@ func NewWithConfig(cfg Config) *Engine {
 			cfg.Exec.Retry = DefaultRetryPolicy()
 		}
 	}
-	e := &Engine{cat: catalog.New(), optCfg: cfg.Optimizer, envOpts: cfg.Envelopes, execOpts: cfg.Exec}
+	e := &Engine{
+		cat: catalog.New(), optCfg: cfg.Optimizer, envOpts: cfg.Envelopes, execOpts: cfg.Exec,
+		modelDefs:   make(map[string]*modelDef),
+		writesSince: make(map[string]int64),
+	}
 	if cfg.Faults != nil {
 		e.SetFaults(cfg.Faults)
 	}
@@ -335,6 +363,13 @@ type ModelInfo struct {
 
 // buildTrainSet extracts (inputs, labels) from a stored table.
 func (e *Engine) buildTrainSet(table string, inputCols []string, labelCol string) (*mining.TrainSet, error) {
+	return e.buildTrainSetWhere(table, inputCols, labelCol, nil)
+}
+
+// buildTrainSetWhere is buildTrainSet over a relational view: rows
+// failing where (when non-nil) are excluded from training. This is the
+// CREATE MODEL ... AS SELECT path.
+func (e *Engine) buildTrainSetWhere(table string, inputCols []string, labelCol string, where expr.Expr) (*mining.TrainSet, error) {
 	t, ok := e.cat.Table(table)
 	if !ok {
 		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, table)
@@ -367,6 +402,9 @@ func (e *Engine) buildTrainSet(table string, inputCols []string, labelCol string
 		if err != nil {
 			scanErr = err
 			return false
+		}
+		if where != nil && !where.Eval(t.Schema, row) {
+			return true
 		}
 		in := make(Tuple, len(ords))
 		for i, o := range ords {
@@ -1066,12 +1104,17 @@ func needsPostFilter(rw *core.Rewrite) bool {
 }
 
 // Explain returns the physical plan and rewrite notes for a query
-// without executing it.
+// without executing it. Write statements (INSERT/UPDATE/DELETE, CREATE
+// MODEL) explain as Mutation-rooted plans without touching any data.
 func (e *Engine) Explain(sql string) (string, error) {
-	q, err := sqlparse.Parse(sql)
+	st, err := sqlparse.ParseStatement(sql)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("minequery: %w", err)
 	}
+	if st.Kind != sqlparse.StmtSelect {
+		return e.explainStatement(st)
+	}
+	q := st.Select
 	t, ok := e.cat.Table(q.Table)
 	if !ok {
 		return "", fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, q.Table)

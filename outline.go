@@ -194,3 +194,15 @@ func (e *Engine) TableNames() []string {
 	}
 	return out
 }
+
+// TableSchema returns the named table's schema, or false if the table
+// does not exist. Callers must treat the schema as read-only; the
+// cluster coordinator uses it to shard INSERT rows without a round
+// trip.
+func (e *Engine) TableSchema(table string) (*Schema, bool) {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return nil, false
+	}
+	return t.Schema, true
+}
