@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"minequery/internal/catalog"
+	"minequery/internal/core"
 	"minequery/internal/exec"
 	"minequery/internal/expr"
 	"minequery/internal/mining"
@@ -416,18 +417,31 @@ func resolveDefFeatures(t *catalog.Table, d *modelDef) ([]string, string, error)
 
 // trainFromDef runs one definition's training over current table data
 // and registers the result (deriving envelopes). Caller holds writeMu.
+// It is the retrain path; live CREATE MODEL uses trainModelFromDef so
+// registration can wait until after the WAL append.
 func (e *Engine) trainFromDef(d *modelDef) (*ModelInfo, error) {
+	m, elapsed, err := e.trainModelFromDef(d)
+	if err != nil {
+		return nil, err
+	}
+	return e.registerWithEnvelopes(m, elapsed)
+}
+
+// trainModelFromDef runs one definition's training over current table
+// data without registering the result — no catalog mutation, no epoch
+// bump, no side effects on failure. Caller holds writeMu.
+func (e *Engine) trainModelFromDef(d *modelDef) (mining.Model, time.Duration, error) {
 	t, ok := e.cat.Table(d.table)
 	if !ok {
-		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, d.table)
+		return nil, 0, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, d.table)
 	}
 	feats, label, err := resolveDefFeatures(t, d)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ts, err := e.buildTrainSetWhere(d.table, feats, label, d.where)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	start := time.Now()
 	var m mining.Model
@@ -443,12 +457,12 @@ func (e *Engine) trainFromDef(d *modelDef) (*ModelInfo, error) {
 	case "gmm":
 		m, err = cluster.TrainGMM(d.name, d.predict, ts, defaultClusterOptions())
 	default:
-		return nil, fmt.Errorf("minequery: %w: unknown model family %q", qerr.ErrUnsupportedQuery, d.family)
+		return nil, 0, fmt.Errorf("minequery: %w: unknown model family %q", qerr.ErrUnsupportedQuery, d.family)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("minequery: train %s (%s): %w", d.name, d.family, err)
+		return nil, 0, fmt.Errorf("minequery: train %s (%s): %w", d.name, d.family, err)
 	}
-	return e.registerWithEnvelopes(m, time.Since(start))
+	return m, time.Since(start), nil
 }
 
 // defaultClusterOptions are the CREATE MODEL clustering defaults: a
@@ -542,23 +556,27 @@ func dmlScanPlan(table string, where expr.Expr) plan.Node {
 // createModelLocked trains, logs, registers, and records the
 // definition. Caller holds writeMu. It is the shared path between live
 // CREATE MODEL and WAL replay of logged DDL.
+//
+// Ordering is log-then-apply, same as DML: training and envelope
+// derivation run first (both are side-effect-free — a failure leaves
+// engine and log untouched), then the statement is appended to the WAL,
+// and only then is the model registered and the definition recorded.
+// The post-log steps cannot fail, so a logged CREATE MODEL is always
+// also a registered one and a failed append never leaves the engine
+// serving a model absent from the durable log.
 func (e *Engine) createModelLocked(d *modelDef) (*ModelInfo, error) {
-	// Dry-run the feature resolution before training so a bad statement
-	// never reaches the log.
-	t, ok := e.cat.Table(d.table)
-	if !ok {
-		return nil, fmt.Errorf("minequery: %w %q", qerr.ErrUnknownTable, d.table)
-	}
-	if _, _, err := resolveDefFeatures(t, d); err != nil {
+	m, elapsed, err := e.trainModelFromDef(d)
+	if err != nil {
 		return nil, err
 	}
-	info, err := e.trainFromDef(d)
+	der, err := core.UpperEnvelopes(m, e.envOpts)
 	if err != nil {
 		return nil, err
 	}
 	if err := e.walAppend(wal.Record{Kind: wal.RecordDDL, DDL: d.sql}); err != nil {
 		return nil, err
 	}
+	info := e.registerDerived(m, der, elapsed)
 	key := strings.ToLower(d.name)
 	if _, exists := e.modelDefs[key]; !exists {
 		e.defOrder = append(e.defOrder, key)

@@ -133,6 +133,19 @@ func (c *Coordinator) broadcast(ctx context.Context, sql string, st *sqlparse.St
 	res := &StatementResult{}
 	switch st.Kind {
 	case sqlparse.StmtUpdate:
+		// An UPDATE that assigns the shard key would mutate rows in place
+		// on whatever shard they currently occupy, breaking the placement
+		// invariant the read path's pruning relies on: a later query with
+		// a key predicate would prune the shard that actually holds the
+		// moved row. Re-keying has to be a delete plus a routed insert.
+		if strings.EqualFold(st.Update.Table, c.shards.Table) {
+			for _, a := range st.Update.Sets {
+				if strings.EqualFold(a.Col, c.shards.Column) {
+					return nil, fmt.Errorf("%w: UPDATE cannot assign shard key column %q; DELETE the rows and re-INSERT them with the new key",
+						qerr.ErrUnsupportedQuery, c.shards.Column)
+				}
+			}
+		}
 		res.Statement, res.Table = "update", strings.ToLower(st.Update.Table)
 	case sqlparse.StmtDelete:
 		res.Statement, res.Table = "delete", strings.ToLower(st.Delete.Table)

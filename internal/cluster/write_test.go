@@ -7,12 +7,14 @@ package cluster_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"testing"
 
 	"minequery/internal/cluster"
+	"minequery/internal/qerr"
 )
 
 func TestClusterInsertRoutesByShardKey(t *testing.T) {
@@ -111,6 +113,36 @@ func TestClusterUpdateDeleteBroadcast(t *testing.T) {
 	cc, uc := fmt.Sprint(crows.Rows[0][0]), fmt.Sprint(urows.Rows[0][0].AsInt())
 	if cc != uc {
 		t.Fatalf("fleet count %s != union count %s", cc, uc)
+	}
+}
+
+func TestClusterUpdateShardKeyRejected(t *testing.T) {
+	tc := newTestCluster(t, 3, []int64{3, 6}, 1000, cluster.Config{Retry: fastRetry})
+	ctx := context.Background()
+
+	// Assigning the shard key would move rows off the shard their key
+	// maps to without relocating them, so later key-pruned reads would
+	// skip the shard actually holding them. The coordinator must reject
+	// the statement before any shard sees it.
+	_, err := tc.coord.Exec(ctx, "UPDATE customers SET income = 4 WHERE age >= 0")
+	if !errors.Is(err, qerr.ErrUnsupportedQuery) {
+		t.Fatalf("shard-key UPDATE: want ErrUnsupportedQuery, got %v", err)
+	}
+	// No shard applied anything: the fleet still answers a key-pruned
+	// read consistently with the union oracle.
+	crows, err := tc.coord.Execute(ctx, cluster.Request{SQL: "SELECT COUNT(*) FROM customers WHERE income = 4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	urows := tc.unionRows("SELECT COUNT(*) FROM customers WHERE income = 4", 0)
+	if fmt.Sprint(crows.Rows[0][0]) != fmt.Sprint(urows.Rows[0][0].AsInt()) {
+		t.Fatalf("fleet count %v != union count %v after rejected update",
+			crows.Rows[0][0], urows.Rows[0][0].AsInt())
+	}
+
+	// A non-key UPDATE on the same table still broadcasts fine.
+	if _, err := tc.coord.Exec(ctx, "UPDATE customers SET visits = 9 WHERE age >= 0"); err != nil {
+		t.Fatalf("non-key UPDATE should pass: %v", err)
 	}
 }
 

@@ -27,10 +27,14 @@ var ErrDeviceFailed = errors.New("wal: device failed")
 // Device is the durability boundary under the log. Write appends bytes
 // to the tail (buffered — not durable until Sync returns nil). Contents
 // returns the current durable image, read once at Open for replay.
+// Truncate discards everything past the first n bytes — Open uses it to
+// cut a torn/corrupt tail so later appends land at the end of the valid
+// prefix, never after garbage that would stop the next replay early.
 type Device interface {
 	Contents() ([]byte, error)
 	Write(p []byte) error
 	Sync() error
+	Truncate(n int) error
 }
 
 // MemDevice is the in-memory Device used by tests and embedded engines.
@@ -88,6 +92,28 @@ func (d *MemDevice) Sync() error {
 	}
 	d.durable = append(d.durable, d.pending...)
 	d.pending = d.pending[:0]
+	return nil
+}
+
+// Truncate cuts the device's contents (durable image plus pending
+// tail, as Contents serves them) to the first n bytes.
+func (d *MemDevice) Truncate(n int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrDeviceFailed
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n <= len(d.durable) {
+		d.durable = d.durable[:n]
+		d.pending = d.pending[:0]
+		return nil
+	}
+	if k := n - len(d.durable); k < len(d.pending) {
+		d.pending = d.pending[:k]
+	}
 	return nil
 }
 
@@ -175,6 +201,21 @@ func (d *FileDevice) Sync() error {
 	defer d.mu.Unlock()
 	if err := d.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Truncate cuts the file to n bytes and repositions the write offset
+// at the new end. The shrink becomes durable with the next Sync — the
+// same fsync that makes the first post-recovery commit durable.
+func (d *FileDevice) Truncate(n int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.f.Truncate(int64(n)); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := d.f.Seek(int64(n), io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek after truncate: %w", err)
 	}
 	return nil
 }

@@ -87,7 +87,11 @@ type Log struct {
 // Open reads the device's durable contents, decodes the valid frame
 // prefix, and returns a log positioned to append after it. Torn or
 // CRC-corrupt tails are dropped, not errors: they are the expected
-// residue of a crash mid-write.
+// residue of a crash mid-write — the device is truncated to the valid
+// prefix so the next append lands where the garbage began. Without the
+// truncation, post-recovery commits would sit after undecodable bytes
+// and the NEXT replay would stop at the garbage, silently discarding
+// every commit acked since — durable writes lost on the second crash.
 func Open(dev Device) (*Log, *Replay, error) {
 	raw, err := dev.Contents()
 	if err != nil {
@@ -106,6 +110,11 @@ func Open(dev Device) (*Log, *Replay, error) {
 		off += n
 	}
 	rep.Bytes = off
+	if rep.Truncated {
+		if err := dev.Truncate(off); err != nil {
+			return nil, nil, fmt.Errorf("wal: drop torn tail: %w", err)
+		}
+	}
 	return &Log{dev: dev}, rep, nil
 }
 

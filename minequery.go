@@ -433,6 +433,13 @@ func (e *Engine) registerWithEnvelopes(m mining.Model, trainTime time.Duration) 
 	if err != nil {
 		return nil, err
 	}
+	return e.registerDerived(m, der, trainTime), nil
+}
+
+// registerDerived installs a model whose envelopes were already derived.
+// It cannot fail, so the WAL path can sequence it strictly after the log
+// append — a logged CREATE MODEL is always also a registered one.
+func (e *Engine) registerDerived(m mining.Model, der *core.Derivation, trainTime time.Duration) *ModelInfo {
 	me := e.cat.RegisterModel(m, der.Envelopes)
 	return &ModelInfo{
 		Name:           m.Name(),
@@ -441,7 +448,7 @@ func (e *Engine) registerWithEnvelopes(m mining.Model, trainTime time.Duration) 
 		EnvelopeTime:   der.Elapsed,
 		ExactEnvelopes: der.Exact,
 		Version:        me.Version,
-	}, nil
+	}
 }
 
 // TrainDecisionTree trains a decision tree over table data and

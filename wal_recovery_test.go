@@ -103,6 +103,53 @@ func genCrashStatement(rng *rand.Rand, nextID *int64, models *int) string {
 	}
 }
 
+// TestCreateModelWALFailureNotRegistered pins CREATE MODEL's
+// log-then-apply ordering: when the statement's own WAL append fails,
+// it must error WITHOUT registering the model. A model served live but
+// absent from the durable log would vanish on the next restart.
+func TestCreateModelWALFailureNotRegistered(t *testing.T) {
+	eng := newCrashEngine(t, 0)
+	dev := NewMemWALDevice()
+	if _, err := eng.EnableWAL(dev); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var b strings.Builder
+	b.WriteString("INSERT INTO t (id, a, b, label) VALUES ")
+	for i := 0; i < 12; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d, %d, '%s')", i, i%5, i*7, [...]string{"red", "green", "blue"}[i%3])
+	}
+	if _, err := eng.Exec(ctx, b.String()); err != nil {
+		t.Fatal(err)
+	}
+	epoch := eng.cat.Epoch()
+
+	// Kill the very next append — the CREATE MODEL's own log write.
+	eng.SetFaults(NewFaultInjector(1, FaultRule{Site: FaultSiteWALAppend, OnHit: 1, Err: ErrWALCrash}))
+	_, err := eng.Exec(ctx, "CREATE MODEL m ON t PREDICT label USING dtree")
+	if !errors.Is(err, ErrWALCrash) {
+		t.Fatalf("CREATE MODEL with dead WAL: want ErrWALCrash, got %v", err)
+	}
+	if n := len(eng.cat.Models()); n != 0 {
+		t.Fatalf("failed CREATE MODEL registered %d models; the live engine is serving a model absent from the durable log", n)
+	}
+	if got := eng.cat.Epoch(); got != epoch {
+		t.Fatalf("failed CREATE MODEL bumped the catalog epoch %d -> %d", epoch, got)
+	}
+
+	// The durable log replays to the same model-free state.
+	rec := newCrashEngine(t, 0)
+	if _, err := rec.EnableWAL(NewMemWALDeviceFrom(dev.CrashImage(0))); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := crashState(t, rec), crashState(t, eng); got != want {
+		t.Fatalf("replayed state diverges after failed CREATE MODEL:\nreplayed:\n%s\nlive:\n%s", got, want)
+	}
+}
+
 func TestWALCrashRecovery(t *testing.T) {
 	for it := 0; it < crashIterations; it++ {
 		it := it
@@ -163,27 +210,47 @@ func TestWALCrashRecovery(t *testing.T) {
 			}
 			img := dev.CrashImage(keep)
 
+			dev2 := NewMemWALDeviceFrom(img)
 			rec := newCrashEngine(t, threshold)
-			if _, err := rec.EnableWAL(NewMemWALDeviceFrom(img)); err != nil {
+			if _, err := rec.EnableWAL(dev2); err != nil {
 				t.Fatalf("recovery must drop torn tails, not fail: %v", err)
 			}
 
 			got := crashState(t, rec)
 			want := crashState(t, oracle)
-			if got == want {
-				return
+			if got != want {
+				// The only other admissible state: the unacked trailing
+				// statement's frame survived intact and was replayed.
+				if pending == "" {
+					t.Fatalf("recovered state diverges from acked prefix with no statement in flight:\nrecovered:\n%s\nacked:\n%s", got, want)
+				}
+				if _, err := oracle.Exec(ctx, pending); err != nil {
+					t.Fatalf("replaying pending %q on oracle: %v", pending, err)
+				}
+				if wantPlus := crashState(t, oracle); got != wantPlus {
+					t.Fatalf("recovered state is neither the acked prefix nor acked+pending (%q):\nrecovered:\n%s\nacked:\n%s\nacked+pending:\n%s",
+						pending, got, want, wantPlus)
+				}
 			}
-			// The only other admissible state: the unacked trailing
-			// statement's frame survived intact and was replayed.
-			if pending == "" {
-				t.Fatalf("recovered state diverges from acked prefix with no statement in flight:\nrecovered:\n%s\nacked:\n%s", got, want)
+
+			// Second crash/restart cycle: run more statements on the
+			// recovered engine (no faults armed — every one that logs is
+			// acked and fsynced), then restart from the durable image
+			// alone. If the first recovery left the dropped torn tail on
+			// the device, these commits would sit after garbage bytes and
+			// the second replay would silently discard them. Statement
+			// errors are fine (e.g. deterministic retrain failures) —
+			// live semantics keep the DML applied, and replay must match.
+			for s := 0; s < 6; s++ {
+				sql := genCrashStatement(rng, &nextID, &modelSeq)
+				_, _ = rec.Exec(ctx, sql)
 			}
-			if _, err := oracle.Exec(ctx, pending); err != nil {
-				t.Fatalf("replaying pending %q on oracle: %v", pending, err)
+			rec2 := newCrashEngine(t, threshold)
+			if _, err := rec2.EnableWAL(NewMemWALDeviceFrom(dev2.CrashImage(0))); err != nil {
+				t.Fatalf("second recovery: %v", err)
 			}
-			if wantPlus := crashState(t, oracle); got != wantPlus {
-				t.Fatalf("recovered state is neither the acked prefix nor acked+pending (%q):\nrecovered:\n%s\nacked:\n%s\nacked+pending:\n%s",
-					pending, got, want, wantPlus)
+			if got2, want2 := crashState(t, rec2), crashState(t, rec); got2 != want2 {
+				t.Fatalf("second recovery lost acked post-recovery commits:\nrecovered:\n%s\nlive:\n%s", got2, want2)
 			}
 		})
 	}
