@@ -12,7 +12,8 @@
 //	server     — minequeryd end-to-end latency: prepared vs ad-hoc (BENCH_server.json)
 //	partition  — partition pruning: pages read with vs without pruning per predicate width
 //	cluster    — coordinator scatter-gather at 1/2/4 shards, pruned vs unpruned (BENCH_cluster.json)
-//	all        — everything above (except scan, server, partition, and cluster, which are standalone)
+//	standing   — standing-query engine: shared compiled set vs naive per-subscription evaluation (BENCH_standing.json)
+//	all        — everything above (except scan, server, partition, cluster, and standing, which are standalone)
 //
 // Shapes, not absolute numbers, are the comparison target: the engine is
 // a simulator, not the paper's SQL Server testbed. See EXPERIMENTS.md.
@@ -47,6 +48,7 @@ func main() {
 	benchConc := flag.Int("bench-conc", 8, "server bench: concurrent clients")
 	benchOut := flag.String("bench-out", "BENCH_server.json", "server bench: output JSON path (empty: stdout only)")
 	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "cluster bench: output JSON path (empty: stdout only)")
+	standingOut := flag.String("standing-out", "BENCH_standing.json", "standing bench: output JSON path (empty: stdout only)")
 	flag.Parse()
 
 	if *exp == "scan" {
@@ -63,6 +65,10 @@ func main() {
 	}
 	if *exp == "cluster" {
 		clusterBench(*rows, *benchN, *benchConc, *clusterOut)
+		return
+	}
+	if *exp == "standing" {
+		standingBench(*standingOut)
 		return
 	}
 

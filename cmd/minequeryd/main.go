@@ -26,17 +26,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7654", "listen address")
-		workers  = flag.Int("workers", 0, "max concurrently executing queries (0: NumCPU)")
-		queue    = flag.Int("queue", 32, "max queries queued waiting for a worker (-1: no queue)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
-		drain    = flag.Duration("drain", 10*time.Second, "max time to drain in-flight queries on shutdown")
-		demo     = flag.Bool("demo", false, "seed a demo database (customers table + risk_tree/seg_bayes models)")
-		demoRows = flag.Int("demo-rows", 30000, "row count for -demo")
-		brkThr   = flag.Int("breaker-threshold", 3, "consecutive index-path failures tripping a table's circuit breaker (-1: disable)")
-		brkCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
-		walPath  = flag.String("wal", "", "write-ahead log file for the DML/CREATE MODEL write path (empty: volatile)")
-		retrain  = flag.Int64("retrain-threshold", 0, "retrain a table's CREATE MODEL models after this many written rows (0: disable)")
+		addr      = flag.String("addr", "127.0.0.1:7654", "listen address")
+		workers   = flag.Int("workers", 0, "max concurrently executing queries (0: NumCPU)")
+		queue     = flag.Int("queue", 32, "max queries queued waiting for a worker (-1: no queue)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+		drain     = flag.Duration("drain", 10*time.Second, "max time to drain in-flight queries on shutdown")
+		demo      = flag.Bool("demo", false, "seed a demo database (customers table + risk_tree/seg_bayes models)")
+		demoRows  = flag.Int("demo-rows", 30000, "row count for -demo")
+		brkThr    = flag.Int("breaker-threshold", 3, "consecutive index-path failures tripping a table's circuit breaker (-1: disable)")
+		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker stays open before probing")
+		walPath   = flag.String("wal", "", "write-ahead log file for the DML/CREATE MODEL write path (empty: volatile)")
+		retrain   = flag.Int64("retrain-threshold", 0, "retrain a table's CREATE MODEL models after this many written rows (0: disable)")
+		standingQ = flag.Int("standing-queue", 0, "standing-query notification queue capacity; overflow is dropped and counted (0: default 1024)")
 
 		coord       = flag.Bool("coord", false, "run as a cluster coordinator over -shard-addrs instead of serving local data")
 		shardAddrs  = flag.String("shard-addrs", "", "comma-separated shard base URLs (coordinator mode)")
@@ -55,7 +56,7 @@ func main() {
 		return
 	}
 
-	eng := minequery.New()
+	eng := minequery.NewWithConfig(minequery.Config{StandingQueue: *standingQ})
 	switch {
 	case *demoShard != "":
 		i, n, err := parseShardSlice(*demoShard)

@@ -47,7 +47,7 @@ type clusterExecResult struct {
 	Rows      [][]any `json:"rows"`
 	RowCount  int     `json:"row_count"`
 	AggMerges int64   `json:"agg_partial_merges"`
-	Shards   struct {
+	Shards    struct {
 		Planned  int `json:"planned"`
 		Pruned   int `json:"pruned"`
 		Queried  int `json:"queried"`

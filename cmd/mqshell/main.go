@@ -9,10 +9,14 @@
 //
 // Commands:
 //
-//	SELECT ...         # run a query (the dialect of internal/sqlparse)
-//	.explain SELECT .. # show the plan and envelope rewrites
-//	.schema            # list tables and models
-//	\shards            # (-cluster) shard map, breaker state, last epoch
+//	SELECT ...          # run a query (the dialect of internal/sqlparse)
+//	.explain SELECT ..  # show the plan and envelope rewrites
+//	.schema             # list tables and models
+//	.subscribe SELECT . # register a standing query over the write stream
+//	.unsubscribe N      # remove a standing query by id
+//	.subscriptions      # list standing queries with match/drop counters
+//	.notifications      # drain pending standing-query matches
+//	\shards             # (-cluster) shard map, breaker state, last epoch
 //	.quit
 package main
 
@@ -24,6 +28,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"minequery"
 )
@@ -79,6 +84,41 @@ func main() {
 			} else {
 				fmt.Print(out)
 			}
+		case strings.HasPrefix(line, ".subscribe "):
+			id, err := eng.Subscribe(strings.TrimPrefix(line, ".subscribe "))
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("subscription %d registered; matching writes queue on .notifications\n", id)
+		case strings.HasPrefix(line, ".unsubscribe "):
+			var id int64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, ".unsubscribe "), "%d", &id); err != nil {
+				fmt.Println("error: .unsubscribe needs a numeric subscription id")
+				break
+			}
+			if err := eng.Unsubscribe(id); err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("subscription %d removed\n", id)
+		case line == ".subscriptions":
+			subs := eng.Subscriptions()
+			if len(subs) == 0 {
+				fmt.Println("no standing queries registered")
+				break
+			}
+			for _, s := range subs {
+				fmt.Printf("[%d] %s  (matches %d, dropped %d)\n", s.ID, s.SQL, s.Matches, s.Dropped)
+				if s.Err != "" {
+					fmt.Printf("    broken: %s\n", s.Err)
+				}
+			}
+			st := eng.StandingStats()
+			fmt.Printf("-- %d registered, %d evals, %d model calls, %d recompiles\n",
+				st.Registered, st.Evals, st.ModelCalls, st.Recompiles)
+		case line == ".notifications":
+			printNotifications(eng)
 		case isWriteStatement(line):
 			res, err := eng.Exec(context.Background(), line)
 			if err != nil {
@@ -117,6 +157,30 @@ func isWriteStatement(line string) bool {
 		}
 	}
 	return false
+}
+
+// printNotifications drains whatever standing-query matches are queued
+// right now — a non-blocking poll, not a long wait: the shell is
+// interactive, so an empty queue just says so.
+func printNotifications(eng *minequery.Engine) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	total := 0
+	for {
+		ns, err := eng.Notifications(ctx, 100)
+		if err != nil {
+			break
+		}
+		for _, n := range ns {
+			fmt.Printf("[sub %d] %s(%s): %v\n", n.SubID, n.Table, strings.Join(n.Columns, ", "), n.Row)
+		}
+		total += len(ns)
+	}
+	if total == 0 {
+		fmt.Println("no pending notifications")
+	} else {
+		fmt.Printf("-- %d notifications\n", total)
+	}
 }
 
 // printExecResult renders one write statement's outcome.

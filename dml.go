@@ -144,10 +144,17 @@ func (e *Engine) execInsert(st *sqlparse.InsertStmt) (*ExecResult, error) {
 	}
 	res := &ExecResult{Statement: "insert", Table: t.Name, RowsAffected: n}
 	e.metrics.Load().dml("insert", n)
-	if res.Retrained, err = e.noteWrites(t.Name, n); err != nil {
+	e.notifyStanding(t, rows)
+	// The rows are durably logged and applied at this point. A retrain
+	// failure from noteWrites must therefore surface WITH the populated
+	// result, not instead of it: Epoch and Retrained are filled in either
+	// way, and the error wraps ErrRetrainFailed so callers can tell
+	// "committed, retrain pending" from a failed statement.
+	res.Retrained, err = e.noteWrites(t.Name, n)
+	res.Epoch = e.cat.Epoch()
+	if err != nil {
 		return res, err
 	}
-	res.Epoch = e.cat.Epoch()
 	return res, nil
 }
 
@@ -222,6 +229,7 @@ func (e *Engine) execUpdate(ctx context.Context, st *sqlparse.UpdateStmt) (*Exec
 		return nil, fmt.Errorf("minequery: update %s: %w", t.Name, err)
 	}
 	muts := make([]wal.Mutation, 0, len(matches))
+	newRows := make([]value.Tuple, 0, len(matches))
 	for _, m := range matches {
 		newRow := m.Row.Clone()
 		for i, a := range st.Sets {
@@ -232,6 +240,7 @@ func (e *Engine) execUpdate(ctx context.Context, st *sqlparse.UpdateStmt) (*Exec
 			return nil, fmt.Errorf("minequery: update %s at %s: %w", t.Name, m.RID, err)
 		}
 		muts = append(muts, wal.Mutation{Op: wal.OpUpdate, RID: m.RID, Rec: value.EncodeTuple(nil, norm)})
+		newRows = append(newRows, norm)
 	}
 	res := &ExecResult{Statement: "update", Table: t.Name}
 	if len(muts) > 0 {
@@ -243,10 +252,14 @@ func (e *Engine) execUpdate(ctx context.Context, st *sqlparse.UpdateStmt) (*Exec
 		}
 	}
 	e.metrics.Load().dml("update", res.RowsAffected)
-	if res.Retrained, err = e.noteWrites(t.Name, res.RowsAffected); err != nil {
+	e.notifyStanding(t, newRows)
+	// Committed rows with a failed retrain: return the populated result
+	// alongside the ErrRetrainFailed-wrapped error (see execInsert).
+	res.Retrained, err = e.noteWrites(t.Name, res.RowsAffected)
+	res.Epoch = e.cat.Epoch()
+	if err != nil {
 		return res, err
 	}
-	res.Epoch = e.cat.Epoch()
 	return res, nil
 }
 
@@ -278,10 +291,13 @@ func (e *Engine) execDelete(ctx context.Context, st *sqlparse.DeleteStmt) (*Exec
 		}
 	}
 	e.metrics.Load().dml("delete", res.RowsAffected)
-	if res.Retrained, err = e.noteWrites(t.Name, res.RowsAffected); err != nil {
+	// Committed rows with a failed retrain: return the populated result
+	// alongside the ErrRetrainFailed-wrapped error (see execInsert).
+	res.Retrained, err = e.noteWrites(t.Name, res.RowsAffected)
+	res.Epoch = e.cat.Epoch()
+	if err != nil {
 		return res, err
 	}
-	res.Epoch = e.cat.Epoch()
 	return res, nil
 }
 
@@ -340,8 +356,18 @@ func (e *Engine) noteWrites(table string, rows int64) ([]string, error) {
 	if thr <= 0 || e.writesSince[table] < thr {
 		return nil, nil
 	}
+	// Reset the counter only if the retrain succeeds. Zeroing it first
+	// would, on a transient training failure, silently defer the next
+	// attempt by a full threshold of writes; restoring it means the very
+	// next write re-crosses the threshold and retries.
+	prev := e.writesSince[table]
 	e.writesSince[table] = 0
-	return e.retrainTable(table)
+	names, err := e.retrainTable(table)
+	if err != nil {
+		e.writesSince[table] = prev
+		e.metrics.Load().retrainFailure()
+	}
+	return names, err
 }
 
 // retrainTable re-runs training for every CREATE MODEL definition on
@@ -356,7 +382,7 @@ func (e *Engine) retrainTable(table string) ([]string, error) {
 			continue
 		}
 		if _, err := e.trainFromDef(d); err != nil {
-			return names, fmt.Errorf("minequery: retrain %s after writes to %s: %w", d.name, table, err)
+			return names, fmt.Errorf("minequery: %w: retrain %s after writes to %s: %w", qerr.ErrRetrainFailed, d.name, table, err)
 		}
 		names = append(names, d.name)
 		e.metrics.Load().retrain(1)

@@ -1,6 +1,9 @@
 package minequery
 
-import "minequery/internal/qerr"
+import (
+	"minequery/internal/qerr"
+	"minequery/internal/standing"
+)
 
 // Sentinel errors. Every error the engine returns for these conditions
 // wraps the corresponding sentinel, so callers branch with errors.Is
@@ -20,4 +23,14 @@ var (
 	// planner rejects (SELECT * with GROUP BY, a select-list column
 	// missing from GROUP BY, SUM/AVG over a non-numeric column).
 	ErrUnsupportedQuery = qerr.ErrUnsupportedQuery
+	// ErrRetrainFailed marks an Exec whose rows committed durably but
+	// whose write-volume retrain failed afterwards. Exec returns the
+	// statement's result (RowsAffected, Epoch, any models retrained
+	// before the failure) ALONGSIDE an error wrapping this sentinel —
+	// callers must not treat the statement as failed, and must not
+	// re-issue it. The retrain retries on the next write to the table.
+	ErrRetrainFailed = qerr.ErrRetrainFailed
+	// ErrUnknownSubscription marks an Unsubscribe of an id that is not
+	// registered.
+	ErrUnknownSubscription = standing.ErrUnknownSubscription
 )

@@ -1,0 +1,50 @@
+package core
+
+// Exported envelope-assembly helpers for consumers outside the query
+// rewriter — the standing-query engine compiles the same four mining
+// predicate shapes (equality, IN, model-model join, model-data join)
+// into shared envelope regions, and keying them by the same
+// fingerprint-derived scheme keeps every cache entry immune to model
+// retrains by construction.
+
+import (
+	"minequery/internal/catalog"
+	"minequery/internal/expr"
+	"minequery/internal/value"
+)
+
+// AtomicEnvelope returns the sound data-column envelope for one class
+// of a registered model: the cached upper envelope when one exists,
+// FalseExpr for a label outside the model's class set (the predicate is
+// unsatisfiable), TrueExpr when no envelope is cached (no information,
+// still sound). It is the note-free form of the rewriter's per-class
+// lookup.
+func AtomicEnvelope(me *catalog.ModelEntry, class value.Value) expr.Expr {
+	known := false
+	for _, c := range me.Classes() {
+		if value.Equal(c, class) {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return expr.FalseExpr{}
+	}
+	if u, _, ok := me.Envelope(class); ok {
+		return u
+	}
+	return expr.TrueExpr{}
+}
+
+// ClassSetKey builds the envelope-cache key for a (shape, model,
+// class-set) triple: the predicate shape tag, the model's content
+// fingerprint, and the sorted class labels — the same scheme the query
+// rewriter keys its memoization by, so a retrain makes old entries rot
+// unused rather than ever serving stale.
+func ClassSetKey(shape string, me *catalog.ModelEntry, classes []value.Value) string {
+	return classSetKey(shape, me, classes)
+}
+
+// ValueKey encodes a class label unambiguously for use in cache keys
+// (kind-tagged, so Int(1) and Str("1") never collide).
+func ValueKey(v value.Value) string { return valueKey(v) }

@@ -22,6 +22,14 @@ var (
 	// GROUP BY, SUM/AVG over a non-numeric column). It is a permanent
 	// client error, never retried.
 	ErrUnsupportedQuery = errors.New("unsupported query")
+	// ErrRetrainFailed marks a write statement whose rows committed
+	// durably but whose write-volume retrain trigger failed afterwards.
+	// It is a partial-success signal, not a statement failure: callers
+	// receive the statement result (rows affected, epoch) alongside an
+	// error wrapping this sentinel, and the retrain is retried on the
+	// next write to the table. Treating it as a wholesale failure — and
+	// e.g. re-issuing the statement — double-applies the write.
+	ErrRetrainFailed = errors.New("retrain failed after committed write")
 	// ErrTransient marks a failure that may succeed on retry: a flaky
 	// page read, a stalled I/O completing late. The executor retries
 	// these with bounded backoff, and — when retries are exhausted on an

@@ -110,6 +110,8 @@ func classify(err error) (string, int) {
 		return CodeUnknownTable, http.StatusNotFound
 	case errors.Is(err, minequery.ErrUnknownModel):
 		return CodeUnknownModel, http.StatusNotFound
+	case errors.Is(err, minequery.ErrUnknownSubscription):
+		return CodeNotFound, http.StatusNotFound
 	case errors.Is(err, minequery.ErrTransient):
 		return CodeTransient, http.StatusServiceUnavailable
 	}

@@ -157,6 +157,10 @@ func New(eng *minequery.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/execute", s.handleExecute)
 	s.mux.HandleFunc("POST /v1/exec", s.handleExec)
 	s.mux.HandleFunc("POST /v1/explain-analyze", s.handleExplainAnalyze)
+	s.mux.HandleFunc("POST /v1/subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("DELETE /v1/subscribe/{id}", s.handleUnsubscribe)
+	s.mux.HandleFunc("GET /v1/subscriptions", s.handleSubscriptions)
+	s.mux.HandleFunc("GET /v1/notifications", s.handleNotifications)
 	s.mux.HandleFunc("POST /v1/shard-exec", s.handleShardExec)
 	s.mux.HandleFunc("GET /v1/shard-info", s.handleShardInfo)
 	s.mux.HandleFunc("GET /v1/slowlog", s.handleSlowlog)
@@ -262,13 +266,13 @@ type executeResponse struct {
 	// Schema self-describes each output column (name, value kind, and
 	// whether it is projected from the input or computed by an
 	// aggregate), so clients never re-derive types from the query text.
-	Schema []columnMetaBody `json:"schema"`
-	Rows              [][]any  `json:"rows"`
-	RowCount          int      `json:"row_count"`
-	Plan              string   `json:"plan"`
-	AccessPath        string   `json:"access_path"`
-	PlanChanged       bool     `json:"plan_changed"`
-	EstSelectivity    float64  `json:"est_selectivity"`
+	Schema         []columnMetaBody `json:"schema"`
+	Rows           [][]any          `json:"rows"`
+	RowCount       int              `json:"row_count"`
+	Plan           string           `json:"plan"`
+	AccessPath     string           `json:"access_path"`
+	PlanChanged    bool             `json:"plan_changed"`
+	EstSelectivity float64          `json:"est_selectivity"`
 	// Degraded: the table's circuit breaker shed this query to the
 	// force-seqscan plan. Fallback: the engine itself re-ran the query
 	// on the baseline scan after a transient index-path failure. Both
@@ -293,6 +297,12 @@ type execResponse struct {
 	Epoch        int64    `json:"epoch"`
 	// Model summarizes the trained model (CREATE MODEL only).
 	Model *execModelBody `json:"model,omitempty"`
+	// RetrainError reports a write-volume retrain that failed AFTER the
+	// statement's rows committed durably. The statement succeeded —
+	// rows_affected is authoritative, the response is a 200 — and the
+	// retrain retries on the next write. Clients must not re-issue the
+	// statement.
+	RetrainError string `json:"retrain_error,omitempty"`
 }
 
 type execModelBody struct {
@@ -654,8 +664,15 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.eng.Exec(ctx, req.SQL)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		// A failed retrain after a durably committed write is partial
+		// success, not statement failure: the rows are applied and logged,
+		// so a 5xx here would invite the client to re-issue (and
+		// double-apply) the statement. Report 200 with the populated
+		// result and the retrain error alongside.
+		if res == nil || !errors.Is(err, minequery.ErrRetrainFailed) {
+			s.writeError(w, err)
+			return
+		}
 	}
 	s.queries.Add(1)
 	body := execResponse{
@@ -664,6 +681,9 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		RowsAffected: res.RowsAffected,
 		Retrained:    res.Retrained,
 		Epoch:        res.Epoch,
+	}
+	if err != nil {
+		body.RetrainError = err.Error()
 	}
 	if res.Model != nil {
 		body.Model = &execModelBody{

@@ -1,0 +1,198 @@
+package server
+
+// The standing-query surface: POST /v1/subscribe registers a SELECT as
+// a standing query, DELETE /v1/subscribe/{id} removes it, GET
+// /v1/notifications long-polls the engine's bounded delivery queue, and
+// GET /v1/subscriptions lists the registered set with per-subscription
+// match/drop counters.
+//
+// Notifications deliberately bypass admission control: a long-poll
+// parked on an empty queue holds no engine resources, and letting it
+// occupy a worker slot would let idle subscribers starve real queries.
+// The poll is still bounded by the request timeout and registered with
+// the shutdown drain group.
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"minequery"
+)
+
+type subscribeRequest struct {
+	SQL string `json:"sql"`
+}
+
+type subscribeResponse struct {
+	SubscriptionID int64  `json:"subscription_id"`
+	Table          string `json:"table"`
+}
+
+// notificationBody is the wire form of one standing-query match. Row
+// values use the same JSON mapping as query result rows.
+type notificationBody struct {
+	Seq            int64    `json:"seq"`
+	SubscriptionID int64    `json:"subscription_id"`
+	Table          string   `json:"table"`
+	Columns        []string `json:"columns"`
+	Row            []any    `json:"row"`
+	Epoch          int64    `json:"epoch"`
+}
+
+type notificationsResponse struct {
+	Notifications []notificationBody `json:"notifications"`
+	Count         int                `json:"count"`
+}
+
+type standingStatsBody struct {
+	Registered int   `json:"registered"`
+	Matches    int64 `json:"matches"`
+	Evals      int64 `json:"evals"`
+	ModelCalls int64 `json:"model_calls"`
+	Dropped    int64 `json:"dropped"`
+	Recompiles int64 `json:"recompiles"`
+}
+
+type subscriptionsResponse struct {
+	Subscriptions []minequery.SubscriptionInfo `json:"subscriptions"`
+	Stats         standingStatsBody            `json:"stats"`
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	done, err := s.beginRequest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer done()
+	var req subscribeRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.SQL == "" {
+		s.writeError(w, errBadRequest("sql is required"))
+		return
+	}
+	id, err := s.eng.Subscribe(req.SQL)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	table := ""
+	for _, info := range s.eng.Subscriptions() {
+		if info.ID == id {
+			table = info.Table
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, subscribeResponse{SubscriptionID: id, Table: table})
+}
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	done, err := s.beginRequest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer done()
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.writeError(w, errBadRequest("subscription id must be an integer"))
+		return
+	}
+	if err := s.eng.Unsubscribe(id); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"unsubscribed": true})
+}
+
+func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
+	done, err := s.beginRequest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer done()
+	st := s.eng.StandingStats()
+	subs := s.eng.Subscriptions()
+	if subs == nil {
+		subs = []minequery.SubscriptionInfo{}
+	}
+	writeJSON(w, http.StatusOK, subscriptionsResponse{
+		Subscriptions: subs,
+		Stats: standingStatsBody{
+			Registered: st.Registered,
+			Matches:    st.Matches,
+			Evals:      st.Evals,
+			ModelCalls: st.ModelCalls,
+			Dropped:    st.Dropped,
+			Recompiles: st.Recompiles,
+		},
+	})
+}
+
+// handleNotifications long-polls the delivery queue: it waits up to
+// timeout_ms (default 10s, capped at 60s) for at least one notification
+// and returns up to max (default 100) in one batch. An empty batch with
+// a 200 means the wait timed out — poll again; it is not an error.
+func (s *Server) handleNotifications(w http.ResponseWriter, r *http.Request) {
+	done, err := s.beginRequest()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer done()
+	wait := 10 * time.Second
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			s.writeError(w, errBadRequest("timeout_ms must be a non-negative integer"))
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > time.Minute {
+			wait = time.Minute
+		}
+	}
+	max := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.writeError(w, errBadRequest("max must be a positive integer"))
+			return
+		}
+		max = n
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	ns, err := s.eng.Notifications(ctx, max)
+	if err != nil {
+		// The poll deadline lapsing with nothing queued is the normal idle
+		// outcome of a long poll, not a query timeout: answer 200 with an
+		// empty batch so clients just re-poll. A client disconnect still
+		// surfaces as cancelled.
+		if ctx.Err() == context.DeadlineExceeded && r.Context().Err() == nil {
+			writeJSON(w, http.StatusOK, notificationsResponse{Notifications: []notificationBody{}})
+			return
+		}
+		s.writeError(w, err)
+		return
+	}
+	body := notificationsResponse{Notifications: make([]notificationBody, len(ns)), Count: len(ns)}
+	for i, n := range ns {
+		row := rowsToJSON([]minequery.Tuple{n.Row})[0]
+		body.Notifications[i] = notificationBody{
+			Seq:            n.Seq,
+			SubscriptionID: n.SubID,
+			Table:          n.Table,
+			Columns:        n.Columns,
+			Row:            row,
+			Epoch:          n.Epoch,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}

@@ -111,14 +111,14 @@ func TestParseStatementTypedErrors(t *testing.T) {
 	malformed := []string{
 		"",
 		"INSERT customers VALUES (1)",
-		"INSERT INTO t (a, b) VALUES (1)",       // arity mismatch
-		"INSERT INTO t VALUES (1), (1, 2)",      // inconsistent rows
-		"INSERT INTO t VALUES (a)",              // non-literal value
-		"UPDATE t SET",                          // missing assignment
-		"UPDATE t SET a = b",                    // non-literal rhs
-		"UPDATE t SET a = 1 WHERE x.y = 2",      // foreign qualifier
-		"DELETE t WHERE a = 1",                  // missing FROM
-		"CREATE MODEL m ON t PREDICT c",         // missing USING
+		"INSERT INTO t (a, b) VALUES (1)",  // arity mismatch
+		"INSERT INTO t VALUES (1), (1, 2)", // inconsistent rows
+		"INSERT INTO t VALUES (a)",         // non-literal value
+		"UPDATE t SET",                     // missing assignment
+		"UPDATE t SET a = b",               // non-literal rhs
+		"UPDATE t SET a = 1 WHERE x.y = 2", // foreign qualifier
+		"DELETE t WHERE a = 1",             // missing FROM
+		"CREATE MODEL m ON t PREDICT c",    // missing USING
 		"create model m on t predict c using dtree as select a from other", // view over wrong table
 		"INSERT INTO t VALUES (1) garbage",
 		"42",

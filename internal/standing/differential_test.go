@@ -1,0 +1,311 @@
+package standing
+
+// The standing-query differential sweep: seeded random subscription
+// sets — mining predicates over all five model families mixed with data
+// predicates under AND/OR/NOT — evaluated over random committed batches
+// by the shared compiled Set and, independently, by the NaiveMatcher
+// oracle (fresh per-subscription per-row prediction, direct expression
+// evaluation over the extended schema, no shared code). Every
+// notification stream must be byte-identical to the oracle's: same
+// matches, same order, same projected values. The run is a pure
+// function of the seed; any divergence is a compilation or sharing bug,
+// never a flake.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"minequery/internal/catalog"
+	"minequery/internal/core"
+	"minequery/internal/mining"
+	"minequery/internal/mining/cluster"
+	"minequery/internal/mining/dtree"
+	"minequery/internal/mining/nbayes"
+	"minequery/internal/mining/rules"
+	"minequery/internal/value"
+)
+
+// sweepModel is one registered model visible to the generator.
+type sweepModel struct {
+	name    string
+	alias   string
+	predCol string
+	onCols  []string
+	classes []value.Value
+}
+
+// buildSweepCatalog registers the sweep table and one model per family,
+// all trained on seeded data so the whole fixture is deterministic.
+func buildSweepCatalog(t *testing.T, seed int64) (*catalog.Catalog, []sweepModel) {
+	t.Helper()
+	cat := catalog.New()
+	if _, err := cat.CreateTable("t", value.MustSchema(
+		value.Column{Name: "id", Kind: value.KindInt},
+		value.Column{Name: "cat", Kind: value.KindString},
+		value.Column{Name: "num", Kind: value.KindInt},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	// Shared training material over the data columns.
+	mkTS := func(cols ...value.Column) *mining.TrainSet {
+		return &mining.TrainSet{Schema: value.MustSchema(cols...)}
+	}
+	catCol := value.Column{Name: "cat", Kind: value.KindString}
+	numCol := value.Column{Name: "num", Kind: value.KindInt}
+
+	tsNum, tsCat, tsBoth := mkTS(numCol), mkTS(catCol), mkTS(catCol, numCol)
+	for i := 0; i < 500; i++ {
+		c := fmt.Sprintf("c%d", r.Intn(8))
+		n := int64(r.Intn(100))
+		cls, grp, seg := "low", "a", "x"
+		if n >= 85 {
+			cls = "high"
+		}
+		if c >= "c4" {
+			grp = "b"
+		}
+		if n < 50 {
+			seg = "y"
+		}
+		tsNum.Rows = append(tsNum.Rows, value.Tuple{value.Int(n)})
+		tsNum.Labels = append(tsNum.Labels, value.Str(cls))
+		tsCat.Rows = append(tsCat.Rows, value.Tuple{value.Str(c)})
+		tsCat.Labels = append(tsCat.Labels, value.Str(grp))
+		tsBoth.Rows = append(tsBoth.Rows, value.Tuple{value.Str(c), value.Int(n)})
+		tsBoth.Labels = append(tsBoth.Labels, value.Str(seg))
+	}
+
+	var models []sweepModel
+	reg := func(m mining.Model, err error, alias string, onCols ...string) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("train %s: %v", alias, err)
+		}
+		der, derr := core.UpperEnvelopes(m, core.DefaultOptions())
+		if derr != nil {
+			t.Fatalf("derive %s: %v", alias, derr)
+		}
+		cat.RegisterModel(m, der.Envelopes)
+		models = append(models, sweepModel{
+			name: m.Name(), alias: alias, predCol: m.PredictColumn(),
+			onCols: onCols, classes: m.Classes(),
+		})
+	}
+	{
+		m, err := dtree.Train("dt", "cls", tsNum, dtree.Options{})
+		reg(m, err, "m_dt", "num")
+	}
+	{
+		m, err := nbayes.Train("nb", "grp", tsCat, nbayes.Options{})
+		reg(m, err, "m_nb", "cat")
+	}
+	{
+		m, err := rules.Train("rl", "seg", tsBoth, rules.Options{})
+		reg(m, err, "m_rl", "cat", "num")
+	}
+	{
+		m, err := cluster.TrainKMeans("km", "cluster", tsNum, cluster.Options{K: 3, Seed: 7})
+		reg(m, err, "m_km", "num")
+	}
+	{
+		m, err := cluster.TrainGMM("gm", "component", tsNum, cluster.Options{K: 2, Seed: 7})
+		reg(m, err, "m_gm", "num")
+	}
+	return cat, models
+}
+
+func sweepLiteral(v value.Value) string {
+	switch v.Kind() {
+	case value.KindInt:
+		return fmt.Sprintf("%d", v.AsInt())
+	case value.KindFloat:
+		return fmt.Sprintf("%g", v.AsFloat())
+	default:
+		return "'" + strings.ReplaceAll(v.AsString(), "'", "''") + "'"
+	}
+}
+
+// genSweepPredicate builds a random predicate over the in-scope models'
+// predicted columns and the data columns, with AND/OR composition and
+// occasional NOT — the polarity the envelope gate must stay sound
+// under.
+func genSweepPredicate(r *rand.Rand, models []sweepModel, depth int) string {
+	if depth > 0 && r.Intn(3) > 0 {
+		op := " AND "
+		if r.Intn(2) == 0 {
+			op = " OR "
+		}
+		n := 2 + r.Intn(2)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = genSweepPredicate(r, models, depth-1)
+		}
+		body := "(" + strings.Join(parts, op) + ")"
+		if r.Intn(5) == 0 {
+			return "NOT " + body
+		}
+		return body
+	}
+	if len(models) > 0 && r.Intn(2) == 0 {
+		m := models[r.Intn(len(models))]
+		col := m.alias + "." + m.predCol
+		cls := m.classes[r.Intn(len(m.classes))]
+		switch r.Intn(5) {
+		case 0:
+			if len(m.classes) > 1 {
+				other := m.classes[r.Intn(len(m.classes))]
+				return fmt.Sprintf("%s IN (%s, %s)", col, sweepLiteral(cls), sweepLiteral(other))
+			}
+			return fmt.Sprintf("%s = %s", col, sweepLiteral(cls))
+		case 1:
+			return fmt.Sprintf("%s <> %s", col, sweepLiteral(cls))
+		case 2:
+			return fmt.Sprintf("NOT (%s = %s)", col, sweepLiteral(cls))
+		default:
+			return fmt.Sprintf("%s = %s", col, sweepLiteral(cls))
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("cat = 'c%d'", r.Intn(8))
+	case 1:
+		return fmt.Sprintf("num >= %d", r.Intn(100))
+	case 2:
+		return fmt.Sprintf("num <= %d", r.Intn(100))
+	case 3:
+		lo := r.Intn(90)
+		return fmt.Sprintf("(num >= %d AND num <= %d)", lo, lo+r.Intn(15))
+	default:
+		return fmt.Sprintf("cat IN ('c%d', 'c%d')", r.Intn(8), r.Intn(8))
+	}
+}
+
+// genSubscription builds one random standing query: 0-2 prediction
+// joins, a random predicate, and a random select list (star, data
+// columns, or data plus predicted columns).
+func genSubscription(r *rand.Rand, all []sweepModel) string {
+	n := r.Intn(3)
+	perm := r.Perm(len(all))
+	models := make([]sweepModel, 0, n)
+	for _, i := range perm[:n] {
+		models = append(models, all[i])
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch r.Intn(3) {
+	case 0:
+		b.WriteString("*")
+	case 1:
+		b.WriteString("id, num")
+	default:
+		if len(models) > 0 {
+			fmt.Fprintf(&b, "id, %s.%s", models[0].alias, models[0].predCol)
+		} else {
+			b.WriteString("id, cat")
+		}
+	}
+	b.WriteString(" FROM t")
+	for _, m := range models {
+		fmt.Fprintf(&b, " PREDICTION JOIN %s AS %s ON", m.name, m.alias)
+		for i, c := range m.onCols {
+			if i > 0 {
+				b.WriteString(" AND")
+			}
+			fmt.Fprintf(&b, " %s.%s = t.%s", m.alias, c, c)
+		}
+	}
+	b.WriteString(" WHERE ")
+	b.WriteString(genSweepPredicate(r, models, 2))
+	return b.String()
+}
+
+// notifKey canonicalizes one notification for exact comparison.
+func notifKey(subID int64, cols []string, row value.Tuple) string {
+	parts := make([]string, 0, len(row)+2)
+	parts = append(parts, fmt.Sprintf("sub=%d", subID), strings.Join(cols, ","))
+	for _, v := range row {
+		parts = append(parts, fmt.Sprintf("%d:%s", v.Kind(), v.String()))
+	}
+	return strings.Join(parts, "|")
+}
+
+// TestDifferentialStandingSweep is the standing engine's differential
+// run: 300 seeded iterations, each registering a random subscription
+// set in both the shared Set and the naive oracle, then streaming a
+// random batch through both and requiring byte-identical match
+// sequences (same subscriptions, same order, same projected values).
+func TestDifferentialStandingSweep(t *testing.T) {
+	const seed = 20260808
+	iterations := 300
+	if testing.Short() {
+		iterations = 60
+	}
+	cat, models := buildSweepCatalog(t, seed)
+	r := rand.New(rand.NewSource(seed))
+
+	var sharedCalls, naiveCalls int64
+	nextID := int64(0)
+	for iter := 0; iter < iterations; iter++ {
+		s := NewSet(cat, Options{Queue: 1 << 14})
+		naive := NewNaiveMatcher(cat)
+		nSubs := 1 + r.Intn(8)
+		for i := 0; i < nSubs; i++ {
+			sql := genSubscription(r, models)
+			id, err := s.Subscribe(sql)
+			if err != nil {
+				t.Fatalf("iter %d: subscribe %q: %v", iter, sql, err)
+			}
+			if err := naive.Register(id, sql); err != nil {
+				t.Fatalf("iter %d: naive register %q: %v", iter, sql, err)
+			}
+		}
+		rows := make([]value.Tuple, 30)
+		for i := range rows {
+			nextID++
+			rows[i] = value.Tuple{
+				value.Int(nextID),
+				value.Str(fmt.Sprintf("c%d", r.Intn(8))),
+				value.Int(int64(r.Intn(100))),
+			}
+		}
+		s.EvalBatch("t", rows, int64(iter))
+
+		var want []string
+		for _, row := range rows {
+			for _, m := range naive.Matches("t", row) {
+				want = append(want, notifKey(m.SubID, m.Columns, m.Row))
+			}
+		}
+		var got []string
+		ns := drain(t, s, 1<<14)
+		for _, n := range ns {
+			got = append(got, notifKey(n.SubID, n.Columns, n.Row))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d notifications, oracle %d\nseed=%d", iter, len(got), len(want), seed)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d notification %d diverges\n got: %s\nwant: %s\nseed=%d",
+					iter, i, got[i], want[i], seed)
+			}
+		}
+		sharedCalls += s.Stats().ModelCalls
+		naiveCalls += naive.ModelCalls
+	}
+	if sharedCalls >= naiveCalls {
+		t.Fatalf("shared set made %d model calls, naive oracle %d; sharing is vacuous", sharedCalls, naiveCalls)
+	}
+	t.Logf("%d iterations matched the oracle exactly; model calls: shared %d vs naive %d (%.1fx fewer)",
+		iterations, sharedCalls, naiveCalls, float64(naiveCalls)/float64(max64(sharedCalls, 1)))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,439 @@
+// Package standing is the standing-query engine over the write stream:
+// clients register ordinary SELECT statements (including PREDICTION
+// JOINs and mining predicates) as subscriptions, and the whole
+// registered set is compiled into one shared discrimination structure
+// that the write path evaluates once per committed batch.
+//
+// Sharing happens at three levels, mirroring the paper's amortization
+// argument for continuously re-evaluated mining predicates:
+//
+//   - Envelope regions — the sound data-column weakenings of each
+//     mining predicate shape — are deduplicated across subscriptions by
+//     the same fingerprint-keyed scheme as the query rewriter's
+//     envelope cache, so N subscriptions over one model share one
+//     region evaluation per row.
+//   - Model predictions are memoized per (row, model): a row touching
+//     twenty subscriptions on the same model costs one Predict call,
+//     and envelope-rejected rows cost zero.
+//   - Subscriptions are indexed by (column, interval): the distinct
+//     constants of the registered set's data predicates form a
+//     synthetic partition spec per column, each subscription keeps the
+//     segments its predicate can intersect (the PR 5 pruning walk), and
+//     a row stabs each index to skip subscriptions whose guard interval
+//     it cannot satisfy.
+//
+// Matches are delivered through a bounded queue that never blocks the
+// write path: when the queue is full the notification is dropped and
+// counted, per subscription and in total. Model retrains invalidate the
+// compiled set (epoch-style), and the next batch recompiles against the
+// current catalog.
+package standing
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"minequery/internal/catalog"
+	"minequery/internal/core"
+	"minequery/internal/qerr"
+	"minequery/internal/sqlparse"
+	"minequery/internal/value"
+)
+
+// ErrUnknownSubscription marks an Unsubscribe of an id that is not
+// registered.
+var ErrUnknownSubscription = errors.New("unknown subscription")
+
+// Notification is one delivered match: a committed row that satisfied a
+// subscription's predicate, projected through its select list.
+type Notification struct {
+	// Seq is the set-wide monotonically increasing delivery sequence.
+	Seq int64 `json:"seq"`
+	// SubID identifies the matched subscription.
+	SubID int64 `json:"subscription_id"`
+	// Table is the written table.
+	Table string `json:"table"`
+	// Columns names the projected values, in order.
+	Columns []string `json:"columns"`
+	// Row holds the projected values (data columns and, for selected
+	// prediction columns, the model's prediction at commit time).
+	Row value.Tuple `json:"-"`
+	// Epoch is the catalog epoch the match was evaluated at.
+	Epoch int64 `json:"epoch"`
+}
+
+// Stats is a point-in-time snapshot of the set's counters.
+type Stats struct {
+	// Registered is the number of live subscriptions.
+	Registered int
+	// Matches counts notifications generated (delivered or dropped).
+	Matches int64
+	// Evals counts (row, candidate-subscription) predicate evaluations —
+	// the work the interval index could not prune.
+	Evals int64
+	// ModelCalls counts actual model Predict invocations (memoization
+	// and envelope gating make this far smaller than Evals).
+	ModelCalls int64
+	// Dropped counts notifications discarded because the queue was full.
+	Dropped int64
+	// Recompiles counts shared-set recompilations (subscription churn
+	// and model retrains both trigger one).
+	Recompiles int64
+}
+
+// SubscriptionInfo describes one registered subscription.
+type SubscriptionInfo struct {
+	ID    int64  `json:"id"`
+	SQL   string `json:"sql"`
+	Table string `json:"table"`
+	// Matches and Dropped are this subscription's share of the set
+	// counters.
+	Matches int64 `json:"matches"`
+	Dropped int64 `json:"dropped"`
+	// Err is the last compile error, for subscriptions that stopped
+	// compiling after a catalog change ("" when healthy). A broken
+	// subscription matches nothing until the catalog change is undone.
+	Err string `json:"error,omitempty"`
+}
+
+// Options tunes a Set.
+type Options struct {
+	// Queue is the notification queue capacity (default 1024).
+	Queue int
+	// Cache, when non-nil, memoizes envelope-region assembly across
+	// recompiles (and may be shared with the query path's cache — keys
+	// are namespaced and fingerprint-derived).
+	Cache core.EnvelopeCache
+	// MaxSegments caps the per-column interval index: a column whose
+	// registered predicates use more distinct constants is left
+	// unindexed (sound — just less pruning). Default 256.
+	MaxSegments int
+}
+
+// rawSub is one registered subscription in source form; compilation to
+// the shared structure happens lazily (see recompileLocked).
+type rawSub struct {
+	id    int64
+	sql   string
+	table string
+	q     *sqlparse.Query
+
+	matches atomic.Int64
+	dropped atomic.Int64
+
+	// err is the last compile error (guarded by Set.mu).
+	err string
+}
+
+// Set is the shared standing-query structure. Subscribe/Unsubscribe may
+// be called from any goroutine; EvalBatch is called by the engine's
+// write path (already serialized there) and is safe to interleave with
+// registration.
+type Set struct {
+	cat *catalog.Catalog
+
+	mu          sync.Mutex
+	cache       core.EnvelopeCache
+	subs        map[int64]*rawSub
+	order       []int64 // registration order, for deterministic compilation
+	dirty       bool
+	comp        map[string]*compiledTable // by lower table name
+	maxSegments int
+
+	nextID atomic.Int64
+	seq    atomic.Int64
+
+	queue chan Notification
+
+	matches    atomic.Int64
+	evals      atomic.Int64
+	modelCalls atomic.Int64
+	dropped    atomic.Int64
+	recompiles atomic.Int64
+}
+
+// NewSet returns an empty standing-query set over cat.
+func NewSet(cat *catalog.Catalog, opts Options) *Set {
+	if opts.Queue <= 0 {
+		opts.Queue = 1024
+	}
+	if opts.MaxSegments <= 0 {
+		opts.MaxSegments = 256
+	}
+	return &Set{
+		cat:         cat,
+		cache:       opts.Cache,
+		subs:        make(map[int64]*rawSub),
+		comp:        make(map[string]*compiledTable),
+		maxSegments: opts.MaxSegments,
+		queue:       make(chan Notification, opts.Queue),
+	}
+}
+
+// SetCache installs (or removes, with nil) the envelope-region cache.
+func (s *Set) SetCache(c core.EnvelopeCache) {
+	s.mu.Lock()
+	s.cache = c
+	s.mu.Unlock()
+}
+
+// Subscribe registers sql as a standing query and returns its id. The
+// statement must be a SELECT over one table (PREDICTION JOINs and
+// mining predicates welcome) without GROUP BY, aggregates, or LIMIT —
+// a standing query has no result set to bound or fold.
+func (s *Set) Subscribe(sql string) (int64, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	if q.Grouped() {
+		return 0, fmt.Errorf("standing: %w: standing queries cannot aggregate", qerr.ErrUnsupportedQuery)
+	}
+	if q.Limit >= 0 {
+		return 0, fmt.Errorf("standing: %w: standing queries cannot LIMIT (the stream is unbounded)", qerr.ErrUnsupportedQuery)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Compile once standalone so registration errors (unknown table,
+	// model, or column) surface to the caller instead of poisoning the
+	// shared set later.
+	sub := &rawSub{sql: sql, q: q}
+	ct, err := newTableBuilder(s.cat, q.Table, s.cache)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := ct.compileSub(sub); err != nil {
+		return 0, err
+	}
+	sub.id = s.nextID.Add(1)
+	sub.table = ct.name
+	s.subs[sub.id] = sub
+	s.order = append(s.order, sub.id)
+	s.dirty = true
+	return sub.id, nil
+}
+
+// Unsubscribe removes a subscription.
+func (s *Set) Unsubscribe(id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.subs[id]; !ok {
+		return fmt.Errorf("standing: %w %d", ErrUnknownSubscription, id)
+	}
+	delete(s.subs, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.dirty = true
+	return nil
+}
+
+// Invalidate marks the compiled set stale; the next EvalBatch
+// recompiles against the current catalog. The engine wires it to
+// catalog invalidation events, so retrains and epoch bumps recompile
+// exactly like prepared-plan invalidation.
+func (s *Set) Invalidate() {
+	s.mu.Lock()
+	s.dirty = true
+	s.mu.Unlock()
+}
+
+// Registered returns the live subscription count.
+func (s *Set) Registered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Stats snapshots the set counters.
+func (s *Set) Stats() Stats {
+	return Stats{
+		Registered: s.Registered(),
+		Matches:    s.matches.Load(),
+		Evals:      s.evals.Load(),
+		ModelCalls: s.modelCalls.Load(),
+		Dropped:    s.dropped.Load(),
+		Recompiles: s.recompiles.Load(),
+	}
+}
+
+// Matches returns the lifetime match count (delivered or dropped).
+func (s *Set) Matches() int64 { return s.matches.Load() }
+
+// Evals returns the lifetime (row, candidate) evaluation count.
+func (s *Set) Evals() int64 { return s.evals.Load() }
+
+// Dropped returns the lifetime dropped-notification count.
+func (s *Set) Dropped() int64 { return s.dropped.Load() }
+
+// Recompiles returns the lifetime recompilation count.
+func (s *Set) Recompiles() int64 { return s.recompiles.Load() }
+
+// Subscriptions lists the registered subscriptions in registration
+// order.
+func (s *Set) Subscriptions() []SubscriptionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SubscriptionInfo, 0, len(s.order))
+	for _, id := range s.order {
+		sub := s.subs[id]
+		out = append(out, SubscriptionInfo{
+			ID:      sub.id,
+			SQL:     sub.sql,
+			Table:   sub.table,
+			Matches: sub.matches.Load(),
+			Dropped: sub.dropped.Load(),
+			Err:     sub.err,
+		})
+	}
+	return out
+}
+
+// snapshot returns the compiled table for name, recompiling first if the
+// set is dirty.
+func (s *Set) snapshot(table string) *compiledTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirty {
+		s.recompileLocked()
+	}
+	return s.comp[strings.ToLower(table)]
+}
+
+// recompileLocked rebuilds the shared structure from the registered
+// subscriptions against the current catalog. Caller holds s.mu.
+// Subscriptions that no longer compile (e.g. a dropped model) are
+// disabled and carry the error; the rest keep working.
+func (s *Set) recompileLocked() {
+	s.dirty = false
+	s.recompiles.Add(1)
+	byTable := make(map[string][]*rawSub)
+	var tables []string
+	for _, id := range s.order {
+		sub := s.subs[id]
+		key := strings.ToLower(sub.table)
+		if len(byTable[key]) == 0 {
+			tables = append(tables, key)
+		}
+		byTable[key] = append(byTable[key], sub)
+	}
+	s.comp = make(map[string]*compiledTable, len(tables))
+	for _, key := range tables {
+		subs := byTable[key]
+		b, err := newTableBuilder(s.cat, subs[0].table, s.cache)
+		if err != nil {
+			for _, sub := range subs {
+				sub.err = err.Error()
+			}
+			continue
+		}
+		for _, sub := range subs {
+			cs, err := b.compileSub(sub)
+			if err != nil {
+				sub.err = err.Error()
+				continue
+			}
+			sub.err = ""
+			b.subs = append(b.subs, cs)
+		}
+		if len(b.subs) == 0 {
+			continue
+		}
+		b.buildIndex(s.maxSegments)
+		s.comp[key] = b.compiledTable
+	}
+}
+
+// EvalBatch classifies one committed batch of new row images against
+// the shared set and enqueues a notification per match. It never
+// blocks: a full queue drops the notification and bumps the typed drop
+// counters. The engine calls it under its write lock, immediately after
+// the batch is applied.
+func (s *Set) EvalBatch(table string, rows []value.Tuple, epoch int64) {
+	if len(rows) == 0 {
+		return
+	}
+	ct := s.snapshot(table)
+	if ct == nil {
+		return
+	}
+	rc := newRowCtx(ct, &s.modelCalls)
+	cand := make([]uint64, ct.index.words)
+	for _, row := range rows {
+		rc.reset(row)
+		ct.index.candidates(row, cand)
+		for w, word := range cand {
+			for word != 0 {
+				i := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				cs := ct.subs[i]
+				s.evals.Add(1)
+				if !cs.root.eval(rc) {
+					continue
+				}
+				s.matches.Add(1)
+				cs.src.matches.Add(1)
+				n := Notification{
+					Seq:     s.seq.Add(1),
+					SubID:   cs.src.id,
+					Table:   ct.name,
+					Columns: cs.cols,
+					Row:     cs.project(rc),
+					Epoch:   epoch,
+				}
+				select {
+				case s.queue <- n:
+				default:
+					s.dropped.Add(1)
+					cs.src.dropped.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// Poll returns up to max pending notifications, waiting for at least
+// one until ctx is done (long-poll semantics). On timeout or
+// cancellation with nothing pending it returns ctx's error.
+func (s *Set) Poll(ctx context.Context, max int) ([]Notification, error) {
+	if max <= 0 {
+		max = 100
+	}
+	var out []Notification
+	select {
+	case n := <-s.queue:
+		out = append(out, n)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	for len(out) < max {
+		select {
+		case n := <-s.queue:
+			out = append(out, n)
+		default:
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// sortValues sorts and dedupes by the value total order.
+func sortValues(vals []value.Value) []value.Value {
+	sort.Slice(vals, func(i, j int) bool { return value.Compare(vals[i], vals[j]) < 0 })
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || value.Compare(out[len(out)-1], v) != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

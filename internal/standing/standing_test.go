@@ -1,0 +1,413 @@
+package standing
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"minequery/internal/catalog"
+	"minequery/internal/core"
+	"minequery/internal/mining"
+	"minequery/internal/mining/dtree"
+	"minequery/internal/qerr"
+	"minequery/internal/value"
+)
+
+// newTestCatalog builds a catalog with one table,
+// events(id INT, num INT, cat TEXT), and no models.
+func newTestCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	if _, err := cat.CreateTable("events", value.MustSchema(
+		value.Column{Name: "id", Kind: value.KindInt},
+		value.Column{Name: "num", Kind: value.KindInt},
+		value.Column{Name: "cat", Kind: value.KindString},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// trainThreshold registers a decision tree named name predicting "cls"
+// from num: "high" at or above thr, "low" below. The training data is
+// perfectly separable, so the tree reproduces the threshold exactly and
+// its envelopes are exact.
+func trainThreshold(t *testing.T, cat *catalog.Catalog, name string, thr int64) *catalog.ModelEntry {
+	t.Helper()
+	ts := &mining.TrainSet{Schema: value.MustSchema(value.Column{Name: "num", Kind: value.KindInt})}
+	for i := int64(0); i < 100; i++ {
+		ts.Rows = append(ts.Rows, value.Tuple{value.Int(i)})
+		label := "low"
+		if i >= thr {
+			label = "high"
+		}
+		ts.Labels = append(ts.Labels, value.Str(label))
+	}
+	m, err := dtree.Train(name, "cls", ts, dtree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := core.UpperEnvelopes(m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat.RegisterModel(m, der.Envelopes)
+}
+
+// eventRow builds one events tuple.
+func eventRow(id, num int64, cat string) value.Tuple {
+	return value.Tuple{value.Int(id), value.Int(num), value.Str(cat)}
+}
+
+// drain empties the queue without blocking.
+func drain(t *testing.T, s *Set, max int) []Notification {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	out, err := s.Poll(ctx, max)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("poll: %v", err)
+	}
+	return out
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	cat := newTestCatalog(t)
+	trainThreshold(t, cat, "dt", 50)
+	s := NewSet(cat, Options{})
+
+	cases := []struct {
+		sql  string
+		want error
+	}{
+		{"SELECT * FROM nosuch WHERE num = 1", qerr.ErrUnknownTable},
+		{"SELECT * FROM events PREDICTION JOIN nosuch AS m ON m.num = events.num WHERE m.cls = 'high'", qerr.ErrUnknownModel},
+		{"SELECT * FROM events WHERE bogus = 1", qerr.ErrUnsupportedQuery},
+		{"SELECT bogus FROM events WHERE num = 1", qerr.ErrUnsupportedQuery},
+		{"SELECT COUNT(*) FROM events GROUP BY cat", qerr.ErrUnsupportedQuery},
+		{"SELECT * FROM events WHERE num = 1 LIMIT 5", qerr.ErrUnsupportedQuery},
+	}
+	for _, c := range cases {
+		if _, err := s.Subscribe(c.sql); !errors.Is(err, c.want) {
+			t.Errorf("Subscribe(%q) = %v, want %v", c.sql, err, c.want)
+		}
+	}
+	if s.Registered() != 0 {
+		t.Fatalf("failed subscriptions were registered: %d", s.Registered())
+	}
+	if err := s.Unsubscribe(99); !errors.Is(err, ErrUnknownSubscription) {
+		t.Fatalf("Unsubscribe(99) = %v, want ErrUnknownSubscription", err)
+	}
+}
+
+func TestDataOnlyMatching(t *testing.T) {
+	cat := newTestCatalog(t)
+	s := NewSet(cat, Options{})
+	id, err := s.Subscribe("SELECT * FROM events WHERE num >= 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EvalBatch("events", []value.Tuple{
+		eventRow(1, 95, "a"),
+		eventRow(2, 10, "b"),
+		eventRow(3, 90, "c"),
+	}, 7)
+	ns := drain(t, s, 10)
+	if len(ns) != 2 {
+		t.Fatalf("got %d notifications, want 2", len(ns))
+	}
+	n := ns[0]
+	if n.SubID != id || n.Table != "events" || n.Epoch != 7 {
+		t.Fatalf("bad notification header: %+v", n)
+	}
+	if want := []string{"id", "num", "cat"}; strings.Join(n.Columns, ",") != strings.Join(want, ",") {
+		t.Fatalf("columns = %v, want %v", n.Columns, want)
+	}
+	if n.Row[0].AsInt() != 1 || n.Row[1].AsInt() != 95 {
+		t.Fatalf("row = %v", n.Row)
+	}
+	if ns[1].Seq <= ns[0].Seq {
+		t.Fatalf("sequence not increasing: %d then %d", ns[0].Seq, ns[1].Seq)
+	}
+}
+
+func TestMiningMatchingAndPolarity(t *testing.T) {
+	cat := newTestCatalog(t)
+	trainThreshold(t, cat, "dt", 50)
+	s := NewSet(cat, Options{})
+
+	join := " PREDICTION JOIN dt AS m ON m.num = events.num "
+	idEq, err := s.Subscribe("SELECT * FROM events" + join + "WHERE m.cls = 'high'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idNot, err := s.Subscribe("SELECT * FROM events" + join + "WHERE NOT (m.cls = 'high')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idNe, err := s.Subscribe("SELECT * FROM events" + join + "WHERE m.cls <> 'high'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idIn, err := s.Subscribe("SELECT * FROM events" + join + "WHERE m.cls IN ('high', 'low')")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.EvalBatch("events", []value.Tuple{
+		eventRow(1, 80, "a"), // high
+		eventRow(2, 20, "b"), // low
+	}, 1)
+	got := map[int64][]int64{} // sub -> matched ids
+	for _, n := range drain(t, s, 100) {
+		got[n.SubID] = append(got[n.SubID], n.Row[0].AsInt())
+	}
+	wantIDs := map[int64][]int64{
+		idEq:  {1},
+		idNot: {2},
+		idNe:  {2},
+		idIn:  {1, 2},
+	}
+	for sub, want := range wantIDs {
+		if fmt.Sprint(got[sub]) != fmt.Sprint(want) {
+			t.Errorf("sub %d matched %v, want %v", sub, got[sub], want)
+		}
+	}
+}
+
+func TestProjectionWithPrediction(t *testing.T) {
+	cat := newTestCatalog(t)
+	trainThreshold(t, cat, "dt", 50)
+	s := NewSet(cat, Options{})
+	if _, err := s.Subscribe(
+		"SELECT id, m.cls FROM events PREDICTION JOIN dt AS m ON m.num = events.num WHERE num >= 70"); err != nil {
+		t.Fatal(err)
+	}
+	s.EvalBatch("events", []value.Tuple{eventRow(9, 75, "z")}, 1)
+	ns := drain(t, s, 10)
+	if len(ns) != 1 {
+		t.Fatalf("got %d notifications, want 1", len(ns))
+	}
+	if strings.Join(ns[0].Columns, ",") != "id,m.cls" {
+		t.Fatalf("columns = %v", ns[0].Columns)
+	}
+	if ns[0].Row[0].AsInt() != 9 || ns[0].Row[1].AsString() != "high" {
+		t.Fatalf("row = %v", ns[0].Row)
+	}
+}
+
+func TestQueueDropCounting(t *testing.T) {
+	cat := newTestCatalog(t)
+	s := NewSet(cat, Options{Queue: 2})
+	id, err := s.Subscribe("SELECT * FROM events WHERE num >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]value.Tuple, 5)
+	for i := range rows {
+		rows[i] = eventRow(int64(i), int64(i), "x")
+	}
+	s.EvalBatch("events", rows, 1)
+	st := s.Stats()
+	if st.Matches != 5 {
+		t.Fatalf("matches = %d, want 5", st.Matches)
+	}
+	if st.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", st.Dropped)
+	}
+	subs := s.Subscriptions()
+	if len(subs) != 1 || subs[0].ID != id || subs[0].Matches != 5 || subs[0].Dropped != 3 {
+		t.Fatalf("subscription info = %+v", subs)
+	}
+	// The two delivered notifications are the two oldest matches.
+	ns := drain(t, s, 10)
+	if len(ns) != 2 || ns[0].Row[0].AsInt() != 0 || ns[1].Row[0].AsInt() != 1 {
+		t.Fatalf("delivered = %v", ns)
+	}
+}
+
+func TestRecompileOnInvalidate(t *testing.T) {
+	cat := newTestCatalog(t)
+	trainThreshold(t, cat, "dt", 50)
+	s := NewSet(cat, Options{})
+	if _, err := s.Subscribe(
+		"SELECT * FROM events PREDICTION JOIN dt AS m ON m.num = events.num WHERE m.cls = 'high'"); err != nil {
+		t.Fatal(err)
+	}
+	s.EvalBatch("events", []value.Tuple{eventRow(1, 80, "a")}, 1)
+	if got := s.Recompiles(); got != 1 {
+		t.Fatalf("recompiles after first batch = %d, want 1", got)
+	}
+	// A clean second batch reuses the compiled set.
+	s.EvalBatch("events", []value.Tuple{eventRow(2, 81, "a")}, 1)
+	if got := s.Recompiles(); got != 1 {
+		t.Fatalf("recompiles after second batch = %d, want 1", got)
+	}
+	// Retrain to an inverted threshold: after invalidation the new model
+	// must drive matching.
+	trainThreshold(t, cat, "dt", 90)
+	s.Invalidate()
+	s.EvalBatch("events", []value.Tuple{eventRow(3, 80, "a")}, 2) // now "low"
+	if got := s.Recompiles(); got != 2 {
+		t.Fatalf("recompiles after invalidate = %d, want 2", got)
+	}
+	ids := []int64{}
+	for _, n := range drain(t, s, 100) {
+		ids = append(ids, n.Row[0].AsInt())
+	}
+	if fmt.Sprint(ids) != "[1 2]" {
+		t.Fatalf("matched ids = %v, want [1 2] (id 3 is 'low' under the retrained model)", ids)
+	}
+}
+
+func TestBrokenSubscriptionDisabledNotFatal(t *testing.T) {
+	cat := newTestCatalog(t)
+	trainThreshold(t, cat, "dt", 50)
+	s := NewSet(cat, Options{})
+	idModel, err := s.Subscribe(
+		"SELECT * FROM events PREDICTION JOIN dt AS m ON m.num = events.num WHERE m.cls = 'high'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idData, err := s.Subscribe("SELECT * FROM events WHERE num >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.DropModel("dt"); err != nil {
+		t.Fatal(err)
+	}
+	s.Invalidate()
+	s.EvalBatch("events", []value.Tuple{eventRow(1, 80, "a")}, 1)
+	ns := drain(t, s, 10)
+	if len(ns) != 1 || ns[0].SubID != idData {
+		t.Fatalf("notifications = %+v, want one match for the data-only subscription", ns)
+	}
+	for _, info := range s.Subscriptions() {
+		if info.ID == idModel && info.Err == "" {
+			t.Fatalf("broken subscription carries no error: %+v", info)
+		}
+		if info.ID == idData && info.Err != "" {
+			t.Fatalf("healthy subscription carries an error: %+v", info)
+		}
+	}
+}
+
+func TestIntervalIndexPrunes(t *testing.T) {
+	cat := newTestCatalog(t)
+	s := NewSet(cat, Options{})
+	// 100 subscriptions over disjoint 5-wide num ranges.
+	for i := 0; i < 100; i++ {
+		lo := i * 10
+		sql := fmt.Sprintf("SELECT * FROM events WHERE num >= %d AND num <= %d", lo, lo+4)
+		if _, err := s.Subscribe(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.EvalBatch("events", []value.Tuple{eventRow(1, 42, "a")}, 1)
+	st := s.Stats()
+	// Only the subscription covering [40,44] can survive the stab; allow
+	// a little slack for boundary segments, but pruning must eliminate
+	// nearly all 100 candidates.
+	if st.Evals > 5 {
+		t.Fatalf("evals = %d; interval index pruned almost nothing", st.Evals)
+	}
+	if st.Matches != 1 {
+		t.Fatalf("matches = %d, want 1", st.Matches)
+	}
+}
+
+func TestModelCallSharingAndEnvelopeGating(t *testing.T) {
+	cat := newTestCatalog(t)
+	trainThreshold(t, cat, "dt", 50)
+	s := NewSet(cat, Options{})
+	// Twenty subscriptions over the same mining predicate shape.
+	for i := 0; i < 20; i++ {
+		sql := fmt.Sprintf(
+			"SELECT * FROM events PREDICTION JOIN dt AS m ON m.num = events.num WHERE m.cls = 'high' AND id >= %d", -i)
+		if _, err := s.Subscribe(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A clearly-low row: the shared 'high' envelope rejects it once, and
+	// no model is ever invoked.
+	s.EvalBatch("events", []value.Tuple{eventRow(1, 5, "a")}, 1)
+	if st := s.Stats(); st.ModelCalls != 0 {
+		t.Fatalf("model calls on an envelope-rejected row = %d, want 0", st.ModelCalls)
+	}
+	// A high row: all twenty subscriptions match off ONE model call.
+	s.EvalBatch("events", []value.Tuple{eventRow(2, 95, "a")}, 1)
+	st := s.Stats()
+	if st.ModelCalls != 1 {
+		t.Fatalf("model calls = %d, want 1 (memoized across 20 subscriptions)", st.ModelCalls)
+	}
+	if st.Matches != 20 {
+		t.Fatalf("matches = %d, want 20", st.Matches)
+	}
+}
+
+func TestModelDataAndModelModelJoins(t *testing.T) {
+	cat := newTestCatalog(t)
+	trainThreshold(t, cat, "dt", 50)
+	trainThreshold(t, cat, "dt2", 50) // same boundary -> predictions agree
+	trainThreshold(t, cat, "dt3", 90) // different boundary
+	s := NewSet(cat, Options{})
+	joins := " PREDICTION JOIN dt AS a ON a.num = events.num" +
+		" PREDICTION JOIN dt3 AS b ON b.num = events.num "
+	idMD, err := s.Subscribe("SELECT * FROM events PREDICTION JOIN dt AS a ON a.num = events.num WHERE a.cls = cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idMM, err := s.Subscribe("SELECT * FROM events" + joins + "WHERE a.cls = b.cls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EvalBatch("events", []value.Tuple{
+		eventRow(1, 80, "high"), // a=high matches cat; b=low so a<>b
+		eventRow(2, 95, "x"),    // a=high, b=high -> mm matches; md does not
+		eventRow(3, 20, "low"),  // a=low matches cat; b=low -> both match
+	}, 1)
+	got := map[int64][]int64{}
+	for _, n := range drain(t, s, 100) {
+		got[n.SubID] = append(got[n.SubID], n.Row[0].AsInt())
+	}
+	if fmt.Sprint(got[idMD]) != "[1 3]" {
+		t.Fatalf("model-data join matched %v, want [1 3]", got[idMD])
+	}
+	if fmt.Sprint(got[idMM]) != "[2 3]" {
+		t.Fatalf("model-model join matched %v, want [2 3]", got[idMM])
+	}
+}
+
+func TestPollContext(t *testing.T) {
+	cat := newTestCatalog(t)
+	s := NewSet(cat, Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := s.Poll(ctx, 10); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Poll on empty queue = %v, want deadline exceeded", err)
+	}
+}
+
+func TestUnsubscribeStopsMatching(t *testing.T) {
+	cat := newTestCatalog(t)
+	s := NewSet(cat, Options{})
+	id, err := s.Subscribe("SELECT * FROM events WHERE num >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EvalBatch("events", []value.Tuple{eventRow(1, 1, "a")}, 1)
+	if err := s.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	s.EvalBatch("events", []value.Tuple{eventRow(2, 2, "a")}, 1)
+	ns := drain(t, s, 10)
+	if len(ns) != 1 || ns[0].Row[0].AsInt() != 1 {
+		t.Fatalf("notifications after unsubscribe = %+v", ns)
+	}
+	if s.Registered() != 0 {
+		t.Fatalf("registered = %d", s.Registered())
+	}
+}

@@ -22,24 +22,25 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // atomically on the Engine so the query path reads one pointer; a nil
 // receiver disables every observation.
 type engineMetrics struct {
-	queriesByPath *metrics.CounterVec
-	stageSeconds  *metrics.HistogramVec
-	rowsScanned   *metrics.Counter
-	rowsReturned  *metrics.Counter
-	fallbacks     *metrics.Counter
-	retriesTotal  *metrics.Counter
-	partsPruned   *metrics.Counter
-	partsScanned  *metrics.Counter
-	columnarScans *metrics.Counter
-	termRejected  *metrics.CounterVec
-	aggQueries    *metrics.Counter
-	aggMerges     *metrics.Counter
-	walAppends    *metrics.Counter
-	walFsyncs     *metrics.Counter
-	walReplayed   *metrics.Counter
-	dmlStatements *metrics.CounterVec
-	dmlRows       *metrics.Counter
-	retrains      *metrics.Counter
+	queriesByPath   *metrics.CounterVec
+	stageSeconds    *metrics.HistogramVec
+	rowsScanned     *metrics.Counter
+	rowsReturned    *metrics.Counter
+	fallbacks       *metrics.Counter
+	retriesTotal    *metrics.Counter
+	partsPruned     *metrics.Counter
+	partsScanned    *metrics.Counter
+	columnarScans   *metrics.Counter
+	termRejected    *metrics.CounterVec
+	aggQueries      *metrics.Counter
+	aggMerges       *metrics.Counter
+	walAppends      *metrics.Counter
+	walFsyncs       *metrics.Counter
+	walReplayed     *metrics.Counter
+	dmlStatements   *metrics.CounterVec
+	dmlRows         *metrics.Counter
+	retrains        *metrics.Counter
+	retrainFailures *metrics.Counter
 }
 
 // dmlOpLabels pre-creates the per-op statement children so the frozen
@@ -75,6 +76,12 @@ var queryStages = []string{"parse", "rewrite", "optimize", "execute"}
 //	minequery_dml_statements_total{op}   completed write statements by kind
 //	minequery_dml_rows_total             rows written (inserted, updated, deleted)
 //	minequery_retrains_total             models retrained by the write-volume trigger
+//	minequery_retrain_failures_total     write-volume retrains that failed (writes stay committed; retried next write)
+//	minequery_standing_registered        live standing-query subscriptions
+//	minequery_standing_matches_total     standing-query matches generated (delivered or dropped)
+//	minequery_standing_evals_total       (row, candidate-subscription) standing evaluations after index pruning
+//	minequery_standing_dropped_total     standing notifications dropped on a full queue
+//	minequery_standing_recompiles_total  shared standing-set recompilations
 //
 // Call it once per registry; series names panic on double registration.
 func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
@@ -115,7 +122,26 @@ func (e *Engine) RegisterMetrics(r *MetricsRegistry) {
 			"Rows written by DML statements (inserted, updated, deleted)."),
 		retrains: r.Counter("minequery_retrains_total",
 			"Models retrained by the write-volume retrain trigger."),
+		retrainFailures: r.Counter("minequery_retrain_failures_total",
+			"Write-volume retrains that failed after a committed write (the write stays durable; the retrain retries on the next write)."),
 	}
+	// The standing-query series read the live Set counters on scrape, so
+	// they need no feed path through the engine.
+	r.GaugeFunc("minequery_standing_registered",
+		"Live standing-query subscriptions.",
+		func() float64 { return float64(e.standing.Registered()) })
+	r.CounterFunc("minequery_standing_matches_total",
+		"Standing-query matches generated (delivered or dropped).",
+		func() float64 { return float64(e.standing.Matches()) })
+	r.CounterFunc("minequery_standing_evals_total",
+		"Per-row candidate-subscription evaluations that survived standing-index pruning.",
+		func() float64 { return float64(e.standing.Evals()) })
+	r.CounterFunc("minequery_standing_dropped_total",
+		"Standing-query notifications dropped because the delivery queue was full.",
+		func() float64 { return float64(e.standing.Dropped()) })
+	r.CounterFunc("minequery_standing_recompiles_total",
+		"Recompilations of the shared standing-query structure (subscription churn or catalog invalidation).",
+		func() float64 { return float64(e.standing.Recompiles()) })
 	// Pre-create the label children so every series is visible from the
 	// first scrape (a frozen series list is lintable even on an idle
 	// engine).
@@ -225,6 +251,14 @@ func (em *engineMetrics) retrain(n int64) {
 		return
 	}
 	em.retrains.Add(n)
+}
+
+// retrainFailure records one failed write-volume retrain (nil-safe).
+func (em *engineMetrics) retrainFailure() {
+	if em == nil {
+		return
+	}
+	em.retrainFailures.Inc()
 }
 
 // partitions records one query's partition-pruning outcome (nil-safe;

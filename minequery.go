@@ -51,6 +51,7 @@ import (
 	"minequery/internal/plan"
 	"minequery/internal/qerr"
 	"minequery/internal/sqlparse"
+	"minequery/internal/standing"
 	"minequery/internal/storage"
 	"minequery/internal/value"
 	"minequery/internal/wal"
@@ -168,6 +169,10 @@ type Engine struct {
 	modelDefs   map[string]*modelDef
 	defOrder    []string
 	writesSince map[string]int64
+
+	// standing is the standing-query engine (standing.go); the Exec
+	// write path classifies every committed batch against it.
+	standing *standing.Set
 }
 
 // Config tunes an Engine.
@@ -188,6 +193,11 @@ type Config struct {
 	// Faults, when non-nil, installs a fault injector at construction
 	// (equivalent to calling SetFaults immediately after).
 	Faults *FaultInjector
+	// StandingQueue is the standing-query notification queue capacity.
+	// When matches outrun the Notifications consumer, the overflow is
+	// dropped and counted rather than blocking the write path. Zero
+	// means the default (1024).
+	StandingQueue int
 }
 
 // New returns an empty engine with default configuration.
@@ -220,6 +230,12 @@ func NewWithConfig(cfg Config) *Engine {
 		modelDefs:   make(map[string]*modelDef),
 		writesSince: make(map[string]int64),
 	}
+	e.standing = standing.NewSet(e.cat, standing.Options{Queue: cfg.StandingQueue})
+	// Any catalog change that can invalidate cached plans can also change
+	// what a compiled standing set means (retrains swap envelopes and
+	// predictions; drops break subscriptions); recompile lazily on the
+	// next committed batch, exactly like prepared-plan staleness.
+	e.cat.OnInvalidate(func(catalog.InvalidationEvent) { e.standing.Invalidate() })
 	if cfg.Faults != nil {
 		e.SetFaults(cfg.Faults)
 	}
@@ -243,7 +259,13 @@ func (e *Engine) SetDOP(dop int) {
 // keys embed model content fingerprints, so entries can never serve a
 // stale envelope after a retrain — at worst they waste space. The cache
 // must be safe for concurrent use if the engine is shared.
-func (e *Engine) SetEnvelopeCache(c EnvelopeCache) { e.envCache = c }
+func (e *Engine) SetEnvelopeCache(c EnvelopeCache) {
+	e.envCache = c
+	// The standing-query compiler shares the cache: its region keys are
+	// namespaced ("standing|" prefix) and fingerprint-derived, so query
+	// and standing entries coexist without ever serving each other.
+	e.standing.SetCache(c)
+}
 
 // OnInvalidate registers a callback for catalog changes that can
 // invalidate cached plans: model registration/retrain/drop, index

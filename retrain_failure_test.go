@@ -1,0 +1,135 @@
+package minequery
+
+// Regression tests for the write-path half-commit bugs: a retrain
+// failure after the statement's mutations are durably applied must not
+// be reported as a wholesale statement failure (the rows ARE committed
+// and visible — clients that re-issue would double-apply), and the
+// write counter that triggered the retrain must survive the failure so
+// the very next write retries instead of silently waiting out another
+// full threshold.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildRetrainFailureEngine stages a table with a CREATE MODEL whose
+// training view is `b >= 100`: deleting every such row makes the next
+// retrain fail deterministically (empty train set), without any fault
+// injection.
+func buildRetrainFailureEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng := New()
+	if err := eng.CreateTable("t", MustSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "a", Kind: KindInt},
+		Column{Name: "b", Kind: KindInt},
+		Column{Name: "label", Kind: KindString},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := eng.Exec(ctx, "INSERT INTO t (id, a, b, label) VALUES "+
+		"(1, 1, 100, 'hi'), (2, 2, 110, 'lo'), (3, 3, 120, 'hi'), (4, 4, 130, 'lo'), "+
+		"(5, 5, 140, 'hi'), (6, 6, 150, 'lo'), (7, 7, 10, 'hi'), (8, 8, 20, 'lo')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec(ctx,
+		"CREATE MODEL vm ON t PREDICT label USING dtree AS SELECT a, label FROM t WHERE b >= 100"); err != nil {
+		t.Fatal(err)
+	}
+	eng.SetRetrainPolicy(RetrainPolicy{WriteThreshold: 4})
+	return eng
+}
+
+// TestRetrainFailureIsNotStatementFailure pins the partial-success
+// contract: when the DML commits but the triggered retrain fails, Exec
+// returns BOTH the populated result (rows affected, epoch) and an error
+// wrapping ErrRetrainFailed — and the committed rows are visible.
+func TestRetrainFailureIsNotStatementFailure(t *testing.T) {
+	eng := buildRetrainFailureEngine(t)
+	ctx := context.Background()
+	reg := NewMetricsRegistry()
+	eng.RegisterMetrics(reg)
+	epochBefore := eng.CatalogEpoch()
+
+	// Deleting all six b>=100 rows crosses the threshold and empties the
+	// training view: the retrain must fail, the delete must not.
+	res, err := eng.Exec(ctx, "DELETE FROM t WHERE b >= 100")
+	if err == nil {
+		t.Fatal("retrain over an empty training view succeeded; fixture is broken")
+	}
+	if !errors.Is(err, ErrRetrainFailed) {
+		t.Fatalf("error does not wrap ErrRetrainFailed: %v", err)
+	}
+	if res == nil {
+		t.Fatalf("committed DELETE with failed retrain returned a nil result: %v", err)
+	}
+	if res.RowsAffected != 6 {
+		t.Fatalf("rows affected = %d, want 6", res.RowsAffected)
+	}
+	if res.Epoch < epochBefore {
+		t.Fatalf("result epoch %d regressed below %d", res.Epoch, epochBefore)
+	}
+
+	// Differential check: the delete really committed — the rows are
+	// gone from every read path, so a client re-issuing the "failed"
+	// statement would double-apply.
+	q, err := eng.Query(ctx, "SELECT id FROM t WHERE b >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 0 {
+		t.Fatalf("deleted rows still visible: %d remain", len(q.Rows))
+	}
+	q, err = eng.Query(ctx, "SELECT id FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 2 {
+		t.Fatalf("table has %d rows, want the 2 untouched ones", len(q.Rows))
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "minequery_retrain_failures_total 1") {
+		t.Fatalf("scrape is missing minequery_retrain_failures_total 1:\n%s", b.String())
+	}
+}
+
+// TestRetrainRetriesOnNextWrite pins the counter-preservation fix: the
+// failed retrain restores writesSince, so the very next write re-crosses
+// the threshold and retries — it does not wait out a fresh threshold.
+func TestRetrainRetriesOnNextWrite(t *testing.T) {
+	eng := buildRetrainFailureEngine(t)
+	ctx := context.Background()
+
+	if _, err := eng.Exec(ctx, "DELETE FROM t WHERE b >= 100"); !errors.Is(err, ErrRetrainFailed) {
+		t.Fatalf("setup delete: want ErrRetrainFailed, got %v", err)
+	}
+
+	// ONE row (far below the threshold of 4) repopulating the view: with
+	// the counter preserved this re-crosses the threshold immediately,
+	// the retrain retries, and this time it succeeds.
+	res, err := eng.Exec(ctx, "INSERT INTO t (id, a, b, label) VALUES (100, 1, 200, 'hi')")
+	if err != nil {
+		t.Fatalf("retry retrain after view repopulated: %v", err)
+	}
+	if len(res.Retrained) != 1 || res.Retrained[0] != "vm" {
+		t.Fatalf("retrained = %v, want [vm]: the preserved counter did not trigger a retry", res.Retrained)
+	}
+
+	// And the counter was consumed by the successful retrain: the next
+	// single write stays below the threshold and retrains nothing.
+	res, err = eng.Exec(ctx, "INSERT INTO t (id, a, b, label) VALUES (101, 1, 210, 'lo')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Retrained) != 0 {
+		t.Fatalf("post-success write retrained %v; counter was not reset", res.Retrained)
+	}
+}

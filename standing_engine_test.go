@@ -1,0 +1,321 @@
+package minequery
+
+// Engine-level standing-query tests: the subscribe → committed write →
+// notification round trip through the public Engine surface, a seeded
+// differential sweep of random subscription sets against the naive
+// per-subscription oracle under concurrent writers and a mid-sweep
+// retrain, replay isolation (WAL recovery must not re-notify), and the
+// frozen standing metrics series.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"minequery/internal/standing"
+)
+
+// drainNotifications empties the engine's delivery queue, polling until
+// a short deadline lapses with nothing left. Standing evaluation is
+// synchronous with the committing Exec, so once the writers have
+// returned the queue is fully populated and the final empty poll only
+// costs the short deadline.
+func drainNotifications(t *testing.T, eng *Engine) []Notification {
+	t.Helper()
+	var out []Notification
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+		ns, err := eng.Notifications(ctx, 10000)
+		cancel()
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return out
+			}
+			t.Fatalf("drain notifications: %v", err)
+		}
+		out = append(out, ns...)
+	}
+}
+
+// notificationKey canonicalizes a delivered notification for multiset
+// comparison against the oracle (sub id, projected columns, projected
+// values — everything but the delivery sequence number).
+func notificationKey(subID int64, cols []string, row Tuple) string {
+	parts := make([]string, 0, len(row)+2)
+	parts = append(parts, fmt.Sprintf("sub=%d", subID), strings.Join(cols, ","))
+	for _, v := range row {
+		parts = append(parts, fmt.Sprintf("%d:%s", v.Kind(), v.String()))
+	}
+	return strings.Join(parts, "|")
+}
+
+// TestStandingRoundTrip drives the full public path: subscribe, write
+// through Exec, receive the matches — including a mining subscription
+// whose projection carries the predicted column.
+func TestStandingRoundTrip(t *testing.T) {
+	eng, _ := buildDiffEngine(t, 4242, 200)
+	ctx := context.Background()
+
+	dataID, err := eng.Subscribe("SELECT id, num FROM t WHERE num >= 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mineID, err := eng.Subscribe(
+		"SELECT id, m.cls FROM t PREDICTION JOIN dt AS m ON m.num = t.num WHERE m.cls = 'high'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.StandingStats().Registered; got != 2 {
+		t.Fatalf("registered = %d, want 2", got)
+	}
+
+	// One row above both thresholds, one below: num >= 85 predicts
+	// "high" in the buildDiffEngine fixture.
+	res, err := eng.Exec(ctx, "INSERT INTO t (id, cat, num) VALUES (9001, 'c1', 97), (9002, 'c2', 10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Fatalf("rows affected = %d, want 2", res.RowsAffected)
+	}
+	ns := drainNotifications(t, eng)
+	if len(ns) != 2 {
+		t.Fatalf("got %d notifications, want 2: %+v", len(ns), ns)
+	}
+	bySub := map[int64]Notification{}
+	for _, n := range ns {
+		bySub[n.SubID] = n
+		if n.Table != "t" {
+			t.Fatalf("notification table = %q, want t", n.Table)
+		}
+	}
+	d := bySub[dataID]
+	if len(d.Row) != 2 || d.Row[0].AsInt() != 9001 || d.Row[1].AsInt() != 97 {
+		t.Fatalf("data notification row = %v", d.Row)
+	}
+	m := bySub[mineID]
+	if len(m.Row) != 2 || m.Row[0].AsInt() != 9001 || m.Row[1].AsString() != "high" {
+		t.Fatalf("mining notification row = %v", m.Row)
+	}
+
+	// Unsubscribed queries stop matching; unknown ids are typed errors.
+	if err := eng.Unsubscribe(mineID); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Unsubscribe(mineID); !errors.Is(err, ErrUnknownSubscription) {
+		t.Fatalf("double unsubscribe: got %v, want ErrUnknownSubscription", err)
+	}
+	if _, err := eng.Exec(ctx, "INSERT INTO t (id, cat, num) VALUES (9003, 'c3', 99)"); err != nil {
+		t.Fatal(err)
+	}
+	ns = drainNotifications(t, eng)
+	if len(ns) != 1 || ns[0].SubID != dataID {
+		t.Fatalf("after unsubscribe: got %+v, want one match for sub %d", ns, dataID)
+	}
+}
+
+// TestStandingDifferentialSweep is the engine-level differential run:
+// seeded random subscription sets registered in both the engine and the
+// naive oracle, random INSERT batches committed by concurrent writers,
+// and every delivered notification compared (as a canonical multiset —
+// writer interleaving is the only permitted nondeterminism) against the
+// oracle applied to the same rows. A mid-sweep retrain forces shared-set
+// recompilation; DOP alternates to interleave standing evaluation with
+// parallel reads.
+func TestStandingDifferentialSweep(t *testing.T) {
+	const seed = 880808
+	iterations := 300
+	if testing.Short() {
+		iterations = 60
+	}
+	eng, models := buildDiffEngine(t, seed, 300)
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(seed))
+
+	nextID := int64(100000)
+	recompilesBefore := eng.StandingStats().Recompiles
+	for iter := 0; iter < iterations; iter++ {
+		eng.SetDOP(1 + 3*(iter%2))
+		if iter == iterations/2 {
+			// Re-train one family in place: epoch bump → standing set
+			// recompiles. Same training data, so predictions are unchanged
+			// and the oracle (which reads the catalog fresh) stays aligned.
+			if _, err := eng.TrainDecisionTree("dt", "cls", "t_lbl", []string{"num"}, "cls", TreeOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		naive := standing.NewNaiveMatcher(eng.cat)
+		nSubs := 1 + r.Intn(6)
+		subIDs := make([]int64, 0, nSubs)
+		for i := 0; i < nSubs; i++ {
+			sql := genQuery(r, models)
+			id, err := eng.Subscribe(sql)
+			if err != nil {
+				t.Fatalf("iter %d: subscribe %q: %v", iter, sql, err)
+			}
+			if err := naive.Register(id, sql); err != nil {
+				t.Fatalf("iter %d: naive register %q: %v", iter, sql, err)
+			}
+			subIDs = append(subIDs, id)
+		}
+
+		// Two writers commit disjoint batches concurrently; the oracle is
+		// applied to the union of their rows after both land.
+		type batch struct {
+			sql  string
+			rows []Tuple
+		}
+		batches := make([]batch, 2)
+		for w := range batches {
+			n := 5 + r.Intn(10)
+			var b strings.Builder
+			b.WriteString("INSERT INTO t (id, cat, num) VALUES ")
+			for i := 0; i < n; i++ {
+				nextID++
+				c := fmt.Sprintf("c%d", r.Intn(8))
+				num := int64(r.Intn(100))
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "(%d, '%s', %d)", nextID, c, num)
+				batches[w].rows = append(batches[w].rows, Tuple{Int(nextID), Str(c), Int(num)})
+			}
+			batches[w].sql = b.String()
+		}
+		var wg sync.WaitGroup
+		for w := range batches {
+			wg.Add(1)
+			go func(sql string) {
+				defer wg.Done()
+				if _, err := eng.Exec(ctx, sql); err != nil {
+					t.Errorf("iter %d: exec: %v", iter, err)
+				}
+			}(batches[w].sql)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+
+		var want []string
+		for _, b := range batches {
+			for _, row := range b.rows {
+				for _, m := range naive.Matches("t", row) {
+					want = append(want, notificationKey(m.SubID, m.Columns, m.Row))
+				}
+			}
+		}
+		var got []string
+		for _, n := range drainNotifications(t, eng) {
+			got = append(got, notificationKey(n.SubID, n.Columns, n.Row))
+		}
+		sort.Strings(want)
+		sort.Strings(got)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d notifications, oracle %d (seed=%d)\ngot:  %v\nwant: %v",
+				iter, len(got), len(want), seed, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d diverges at %d (seed=%d)\n got: %s\nwant: %s",
+					iter, i, seed, got[i], want[i])
+			}
+		}
+		for _, id := range subIDs {
+			if err := eng.Unsubscribe(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if eng.StandingStats().Recompiles <= recompilesBefore {
+		t.Fatal("mid-sweep retrain never forced a shared-set recompile")
+	}
+	if dropped := eng.StandingStats().Dropped; dropped != 0 {
+		t.Fatalf("sweep dropped %d notifications; the drain should have kept the queue empty", dropped)
+	}
+}
+
+// TestStandingReplayDoesNotNotify pins the replay/live split: WAL
+// recovery re-applies committed rows but must not re-deliver them to
+// standing queries — notifications are a live-write phenomenon, and
+// replaying a log into a warm subscriber set would duplicate every
+// match ever made.
+func TestStandingReplayDoesNotNotify(t *testing.T) {
+	ctx := context.Background()
+	eng := newCrashEngine(t, 0)
+	dev := NewMemWALDevice()
+	if _, err := eng.EnableWAL(dev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Subscribe("SELECT id FROM t WHERE a >= 0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec(ctx, "INSERT INTO t (id, a, b, label) VALUES (1, 1, 1, 'red'), (2, 2, 2, 'blue')"); err != nil {
+		t.Fatal(err)
+	}
+	if ns := drainNotifications(t, eng); len(ns) != 2 {
+		t.Fatalf("live engine delivered %d notifications, want 2", len(ns))
+	}
+
+	// Recover the log into a fresh engine that already has a (matching)
+	// subscription registered: replay must stay silent.
+	rec := newCrashEngine(t, 0)
+	if _, err := rec.Subscribe("SELECT id FROM t WHERE a >= 0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.EnableWAL(NewMemWALDeviceFrom(dev.CrashImage(0))); err != nil {
+		t.Fatal(err)
+	}
+	n, err := rec.RowCount("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replay recovered %d rows, want 2", n)
+	}
+	st := rec.StandingStats()
+	if st.Evals != 0 || st.Matches != 0 {
+		t.Fatalf("replay evaluated standing queries: %+v", st)
+	}
+	if ns := drainNotifications(t, rec); len(ns) != 0 {
+		t.Fatalf("replay delivered %d notifications, want 0", len(ns))
+	}
+}
+
+// TestStandingMetricsSeries pins the frozen standing metric names and
+// checks they move with real activity.
+func TestStandingMetricsSeries(t *testing.T) {
+	eng, _ := buildDiffEngine(t, 77, 100)
+	reg := NewMetricsRegistry()
+	eng.RegisterMetrics(reg)
+	if _, err := eng.Subscribe("SELECT id FROM t WHERE num >= 0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec(context.Background(), "INSERT INTO t (id, cat, num) VALUES (5001, 'c0', 50)"); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	scrape := b.String()
+	for _, want := range []string{
+		"minequery_standing_registered 1",
+		"minequery_standing_matches_total 1",
+		"minequery_standing_evals_total 1",
+		"minequery_standing_dropped_total 0",
+		"minequery_standing_recompiles_total",
+		"minequery_retrain_failures_total 0",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Fatalf("scrape is missing %q:\n%s", want, scrape)
+		}
+	}
+}

@@ -87,11 +87,11 @@ func (e *Engine) replayRecord(rec *wal.Record) error {
 		}
 		// A threshold retrain can fail deterministically (e.g. the log's
 		// deletes emptied the table before the trigger fired). On the live
-		// path that error went back to the client while the DML stayed
-		// applied and logged and the engine kept running — so replay must
-		// reach the same state: tolerate the retrain failure (the only
-		// error noteWrites can return) and keep recovering. Only DML apply
-		// failures abort recovery.
+		// path that surfaced as an ErrRetrainFailed alongside the applied,
+		// logged DML while the engine kept running — so replay must reach
+		// the same state: tolerate the retrain failure (ErrRetrainFailed is
+		// the only error noteWrites can return) and keep recovering. Only
+		// DML apply failures abort recovery.
 		_, _ = e.noteWrites(t.Name, n)
 		return nil
 	case wal.RecordDDL:
